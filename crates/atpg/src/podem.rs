@@ -1,0 +1,282 @@
+//! PODEM test generation for single stuck-at faults.
+
+use evotc_bits::{TestPattern, Trit};
+use evotc_netlist::{GateKind, NetId, Netlist};
+use evotc_sim::StuckAtFault;
+
+use crate::dcalc::{simulate_dv, Dv};
+
+/// Configuration of the PODEM search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodemConfig {
+    /// Abort after this many backtracks (the fault is then reported
+    /// [`PodemResult::Aborted`]).
+    pub max_backtracks: usize,
+}
+
+impl Default for PodemConfig {
+    fn default() -> Self {
+        PodemConfig {
+            max_backtracks: 10_000,
+        }
+    }
+}
+
+/// Outcome of a PODEM run for one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemResult {
+    /// A test cube: assigned inputs are specified, the rest stay `X` — the
+    /// don't-cares later exploited by compression.
+    Test(TestPattern),
+    /// The fault is proven untestable (search space exhausted).
+    Untestable,
+    /// The backtrack limit was hit before a decision.
+    Aborted,
+}
+
+/// The PODEM (Path-Oriented DEcision Making) algorithm: branch-and-bound
+/// over primary-input assignments only, with five-valued implication.
+///
+/// # Example
+///
+/// ```
+/// use evotc_netlist::{iscas, parse_bench};
+/// use evotc_sim::StuckAtFault;
+/// use evotc_atpg::{Podem, PodemResult};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c17 = parse_bench(iscas::C17_BENCH)?;
+/// let fault = StuckAtFault::sa0(c17.outputs()[0]);
+/// let result = Podem::new(&c17, Default::default()).run(fault);
+/// assert!(matches!(result, PodemResult::Test(_)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Podem<'a> {
+    netlist: &'a Netlist,
+    config: PodemConfig,
+}
+
+struct Decision {
+    input: usize,
+    value: bool,
+    flipped: bool,
+}
+
+impl<'a> Podem<'a> {
+    /// Creates a PODEM engine for a circuit.
+    pub fn new(netlist: &'a Netlist, config: PodemConfig) -> Self {
+        Podem { netlist, config }
+    }
+
+    /// Generates a test cube for `fault`.
+    pub fn run(&self, fault: StuckAtFault) -> PodemResult {
+        let n_inputs = self.netlist.num_inputs();
+        let mut assignment = vec![Trit::X; n_inputs];
+        let mut stack: Vec<Decision> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            let values = simulate_dv(self.netlist, &assignment, fault.net, fault.stuck_at);
+            if self.error_at_output(&values) {
+                return PodemResult::Test(TestPattern::from_trits(&assignment));
+            }
+            let objective = self.objective(&values, fault);
+            let next = objective.and_then(|(net, value)| self.backtrace(&values, net, value));
+            match next {
+                Some((input, value)) => {
+                    assignment[input] = Trit::from_bool(value);
+                    stack.push(Decision {
+                        input,
+                        value,
+                        flipped: false,
+                    });
+                }
+                None => {
+                    // Dead end: flip the most recent unflipped decision.
+                    backtracks += 1;
+                    if backtracks > self.config.max_backtracks {
+                        return PodemResult::Aborted;
+                    }
+                    loop {
+                        match stack.pop() {
+                            Some(d) if !d.flipped => {
+                                assignment[d.input] = Trit::from_bool(!d.value);
+                                stack.push(Decision {
+                                    input: d.input,
+                                    value: !d.value,
+                                    flipped: true,
+                                });
+                                break;
+                            }
+                            Some(d) => {
+                                assignment[d.input] = Trit::X;
+                            }
+                            None => return PodemResult::Untestable,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn error_at_output(&self, values: &[Dv]) -> bool {
+        self.netlist
+            .outputs()
+            .iter()
+            .any(|o| values[o.index()].is_error())
+    }
+
+    /// The next objective `(net, value)`:
+    /// 1. activate the fault (good value opposite to the stuck value);
+    /// 2. otherwise pick a D-frontier gate and demand the non-controlling
+    ///    value on one of its unspecified side inputs.
+    fn objective(&self, values: &[Dv], fault: StuckAtFault) -> Option<(NetId, bool)> {
+        let at_site = values[fault.net.index()];
+        if at_site.good.is_x() {
+            return Some((fault.net, !fault.stuck_at));
+        }
+        if !at_site.is_error() {
+            return None; // activation failed: good value equals stuck value
+        }
+        // D-frontier: gates with an error input and an X output.
+        for id in self.netlist.node_ids() {
+            if self.netlist.kind(id) == GateKind::Input {
+                continue;
+            }
+            let out = values[id.index()];
+            if !out.has_x() {
+                continue;
+            }
+            let has_error_input = self
+                .netlist
+                .fanins(id)
+                .iter()
+                .any(|f| values[f.index()].is_error());
+            if !has_error_input {
+                continue;
+            }
+            let want = match self.netlist.kind(id).controlling_value() {
+                Some(c) => !c,
+                None => true, // XOR-ish: any specified value propagates
+            };
+            if let Some(&side) = self
+                .netlist
+                .fanins(id)
+                .iter()
+                .find(|f| values[f.index()].good.is_x())
+            {
+                return Some((side, want));
+            }
+        }
+        None
+    }
+
+    /// Walks from an internal objective back to an unassigned primary input,
+    /// complementing the target value through inverting gates.
+    fn backtrace(&self, values: &[Dv], mut net: NetId, mut value: bool) -> Option<(usize, bool)> {
+        loop {
+            if self.netlist.kind(net) == GateKind::Input {
+                let pos = self
+                    .netlist
+                    .input_position(net)
+                    .expect("inputs are registered");
+                return values[net.index()].good.is_x().then_some((pos, value));
+            }
+            if self.netlist.kind(net).is_inverting() {
+                value = !value;
+            }
+            // Follow an X-valued fanin (prefer the first — a simple,
+            // deterministic heuristic).
+            net = *self
+                .netlist
+                .fanins(net)
+                .iter()
+                .find(|f| values[f.index()].good.is_x())?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evotc_netlist::{iscas, parse_bench, NetlistBuilder};
+    use evotc_sim::{all_faults, simulate_with_forced};
+
+    fn c17() -> Netlist {
+        parse_bench(iscas::C17_BENCH).unwrap()
+    }
+
+    /// Independently verify a generated cube by three-valued simulation.
+    fn verify_detects(netlist: &Netlist, fault: StuckAtFault, cube: &TestPattern) {
+        let good = evotc_sim::simulate(netlist, cube);
+        let bad = simulate_with_forced(
+            netlist,
+            cube,
+            &[(fault.net, Trit::from_bool(fault.stuck_at))],
+        );
+        let detected = netlist.outputs().iter().any(|o| {
+            let (g, b) = (good[o.index()], bad[o.index()]);
+            g.is_specified() && b.is_specified() && g != b
+        });
+        assert!(detected, "{fault} not detected by {cube}");
+    }
+
+    #[test]
+    fn detects_every_c17_fault() {
+        let n = c17();
+        for fault in all_faults(&n) {
+            match Podem::new(&n, PodemConfig::default()).run(fault) {
+                PodemResult::Test(cube) => verify_detects(&n, fault, &cube),
+                other => panic!("{fault}: c17 is fully testable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cubes_contain_dont_cares() {
+        let n = c17();
+        let g10 = n.find_net("10").unwrap();
+        if let PodemResult::Test(cube) = Podem::new(&n, PodemConfig::default()).run(StuckAtFault::sa0(g10)) {
+            assert!(cube.num_x() > 0, "expected unassigned inputs in {cube}");
+        } else {
+            panic!("fault should be testable");
+        }
+    }
+
+    #[test]
+    fn untestable_fault_is_proven() {
+        // y = OR(x, NOT(x)) is constant 1: y/sa1 is untestable.
+        let mut b = NetlistBuilder::new("const1");
+        let x = b.input("x");
+        let nx = b.gate("nx", GateKind::Not, vec![x]).unwrap();
+        let y = b.gate("y", GateKind::Or, vec![x, nx]).unwrap();
+        b.output(y);
+        let n = b.finish().unwrap();
+        let y = n.find_net("y").unwrap();
+        let r = Podem::new(&n, PodemConfig::default()).run(StuckAtFault::sa1(y));
+        assert_eq!(r, PodemResult::Untestable);
+        // …while y/sa0 is testable by any input.
+        let r = Podem::new(&n, PodemConfig::default()).run(StuckAtFault::sa0(y));
+        assert!(matches!(r, PodemResult::Test(_)));
+    }
+
+    #[test]
+    fn works_on_generated_circuits() {
+        let n = evotc_netlist::generate(&evotc_netlist::GeneratorConfig {
+            inputs: 10,
+            outputs: 5,
+            gates: 80,
+            seed: 11,
+        });
+        let mut tested = 0;
+        for fault in all_faults(&n).into_iter().take(60) {
+            if let PodemResult::Test(cube) = Podem::new(&n, PodemConfig::default()).run(fault) {
+                verify_detects(&n, fault, &cube);
+                tested += 1;
+            }
+        }
+        assert!(tested > 20, "only {tested} faults testable");
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the compression pipeline: covering, encoding and
+//! the end-to-end compressors on a fixed calibrated workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evotc_bits::{BlockHistogram, TestSetString};
+use evotc_core::{encoded_size, Covering, EaCompressor, MvSet, NineCCompressor, NineCHuffmanCompressor, TestCompressor};
+use evotc_workloads::synth::{generate, SyntheticSpec};
+
+fn workload() -> evotc_bits::TestSet {
+    generate(&SyntheticSpec {
+        width: 24,
+        total_bits: 24 * 500,
+        specified_density: 0.45,
+        one_bias: 0.35,
+        seed: 7,
+    })
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let set = workload();
+    c.bench_function("ninec_fixed_code", |b| {
+        b.iter(|| NineCCompressor::new(8).compress(&set).unwrap())
+    });
+    c.bench_function("ninec_huffman", |b| {
+        b.iter(|| NineCHuffmanCompressor::new(8).compress(&set).unwrap())
+    });
+    c.bench_function("ea_small_budget", |b| {
+        b.iter(|| {
+            EaCompressor::builder(8, 9)
+                .seed(1)
+                .stagnation_limit(5)
+                .max_evaluations(100)
+                .build()
+                .compress(&set)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_covering_kernel(c: &mut Criterion) {
+    let set = workload();
+    let string = TestSetString::new(&set, 12);
+    let hist = BlockHistogram::from_string(&string);
+    let mvs = MvSet::parse(
+        12,
+        &["000000000000", "111111111111", "000000UUUUUU", "UUUUUU000000"],
+    )
+    .unwrap()
+    .with_all_u();
+    c.bench_function("covering", |b| {
+        b.iter(|| Covering::cover(&mvs, &hist).unwrap())
+    });
+    c.bench_function("fitness_encoded_size", |b| {
+        b.iter(|| encoded_size(&mvs, &hist).unwrap())
+    });
+    c.bench_function("histogram_fold", |b| {
+        b.iter(|| BlockHistogram::from_string(&string))
+    });
+}
+
+criterion_group!(benches, bench_compressors, bench_covering_kernel);
+criterion_main!(benches);

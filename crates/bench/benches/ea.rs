@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the evolutionary engine itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evotc_evo::{operators, Ea, EaConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_operators(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a: Vec<u8> = (0..768).map(|_| rng.gen_range(0..3)).collect();
+    let b: Vec<u8> = (0..768).map(|_| rng.gen_range(0..3)).collect();
+    c.bench_function("crossover_768_genes", |bch| {
+        bch.iter(|| operators::crossover(&a, &b, &mut rng))
+    });
+    c.bench_function("mutate_768_genes", |bch| {
+        bch.iter(|| operators::mutate(&a, &mut rng, |r| r.gen_range(0..3u8)))
+    });
+    c.bench_function("invert_768_genes", |bch| {
+        bch.iter(|| operators::invert(&a, &mut rng))
+    });
+}
+
+fn bench_generations(c: &mut Criterion) {
+    c.bench_function("ea_one_max_100_gens", |bch| {
+        bch.iter(|| {
+            let config = EaConfig::builder()
+                .stagnation_limit(1_000)
+                .max_generations(100)
+                .seed(1)
+                .build();
+            Ea::new(config, 64, |rng| rng.gen::<bool>(), |g: &[bool]| {
+                g.iter().filter(|&&x| x).count() as f64
+            })
+            .run()
+        })
+    });
+}
+
+criterion_group!(benches, bench_operators, bench_generations);
+criterion_main!(benches);

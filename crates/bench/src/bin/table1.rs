@@ -1,0 +1,27 @@
+//! Regenerates Table 1 (stuck-at test sets): 9C vs 9C+HC vs EA vs EA-Best.
+//!
+//! Usage: `cargo run -p evotc-bench --bin table1 --release [-- --full] [circuit…]`
+
+use evotc_bench::{markdown_table, run_stuck_at_row, RunProfile};
+use evotc_workloads::tables::{TABLE1, TABLE1_AVG};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = RunProfile::from_args(args.iter().cloned());
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut rows = Vec::new();
+    for row in TABLE1 {
+        if !filter.is_empty() && !filter.iter().any(|f| *f == row.circuit) {
+            continue;
+        }
+        eprintln!("running {} ({} bits)…", row.circuit, row.test_set_bits);
+        rows.push(run_stuck_at_row(row, &profile));
+    }
+    println!("# Table 1 — stuck-at test sets (measured)\n");
+    println!("{}", markdown_table(&rows, ("EA", "EA-Best")));
+    println!(
+        "paper averages: 9C {:.1} | 9C+HC {:.1} | EA {:.1} | EA-Best {:.1}",
+        TABLE1_AVG.0, TABLE1_AVG.1, TABLE1_AVG.2, TABLE1_AVG.3
+    );
+}

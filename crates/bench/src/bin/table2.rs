@@ -1,0 +1,27 @@
+//! Regenerates Table 2 (path-delay test sets): 9C vs 9C+HC vs EA1 vs EA2.
+//!
+//! Usage: `cargo run -p evotc-bench --bin table2 --release [-- --full] [circuit…]`
+
+use evotc_bench::{markdown_table, run_path_delay_row, RunProfile};
+use evotc_workloads::tables::{TABLE2, TABLE2_AVG};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = RunProfile::from_args(args.iter().cloned());
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut rows = Vec::new();
+    for row in TABLE2 {
+        if !filter.is_empty() && !filter.iter().any(|f| *f == row.circuit) {
+            continue;
+        }
+        eprintln!("running {} ({} bits)…", row.circuit, row.test_set_bits);
+        rows.push(run_path_delay_row(row, &profile));
+    }
+    println!("# Table 2 — path-delay test sets (measured)\n");
+    println!("{}", markdown_table(&rows, ("EA1", "EA2")));
+    println!(
+        "paper averages: 9C {:.1} | 9C+HC {:.1} | EA1 {:.1} | EA2 {:.1}",
+        TABLE2_AVG.0, TABLE2_AVG.1, TABLE2_AVG.2, TABLE2_AVG.3
+    );
+}

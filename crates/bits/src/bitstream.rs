@@ -1,0 +1,274 @@
+//! MSB-first bit streams for compressed payloads.
+
+use std::fmt;
+
+/// Writes individual bits into a growable buffer, MSB-first within each byte.
+///
+/// The compressed test data is a concatenation of variable-length codewords
+/// and fill bits, so a bit-granular writer is required; the MSB-first order
+/// matches the serial order in which an on-chip decoder would consume bits
+/// from the tester.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bit(true);
+/// w.write_bits(0b0110, 4);
+/// assert_eq!(w.len(), 5);
+/// let mut r = BitReader::new(w.as_bytes(), w.len());
+/// assert_eq!(r.read_bit(), Some(true));
+/// assert_eq!(r.read_bits(4), Some(0b0110));
+/// assert_eq!(r.read_bit(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with capacity for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitWriter {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            len: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no bits have been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        let byte = self.len / 8;
+        if byte == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte] |= 0x80 >> (self.len % 8);
+        }
+        self.len += 1;
+    }
+
+    /// Appends the `n` low bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn write_bits(&mut self, value: u64, n: usize) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends every bit produced by the iterator.
+    pub fn extend_bits<I: IntoIterator<Item = bool>>(&mut self, bits: I) {
+        for b in bits {
+            self.write_bit(b);
+        }
+    }
+
+    /// The backing bytes (the final byte may be partially filled; unused low
+    /// bits are zero).
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the writer, returning `(bytes, bit_len)`.
+    pub fn into_parts(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.len)
+    }
+}
+
+impl fmt::Display for BitWriter {
+    /// Renders the stream as a `0`/`1` string (for debugging and tests).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut r = BitReader::new(&self.bytes, self.len);
+        while let Some(b) = r.read_bit() {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<bool> for BitWriter {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        self.extend_bits(iter);
+    }
+}
+
+impl FromIterator<bool> for BitWriter {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut w = BitWriter::new();
+        w.extend_bits(iter);
+        w
+    }
+}
+
+/// Reads bits MSB-first from a byte buffer produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    len: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over the first `bit_len` bits of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short to hold `bit_len` bits.
+    pub fn new(bytes: &'a [u8], bit_len: usize) -> Self {
+        assert!(
+            bytes.len() * 8 >= bit_len,
+            "buffer holds {} bits, reader needs {bit_len}",
+            bytes.len() * 8
+        );
+        BitReader {
+            bytes,
+            len: bit_len,
+            pos: 0,
+        }
+    }
+
+    /// Number of bits not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Current read position in bits.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one bit, or `None` at end of stream.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let bit = (self.bytes[self.pos / 8] >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits into the low bits of a `u64` (MSB-first), or `None` if
+    /// fewer than `n` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn read_bits(&mut self, n: usize) -> Option<u64> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        if self.remaining() < n {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.read_bit().expect("length checked"));
+        }
+        Some(v)
+    }
+}
+
+impl Iterator for BitReader<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        self.read_bit()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
+}
+
+impl ExactSizeIterator for BitReader<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let w: BitWriter = pattern.into_iter().collect();
+        assert_eq!(w.len(), 9);
+        let got: Vec<bool> = BitReader::new(w.as_bytes(), w.len()).collect();
+        assert_eq!(got, pattern);
+    }
+
+    #[test]
+    fn multi_bit_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEAD, 16);
+        w.write_bits(1, 1);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(16), Some(0xDEAD));
+        assert_eq!(r.read_bits(1), Some(1));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn msb_first_byte_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1100_0001, 8);
+        assert_eq!(w.as_bytes(), &[0b1100_0001]);
+        let mut w = BitWriter::new();
+        w.write_bit(true); // only one bit: must land in the MSB
+        assert_eq!(w.as_bytes(), &[0b1000_0000]);
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b0110, 4);
+        assert_eq!(w.to_string(), "0110");
+    }
+
+    #[test]
+    fn reading_past_end_is_none_not_panic() {
+        let w = BitWriter::new();
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(0), Some(0));
+    }
+
+    #[test]
+    fn write_zero_bits_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer holds")]
+    fn reader_validates_length() {
+        let _ = BitReader::new(&[0u8], 9);
+    }
+}

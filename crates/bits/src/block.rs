@@ -1,0 +1,327 @@
+//! Fixed-length input blocks packed into machine words.
+
+use std::fmt;
+
+use crate::error::{BlockLenError, ParseTritError};
+use crate::trit::Trit;
+
+/// Maximum supported input-block length `K`.
+///
+/// Blocks are packed into a single `u64` per plane; the paper's experiments
+/// use `K ∈ {6, 8, 12}`.
+pub const MAX_BLOCK_LEN: usize = 64;
+
+/// One input block: a `K`-trit subsequence of the test-set string
+/// (paper, Section 2, Definition *input block*).
+///
+/// The block is stored as a pair of bit planes over a single machine word:
+/// `care` bit `j` is set iff position `j` is a specified (`0`/`1`) value, and
+/// `value` bit `j` holds the logic value of specified positions. Position `0`
+/// is the *leftmost* symbol of the block, matching the paper's string
+/// notation.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::InputBlock;
+///
+/// let b: InputBlock = "111X00".parse().unwrap();
+/// assert_eq!(b.len(), 6);
+/// assert_eq!(b.num_x(), 1);
+/// assert_eq!(b.to_string(), "111X00");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputBlock {
+    len: u8,
+    care: u64,
+    value: u64,
+}
+
+impl InputBlock {
+    /// Creates an all-`X` block of length `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if `k` is `0` or exceeds [`MAX_BLOCK_LEN`].
+    pub fn all_x(k: usize) -> Result<Self, BlockLenError> {
+        if k == 0 || k > MAX_BLOCK_LEN {
+            return Err(BlockLenError { requested: k });
+        }
+        Ok(InputBlock {
+            len: k as u8,
+            care: 0,
+            value: 0,
+        })
+    }
+
+    /// Creates a block from raw planes.
+    ///
+    /// `care` bit `j` set means position `j` is specified with logic value
+    /// `value` bit `j`. Bits at and above `k`, and `value` bits outside
+    /// `care`, are cleared so equality stays structural.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if `k` is `0` or exceeds [`MAX_BLOCK_LEN`].
+    pub fn from_planes(k: usize, care: u64, value: u64) -> Result<Self, BlockLenError> {
+        let mut b = InputBlock::all_x(k)?;
+        let mask = Self::len_mask(k);
+        b.care = care & mask;
+        b.value = value & b.care;
+        Ok(b)
+    }
+
+    /// Creates a block from a slice of trits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if the slice is empty or longer than
+    /// [`MAX_BLOCK_LEN`].
+    pub fn from_trits(trits: &[Trit]) -> Result<Self, BlockLenError> {
+        let mut b = InputBlock::all_x(trits.len())?;
+        for (j, &t) in trits.iter().enumerate() {
+            b.set_trit(j, t);
+        }
+        Ok(b)
+    }
+
+    #[inline]
+    fn len_mask(k: usize) -> u64 {
+        if k >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    /// Block length `K`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the block has no positions (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The care plane (bit `j` set iff position `j` is specified).
+    #[inline]
+    pub fn care_plane(&self) -> u64 {
+        self.care
+    }
+
+    /// The value plane (logic values at specified positions, zero elsewhere).
+    #[inline]
+    pub fn value_plane(&self) -> u64 {
+        self.value
+    }
+
+    /// Reads the trit at position `j` (0 = leftmost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()`.
+    #[inline]
+    pub fn trit(&self, j: usize) -> Trit {
+        assert!(j < self.len(), "position {j} out of range {}", self.len);
+        if (self.care >> j) & 1 == 0 {
+            Trit::X
+        } else if (self.value >> j) & 1 == 1 {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Writes the trit at position `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()`.
+    #[inline]
+    pub fn set_trit(&mut self, j: usize, t: Trit) {
+        assert!(j < self.len(), "position {j} out of range {}", self.len);
+        match t {
+            Trit::X => {
+                self.care &= !(1 << j);
+                self.value &= !(1 << j);
+            }
+            Trit::Zero => {
+                self.care |= 1 << j;
+                self.value &= !(1 << j);
+            }
+            Trit::One => {
+                self.care |= 1 << j;
+                self.value |= 1 << j;
+            }
+        }
+    }
+
+    /// Number of don't-care positions.
+    #[inline]
+    pub fn num_x(&self) -> usize {
+        self.len() - self.care.count_ones() as usize
+    }
+
+    /// Number of specified positions.
+    #[inline]
+    pub fn num_specified(&self) -> usize {
+        self.care.count_ones() as usize
+    }
+
+    /// Iterates over the trits, leftmost first.
+    pub fn iter(&self) -> Iter {
+        Iter {
+            block: *self,
+            pos: 0,
+        }
+    }
+}
+
+impl std::str::FromStr for InputBlock {
+    type Err = ParseBlockError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trits = crate::trit::parse_trits(s).map_err(ParseBlockError::Trit)?;
+        InputBlock::from_trits(&trits).map_err(ParseBlockError::Len)
+    }
+}
+
+/// Error parsing an [`InputBlock`] from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseBlockError {
+    /// A character outside the trit alphabet.
+    Trit(ParseTritError),
+    /// Length outside `1..=64`.
+    Len(BlockLenError),
+}
+
+impl fmt::Display for ParseBlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBlockError::Trit(e) => e.fmt(f),
+            ParseBlockError::Len(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ParseBlockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBlockError::Trit(e) => Some(e),
+            ParseBlockError::Len(e) => Some(e),
+        }
+    }
+}
+
+impl fmt::Display for InputBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.iter() {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the trits of an [`InputBlock`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    block: InputBlock,
+    pos: usize,
+}
+
+impl Iterator for Iter {
+    type Item = Trit;
+
+    fn next(&mut self) -> Option<Trit> {
+        if self.pos < self.block.len() {
+            let t = self.block.trit(self.pos);
+            self.pos += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.block.len() - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        for s in ["0", "1", "X", "111000", "UUU000", "1X0X1X0X1X0X"] {
+            let b: InputBlock = s.parse().unwrap();
+            assert_eq!(b.to_string(), s.replace('U', "X"));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(InputBlock::all_x(0).is_err());
+        assert!(InputBlock::all_x(65).is_err());
+        assert!(InputBlock::all_x(64).is_ok());
+        assert!("".parse::<InputBlock>().is_err());
+    }
+
+    #[test]
+    fn from_planes_masks_stray_bits() {
+        // value bits outside care and bits beyond k must be cleared
+        let b = InputBlock::from_planes(4, 0b0101, 0b1111).unwrap();
+        assert_eq!(b.value_plane(), 0b0101);
+        let c = InputBlock::from_planes(4, u64::MAX, u64::MAX).unwrap();
+        assert_eq!(c.care_plane(), 0b1111);
+        assert_eq!(c.to_string(), "1111");
+    }
+
+    #[test]
+    fn full_width_block_works() {
+        let s: String = std::iter::repeat("10X")
+            .flat_map(|s| s.chars())
+            .take(64)
+            .collect();
+        let b: InputBlock = s.parse().unwrap();
+        assert_eq!(b.len(), 64);
+        assert_eq!(b.to_string(), s);
+    }
+
+    #[test]
+    fn position_zero_is_leftmost() {
+        let b: InputBlock = "10X".parse().unwrap();
+        assert_eq!(b.trit(0), Trit::One);
+        assert_eq!(b.trit(1), Trit::Zero);
+        assert_eq!(b.trit(2), Trit::X);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let b: InputBlock = "1X0XX1".parse().unwrap();
+        assert_eq!(b.num_specified(), 3);
+        assert_eq!(b.num_x(), 3);
+        assert_eq!(b.num_specified() + b.num_x(), b.len());
+    }
+
+    #[test]
+    fn structural_equality_ignores_how_x_was_set() {
+        let mut a: InputBlock = "1111".parse().unwrap();
+        a.set_trit(1, Trit::X);
+        let b: InputBlock = "1X11".parse().unwrap();
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+}

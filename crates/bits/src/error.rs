@@ -1,0 +1,102 @@
+//! Error types for the test-data model.
+
+use std::error::Error;
+use std::fmt;
+
+/// A character outside the trit alphabet was encountered while parsing.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::Trit;
+///
+/// let err = Trit::try_from('7').unwrap_err();
+/// assert_eq!(err.found, '7');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseTritError {
+    /// The offending character.
+    pub found: char,
+}
+
+impl fmt::Display for ParseTritError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid trit character `{}` (expected one of 0, 1, X, U, -)",
+            self.found
+        )
+    }
+}
+
+impl Error for ParseTritError {}
+
+/// Patterns of different widths were mixed in a single test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthMismatchError {
+    /// Width expected by the collection.
+    pub expected: usize,
+    /// Width of the offending pattern.
+    pub found: usize,
+}
+
+impl fmt::Display for WidthMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "test pattern width {} does not match test set width {}",
+            self.found, self.expected
+        )
+    }
+}
+
+impl Error for WidthMismatchError {}
+
+/// A block length outside `1..=64` was requested.
+///
+/// Input blocks are packed into single machine words, so the supported block
+/// length `K` is capped at [`crate::MAX_BLOCK_LEN`]. The paper's experiments
+/// use `K ∈ {6, 8, 12}`, far below the cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLenError {
+    /// The requested block length.
+    pub requested: usize,
+}
+
+impl fmt::Display for BlockLenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block length {} is outside the supported range 1..=64",
+            self.requested
+        )
+    }
+}
+
+impl Error for BlockLenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = ParseTritError { found: 'z' };
+        assert!(e.to_string().starts_with("invalid trit"));
+        let e = WidthMismatchError {
+            expected: 4,
+            found: 7,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('7'));
+        let e = BlockLenError { requested: 65 };
+        assert!(e.to_string().contains("65"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ParseTritError>();
+        assert_err::<WidthMismatchError>();
+        assert_err::<BlockLenError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Tri-state test-data model for code-based test compression.
+//!
+//! This crate provides the data substrate used throughout the `evotc`
+//! workspace, mirroring Section 2 of Polian/Czutro/Becker, *Evolutionary
+//! Optimization in Code-Based Test Compression* (DATE 2005):
+//!
+//! * [`Trit`] — a single test-data symbol from `{0, 1, X}` where `X` is a
+//!   don't-care that may be filled with either logic value.
+//! * [`TestPattern`] — one test vector of `n` trits, stored packed (two bit
+//!   planes: *care* and *value*).
+//! * [`TestSet`] — an ordered collection of equally wide patterns.
+//! * [`TestSetString`] — the concatenation `t_1 t_2 … t_{T·n}` of a test set
+//!   into one long string, padded with `X` up to a multiple of the block
+//!   length `K` (paper, Section 2).
+//! * [`InputBlock`] — a fixed-length (`K ≤ 64`) slice of the test-set string,
+//!   packed into a `(care, value)` pair of machine words.
+//! * [`BlockHistogram`] — distinct input blocks with multiplicities; covering
+//!   and EA fitness are computed over the histogram, which is exact and much
+//!   faster than scanning every block.
+//! * [`BitWriter`] / [`BitReader`] — MSB-first bit streams for the compressed
+//!   payload.
+//!
+//! # Example
+//!
+//! ```
+//! use evotc_bits::{TestSet, TestSetString};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let set = TestSet::parse(&["10X1", "0XX0"])?;
+//! let string = TestSetString::new(&set, 3);
+//! assert_eq!(string.num_blocks(), 3); // 8 bits padded to 9, K = 3
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstream;
+mod block;
+mod error;
+mod histogram;
+mod pattern;
+mod test_set;
+mod trit;
+
+pub use bitstream::{BitReader, BitWriter};
+pub use block::{InputBlock, ParseBlockError, MAX_BLOCK_LEN};
+pub use error::{BlockLenError, ParseTritError, WidthMismatchError};
+pub use histogram::BlockHistogram;
+pub use pattern::TestPattern;
+pub use test_set::{ParseTestSetError, TestSet, TestSetString};
+pub use trit::{parse_trits, Trit};

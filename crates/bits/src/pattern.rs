@@ -1,0 +1,311 @@
+//! Packed test patterns.
+
+use std::fmt;
+
+use crate::error::ParseTritError;
+use crate::trit::Trit;
+
+/// One test vector of `n` trits, stored as two bit planes.
+///
+/// Bit `j` of the *care* plane is set iff position `j` is specified; the
+/// *value* plane holds the logic value of specified positions (and is kept
+/// zero at don't-care positions, which makes equality and hashing structural).
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::{TestPattern, Trit};
+///
+/// let p: TestPattern = "1X0".parse().unwrap();
+/// assert_eq!(p.width(), 3);
+/// assert_eq!(p.trit(0), Trit::One);
+/// assert_eq!(p.trit(1), Trit::X);
+/// assert_eq!(p.num_specified(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TestPattern {
+    width: usize,
+    care: Vec<u64>,
+    value: Vec<u64>,
+}
+
+#[inline]
+fn words_for(width: usize) -> usize {
+    width.div_ceil(64)
+}
+
+impl TestPattern {
+    /// Creates an all-`X` pattern of the given width.
+    pub fn all_x(width: usize) -> Self {
+        TestPattern {
+            width,
+            care: vec![0; words_for(width)],
+            value: vec![0; words_for(width)],
+        }
+    }
+
+    /// Creates a pattern from a slice of trits.
+    pub fn from_trits(trits: &[Trit]) -> Self {
+        let mut p = TestPattern::all_x(trits.len());
+        for (j, &t) in trits.iter().enumerate() {
+            p.set_trit(j, t);
+        }
+        p
+    }
+
+    /// Width (number of trit positions) of the pattern.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns `true` if the pattern has no positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.width == 0
+    }
+
+    /// Reads the trit at position `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.width()`.
+    #[inline]
+    pub fn trit(&self, j: usize) -> Trit {
+        assert!(j < self.width, "position {j} out of range {}", self.width);
+        let (w, b) = (j / 64, j % 64);
+        if (self.care[w] >> b) & 1 == 0 {
+            Trit::X
+        } else if (self.value[w] >> b) & 1 == 1 {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Writes the trit at position `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.width()`.
+    #[inline]
+    pub fn set_trit(&mut self, j: usize, t: Trit) {
+        assert!(j < self.width, "position {j} out of range {}", self.width);
+        let (w, b) = (j / 64, j % 64);
+        match t {
+            Trit::X => {
+                self.care[w] &= !(1 << b);
+                self.value[w] &= !(1 << b);
+            }
+            Trit::Zero => {
+                self.care[w] |= 1 << b;
+                self.value[w] &= !(1 << b);
+            }
+            Trit::One => {
+                self.care[w] |= 1 << b;
+                self.value[w] |= 1 << b;
+            }
+        }
+    }
+
+    /// Number of specified (non-`X`) positions.
+    pub fn num_specified(&self) -> usize {
+        self.care.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of don't-care positions.
+    pub fn num_x(&self) -> usize {
+        self.width - self.num_specified()
+    }
+
+    /// Iterates over the trits in position order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            pattern: self,
+            pos: 0,
+        }
+    }
+
+    /// Returns `true` if `self` is compatible with `other` at every position
+    /// (no `0`/`1` conflict), i.e. the two cubes intersect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn compatible(&self, other: &TestPattern) -> bool {
+        assert_eq!(self.width, other.width, "pattern widths differ");
+        self.care
+            .iter()
+            .zip(&other.care)
+            .zip(self.value.iter().zip(&other.value))
+            .all(|((&ca, &cb), (&va, &vb))| ca & cb & (va ^ vb) == 0)
+    }
+
+    /// Fills every `X` with the given logic value, returning a fully
+    /// specified pattern.
+    pub fn fill_x(&self, value: bool) -> TestPattern {
+        let mut out = self.clone();
+        let full = words_for(self.width);
+        for w in 0..full {
+            let dont_care = !out.care[w] & Self::tail_mask(self.width, w);
+            out.care[w] |= dont_care;
+            if value {
+                out.value[w] |= dont_care;
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn tail_mask(width: usize, word: usize) -> u64 {
+        let bits_before = word * 64;
+        let remaining = width.saturating_sub(bits_before);
+        if remaining >= 64 {
+            u64::MAX
+        } else if remaining == 0 {
+            0
+        } else {
+            (1u64 << remaining) - 1
+        }
+    }
+}
+
+impl std::str::FromStr for TestPattern {
+    type Err = ParseTritError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trits = crate::trit::parse_trits(s)?;
+        Ok(TestPattern::from_trits(&trits))
+    }
+}
+
+impl fmt::Display for TestPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.iter() {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Trit> for TestPattern {
+    fn from_iter<I: IntoIterator<Item = Trit>>(iter: I) -> Self {
+        let trits: Vec<Trit> = iter.into_iter().collect();
+        TestPattern::from_trits(&trits)
+    }
+}
+
+/// Iterator over the trits of a [`TestPattern`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    pattern: &'a TestPattern,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Trit;
+
+    fn next(&mut self) -> Option<Trit> {
+        if self.pos < self.pattern.width {
+            let t = self.pattern.trit(self.pos);
+            self.pos += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.pattern.width - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        for s in ["", "0", "1", "X", "10X1XX01", "XXXXXXXXXXXXXXXXXXXXX"] {
+            let p: TestPattern = s.parse().unwrap();
+            assert_eq!(p.to_string(), s.replace(['x', 'u', '-'], "X"));
+        }
+    }
+
+    #[test]
+    fn wide_patterns_cross_word_boundary() {
+        let s: String = (0..130)
+            .map(|i| match i % 3 {
+                0 => '1',
+                1 => '0',
+                _ => 'X',
+            })
+            .collect();
+        let p: TestPattern = s.parse().unwrap();
+        assert_eq!(p.width(), 130);
+        assert_eq!(p.to_string(), s);
+        assert_eq!(p.num_specified() + p.num_x(), 130);
+    }
+
+    #[test]
+    fn set_trit_overwrites_cleanly() {
+        let mut p = TestPattern::all_x(5);
+        p.set_trit(2, Trit::One);
+        assert_eq!(p.trit(2), Trit::One);
+        p.set_trit(2, Trit::Zero);
+        assert_eq!(p.trit(2), Trit::Zero);
+        p.set_trit(2, Trit::X);
+        assert_eq!(p.trit(2), Trit::X);
+        // value plane must be zeroed at X so equality is structural
+        assert_eq!(p, TestPattern::all_x(5));
+    }
+
+    #[test]
+    fn compatibility_is_cube_intersection() {
+        let a: TestPattern = "1X0X".parse().unwrap();
+        let b: TestPattern = "110X".parse().unwrap();
+        let c: TestPattern = "0X0X".parse().unwrap();
+        assert!(a.compatible(&b));
+        assert!(b.compatible(&a));
+        assert!(!a.compatible(&c));
+    }
+
+    #[test]
+    fn fill_x_specifies_everything() {
+        let p: TestPattern = "1X0XX".parse().unwrap();
+        let f0 = p.fill_x(false);
+        let f1 = p.fill_x(true);
+        assert_eq!(f0.to_string(), "10000");
+        assert_eq!(f1.to_string(), "11011");
+        assert_eq!(f0.num_x(), 0);
+        assert_eq!(f1.num_x(), 0);
+    }
+
+    #[test]
+    fn fill_x_does_not_touch_padding_bits() {
+        // Width 70: the second word is partial; fill must not set bits past
+        // the width, or equality with an independently built pattern breaks.
+        let p = TestPattern::all_x(70);
+        let f = p.fill_x(true);
+        let q: TestPattern = "1".repeat(70).parse().unwrap();
+        assert_eq!(f, q);
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let p: TestPattern = "10X".parse().unwrap();
+        let it = p.iter();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), vec![Trit::One, Trit::Zero, Trit::X]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn trit_bounds_checked() {
+        let p = TestPattern::all_x(3);
+        let _ = p.trit(3);
+    }
+}

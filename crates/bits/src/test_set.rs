@@ -1,0 +1,459 @@
+//! Test sets and the flattened test-set string.
+
+use std::fmt;
+
+use crate::block::InputBlock;
+use crate::error::{BlockLenError, ParseTritError, WidthMismatchError};
+use crate::pattern::TestPattern;
+use crate::trit::Trit;
+
+/// An ordered collection of equally wide test patterns.
+///
+/// Corresponds to the paper's `tp^(1) … tp^(T)` over `n` circuit inputs
+/// (Section 2). Code-based compression never reorders or augments the set —
+/// this type deliberately has no sorting or deduplication operations.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::TestSet;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TestSet::parse(&["10X1", "0XX0", "111X"])?;
+/// assert_eq!(set.num_patterns(), 3);
+/// assert_eq!(set.width(), 4);
+/// assert_eq!(set.total_bits(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TestSet {
+    width: usize,
+    patterns: Vec<TestPattern>,
+}
+
+impl TestSet {
+    /// Creates an empty test set for circuits with `width` inputs.
+    pub fn new(width: usize) -> Self {
+        TestSet {
+            width,
+            patterns: Vec::new(),
+        }
+    }
+
+    /// Parses a test set from one string per pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any character is not a trit or the rows have
+    /// inconsistent widths.
+    pub fn parse<S: AsRef<str>>(rows: &[S]) -> Result<Self, ParseTestSetError> {
+        let mut set: Option<TestSet> = None;
+        for row in rows {
+            let p: TestPattern = row.as_ref().parse().map_err(ParseTestSetError::Trit)?;
+            match &mut set {
+                None => {
+                    let mut s = TestSet::new(p.width());
+                    s.push(p).expect("first row always matches its own width");
+                    set = Some(s);
+                }
+                Some(s) => s.push(p).map_err(ParseTestSetError::Width)?,
+            }
+        }
+        Ok(set.unwrap_or_default())
+    }
+
+    /// Appends a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthMismatchError`] if the pattern width differs from the
+    /// set width.
+    pub fn push(&mut self, pattern: TestPattern) -> Result<(), WidthMismatchError> {
+        if pattern.width() != self.width {
+            return Err(WidthMismatchError {
+                expected: self.width,
+                found: pattern.width(),
+            });
+        }
+        self.patterns.push(pattern);
+        Ok(())
+    }
+
+    /// Pattern width `n` (number of circuit inputs).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of patterns `T`.
+    #[inline]
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns `true` if the set holds no patterns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Total number of bit positions `T · n` — the uncompressed test-data
+    /// volume against which compression rates are computed.
+    #[inline]
+    pub fn total_bits(&self) -> usize {
+        self.width * self.patterns.len()
+    }
+
+    /// The patterns, in application order.
+    #[inline]
+    pub fn patterns(&self) -> &[TestPattern] {
+        &self.patterns
+    }
+
+    /// Iterates over the patterns.
+    pub fn iter(&self) -> std::slice::Iter<'_, TestPattern> {
+        self.patterns.iter()
+    }
+
+    /// Fraction of positions that are don't-care, in `[0, 1]`.
+    pub fn x_density(&self) -> f64 {
+        if self.total_bits() == 0 {
+            return 0.0;
+        }
+        let x: usize = self.patterns.iter().map(TestPattern::num_x).sum();
+        x as f64 / self.total_bits() as f64
+    }
+
+    /// Checks that `other` refines `self`: every position specified in `self`
+    /// carries the same value in `other`. Used to verify that decompression
+    /// reproduced the encoded test set (possibly with don't-cares filled).
+    pub fn is_refined_by(&self, other: &TestSet) -> bool {
+        self.width == other.width
+            && self.patterns.len() == other.patterns.len()
+            && self
+                .patterns
+                .iter()
+                .zip(&other.patterns)
+                .all(|(a, b)| {
+                    (0..self.width).all(|j| match a.trit(j) {
+                        Trit::X => true,
+                        t => other_matches(b.trit(j), t),
+                    })
+                })
+    }
+}
+
+fn other_matches(got: Trit, want: Trit) -> bool {
+    got == want
+}
+
+impl FromIterator<TestPattern> for TestSet {
+    /// Collects patterns into a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patterns have inconsistent widths; use [`TestSet::push`]
+    /// for fallible construction.
+    fn from_iter<I: IntoIterator<Item = TestPattern>>(iter: I) -> Self {
+        let mut set: Option<TestSet> = None;
+        for p in iter {
+            match &mut set {
+                None => {
+                    let mut s = TestSet::new(p.width());
+                    s.push(p).expect("first row always matches its own width");
+                    set = Some(s);
+                }
+                Some(s) => s.push(p).expect("inconsistent pattern widths"),
+            }
+        }
+        set.unwrap_or_default()
+    }
+}
+
+impl<'a> IntoIterator for &'a TestSet {
+    type Item = &'a TestPattern;
+    type IntoIter = std::slice::Iter<'a, TestPattern>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.iter()
+    }
+}
+
+impl fmt::Display for TestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.patterns {
+            writeln!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`TestSet`] from text rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseTestSetError {
+    /// A character outside the trit alphabet.
+    Trit(ParseTritError),
+    /// Rows of different widths.
+    Width(WidthMismatchError),
+}
+
+impl fmt::Display for ParseTestSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTestSetError::Trit(e) => e.fmt(f),
+            ParseTestSetError::Width(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ParseTestSetError {}
+
+/// The test set flattened into one long string `t_1 … t_{T·n}` and padded
+/// with `X` to a multiple of the block length `K` (paper, Section 2).
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::{TestSet, TestSetString};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TestSet::parse(&["10X1", "0XX0"])?; // 8 bits
+/// let s = TestSetString::new(&set, 3);          // padded to 9
+/// assert_eq!(s.num_blocks(), 3);
+/// assert_eq!(s.block(2).to_string(), "X0X");    // last bit is padding
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSetString {
+    k: usize,
+    /// Unpadded length `T · n`.
+    payload_bits: usize,
+    blocks: Vec<InputBlock>,
+}
+
+impl TestSetString {
+    /// Flattens `set` and partitions it into blocks of length `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is `0` or exceeds [`crate::MAX_BLOCK_LEN`]; use
+    /// [`TestSetString::try_new`] for fallible construction.
+    pub fn new(set: &TestSet, k: usize) -> Self {
+        Self::try_new(set, k).expect("block length out of range")
+    }
+
+    /// Fallible variant of [`TestSetString::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if `k` is `0` or exceeds
+    /// [`crate::MAX_BLOCK_LEN`].
+    pub fn try_new(set: &TestSet, k: usize) -> Result<Self, BlockLenError> {
+        if k == 0 || k > crate::block::MAX_BLOCK_LEN {
+            return Err(BlockLenError { requested: k });
+        }
+        let total = set.total_bits();
+        let padded = total.div_ceil(k) * k;
+        let mut blocks = Vec::with_capacity(padded / k);
+        let mut current = InputBlock::all_x(k).expect("validated above");
+        let mut fill = 0usize;
+        for pattern in set.iter() {
+            for t in pattern.iter() {
+                current.set_trit(fill, t);
+                fill += 1;
+                if fill == k {
+                    blocks.push(current);
+                    current = InputBlock::all_x(k).expect("validated above");
+                    fill = 0;
+                }
+            }
+        }
+        if fill > 0 {
+            // trailing block padded with X
+            blocks.push(current);
+        }
+        Ok(TestSetString {
+            k,
+            payload_bits: total,
+            blocks,
+        })
+    }
+
+    /// Block length `K`.
+    #[inline]
+    pub fn block_len(&self) -> usize {
+        self.k
+    }
+
+    /// Number of input blocks `T·n / K` (after padding).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if there are no blocks (empty test set).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Unpadded length `T · n` of the original string.
+    #[inline]
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits
+    }
+
+    /// Padded length (a multiple of `K`).
+    #[inline]
+    pub fn padded_bits(&self) -> usize {
+        self.blocks.len() * self.k
+    }
+
+    /// The `j`-th input block (0-based; the paper indexes from 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.num_blocks()`.
+    #[inline]
+    pub fn block(&self, j: usize) -> InputBlock {
+        self.blocks[j]
+    }
+
+    /// All blocks in string order.
+    #[inline]
+    pub fn blocks(&self) -> &[InputBlock] {
+        &self.blocks
+    }
+
+    /// Iterates over the blocks in string order.
+    pub fn iter(&self) -> std::slice::Iter<'_, InputBlock> {
+        self.blocks.iter()
+    }
+
+    /// Reassembles a fully specified block sequence back into a [`TestSet`]
+    /// of the given width (used after decompression). The sequence must
+    /// contain at least `payload_bits` bits; padding is discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `blocks` is shorter than the payload.
+    pub fn reassemble(blocks: &[InputBlock], k: usize, width: usize, payload_bits: usize) -> TestSet {
+        assert!(width > 0, "pattern width must be positive");
+        assert!(
+            blocks.len() * k >= payload_bits,
+            "not enough decoded bits: {} < {payload_bits}",
+            blocks.len() * k
+        );
+        assert_eq!(payload_bits % width, 0, "payload must be whole patterns");
+        let mut set = TestSet::new(width);
+        let mut pattern = TestPattern::all_x(width);
+        let mut pos = 0usize;
+        let mut emitted = 0usize;
+        'outer: for b in blocks {
+            for j in 0..k {
+                if emitted == payload_bits {
+                    break 'outer;
+                }
+                pattern.set_trit(pos, b.trit(j));
+                pos += 1;
+                emitted += 1;
+                if pos == width {
+                    set.push(std::mem::replace(&mut pattern, TestPattern::all_x(width)))
+                        .expect("width is constant");
+                    pos = 0;
+                }
+            }
+        }
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a TestSetString {
+    type Item = &'a InputBlock;
+    type IntoIter = std::slice::Iter<'a, InputBlock>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.blocks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let err = TestSet::parse(&["101", "1011"]).unwrap_err();
+        assert!(matches!(err, ParseTestSetError::Width(_)));
+    }
+
+    #[test]
+    fn empty_set_is_fine() {
+        let set = TestSet::parse::<&str>(&[]).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.total_bits(), 0);
+        let s = TestSetString::new(&set, 8);
+        assert_eq!(s.num_blocks(), 0);
+    }
+
+    #[test]
+    fn padding_fills_with_x() {
+        let set = TestSet::parse(&["10110"]).unwrap(); // 5 bits
+        let s = TestSetString::new(&set, 4); // padded to 8
+        assert_eq!(s.num_blocks(), 2);
+        assert_eq!(s.payload_bits(), 5);
+        assert_eq!(s.padded_bits(), 8);
+        assert_eq!(s.block(0).to_string(), "1011");
+        assert_eq!(s.block(1).to_string(), "0XXX");
+    }
+
+    #[test]
+    fn exact_multiple_needs_no_padding() {
+        let set = TestSet::parse(&["101101"]).unwrap();
+        let s = TestSetString::new(&set, 3);
+        assert_eq!(s.num_blocks(), 2);
+        assert_eq!(s.payload_bits(), s.padded_bits());
+    }
+
+    #[test]
+    fn blocks_cross_pattern_boundaries() {
+        // The string view concatenates patterns: block 1 spans both rows.
+        let set = TestSet::parse(&["101", "011"]).unwrap();
+        let s = TestSetString::new(&set, 2);
+        let joined: String = s.iter().map(|b| b.to_string()).collect();
+        assert_eq!(joined, "101011");
+    }
+
+    #[test]
+    fn reassemble_round_trip() {
+        let set = TestSet::parse(&["10110", "01011", "11100"]).unwrap();
+        let s = TestSetString::new(&set, 4);
+        let back = TestSetString::reassemble(s.blocks(), 4, 5, s.payload_bits());
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn x_density_counts_dont_cares() {
+        let set = TestSet::parse(&["1X", "XX"]).unwrap();
+        assert!((set.x_density() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_accepts_filled_x() {
+        let original = TestSet::parse(&["1X0"]).unwrap();
+        let filled = TestSet::parse(&["110"]).unwrap();
+        let wrong = TestSet::parse(&["010"]).unwrap();
+        assert!(original.is_refined_by(&filled));
+        assert!(original.is_refined_by(&original));
+        assert!(!original.is_refined_by(&wrong));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_k() {
+        let set = TestSet::parse(&["1010"]).unwrap();
+        assert!(TestSetString::try_new(&set, 0).is_err());
+        assert!(TestSetString::try_new(&set, 65).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! The three-valued test-data symbol.
+
+use std::fmt;
+
+use crate::error::ParseTritError;
+
+/// A single test-data symbol: logic `0`, logic `1`, or the don't-care `X`.
+///
+/// `X` positions may be set to either logic value without violating the fault
+/// coverage targets of the test set (paper, Section 2). The same three-valued
+/// alphabet is used for matching-vector positions, where the third value is
+/// written `U` ("unspecified"); [`Trit::to_char_mv`] renders that spelling.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::Trit;
+///
+/// let t: Trit = 'X'.try_into().unwrap();
+/// assert!(t.is_x());
+/// assert_eq!(Trit::One.to_char(), '1');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Trit {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Don't-care (test data) / unspecified (matching vectors).
+    #[default]
+    X,
+}
+
+impl Trit {
+    /// All three symbols, in `{0, 1, X}` order.
+    pub const ALL: [Trit; 3] = [Trit::Zero, Trit::One, Trit::X];
+
+    /// Returns `true` if the symbol is the don't-care `X`.
+    #[inline]
+    pub fn is_x(self) -> bool {
+        matches!(self, Trit::X)
+    }
+
+    /// Returns `true` if the symbol is a specified logic value (`0` or `1`).
+    #[inline]
+    pub fn is_specified(self) -> bool {
+        !self.is_x()
+    }
+
+    /// Converts a specified symbol to its logic value.
+    ///
+    /// Returns `None` for [`Trit::X`].
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::X => None,
+        }
+    }
+
+    /// Creates a specified symbol from a logic value.
+    #[inline]
+    pub fn from_bool(value: bool) -> Self {
+        if value {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Two symbols *match* if no conflict `0/1` or `1/0` exists; `X` matches
+    /// everything (paper, Section 2, matching-vector definition).
+    #[inline]
+    pub fn matches(self, other: Trit) -> bool {
+        match (self, other) {
+            (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero) => false,
+            _ => true,
+        }
+    }
+
+    /// Renders the symbol using the test-data spelling `0`/`1`/`X`.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Trit::Zero => '0',
+            Trit::One => '1',
+            Trit::X => 'X',
+        }
+    }
+
+    /// Renders the symbol using the matching-vector spelling `0`/`1`/`U`.
+    #[inline]
+    pub fn to_char_mv(self) -> char {
+        match self {
+            Trit::X => 'U',
+            other => other.to_char(),
+        }
+    }
+
+    /// Maps a gene index (`0`, `1`, `2`) to a symbol; used by the EA genome,
+    /// which is a string over a three-letter alphabet (paper, Section 3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    #[inline]
+    pub fn from_index(index: u8) -> Self {
+        match index {
+            0 => Trit::Zero,
+            1 => Trit::One,
+            2 => Trit::X,
+            _ => panic!("trit index out of range: {index}"),
+        }
+    }
+
+    /// Inverse of [`Trit::from_index`].
+    #[inline]
+    pub fn index(self) -> u8 {
+        match self {
+            Trit::Zero => 0,
+            Trit::One => 1,
+            Trit::X => 2,
+        }
+    }
+}
+
+impl TryFrom<char> for Trit {
+    type Error = ParseTritError;
+
+    /// Accepts `0`, `1`, and any of `X`, `x`, `U`, `u`, `-` for don't-care.
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        match c {
+            '0' => Ok(Trit::Zero),
+            '1' => Ok(Trit::One),
+            'X' | 'x' | 'U' | 'u' | '-' => Ok(Trit::X),
+            other => Err(ParseTritError { found: other }),
+        }
+    }
+}
+
+impl From<bool> for Trit {
+    fn from(value: bool) -> Self {
+        Trit::from_bool(value)
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Trit::Zero => "0",
+            Trit::One => "1",
+            Trit::X => "X",
+        })
+    }
+}
+
+/// Parses a string of trit characters.
+///
+/// # Errors
+///
+/// Returns [`ParseTritError`] on the first character outside
+/// `{0,1,X,x,U,u,-}`.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::Trit;
+///
+/// let v = evotc_bits::parse_trits("10X").unwrap();
+/// assert_eq!(v, vec![Trit::One, Trit::Zero, Trit::X]);
+/// ```
+pub fn parse_trits(s: &str) -> Result<Vec<Trit>, ParseTritError> {
+    s.chars().map(Trit::try_from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_spellings() {
+        for (c, t) in [
+            ('0', Trit::Zero),
+            ('1', Trit::One),
+            ('X', Trit::X),
+            ('x', Trit::X),
+            ('U', Trit::X),
+            ('u', Trit::X),
+            ('-', Trit::X),
+        ] {
+            assert_eq!(Trit::try_from(c).unwrap(), t);
+        }
+        assert!(Trit::try_from('2').is_err());
+        assert!(Trit::try_from('?').is_err());
+    }
+
+    #[test]
+    fn match_truth_table() {
+        use Trit::*;
+        // 1 matches 1, 0 matches 0, X/U match arbitrary values (paper §2).
+        let expected = [
+            ((Zero, Zero), true),
+            ((Zero, One), false),
+            ((Zero, X), true),
+            ((One, Zero), false),
+            ((One, One), true),
+            ((One, X), true),
+            ((X, Zero), true),
+            ((X, One), true),
+            ((X, X), true),
+        ];
+        for ((a, b), want) in expected {
+            assert_eq!(a.matches(b), want, "{a:?} vs {b:?}");
+            assert_eq!(b.matches(a), want, "matching must be symmetric");
+        }
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for t in Trit::ALL {
+            assert_eq!(Trit::from_index(t.index()), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_out_of_range() {
+        let _ = Trit::from_index(3);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Trit::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Trit::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Trit::X.to_bool(), None);
+        assert_eq!(Trit::from(true), Trit::One);
+    }
+
+    #[test]
+    fn display_spellings() {
+        assert_eq!(Trit::X.to_string(), "X");
+        assert_eq!(Trit::X.to_char_mv(), 'U');
+        assert_eq!(Trit::Zero.to_char_mv(), '0');
+    }
+
+    #[test]
+    fn parse_trits_reports_offender() {
+        let err = parse_trits("01q").unwrap_err();
+        assert_eq!(err.found, 'q');
+        assert!(err.to_string().contains('q'));
+    }
+}

@@ -1,0 +1,263 @@
+//! Binary codewords.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An immutable binary codeword of up to 64 bits.
+///
+/// Codewords are compared structurally (length and bits); the empty codeword
+/// is permitted only for degenerate single-symbol codes, where zero bits
+/// suffice to identify the only symbol.
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::Codeword;
+///
+/// let c: Codeword = "110".parse().unwrap();
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(c.bit(0), true);
+/// assert_eq!(c.bit(2), false);
+/// assert!(c.is_prefix_of(&"1101".parse().unwrap()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Codeword {
+    len: u8,
+    /// Bits left-aligned at bit `len-1` … 0; bit 0 of the codeword is the
+    /// most significant stored bit.
+    bits: u64,
+}
+
+impl Codeword {
+    /// Maximum codeword length in bits.
+    pub const MAX_LEN: usize = 64;
+
+    /// The empty codeword.
+    pub fn empty() -> Self {
+        Codeword::default()
+    }
+
+    /// Creates a codeword from the `len` low bits of `bits`; bit `len-1` of
+    /// `bits` becomes the first (leftmost) bit of the codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_bits(bits: u64, len: usize) -> Self {
+        assert!(len <= Self::MAX_LEN, "codeword length {len} exceeds 64");
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        Codeword {
+            len: len as u8,
+            bits: bits & mask,
+        }
+    }
+
+    /// Length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` for the empty codeword.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw bits, right-aligned (first codeword bit is the most
+    /// significant of the `len` low bits).
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Reads bit `i` (0 = first / leftmost transmitted bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len(), "bit index {i} out of range {}", self.len);
+        (self.bits >> (self.len() - 1 - i)) & 1 == 1
+    }
+
+    /// Appends a bit, returning the extended codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codeword is already [`Codeword::MAX_LEN`] bits long.
+    pub fn push(&self, bit: bool) -> Codeword {
+        assert!(self.len() < Self::MAX_LEN, "codeword full");
+        Codeword {
+            len: self.len + 1,
+            bits: (self.bits << 1) | u64::from(bit),
+        }
+    }
+
+    /// Returns `true` if `self` is a (proper or improper) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Codeword) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        let shift = other.len() - self.len();
+        (other.bits >> shift) == self.bits
+    }
+
+    /// Iterates over the bits, first transmitted bit first.
+    pub fn iter(&self) -> Iter {
+        Iter { cw: *self, pos: 0 }
+    }
+}
+
+impl FromStr for Codeword {
+    type Err = ParseCodewordError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() > Self::MAX_LEN {
+            return Err(ParseCodewordError::TooLong { len: s.len() });
+        }
+        let mut cw = Codeword::empty();
+        for c in s.chars() {
+            match c {
+                '0' => cw = cw.push(false),
+                '1' => cw = cw.push(true),
+                other => return Err(ParseCodewordError::BadChar { found: other }),
+            }
+        }
+        Ok(cw)
+    }
+}
+
+impl fmt::Display for Codeword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the bits of a [`Codeword`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    cw: Codeword,
+    pos: usize,
+}
+
+impl Iterator for Iter {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.pos < self.cw.len() {
+            let b = self.cw.bit(self.pos);
+            self.pos += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.cw.len() - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+/// Error parsing a [`Codeword`] from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseCodewordError {
+    /// A character other than `0`/`1`.
+    BadChar {
+        /// The offending character.
+        found: char,
+    },
+    /// More than [`Codeword::MAX_LEN`] bits.
+    TooLong {
+        /// The offending length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ParseCodewordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCodewordError::BadChar { found } => {
+                write!(f, "invalid codeword character `{found}`")
+            }
+            ParseCodewordError::TooLong { len } => {
+                write!(f, "codeword of {len} bits exceeds the 64-bit limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseCodewordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        for s in ["", "0", "1", "110", "11001", "1111", "010101010101"] {
+            let c: Codeword = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+            assert_eq!(c.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            "10a".parse::<Codeword>(),
+            Err(ParseCodewordError::BadChar { found: 'a' })
+        ));
+        let long = "0".repeat(65);
+        assert!(matches!(
+            long.parse::<Codeword>(),
+            Err(ParseCodewordError::TooLong { len: 65 })
+        ));
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a: Codeword = "11".parse().unwrap();
+        let b: Codeword = "110".parse().unwrap();
+        let c: Codeword = "10".parse().unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(!c.is_prefix_of(&b));
+        assert!(Codeword::empty().is_prefix_of(&a));
+    }
+
+    #[test]
+    fn push_builds_msb_first() {
+        let c = Codeword::empty().push(true).push(false).push(true);
+        assert_eq!(c.to_string(), "101");
+        assert_eq!(c.bits(), 0b101);
+    }
+
+    #[test]
+    fn from_bits_matches_string() {
+        assert_eq!(Codeword::from_bits(0b11001, 5).to_string(), "11001");
+        assert_eq!(Codeword::from_bits(0b11111111, 4).to_string(), "1111");
+    }
+
+    #[test]
+    fn full_width_codeword() {
+        let c = Codeword::from_bits(u64::MAX, 64);
+        assert_eq!(c.len(), 64);
+        assert!(c.bit(0) && c.bit(63));
+    }
+
+    #[test]
+    fn iter_is_exact_size() {
+        let c: Codeword = "101".parse().unwrap();
+        assert_eq!(c.iter().len(), 3);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![true, false, true]);
+    }
+}

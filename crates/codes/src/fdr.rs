@@ -1,0 +1,224 @@
+//! Frequency-directed run-length (FDR) coding (Chandra/Chakrabarty, the
+//! paper's reference \[4\]).
+//!
+//! FDR organizes zero-run lengths into groups `A_1, A_2, …` of sizes `2, 4,
+//! 8, …`. A run in group `A_k` is encoded as a `k`-bit group prefix (`1^{k-1}
+//! 0`) followed by a `k`-bit tail indexing the run within the group, so the
+//! codeword length grows only logarithmically with the run length —
+//! efficient exactly when short runs are frequent and long runs are rare,
+//! the typical distribution of scan test data.
+
+use std::fmt;
+
+/// Group index (1-based) and offset of a run length.
+///
+/// Group `A_k` covers run lengths `2^k - 2 ..= 2^(k+1) - 3`.
+fn group_of(run: u64) -> (usize, u64) {
+    // smallest k with run <= 2^(k+1) - 3
+    let mut k = 1usize;
+    let mut base = 0u64; // first run length of group k = 2^k - 2
+    loop {
+        let size = 1u64 << k;
+        if run < base + size {
+            return (k, run - base);
+        }
+        base += size;
+        k += 1;
+    }
+}
+
+/// First run length covered by group `k`.
+fn group_base(k: usize) -> u64 {
+    (1u64 << k) - 2
+}
+
+/// Encodes zero-runs of `bits` with the FDR code.
+///
+/// A trailing run without a terminating `1` is encoded as if terminated;
+/// decoders trim to the payload length.
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::fdr;
+///
+/// let data = [false, false, true, true, false, true];
+/// let enc = fdr::encode(&data);
+/// assert_eq!(fdr::decode_to_len(&enc, data.len()), data);
+/// ```
+pub fn encode(bits: &[bool]) -> Vec<bool> {
+    let mut out = Vec::new();
+    let mut run = 0u64;
+    let emit = |out: &mut Vec<bool>, r: u64| {
+        let (k, offset) = group_of(r);
+        for _ in 0..k - 1 {
+            out.push(true);
+        }
+        out.push(false);
+        for i in (0..k).rev() {
+            out.push((offset >> i) & 1 == 1);
+        }
+    };
+    for &bit in bits {
+        if bit {
+            emit(&mut out, run);
+            run = 0;
+        } else {
+            run += 1;
+        }
+    }
+    if run > 0 {
+        emit(&mut out, run);
+    }
+    out
+}
+
+/// Decodes an FDR stream; the result may carry one synthetic trailing `1`.
+///
+/// # Panics
+///
+/// Panics if the stream is malformed (truncated prefix or tail).
+pub fn decode(enc: &[bool]) -> Vec<bool> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < enc.len() {
+        let mut k = 1usize;
+        while i < enc.len() && enc[i] {
+            k += 1;
+            i += 1;
+        }
+        assert!(i < enc.len(), "truncated fdr prefix");
+        i += 1;
+        assert!(i + k <= enc.len(), "truncated fdr tail");
+        let mut offset = 0u64;
+        for _ in 0..k {
+            offset = (offset << 1) | u64::from(enc[i]);
+            i += 1;
+        }
+        let run = group_base(k) + offset;
+        out.extend(std::iter::repeat(false).take(run as usize));
+        out.push(true);
+    }
+    out
+}
+
+/// Decodes and truncates to a known payload length.
+///
+/// # Panics
+///
+/// Panics if the decoded stream is shorter than `len` or longer than
+/// `len + 1`.
+pub fn decode_to_len(enc: &[bool], len: usize) -> Vec<bool> {
+    let mut out = decode(enc);
+    assert!(
+        out.len() >= len && out.len() <= len + 1,
+        "decoded {} bits, expected {len}",
+        out.len()
+    );
+    out.truncate(len);
+    out
+}
+
+/// Report describing an FDR compression outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FdrReport {
+    /// Original size in bits.
+    pub original_bits: usize,
+    /// Encoded size in bits.
+    pub encoded_bits: usize,
+}
+
+impl FdrReport {
+    /// Compression rate `100·(orig − enc)/orig` (may be negative).
+    pub fn rate_percent(&self) -> f64 {
+        if self.original_bits == 0 {
+            return 0.0;
+        }
+        100.0 * (self.original_bits as f64 - self.encoded_bits as f64)
+            / self.original_bits as f64
+    }
+}
+
+impl fmt::Display for FdrReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fdr: {} -> {} bits ({:.1}%)",
+            self.original_bits,
+            self.encoded_bits,
+            self.rate_percent()
+        )
+    }
+}
+
+/// Compresses and reports in one call.
+pub fn compress(bits: &[bool]) -> FdrReport {
+    FdrReport {
+        original_bits: bits.len(),
+        encoded_bits: encode(bits).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_boundaries() {
+        // A1 = {0, 1}, A2 = {2..5}, A3 = {6..13}
+        assert_eq!(group_of(0), (1, 0));
+        assert_eq!(group_of(1), (1, 1));
+        assert_eq!(group_of(2), (2, 0));
+        assert_eq!(group_of(5), (2, 3));
+        assert_eq!(group_of(6), (3, 0));
+        assert_eq!(group_of(13), (3, 7));
+        assert_eq!(group_of(14), (4, 0));
+    }
+
+    #[test]
+    fn codeword_lengths_are_2k() {
+        // run 0 -> k=1 -> 2 bits; run 6 -> k=3 -> 6 bits
+        assert_eq!(encode(&[true]).len(), 2);
+        let mut bits = vec![false; 6];
+        bits.push(true);
+        assert_eq!(encode(&bits).len(), 6);
+    }
+
+    fn round_trip(bits: &[bool]) {
+        let enc = encode(bits);
+        assert_eq!(decode_to_len(&enc, bits.len()), bits);
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(&[true]);
+        round_trip(&[false; 40]);
+        let mixed: Vec<bool> = (0..257).map(|i| i % 11 == 0).collect();
+        round_trip(&mixed);
+    }
+
+    #[test]
+    fn long_runs_cost_logarithmic_bits() {
+        let mut bits = vec![false; 1000];
+        bits.push(true);
+        let enc = encode(&bits);
+        assert!(enc.len() <= 20, "1000-run took {} bits", enc.len());
+    }
+
+    #[test]
+    fn skewed_data_compresses() {
+        let mut bits = Vec::new();
+        for i in 0..64 {
+            bits.extend(std::iter::repeat(false).take(10 + (i % 5)));
+            bits.push(true);
+        }
+        let r = compress(&bits);
+        assert!(r.rate_percent() > 30.0, "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn rejects_truncated() {
+        let _ = decode(&[true, false, true]); // k=2 needs 2 tail bits, has 1
+    }
+}

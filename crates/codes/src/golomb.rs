@@ -1,0 +1,240 @@
+//! Golomb coding of zero-runs (Chandra/Chakrabarty, the paper's
+//! reference \[3\]).
+//!
+//! Runs of `0`s terminated by a `1` are encoded with group size `m` (a power
+//! of two): a run of length `r` is split as `r = q·m + s`; the quotient `q`
+//! is sent unary (`q` ones and a `0`... following the original paper we use
+//! `1^q 0` as the prefix), the remainder `s` as a `log2(m)`-bit tail.
+
+use std::fmt;
+
+/// Encodes zero-runs of `bits` with Golomb group size `m`.
+///
+/// The input is interpreted as a sequence of runs `0^r 1`; a trailing run
+/// without a terminating `1` is encoded as if terminated, and decoders trim
+/// to the payload length.
+///
+/// # Panics
+///
+/// Panics if `m` is not a power of two or is zero.
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::golomb;
+///
+/// let data = [false, false, false, false, true]; // run of 4, m=4 -> "0" ++ "00"...
+/// let enc = golomb::encode(&data, 4);
+/// assert_eq!(golomb::decode_to_len(&enc, 4, data.len()), data);
+/// ```
+pub fn encode(bits: &[bool], m: usize) -> Vec<bool> {
+    assert!(m.is_power_of_two() && m > 0, "group size must be a power of two");
+    let tail_bits = m.trailing_zeros() as usize;
+    let mut out = Vec::new();
+    let mut run = 0usize;
+    let emit = |out: &mut Vec<bool>, r: usize| {
+        let q = r / m;
+        let s = r % m;
+        for _ in 0..q {
+            out.push(true);
+        }
+        out.push(false);
+        for i in (0..tail_bits).rev() {
+            out.push((s >> i) & 1 == 1);
+        }
+    };
+    for &bit in bits {
+        if bit {
+            emit(&mut out, run);
+            run = 0;
+        } else {
+            run += 1;
+        }
+    }
+    if run > 0 {
+        emit(&mut out, run);
+    }
+    out
+}
+
+/// Decodes a Golomb stream; the result may carry one synthetic trailing `1`.
+///
+/// # Panics
+///
+/// Panics if `m` is not a power of two, or the stream is malformed
+/// (truncated tail).
+pub fn decode(enc: &[bool], m: usize) -> Vec<bool> {
+    assert!(m.is_power_of_two() && m > 0, "group size must be a power of two");
+    let tail_bits = m.trailing_zeros() as usize;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < enc.len() {
+        let mut q = 0usize;
+        while i < enc.len() && enc[i] {
+            q += 1;
+            i += 1;
+        }
+        assert!(i < enc.len(), "truncated golomb prefix");
+        i += 1; // the 0 terminating the unary prefix
+        assert!(i + tail_bits <= enc.len(), "truncated golomb tail");
+        let mut s = 0usize;
+        for _ in 0..tail_bits {
+            s = (s << 1) | usize::from(enc[i]);
+            i += 1;
+        }
+        let r = q * m + s;
+        out.extend(std::iter::repeat(false).take(r));
+        out.push(true);
+    }
+    out
+}
+
+/// Decodes and truncates to a known payload length.
+///
+/// # Panics
+///
+/// Panics if the decoded stream is shorter than `len` or longer than
+/// `len + 1`.
+pub fn decode_to_len(enc: &[bool], m: usize, len: usize) -> Vec<bool> {
+    let mut out = decode(enc, m);
+    assert!(
+        out.len() >= len && out.len() <= len + 1,
+        "decoded {} bits, expected {len}",
+        out.len()
+    );
+    out.truncate(len);
+    out
+}
+
+/// Report describing a Golomb compression outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GolombReport {
+    /// Group size `m`.
+    pub group_size: usize,
+    /// Original size in bits.
+    pub original_bits: usize,
+    /// Encoded size in bits.
+    pub encoded_bits: usize,
+}
+
+impl GolombReport {
+    /// Compression rate `100·(orig − enc)/orig` (may be negative).
+    pub fn rate_percent(&self) -> f64 {
+        if self.original_bits == 0 {
+            return 0.0;
+        }
+        100.0 * (self.original_bits as f64 - self.encoded_bits as f64)
+            / self.original_bits as f64
+    }
+}
+
+impl fmt::Display for GolombReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "golomb(m={}): {} -> {} bits ({:.1}%)",
+            self.group_size,
+            self.original_bits,
+            self.encoded_bits,
+            self.rate_percent()
+        )
+    }
+}
+
+/// Compresses and reports in one call.
+pub fn compress(bits: &[bool], m: usize) -> GolombReport {
+    GolombReport {
+        group_size: m,
+        original_bits: bits.len(),
+        encoded_bits: encode(bits, m).len(),
+    }
+}
+
+/// Picks the best power-of-two group size in `2..=max_m` for the data.
+pub fn best_group_size(bits: &[bool], max_m: usize) -> usize {
+    let mut best = (usize::MAX, 2usize);
+    let mut m = 2usize;
+    while m <= max_m {
+        let len = encode(bits, m).len();
+        if len < best.0 {
+            best = (len, m);
+        }
+        m *= 2;
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(bits: &[bool], m: usize) {
+        let enc = encode(bits, m);
+        assert_eq!(decode_to_len(&enc, m, bits.len()), bits);
+    }
+
+    #[test]
+    fn known_encoding_m4() {
+        // Golomb m=4: run r=5 -> q=1,s=1 -> "10" ++ "01"
+        let mut bits = vec![false; 5];
+        bits.push(true);
+        let enc = encode(&bits, 4);
+        let s: String = enc.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        assert_eq!(s, "1001");
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(&[true, true, true], 2);
+        round_trip(&[false; 17], 4);
+        let mixed: Vec<bool> = (0..100).map(|i| i % 7 == 0).collect();
+        round_trip(&mixed, 4);
+        round_trip(&mixed, 8);
+    }
+
+    #[test]
+    fn zero_run_encodes_prefix_only() {
+        // run of 0 before a 1: "0" ++ tail zeros
+        let enc = encode(&[true], 2);
+        let s: String = enc.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        assert_eq!(s, "00");
+    }
+
+    #[test]
+    fn long_runs_compress_well() {
+        let mut bits = Vec::new();
+        for _ in 0..16 {
+            bits.extend(std::iter::repeat(false).take(63));
+            bits.push(true);
+        }
+        let r = compress(&bits, 32);
+        assert!(r.rate_percent() > 80.0, "{r}");
+    }
+
+    #[test]
+    fn best_group_size_tracks_run_length() {
+        let mut short_runs = Vec::new();
+        for _ in 0..64 {
+            short_runs.extend([false, false, true]);
+        }
+        let mut long_runs = Vec::new();
+        for _ in 0..8 {
+            long_runs.extend(std::iter::repeat(false).take(100));
+            long_runs.push(true);
+        }
+        assert!(best_group_size(&short_runs, 64) <= 4);
+        assert!(best_group_size(&long_runs, 64) >= 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = encode(&[true], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn rejects_truncated_stream() {
+        let _ = decode(&[true], 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! Huffman and canonical Huffman codes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::codeword::Codeword;
+use crate::prefix::PrefixCode;
+
+/// Computes optimal (minimum-redundancy) codeword lengths for the given
+/// symbol frequencies using Huffman's algorithm (the paper's reference
+/// \[29\]).
+///
+/// Zero-frequency symbols get length `0`, meaning *no codeword allocated* —
+/// the paper notes that "an MV with a frequency of 0 can be simply left out
+/// without allocating a codeword to it" (Section 3.3). A single used symbol
+/// also gets length `0` (nothing needs to be transmitted to identify it);
+/// callers that require a non-degenerate code should clamp to one bit.
+///
+/// Ties are broken deterministically (by symbol index) so repeated runs
+/// produce identical codes.
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::huffman_lengths;
+///
+/// assert_eq!(huffman_lengths(&[5, 3, 2]), vec![1, 2, 2]);
+/// assert_eq!(huffman_lengths(&[4, 0, 1]), vec![1, 0, 1]);
+/// ```
+pub fn huffman_lengths(freqs: &[u64]) -> Vec<usize> {
+    let used: Vec<usize> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut lengths = vec![0usize; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => return lengths, // single symbol: zero bits suffice
+        _ => {}
+    }
+
+    // Nodes: leaves are (freq, tiebreak, id); internal nodes get fresh ids.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Item {
+        freq: u64,
+        tiebreak: u64,
+        node: usize,
+    }
+    let mut parent: Vec<Option<usize>> = vec![None; used.len()];
+    let mut heap: BinaryHeap<Reverse<Item>> = used
+        .iter()
+        .enumerate()
+        .map(|(node, &sym)| {
+            Reverse(Item {
+                freq: freqs[sym],
+                tiebreak: sym as u64,
+                node,
+            })
+        })
+        .collect();
+    let mut next_tiebreak = freqs.len() as u64;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1").0;
+        let b = heap.pop().expect("len > 1").0;
+        let merged = parent.len();
+        parent.push(None);
+        parent[a.node] = Some(merged);
+        parent[b.node] = Some(merged);
+        heap.push(Reverse(Item {
+            freq: a.freq + b.freq,
+            tiebreak: next_tiebreak,
+            node: merged,
+        }));
+        next_tiebreak += 1;
+    }
+    for (leaf, &sym) in used.iter().enumerate() {
+        let mut depth = 0usize;
+        let mut at = leaf;
+        while let Some(p) = parent[at] {
+            depth += 1;
+            at = p;
+        }
+        lengths[sym] = depth;
+    }
+    lengths
+}
+
+/// Assigns canonical codewords to the given lengths.
+///
+/// Symbols with length `0` receive the empty codeword (unused symbols).
+/// Canonical assignment orders codewords by `(length, symbol index)` which
+/// minimizes decoder table complexity and makes the code reproducible.
+///
+/// # Panics
+///
+/// Panics if the lengths violate the Kraft inequality (cannot form a prefix
+/// code) or exceed 64 bits.
+pub fn canonical_codewords(lengths: &[usize]) -> Vec<Codeword> {
+    let mut order: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    order.sort_by_key(|&i| (lengths[i], i));
+    let mut out = vec![Codeword::empty(); lengths.len()];
+    let mut code: u64 = 0;
+    let mut prev_len = 0usize;
+    for &i in &order {
+        let len = lengths[i];
+        assert!(len <= Codeword::MAX_LEN, "codeword length {len} too large");
+        code <<= len - prev_len;
+        out[i] = Codeword::from_bits(code, len);
+        // Detect Kraft violation: the incremented code must still fit.
+        let fits = if len == 64 {
+            code != u64::MAX
+        } else {
+            code < (1u64 << len)
+        };
+        assert!(fits, "codeword lengths violate the Kraft inequality");
+        code += 1;
+        prev_len = len;
+    }
+    out
+}
+
+/// Builds a canonical prefix code from codeword lengths, keeping only the
+/// used symbols meaningful (unused symbols share the empty codeword and must
+/// not be encoded).
+///
+/// # Panics
+///
+/// Panics on Kraft violations, as for [`canonical_codewords`].
+pub fn canonical_code(lengths: &[usize]) -> PrefixCode {
+    let words = canonical_codewords(lengths);
+    // PrefixCode validation rejects empty codewords in multi-symbol codes, so
+    // validate over used symbols only, then re-inflate.
+    let used: Vec<Codeword> = words.iter().copied().filter(|c| !c.is_empty()).collect();
+    if used.len() >= 2 {
+        PrefixCode::new(used).expect("canonical codewords form a prefix code");
+    }
+    PrefixCode::new_unchecked(words)
+}
+
+/// Builds an optimal prefix code directly from frequencies:
+/// Huffman lengths + canonical assignment. With exactly one used symbol the
+/// codeword is clamped to one bit (`0`) so the stream remains self-delimiting
+/// for hardware decoders.
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::huffman_code;
+///
+/// let code = huffman_code(&[8, 1, 1]);
+/// assert_eq!(code.codeword(0).len(), 1);
+/// assert_eq!(code.codeword(1).len(), 2);
+/// ```
+pub fn huffman_code(freqs: &[u64]) -> PrefixCode {
+    let mut lengths = huffman_lengths(freqs);
+    let used = freqs.iter().filter(|&&f| f > 0).count();
+    if used == 1 {
+        let only = freqs
+            .iter()
+            .position(|&f| f > 0)
+            .expect("one symbol is used");
+        lengths[only] = 1;
+    }
+    canonical_code(&lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_bits(freqs: &[u64]) -> u64 {
+        let code = huffman_code(freqs);
+        code.codewords()
+            .iter()
+            .zip(freqs)
+            .map(|(c, &f)| c.len() as u64 * f)
+            .sum()
+    }
+
+    #[test]
+    fn classic_example() {
+        // freqs 5,3,2 -> lengths 1,2,2 -> 5*1+3*2+2*2 = 15 bits
+        assert_eq!(total_bits(&[5, 3, 2]), 15);
+    }
+
+    #[test]
+    fn paper_section_3_3_example() {
+        // v1 freq 5, v2 freq 3, v3 freq 2: Huffman gives C(v1)='0',
+        // C(v2)/C(v3) two bits each (paper, Section 3.3).
+        let code = huffman_code(&[5, 3, 2]);
+        assert_eq!(code.codeword(0).len(), 1);
+        assert_eq!(code.codeword(1).len(), 2);
+        assert_eq!(code.codeword(2).len(), 2);
+    }
+
+    #[test]
+    fn zero_frequency_symbols_are_skipped() {
+        let lengths = huffman_lengths(&[0, 7, 0, 7]);
+        assert_eq!(lengths, vec![0, 1, 0, 1]);
+        let code = huffman_code(&[0, 7, 0, 7]);
+        assert!(code.codeword(0).is_empty());
+        assert_eq!(code.codeword(1).len(), 1);
+    }
+
+    #[test]
+    fn single_used_symbol_clamped_to_one_bit() {
+        let code = huffman_code(&[0, 42, 0]);
+        assert_eq!(code.codeword(1).len(), 1);
+    }
+
+    #[test]
+    fn all_zero_frequencies_yield_empty_words() {
+        let lengths = huffman_lengths(&[0, 0]);
+        assert_eq!(lengths, vec![0, 0]);
+    }
+
+    #[test]
+    fn equal_frequencies_give_balanced_code() {
+        let lengths = huffman_lengths(&[1, 1, 1, 1]);
+        assert_eq!(lengths, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn huffman_beats_or_ties_fixed_length() {
+        // For skewed distributions Huffman must beat ceil(log2(n))-bit codes.
+        let freqs = [100, 10, 5, 1];
+        let fixed = 2 * freqs.iter().sum::<u64>();
+        assert!(total_bits(&freqs) < fixed);
+    }
+
+    #[test]
+    fn canonical_codewords_are_sorted_and_prefix_free() {
+        let lengths = huffman_lengths(&[9, 5, 3, 2, 1]);
+        let words = canonical_codewords(&lengths);
+        for (i, a) in words.iter().enumerate() {
+            for (j, b) in words.iter().enumerate() {
+                if i != j && !a.is_empty() && !b.is_empty() {
+                    assert!(!a.is_prefix_of(b), "{a} prefixes {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let a = huffman_code(&[3, 3, 3, 3, 3]);
+        let b = huffman_code(&[3, 3, 3, 3, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optimality_vs_exhaustive_small() {
+        // Compare against brute force over all monotone length vectors for
+        // 3 symbols with small lengths.
+        let freqs = [7u64, 2, 1];
+        let best_huff = total_bits(&freqs);
+        let mut best = u64::MAX;
+        for l0 in 1..=3u64 {
+            for l1 in 1..=3u64 {
+                for l2 in 1..=3u64 {
+                    let kraft: f64 =
+                        [l0, l1, l2].iter().map(|&l| 2f64.powi(-(l as i32))).sum();
+                    if kraft <= 1.0 + 1e-12 {
+                        best = best.min(7 * l0 + 2 * l1 + l2);
+                    }
+                }
+            }
+        }
+        assert_eq!(best_huff, best);
+    }
+}

@@ -1,0 +1,47 @@
+//! Prefix and Huffman coding for code-based test compression.
+//!
+//! Code-based test compression assigns a binary *codeword* to each symbol (in
+//! the DATE 2005 paper, to each matching vector); the whole code must be a
+//! prefix code so the on-chip decoder can decode the serial stream without
+//! lookahead. This crate provides:
+//!
+//! * [`Codeword`] — an immutable bit string.
+//! * [`PrefixCode`] — a validated prefix code over `L` symbols plus a decode
+//!   tree ([`DecodeTree`]).
+//! * [`huffman_code`] / [`huffman_lengths`] — minimum-redundancy codes from
+//!   symbol frequencies (Huffman 1952, the paper's reference \[29\]).
+//! * [`canonical_code`] — the canonical reassignment of Huffman lengths used
+//!   to keep decoder hardware small.
+//! * Baseline coders from the paper's related-work section: run-length
+//!   ([`runlength`]), Golomb ([`golomb`]), frequency-directed run-length
+//!   ([`fdr`]) and selective Huffman ([`selective`]) — used by the harness to
+//!   put the EA results next to the classic schemes.
+//!
+//! # Example
+//!
+//! ```
+//! use evotc_codes::{huffman_code, PrefixCode};
+//!
+//! let code = huffman_code(&[5, 3, 2]);
+//! assert_eq!(code.len(), 3);
+//! // Most frequent symbol gets the shortest codeword.
+//! assert!(code.codeword(0).len() <= code.codeword(2).len());
+//! assert!(code.kraft_sum_is_one());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codeword;
+mod decode;
+pub mod fdr;
+pub mod golomb;
+mod huffman;
+mod prefix;
+pub mod runlength;
+pub mod selective;
+
+pub use codeword::{Codeword, ParseCodewordError};
+pub use decode::{DecodeTree, Step, Walk};
+pub use huffman::{canonical_code, huffman_code, huffman_lengths};
+pub use prefix::{BuildPrefixCodeError, PrefixCode};

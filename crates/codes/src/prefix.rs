@@ -1,0 +1,293 @@
+//! Validated prefix codes.
+
+use std::fmt;
+
+use crate::codeword::Codeword;
+use crate::decode::DecodeTree;
+
+/// A prefix code over symbols `0..L`: no codeword is a prefix of another
+/// (paper, Section 2, requirement on `{C(v⁽¹⁾), …, C(v⁽ᴸ⁾)}`).
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::PrefixCode;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let code = PrefixCode::from_strs(&["0", "10", "11"])?;
+/// assert!(code.kraft_sum_is_one());
+/// assert_eq!(code.decode_tree().decode_str("10011"), vec![1, 0, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixCode {
+    codewords: Vec<Codeword>,
+}
+
+impl PrefixCode {
+    /// Builds a prefix code from per-symbol codewords.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildPrefixCodeError`] if the code is empty, contains an
+    /// empty codeword alongside others, duplicates a codeword, or violates
+    /// the prefix property.
+    pub fn new(codewords: Vec<Codeword>) -> Result<Self, BuildPrefixCodeError> {
+        if codewords.is_empty() {
+            return Err(BuildPrefixCodeError::Empty);
+        }
+        if codewords.len() > 1 {
+            for (i, a) in codewords.iter().enumerate() {
+                if a.is_empty() {
+                    return Err(BuildPrefixCodeError::EmptyCodeword { symbol: i });
+                }
+                for (j, b) in codewords.iter().enumerate() {
+                    if i != j && a.is_prefix_of(b) {
+                        return Err(BuildPrefixCodeError::PrefixViolation {
+                            prefix_symbol: i,
+                            extended_symbol: j,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(PrefixCode { codewords })
+    }
+
+    /// Crate-internal constructor for canonical codes whose *unused* symbols
+    /// carry empty codewords. The used subset must already be prefix-free;
+    /// encoding an unused symbol is a logic error on the caller's side.
+    pub(crate) fn new_unchecked(codewords: Vec<Codeword>) -> Self {
+        PrefixCode { codewords }
+    }
+
+    /// Convenience constructor from `0`/`1` strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildPrefixCodeError`] as for [`PrefixCode::new`]; codeword
+    /// parse failures are reported as [`BuildPrefixCodeError::BadCodeword`].
+    pub fn from_strs<S: AsRef<str>>(strs: &[S]) -> Result<Self, BuildPrefixCodeError> {
+        let codewords = strs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.as_ref()
+                    .parse::<Codeword>()
+                    .map_err(|_| BuildPrefixCodeError::BadCodeword { symbol: i })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        PrefixCode::new(codewords)
+    }
+
+    /// Number of symbols `L`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codewords.len()
+    }
+
+    /// Returns `true` if the code has no symbols (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codewords.is_empty()
+    }
+
+    /// The codeword of `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol >= self.len()`.
+    #[inline]
+    pub fn codeword(&self, symbol: usize) -> Codeword {
+        self.codewords[symbol]
+    }
+
+    /// All codewords, indexed by symbol.
+    #[inline]
+    pub fn codewords(&self) -> &[Codeword] {
+        &self.codewords
+    }
+
+    /// Sum of `2^{-len(c)}` over all codewords.
+    ///
+    /// By the Kraft inequality this is `≤ 1` for any prefix code and exactly
+    /// `1` for a *complete* code (every bit sequence decodes); Huffman codes
+    /// are complete.
+    pub fn kraft_sum(&self) -> f64 {
+        self.codewords
+            .iter()
+            .map(|c| 2f64.powi(-(c.len() as i32)))
+            .sum()
+    }
+
+    /// Returns `true` if the code is complete (Kraft sum exactly one,
+    /// computed exactly in fixed point, not floating point).
+    pub fn kraft_sum_is_one(&self) -> bool {
+        // Sum 2^(64 - len) in u128 and compare with 2^64.
+        let target: u128 = 1u128 << 64;
+        let sum: u128 = self
+            .codewords
+            .iter()
+            .map(|c| 1u128 << (64 - c.len()))
+            .sum();
+        sum == target
+    }
+
+    /// Total encoded length, in bits, of a message where symbol `i` occurs
+    /// `freqs[i]` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs.len() != self.len()`.
+    pub fn weighted_length(&self, freqs: &[u64]) -> u64 {
+        assert_eq!(freqs.len(), self.len(), "frequency table size mismatch");
+        self.codewords
+            .iter()
+            .zip(freqs)
+            .map(|(c, &f)| c.len() as u64 * f)
+            .sum()
+    }
+
+    /// Builds the decode tree for this code.
+    pub fn decode_tree(&self) -> DecodeTree {
+        DecodeTree::from_code(self)
+    }
+
+    /// The length of the longest codeword.
+    pub fn max_len(&self) -> usize {
+        self.codewords.iter().map(Codeword::len).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for PrefixCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.codewords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}:{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error building a [`PrefixCode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildPrefixCodeError {
+    /// No codewords supplied.
+    Empty,
+    /// An empty codeword in a multi-symbol code.
+    EmptyCodeword {
+        /// Symbol with the empty codeword.
+        symbol: usize,
+    },
+    /// One codeword is a prefix of another (includes duplicates).
+    PrefixViolation {
+        /// Symbol whose codeword is the prefix.
+        prefix_symbol: usize,
+        /// Symbol whose codeword extends it.
+        extended_symbol: usize,
+    },
+    /// A codeword string failed to parse.
+    BadCodeword {
+        /// Symbol with the malformed codeword.
+        symbol: usize,
+    },
+}
+
+impl fmt::Display for BuildPrefixCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildPrefixCodeError::Empty => write!(f, "prefix code must have at least one symbol"),
+            BuildPrefixCodeError::EmptyCodeword { symbol } => {
+                write!(f, "symbol {symbol} has an empty codeword in a multi-symbol code")
+            }
+            BuildPrefixCodeError::PrefixViolation {
+                prefix_symbol,
+                extended_symbol,
+            } => write!(
+                f,
+                "codeword of symbol {prefix_symbol} is a prefix of the codeword of symbol {extended_symbol}"
+            ),
+            BuildPrefixCodeError::BadCodeword { symbol } => {
+                write!(f, "codeword of symbol {symbol} is not a binary string")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildPrefixCodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_code() {
+        let code = PrefixCode::from_strs(&["0", "10", "110", "111"]).unwrap();
+        assert_eq!(code.len(), 4);
+        assert!(code.kraft_sum_is_one());
+        assert_eq!(code.max_len(), 3);
+    }
+
+    #[test]
+    fn rejects_prefix_violation() {
+        let err = PrefixCode::from_strs(&["1", "10"]).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildPrefixCodeError::PrefixViolation {
+                prefix_symbol: 0,
+                extended_symbol: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        // identical codewords are mutual prefixes
+        assert!(PrefixCode::from_strs(&["10", "10"]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_code_and_empty_codeword() {
+        assert!(matches!(
+            PrefixCode::from_strs::<&str>(&[]),
+            Err(BuildPrefixCodeError::Empty)
+        ));
+        assert!(matches!(
+            PrefixCode::from_strs(&["", "1"]),
+            Err(BuildPrefixCodeError::EmptyCodeword { symbol: 0 })
+        ));
+    }
+
+    #[test]
+    fn singleton_code_may_be_empty_codeword() {
+        let code = PrefixCode::from_strs(&[""]).unwrap();
+        assert_eq!(code.len(), 1);
+        assert_eq!(code.codeword(0).len(), 0);
+    }
+
+    #[test]
+    fn incomplete_code_kraft_below_one() {
+        let code = PrefixCode::from_strs(&["00", "01"]).unwrap();
+        assert!(!code.kraft_sum_is_one());
+        assert!((code.kraft_sum() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_length_counts_bits() {
+        let code = PrefixCode::from_strs(&["0", "10", "11"]).unwrap();
+        assert_eq!(code.weighted_length(&[5, 3, 2]), 5 + 6 + 4);
+    }
+
+    #[test]
+    fn paper_9c_codeword_table_is_a_prefix_code() {
+        // The fixed 9C encoding from the paper, Section 4.
+        let code = PrefixCode::from_strs(&[
+            "0", "10", "11000", "11001", "11010", "11011", "11100", "11101", "1111",
+        ])
+        .unwrap();
+        assert!(code.kraft_sum_is_one());
+    }
+}

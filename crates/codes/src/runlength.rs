@@ -1,0 +1,222 @@
+//! Fixed run-length coding (Jas/Touba, the paper's reference \[1\]).
+//!
+//! The classic cyclical-scan scheme encodes runs of `0`s terminated by a `1`
+//! with a fixed-width `b`-bit counter. A run of length `r < 2^b - 1` followed
+//! by a `1` is emitted as the `b`-bit value `r`; the maximal counter value
+//! `2^b - 1` means "`2^b - 1` zeros and **no** terminating one", allowing
+//! longer runs to be split.
+//!
+//! All baseline coders in this crate operate on fully specified bit slices;
+//! callers fill don't-cares (zero-fill maximizes run lengths and is the
+//! standard choice for run-length-style codes).
+
+use std::fmt;
+
+/// Encodes `bits` with a `b`-bit run-length code, returning the encoded bit
+/// vector.
+///
+/// # Panics
+///
+/// Panics if `b` is `0` or greater than 32.
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::runlength;
+///
+/// let data = [false, false, true, true];
+/// let enc = runlength::encode(&data, 3);
+/// assert_eq!(runlength::decode(&enc, 3), data);
+/// ```
+pub fn encode(bits: &[bool], b: usize) -> Vec<bool> {
+    assert!(b > 0 && b <= 32, "counter width must be in 1..=32");
+    let max = (1u64 << b) - 1;
+    let mut out = Vec::new();
+    let mut run = 0u64;
+    let push_counter = |out: &mut Vec<bool>, v: u64| {
+        for i in (0..b).rev() {
+            out.push((v >> i) & 1 == 1);
+        }
+    };
+    for &bit in bits {
+        if bit {
+            push_counter(&mut out, run);
+            run = 0;
+        } else {
+            run += 1;
+            if run == max {
+                push_counter(&mut out, max);
+                run = 0;
+            }
+        }
+    }
+    if run > 0 {
+        // Trailing zeros without a terminating one: the emitted counter
+        // implies a terminating 1 one position past the payload; decoders
+        // cut at the payload length.
+        push_counter(&mut out, run);
+    }
+    out
+}
+
+/// Decodes a run-length-coded stream produced by [`encode`].
+///
+/// The decoded sequence may include one trailing synthetic `1` if the
+/// original data ended in a run of zeros; callers should truncate to the
+/// known payload length (see [`decode_to_len`]).
+///
+/// # Panics
+///
+/// Panics if `b` is `0` or greater than 32, or the stream length is not a
+/// multiple of `b`.
+pub fn decode(enc: &[bool], b: usize) -> Vec<bool> {
+    assert!(b > 0 && b <= 32, "counter width must be in 1..=32");
+    assert!(enc.len() % b == 0, "stream is not a whole number of counters");
+    let max = (1u64 << b) - 1;
+    let mut out = Vec::new();
+    for chunk in enc.chunks(b) {
+        let mut v = 0u64;
+        for &bit in chunk {
+            v = (v << 1) | u64::from(bit);
+        }
+        for _ in 0..v {
+            out.push(false);
+        }
+        if v != max {
+            out.push(true);
+        }
+    }
+    out
+}
+
+/// Decodes and truncates/validates against a known payload length.
+///
+/// # Panics
+///
+/// Panics if the decoded stream is shorter than `len` or longer than
+/// `len + 1` (the one allowed synthetic trailing bit).
+pub fn decode_to_len(enc: &[bool], b: usize, len: usize) -> Vec<bool> {
+    let mut out = decode(enc, b);
+    assert!(
+        out.len() >= len && out.len() <= len + 1,
+        "decoded {} bits, expected {len}",
+        out.len()
+    );
+    out.truncate(len);
+    out
+}
+
+/// Size, in bits, of the run-length encoding without materializing it.
+pub fn encoded_len(bits: &[bool], b: usize) -> usize {
+    encode(bits, b).len()
+}
+
+/// Report describing a run-length compression outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunLengthReport {
+    /// Counter width used.
+    pub counter_bits: usize,
+    /// Original size in bits.
+    pub original_bits: usize,
+    /// Encoded size in bits.
+    pub encoded_bits: usize,
+}
+
+impl RunLengthReport {
+    /// Compression rate `100·(orig − enc)/orig` (may be negative).
+    pub fn rate_percent(&self) -> f64 {
+        if self.original_bits == 0 {
+            return 0.0;
+        }
+        100.0 * (self.original_bits as f64 - self.encoded_bits as f64)
+            / self.original_bits as f64
+    }
+}
+
+impl fmt::Display for RunLengthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run-length(b={}): {} -> {} bits ({:.1}%)",
+            self.counter_bits,
+            self.original_bits,
+            self.encoded_bits,
+            self.rate_percent()
+        )
+    }
+}
+
+/// Compresses and reports in one call.
+pub fn compress(bits: &[bool], b: usize) -> RunLengthReport {
+    RunLengthReport {
+        counter_bits: b,
+        original_bits: bits.len(),
+        encoded_bits: encoded_len(bits, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(bits: &[bool], b: usize) {
+        let enc = encode(bits, b);
+        let dec = decode_to_len(&enc, b, bits.len());
+        assert_eq!(dec, bits);
+    }
+
+    #[test]
+    fn short_runs() {
+        round_trip(&[true, true, true], 2);
+        round_trip(&[false, true, false, false, true], 3);
+    }
+
+    #[test]
+    fn run_longer_than_counter_is_split() {
+        let bits = vec![false; 20]
+            .into_iter()
+            .chain([true])
+            .collect::<Vec<_>>();
+        round_trip(&bits, 3);
+    }
+
+    #[test]
+    fn trailing_zeros_handled() {
+        round_trip(&[true, false, false, false], 3);
+        round_trip(&[false, false], 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(encode(&[], 4).is_empty());
+        assert!(decode(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn sparse_ones_compress() {
+        // 0^15 1 repeated: 16 bits per run → 4-bit counters = 4 bits per run
+        let mut bits = Vec::new();
+        for _ in 0..8 {
+            bits.extend(std::iter::repeat(false).take(15));
+            bits.push(true);
+        }
+        // Each 16-bit run (15 zeros hit the maximal counter, then the `1`
+        // costs a second counter) takes two 4-bit counters: 50% compression.
+        let r = compress(&bits, 4);
+        assert!(r.rate_percent() >= 49.0, "{r}");
+        round_trip(&bits, 4);
+    }
+
+    #[test]
+    fn dense_ones_expand() {
+        let bits = vec![true; 32];
+        let r = compress(&bits, 4);
+        assert!(r.rate_percent() < 0.0, "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn rejects_zero_counter() {
+        let _ = encode(&[true], 0);
+    }
+}

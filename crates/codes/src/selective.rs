@@ -1,0 +1,189 @@
+//! Selective Huffman coding of fixed-length blocks (Jas/Ghosh-Dastidar/
+//! Touba, the paper's reference \[2\]).
+//!
+//! The test-set string is split into fixed `b`-bit blocks; the `n` most
+//! frequent distinct blocks are Huffman-coded behind a `1` flag bit, all
+//! other blocks are sent raw behind a `0` flag bit. Only the frequent blocks
+//! need decoder storage, which bounds hardware cost.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::huffman::huffman_code;
+
+/// Outcome of selective Huffman compression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectiveReport {
+    /// Block width `b`.
+    pub block_bits: usize,
+    /// Number of dictionary (Huffman-coded) blocks.
+    pub dictionary_size: usize,
+    /// Original size in bits (after padding to whole blocks).
+    pub original_bits: usize,
+    /// Encoded size in bits.
+    pub encoded_bits: usize,
+    /// How many blocks were served from the dictionary.
+    pub coded_blocks: u64,
+    /// How many blocks were sent raw.
+    pub raw_blocks: u64,
+}
+
+impl SelectiveReport {
+    /// Compression rate `100·(orig − enc)/orig` (may be negative).
+    pub fn rate_percent(&self) -> f64 {
+        if self.original_bits == 0 {
+            return 0.0;
+        }
+        100.0 * (self.original_bits as f64 - self.encoded_bits as f64)
+            / self.original_bits as f64
+    }
+}
+
+impl fmt::Display for SelectiveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "selective-huffman(b={}, n={}): {} -> {} bits ({:.1}%)",
+            self.block_bits,
+            self.dictionary_size,
+            self.original_bits,
+            self.encoded_bits,
+            self.rate_percent()
+        )
+    }
+}
+
+/// Compresses `bits` with selective Huffman coding over `b`-bit blocks and a
+/// dictionary of the `n` most frequent blocks.
+///
+/// The input is zero-padded to a whole number of blocks (callers fill
+/// don't-cares before invoking; zero-fill maximizes block repetition).
+///
+/// # Panics
+///
+/// Panics if `b` is `0` or greater than 32, or `n` is `0`.
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::selective;
+///
+/// let bits = vec![false; 64];
+/// let report = selective::compress(&bits, 8, 4);
+/// assert!(report.rate_percent() > 50.0);
+/// ```
+pub fn compress(bits: &[bool], b: usize, n: usize) -> SelectiveReport {
+    assert!(b > 0 && b <= 32, "block width must be in 1..=32");
+    assert!(n > 0, "dictionary must hold at least one block");
+    let padded_len = bits.len().div_ceil(b) * b;
+    let mut blocks: Vec<u32> = Vec::with_capacity(padded_len / b);
+    let mut i = 0usize;
+    while i < padded_len {
+        let mut v = 0u32;
+        for j in 0..b {
+            let bit = bits.get(i + j).copied().unwrap_or(false);
+            v = (v << 1) | u32::from(bit);
+        }
+        blocks.push(v);
+        i += b;
+    }
+
+    let mut freq: HashMap<u32, u64> = HashMap::new();
+    for &blk in &blocks {
+        *freq.entry(blk).or_insert(0) += 1;
+    }
+    let mut by_freq: Vec<(u32, u64)> = freq.into_iter().collect();
+    by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let dict: Vec<(u32, u64)> = by_freq.into_iter().take(n).collect();
+    let index: HashMap<u32, usize> = dict
+        .iter()
+        .enumerate()
+        .map(|(i, &(blk, _))| (blk, i))
+        .collect();
+
+    let freqs: Vec<u64> = dict.iter().map(|&(_, f)| f).collect();
+    let code = huffman_code(&freqs);
+
+    let mut encoded_bits = 0usize;
+    let mut coded = 0u64;
+    let mut raw = 0u64;
+    for &blk in &blocks {
+        match index.get(&blk) {
+            Some(&sym) => {
+                encoded_bits += 1 + code.codeword(sym).len();
+                coded += 1;
+            }
+            None => {
+                encoded_bits += 1 + b;
+                raw += 1;
+            }
+        }
+    }
+
+    SelectiveReport {
+        block_bits: b,
+        dictionary_size: dict.len(),
+        original_bits: padded_len,
+        encoded_bits,
+        coded_blocks: coded,
+        raw_blocks: raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stream_compresses_hard() {
+        let bits = vec![false; 256];
+        let r = compress(&bits, 8, 4);
+        assert_eq!(r.raw_blocks, 0);
+        // 32 blocks, all identical: 1 flag + 1 codeword bit each = 64 bits
+        assert_eq!(r.encoded_bits, 64);
+        assert!(r.rate_percent() > 70.0);
+    }
+
+    #[test]
+    fn unique_blocks_expand_by_flag_bit() {
+        // 16 distinct 4-bit blocks, dictionary of 1: 15 raw blocks
+        let mut bits = Vec::new();
+        for v in 0..16u32 {
+            for i in (0..4).rev() {
+                bits.push((v >> i) & 1 == 1);
+            }
+        }
+        let r = compress(&bits, 4, 1);
+        assert_eq!(r.coded_blocks, 1);
+        assert_eq!(r.raw_blocks, 15);
+        assert!(r.rate_percent() < 0.0);
+    }
+
+    #[test]
+    fn bigger_dictionary_never_hurts_much() {
+        let bits: Vec<bool> = (0..512).map(|i| (i / 3) % 5 == 0).collect();
+        let r4 = compress(&bits, 8, 4);
+        let r16 = compress(&bits, 8, 16);
+        // More dictionary entries → at least as many coded blocks.
+        assert!(r16.coded_blocks >= r4.coded_blocks);
+    }
+
+    #[test]
+    fn padding_counts_in_original_size() {
+        let bits = vec![true; 10];
+        let r = compress(&bits, 8, 2);
+        assert_eq!(r.original_bits, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "block width")]
+    fn rejects_bad_width() {
+        let _ = compress(&[true], 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dictionary")]
+    fn rejects_empty_dictionary() {
+        let _ = compress(&[true], 4, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Self-contained compressed test sets.
+
+use std::fmt;
+
+use evotc_bits::{BitReader, BitWriter, InputBlock, TestSet, TestSetString};
+use evotc_codes::PrefixCode;
+
+use crate::error::CompressError;
+use crate::mvset::MvSet;
+
+/// A compressed test set: the encoded bit stream together with everything a
+/// decoder needs (the MV table and the prefix code).
+///
+/// The struct is produced by [`crate::encode_with_mvs`] or any
+/// [`crate::TestCompressor`]; [`CompressedTestSet::decompress`] reverses it,
+/// reproducing the original test set with don't-cares filled — code-based
+/// compression "precisely reproduces the original encoded test set"
+/// (paper, Section 1).
+#[derive(Debug, Clone)]
+pub struct CompressedTestSet {
+    /// Name of the producing scheme (e.g. `"9C"`, `"EA(K=12,L=64)"`).
+    pub scheme: String,
+    /// Pattern width `n` of the original set.
+    pub width: usize,
+    /// Number of patterns `T`.
+    pub num_patterns: usize,
+    /// Original (uncompressed) size `T · n` in bits.
+    pub original_bits: usize,
+    /// Compressed payload size in bits.
+    pub compressed_bits: usize,
+    mvs: MvSet,
+    frequencies: Vec<u64>,
+    code: PrefixCode,
+    stream_bytes: Vec<u8>,
+}
+
+impl CompressedTestSet {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        scheme: String,
+        width: usize,
+        num_patterns: usize,
+        payload_bits: usize,
+        mvs: MvSet,
+        frequencies: Vec<u64>,
+        code: PrefixCode,
+        stream: BitWriter,
+    ) -> Self {
+        let (stream_bytes, compressed_bits) = stream.into_parts();
+        CompressedTestSet {
+            scheme,
+            width,
+            num_patterns,
+            original_bits: payload_bits,
+            compressed_bits,
+            mvs,
+            frequencies,
+            code,
+            stream_bytes,
+        }
+    }
+
+    /// The matching-vector table, in covering order.
+    pub fn mv_set(&self) -> &MvSet {
+        &self.mvs
+    }
+
+    /// Frequency of use per MV (how many blocks each MV encoded).
+    pub fn frequencies(&self) -> &[u64] {
+        &self.frequencies
+    }
+
+    /// The prefix code, indexed like the MV table. Unused MVs carry empty
+    /// codewords and never appear in the stream.
+    pub fn code(&self) -> &PrefixCode {
+        &self.code
+    }
+
+    /// The raw encoded stream.
+    pub fn stream(&self) -> BitReader<'_> {
+        BitReader::new(&self.stream_bytes, self.compressed_bits)
+    }
+
+    /// Compression rate `100 · (original − compressed) / original` —
+    /// the figure of merit of the paper's tables (higher is better; may be
+    /// negative when the encoding expands the data).
+    pub fn rate_percent(&self) -> f64 {
+        if self.original_bits == 0 {
+            return 0.0;
+        }
+        100.0 * (self.original_bits as f64 - self.compressed_bits as f64)
+            / self.original_bits as f64
+    }
+
+    /// Number of blocks in the (padded) encoded string.
+    pub fn num_blocks(&self) -> usize {
+        self.original_bits.div_ceil(self.mvs.block_len())
+    }
+
+    /// Decodes the stream back into a fully specified test set.
+    ///
+    /// Every bit specified in the original set is reproduced exactly;
+    /// don't-care positions come back with the fill values chosen at
+    /// encoding time (zeros).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::CorruptStream`] if the stream does not
+    /// decode to exactly the expected number of blocks.
+    pub fn decompress(&self) -> Result<TestSet, CompressError> {
+        let k = self.mvs.block_len();
+        let expected_blocks = self.num_blocks();
+        let mut blocks: Vec<InputBlock> = Vec::with_capacity(expected_blocks);
+        let tree = self.code.decode_tree();
+        let mut reader = self.stream();
+        let mut walk = tree.walk();
+        while blocks.len() < expected_blocks {
+            let bit = reader
+                .read_bit()
+                .ok_or(CompressError::CorruptStream {
+                    bit_offset: reader.position(),
+                })?;
+            match walk.step(bit) {
+                evotc_codes::Step::Pending => {}
+                evotc_codes::Step::Symbol(mv_index) => {
+                    let mv = self.mvs.vector(mv_index);
+                    let n_u = mv.num_unspecified();
+                    let mut fill = Vec::with_capacity(n_u);
+                    for _ in 0..n_u {
+                        fill.push(reader.read_bit().ok_or(CompressError::CorruptStream {
+                            bit_offset: reader.position(),
+                        })?);
+                    }
+                    blocks.push(mv.expand(&fill));
+                }
+                evotc_codes::Step::Invalid => {
+                    return Err(CompressError::CorruptStream {
+                        bit_offset: reader.position(),
+                    })
+                }
+            }
+        }
+        if reader.remaining() != 0 {
+            return Err(CompressError::CorruptStream {
+                bit_offset: reader.position(),
+            });
+        }
+        Ok(TestSetString::reassemble(
+            &blocks,
+            k,
+            self.width,
+            self.original_bits,
+        ))
+    }
+}
+
+impl fmt::Display for CompressedTestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} bits ({:.1}%), K={}, L={} ({} used)",
+            self.scheme,
+            self.original_bits,
+            self.compressed_bits,
+            self.rate_percent(),
+            self.mvs.block_len(),
+            self.mvs.len(),
+            self.frequencies.iter().filter(|&&x| x > 0).count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::encode_with_mvs;
+
+    fn compress(rows: &[&str], mvs: &[&str], k: usize) -> CompressedTestSet {
+        let set = TestSet::parse(rows).unwrap();
+        let mvs = MvSet::parse(k, mvs).unwrap().with_all_u();
+        encode_with_mvs("test", &set, &mvs).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_specified_bits() {
+        let rows = ["110100XX", "11000000", "1101XXXX", "00001111"];
+        let original = TestSet::parse(&rows).unwrap();
+        let c = compress(&rows, &["110U00UU", "00001111"], 8);
+        let restored = c.decompress().unwrap();
+        assert!(original.is_refined_by(&restored));
+        assert_eq!(restored.num_patterns(), original.num_patterns());
+        assert_eq!(restored.x_density(), 0.0);
+    }
+
+    #[test]
+    fn round_trip_with_padding() {
+        // 3 patterns of width 5 = 15 bits, K=4 pads to 16.
+        let rows = ["1X010", "00110", "1110X"];
+        let original = TestSet::parse(&rows).unwrap();
+        let c = compress(&rows, &["1U01", "0011"], 4);
+        let restored = c.decompress().unwrap();
+        assert!(original.is_refined_by(&restored));
+        assert_eq!(restored.width(), 5);
+    }
+
+    #[test]
+    fn rate_is_consistent() {
+        let c = compress(&["11110000", "11110000"], &["11110000"], 8);
+        assert_eq!(c.original_bits, 16);
+        assert_eq!(c.compressed_bits, 2);
+        assert!((c.rate_percent() - 87.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let c = compress(&["11110000"], &["11110000"], 8);
+        let s = c.to_string();
+        assert!(s.contains("test:") && s.contains("K=8"));
+    }
+}

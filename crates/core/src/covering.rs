@@ -1,0 +1,175 @@
+//! Covering: assigning matching vectors to input blocks.
+
+use evotc_bits::{BlockHistogram, InputBlock};
+
+use crate::error::CompressError;
+use crate::mvset::MvSet;
+
+/// The result of covering a block histogram with an [`MvSet`]: which MV
+/// serves each distinct block, and the frequency of use `F_i` of every MV
+/// (paper, Section 3.2).
+///
+/// The covering rule is the paper's: MVs are processed in order of
+/// increasing number of `U`s and the first match is taken, because encodings
+/// by MVs with fewer `U`s are shorter (fewer fill bits).
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::{BlockHistogram, TestSet, TestSetString};
+/// use evotc_core::{Covering, MvSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TestSet::parse(&["1111", "1110", "0000"])?;
+/// let hist = BlockHistogram::from_string(&TestSetString::new(&set, 4));
+/// let mvs = MvSet::parse(4, &["111U", "0000"])?;
+/// // Covering order sorts by number of Us: index 0 is 0000, index 1 is 111U.
+/// let covering = Covering::cover(&mvs, &hist)?;
+/// assert_eq!(covering.frequency(0), 1); // 0000
+/// assert_eq!(covering.frequency(1), 2); // 1111 and 1110 -> 111U
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Covering {
+    /// Frequency of use per MV (indexed like the `MvSet`).
+    frequencies: Vec<u64>,
+    /// For each histogram entry, the index of the covering MV.
+    assignment: Vec<usize>,
+}
+
+impl Covering {
+    /// Covers every distinct block of `histogram` with the first matching MV
+    /// of `mvs` (covering order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::Uncoverable`] if some block matches no MV.
+    pub fn cover(mvs: &MvSet, histogram: &BlockHistogram) -> Result<Self, CompressError> {
+        assert_eq!(
+            mvs.block_len(),
+            histogram.block_len(),
+            "MV and histogram block lengths differ"
+        );
+        let mut frequencies = vec![0u64; mvs.len()];
+        let mut assignment = Vec::with_capacity(histogram.num_distinct());
+        for &(block, count) in histogram.iter() {
+            let mv = Self::first_match(mvs, &block)
+                .ok_or(CompressError::Uncoverable { block })?;
+            frequencies[mv] += count;
+            assignment.push(mv);
+        }
+        Ok(Covering {
+            frequencies,
+            assignment,
+        })
+    }
+
+    /// Index of the first MV (in covering order) matching `block`.
+    pub fn first_match(mvs: &MvSet, block: &InputBlock) -> Option<usize> {
+        mvs.iter().position(|v| v.matches(block))
+    }
+
+    /// Frequency of use `F_i` of MV `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn frequency(&self, i: usize) -> u64 {
+        self.frequencies[i]
+    }
+
+    /// All frequencies, indexed like the `MvSet`.
+    #[inline]
+    pub fn frequencies(&self) -> &[u64] {
+        &self.frequencies
+    }
+
+    /// The MV index covering the `e`-th histogram entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn assignment(&self, e: usize) -> usize {
+        self.assignment[e]
+    }
+
+    /// MV indices per histogram entry.
+    #[inline]
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Number of MVs actually used (non-zero frequency).
+    pub fn num_used(&self) -> usize {
+        self.frequencies.iter().filter(|&&f| f > 0).count()
+    }
+
+    /// Total number of covered blocks (should equal the histogram's total).
+    pub fn total_blocks(&self) -> u64 {
+        self.frequencies.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evotc_bits::{TestSet, TestSetString};
+
+    fn hist(rows: &[&str], k: usize) -> BlockHistogram {
+        let set = TestSet::parse(rows).unwrap();
+        BlockHistogram::from_string(&TestSetString::new(&set, k))
+    }
+
+    #[test]
+    fn prefers_fewest_us() {
+        // 111000 matches both 111000 (0 Us) and 111UUU (3 Us);
+        // the covering must pick the fully specified one.
+        let mvs = MvSet::parse(6, &["111UUU", "111000"]).unwrap();
+        let h = hist(&["111000"], 6);
+        let c = Covering::cover(&mvs, &h).unwrap();
+        assert_eq!(c.frequency(0), 1); // index 0 is 111000 after sorting
+        assert_eq!(c.frequency(1), 0);
+        assert_eq!(mvs.vector(0).to_string(), "111000");
+    }
+
+    #[test]
+    fn uncoverable_block_is_reported() {
+        let mvs = MvSet::parse(4, &["1111"]).unwrap();
+        let h = hist(&["0000"], 4);
+        let err = Covering::cover(&mvs, &h).unwrap_err();
+        assert!(matches!(err, CompressError::Uncoverable { .. }));
+    }
+
+    #[test]
+    fn all_u_covers_everything() {
+        let mvs = MvSet::parse(4, &["1111"]).unwrap().with_all_u();
+        let h = hist(&["0000", "1111", "10X0"], 4);
+        let c = Covering::cover(&mvs, &h).unwrap();
+        assert_eq!(c.total_blocks(), 3);
+        assert_eq!(c.frequency(0), 1); // 1111
+        assert_eq!(c.frequency(1), 2); // the other two fall to all-U
+    }
+
+    #[test]
+    fn frequencies_respect_multiplicities() {
+        let mvs = MvSet::parse(4, &["1111", "0000"]).unwrap();
+        let h = hist(&["1111", "1111", "1111", "0000"], 4);
+        let c = Covering::cover(&mvs, &h).unwrap();
+        assert_eq!(c.frequency(0), 3);
+        assert_eq!(c.frequency(1), 1);
+        assert_eq!(c.num_used(), 2);
+    }
+
+    #[test]
+    fn block_with_x_takes_most_specific_match() {
+        // 1X11 matches both 1111 and 1011 (0 Us each); first in covering
+        // order (input order on ties) wins.
+        let mvs = MvSet::parse(4, &["1111", "1011"]).unwrap();
+        let h = hist(&["1X11"], 4);
+        let c = Covering::cover(&mvs, &h).unwrap();
+        assert_eq!(c.frequency(0), 1);
+    }
+}

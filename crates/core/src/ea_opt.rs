@@ -1,0 +1,375 @@
+//! Evolutionary matching-vector determination (paper, Section 3.1).
+
+use evotc_bits::{BlockHistogram, TestSet, TestSetString, Trit};
+use evotc_evo::{Ea, EaConfig, GenerationStats};
+use rand::Rng;
+
+use crate::compressed::CompressedTestSet;
+use crate::encoding::{encode_with_mvs, encoded_size};
+use crate::error::CompressError;
+use crate::mvset::MvSet;
+use crate::ninec::ninec_matching_vectors;
+use crate::TestCompressor;
+
+/// The paper's contribution: a compressor that searches the `3^{K·L}` space
+/// of matching-vector sets with an evolutionary algorithm.
+///
+/// An *individual* is a string of `K·L` genes over `{0, 1, U}`; its fitness
+/// is the compression rate achieved by the corresponding MV set (computed
+/// over the distinct-block histogram, which is exact). Individuals for which
+/// covering is impossible receive a fitness below every feasible value; by
+/// default one MV is forced to all-`U` "such that there were no insolvable
+/// instances" (paper, Section 4).
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::TestSet;
+/// use evotc_core::{EaCompressor, TestCompressor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TestSet::parse(&["110100XX", "110000XX", "1101XXXX"])?;
+/// let compressor = EaCompressor::builder(8, 4)
+///     .seed(3)
+///     .stagnation_limit(50)
+///     .build();
+/// let compressed = compressor.compress(&set)?;
+/// assert!(compressed.rate_percent() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EaCompressor {
+    k: usize,
+    l: usize,
+    config: EaConfig,
+    force_all_u: bool,
+    seed_ninec: bool,
+}
+
+impl EaCompressor {
+    /// Starts building a compressor for `l` MVs of length `k`.
+    ///
+    /// The paper's default experiment uses `K = 12`, `L = 64` with the EA
+    /// defaults of [`EaConfig`].
+    pub fn builder(k: usize, l: usize) -> EaCompressorBuilder {
+        EaCompressorBuilder {
+            k,
+            l,
+            config: EaConfig::default(),
+            force_all_u: true,
+            seed_ninec: false,
+        }
+    }
+
+    /// The paper's default Table 1 configuration: `K = 12`, `L = 64`.
+    pub fn paper_default() -> Self {
+        EaCompressor::builder(12, 64).build()
+    }
+
+    /// Block length `K`.
+    pub fn block_len(&self) -> usize {
+        self.k
+    }
+
+    /// Number of matching vectors `L`.
+    pub fn num_mvs(&self) -> usize {
+        self.l
+    }
+
+    /// The EA configuration in use.
+    pub fn config(&self) -> &EaConfig {
+        &self.config
+    }
+
+    /// Compresses and also returns the EA run summary (generations,
+    /// evaluations, fitness trajectory) for convergence studies.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TestCompressor::compress`].
+    pub fn compress_with_summary(
+        &self,
+        set: &TestSet,
+    ) -> Result<(CompressedTestSet, EaRunSummary), CompressError> {
+        if set.is_empty() {
+            return Err(CompressError::EmptyTestSet);
+        }
+        let string = TestSetString::try_new(set, self.k)?;
+        let histogram = BlockHistogram::from_string(&string);
+        let original_bits = string.payload_bits() as f64;
+
+        let mvs = self.optimize(&histogram, original_bits);
+        let compressed = encode_with_mvs(&self.name(), set, &mvs.0)?;
+        Ok((compressed, mvs.1))
+    }
+
+    /// Runs the EA over a prebuilt histogram and returns the best MV set.
+    /// Exposed so harnesses can share one histogram across parameter sweeps.
+    pub fn optimize_histogram(&self, histogram: &BlockHistogram, original_bits: usize) -> MvSet {
+        self.optimize(histogram, original_bits as f64).0
+    }
+
+    fn optimize(&self, histogram: &BlockHistogram, original_bits: f64) -> (MvSet, EaRunSummary) {
+        let k = self.k;
+        let force_all_u = self.force_all_u;
+        let fitness = |genes: &[Trit]| -> f64 {
+            let mvs = match MvSet::from_genes(k, genes, force_all_u) {
+                Ok(m) => m,
+                Err(_) => return f64::MIN,
+            };
+            match encoded_size(&mvs, histogram) {
+                // Compression rate, the EA's fitness (paper, Section 3.1).
+                Some(size) => 100.0 * (original_bits - size as f64) / original_bits,
+                // "Fitness of an individual for which covering is impossible
+                // is set to a sufficiently small number."
+                None => f64::MIN,
+            }
+        };
+        let mut ea = Ea::new(
+            self.config.clone(),
+            k * self.l,
+            |rng| Trit::from_index(rng.gen_range(0..3u8)),
+            fitness,
+        );
+        if self.seed_ninec {
+            ea.seed_population([self.ninec_genome()]);
+        }
+        let result = ea.run();
+        let mvs = MvSet::from_genes(k, &result.best_genome, force_all_u)
+            .expect("k was validated when the histogram was built");
+        let summary = EaRunSummary {
+            best_fitness: result.best_fitness,
+            generations: result.generations,
+            evaluations: result.evaluations,
+            history: result.history,
+        };
+        (mvs, summary)
+    }
+
+    /// The genome embedding the nine 9C vectors, padded with all-`U` MVs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `L < 9` or `K` is odd (the 9C set requires an even `K`).
+    fn ninec_genome(&self) -> Vec<Trit> {
+        assert!(self.l >= 9, "9C seeding requires L >= 9");
+        let mut genes = Vec::with_capacity(self.k * self.l);
+        for mv in ninec_matching_vectors(self.k) {
+            for j in 0..self.k {
+                genes.push(mv.trit(j));
+            }
+        }
+        genes.resize(self.k * self.l, Trit::X);
+        genes
+    }
+}
+
+impl TestCompressor for EaCompressor {
+    fn name(&self) -> String {
+        format!("EA(K={},L={})", self.k, self.l)
+    }
+
+    fn compress(&self, set: &TestSet) -> Result<CompressedTestSet, CompressError> {
+        Ok(self.compress_with_summary(set)?.0)
+    }
+}
+
+/// Statistics of one EA optimization run.
+#[derive(Debug, Clone)]
+pub struct EaRunSummary {
+    /// Best fitness (compression rate, %) reached.
+    pub best_fitness: f64,
+    /// Generations executed.
+    pub generations: u64,
+    /// Fitness evaluations spent.
+    pub evaluations: u64,
+    /// Per-generation fitness trajectory.
+    pub history: Vec<GenerationStats>,
+}
+
+/// Builder for [`EaCompressor`].
+#[derive(Debug, Clone)]
+pub struct EaCompressorBuilder {
+    k: usize,
+    l: usize,
+    config: EaConfig,
+    force_all_u: bool,
+    seed_ninec: bool,
+}
+
+impl EaCompressorBuilder {
+    /// Replaces the whole EA configuration.
+    pub fn config(mut self, config: EaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the RNG seed (the paper averages over 5 runs; use 5 seeds).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the stagnation termination limit (the paper's Table 2 runs use
+    /// 500 populations without improvement).
+    pub fn stagnation_limit(mut self, generations: usize) -> Self {
+        self.config.stagnation_limit = generations;
+        self
+    }
+
+    /// Sets the fitness-evaluation budget.
+    pub fn max_evaluations(mut self, evaluations: u64) -> Self {
+        self.config.max_evaluations = evaluations;
+        self
+    }
+
+    /// Controls whether one MV is forced to all-`U` (default `true`,
+    /// as in the paper's experiments).
+    pub fn force_all_u(mut self, yes: bool) -> Self {
+        self.force_all_u = yes;
+        self
+    }
+
+    /// Seeds the initial population with the 9C MV set (the improvement the
+    /// paper suggests for circuits like s838; default `false`, as the paper
+    /// did not enable it).
+    pub fn seed_ninec(mut self, yes: bool) -> Self {
+        self.seed_ninec = yes;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `K` is out of `1..=64`, `L` is zero, the EA configuration
+    /// is invalid, or 9C seeding is requested with `L < 9` or an odd `K`.
+    pub fn build(self) -> EaCompressor {
+        assert!(
+            self.k > 0 && self.k <= evotc_bits::MAX_BLOCK_LEN,
+            "block length K must be in 1..=64"
+        );
+        assert!(self.l > 0, "at least one MV is required");
+        if self.seed_ninec {
+            assert!(self.l >= 9, "9C seeding requires L >= 9");
+            assert!(self.k % 2 == 0, "9C seeding requires an even K");
+        }
+        // Round-trip through the builder to reuse its validation.
+        let config = EaConfig::builder()
+            .population_size(self.config.population_size)
+            .children_per_generation(self.config.children_per_generation)
+            .crossover_probability(self.config.crossover_probability)
+            .mutation_probability(self.config.mutation_probability)
+            .inversion_probability(self.config.inversion_probability)
+            .stagnation_limit(self.config.stagnation_limit)
+            .max_evaluations(self.config.max_evaluations)
+            .max_generations(self.config.max_generations)
+            .seed(self.config.seed)
+            .build();
+        let _ = config;
+        EaCompressor {
+            k: self.k,
+            l: self.l,
+            config: self.config,
+            force_all_u: self.force_all_u,
+            seed_ninec: self.seed_ninec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ninec::NineCCompressor;
+
+    fn small_set() -> TestSet {
+        TestSet::parse(&[
+            "110100XX", "110000XX", "11010000", "110X00XX", "11010011", "110100XX",
+        ])
+        .unwrap()
+    }
+
+    fn quick(k: usize, l: usize, seed: u64) -> EaCompressor {
+        EaCompressor::builder(k, l)
+            .seed(seed)
+            .stagnation_limit(60)
+            .build()
+    }
+
+    #[test]
+    fn beats_or_ties_ninec_on_clustered_data() {
+        let set = small_set();
+        let ninec = NineCCompressor::new(8).compress(&set).unwrap();
+        let ea = quick(8, 6, 1).compress(&set).unwrap();
+        assert!(
+            ea.compressed_bits <= ninec.compressed_bits,
+            "EA {} vs 9C {}",
+            ea.compressed_bits,
+            ninec.compressed_bits
+        );
+    }
+
+    #[test]
+    fn result_is_lossless_modulo_x() {
+        let set = small_set();
+        let c = quick(8, 4, 2).compress(&set).unwrap();
+        let restored = c.decompress().unwrap();
+        assert!(set.is_refined_by(&restored));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let set = small_set();
+        let a = quick(8, 4, 5).compress(&set).unwrap();
+        let b = quick(8, 4, 5).compress(&set).unwrap();
+        assert_eq!(a.compressed_bits, b.compressed_bits);
+        assert_eq!(a.mv_set(), b.mv_set());
+    }
+
+    #[test]
+    fn all_u_guarantees_feasibility() {
+        // Random-ish data, tiny L: every individual must still be feasible.
+        let set = TestSet::parse(&["10110100", "01001011", "11100010"]).unwrap();
+        let c = quick(8, 2, 0).compress(&set).unwrap();
+        assert!(c.mv_set().has_all_u());
+    }
+
+    #[test]
+    fn summary_reports_positive_work() {
+        let set = small_set();
+        let (c, summary) = quick(8, 4, 1).compress_with_summary(&set).unwrap();
+        assert!(summary.evaluations > 0);
+        assert!(!summary.history.is_empty());
+        assert!((summary.best_fitness - c.rate_percent()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ninec_seeding_never_loses_to_ninec_mvs() {
+        let set = small_set();
+        let seeded = EaCompressor::builder(8, 9)
+            .seed(4)
+            .stagnation_limit(30)
+            .seed_ninec(true)
+            .build()
+            .compress(&set)
+            .unwrap();
+        // The seeded EA starts from the 9C MV set with Huffman codewords, so
+        // it can only improve on 9C+HC.
+        let ninec_hc = crate::ninec::NineCHuffmanCompressor::new(8)
+            .compress(&set)
+            .unwrap();
+        assert!(seeded.compressed_bits <= ninec_hc.compressed_bits);
+    }
+
+    #[test]
+    fn name_encodes_parameters() {
+        assert_eq!(quick(12, 64, 0).name(), "EA(K=12,L=64)");
+    }
+
+    #[test]
+    #[should_panic(expected = "L >= 9")]
+    fn seeding_requires_enough_mvs() {
+        let _ = EaCompressor::builder(8, 4).seed_ninec(true).build();
+    }
+}

@@ -1,0 +1,197 @@
+//! Multiple-scan-chain compression (the paper's future-work extension).
+//!
+//! The conclusions name "the application of our method in a multiple scan
+//! chain environment" as a research direction. In a multi-chain design the
+//! tester feeds `m` scan chains; each chain sees a *column slice* of every
+//! test pattern. This module splits a test set into per-chain slices,
+//! compresses each slice independently with any [`TestCompressor`], and
+//! aggregates the result — each chain can then use its own small decoder.
+
+use std::fmt;
+
+use evotc_bits::{TestPattern, TestSet};
+
+use crate::compressed::CompressedTestSet;
+use crate::error::CompressError;
+use crate::TestCompressor;
+
+/// Per-chain compression results plus the aggregate rate.
+#[derive(Debug, Clone)]
+pub struct MultiScanResult {
+    /// One compressed slice per scan chain, in chain order.
+    pub chains: Vec<CompressedTestSet>,
+    /// Total original bits across chains.
+    pub original_bits: usize,
+    /// Total compressed bits across chains.
+    pub compressed_bits: usize,
+}
+
+impl MultiScanResult {
+    /// Aggregate compression rate over all chains.
+    pub fn rate_percent(&self) -> f64 {
+        if self.original_bits == 0 {
+            return 0.0;
+        }
+        100.0 * (self.original_bits as f64 - self.compressed_bits as f64)
+            / self.original_bits as f64
+    }
+}
+
+impl fmt::Display for MultiScanResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} chains: {} -> {} bits ({:.1}%)",
+            self.chains.len(),
+            self.original_bits,
+            self.compressed_bits,
+            self.rate_percent()
+        )
+    }
+}
+
+/// Splits `set` into `m` column slices, one per scan chain.
+///
+/// Columns are dealt round-robin (column `j` goes to chain `j mod m`),
+/// mirroring how scan cells alternate across balanced chains. Chains may
+/// differ in width by one when `m` does not divide the pattern width.
+///
+/// # Panics
+///
+/// Panics if `m` is zero or exceeds the pattern width.
+pub fn split_into_chains(set: &TestSet, m: usize) -> Vec<TestSet> {
+    assert!(m > 0, "at least one chain is required");
+    assert!(
+        m <= set.width(),
+        "cannot split {} columns into {m} chains",
+        set.width()
+    );
+    let mut chains: Vec<TestSet> = (0..m)
+        .map(|c| TestSet::new(set.width() / m + usize::from(c < set.width() % m)))
+        .collect();
+    for pattern in set.iter() {
+        let mut slices: Vec<Vec<evotc_bits::Trit>> = vec![Vec::new(); m];
+        for j in 0..set.width() {
+            slices[j % m].push(pattern.trit(j));
+        }
+        for (chain, trits) in chains.iter_mut().zip(slices) {
+            chain
+                .push(TestPattern::from_trits(&trits))
+                .expect("slice width is constant per chain");
+        }
+    }
+    chains
+}
+
+/// Compresses each scan-chain slice independently.
+///
+/// # Errors
+///
+/// Propagates the first per-chain [`CompressError`].
+///
+/// # Panics
+///
+/// Panics if `m` is zero or exceeds the pattern width.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::TestSet;
+/// use evotc_core::{multiscan, NineCHuffmanCompressor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TestSet::parse(&["0000000011111111", "000000001111XXXX"])?;
+/// let result = multiscan::compress_chains(&set, 2, &NineCHuffmanCompressor::new(8))?;
+/// assert_eq!(result.chains.len(), 2);
+/// assert_eq!(result.original_bits, 32);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compress_chains<C: TestCompressor>(
+    set: &TestSet,
+    m: usize,
+    compressor: &C,
+) -> Result<MultiScanResult, CompressError> {
+    let chains = split_into_chains(set, m);
+    let mut compressed = Vec::with_capacity(m);
+    let mut original_bits = 0usize;
+    let mut compressed_bits = 0usize;
+    for chain in &chains {
+        let c = compressor.compress(chain)?;
+        original_bits += c.original_bits;
+        compressed_bits += c.compressed_bits;
+        compressed.push(c);
+    }
+    Ok(MultiScanResult {
+        chains: compressed,
+        original_bits,
+        compressed_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ninec::NineCHuffmanCompressor;
+
+    #[test]
+    fn split_deals_columns_round_robin() {
+        let set = TestSet::parse(&["01X111"]).unwrap();
+        let chains = split_into_chains(&set, 2);
+        assert_eq!(chains[0].patterns()[0].to_string(), "0X1"); // cols 0,2,4
+        assert_eq!(chains[1].patterns()[0].to_string(), "111"); // cols 1,3,5
+    }
+
+    #[test]
+    fn uneven_split_widths() {
+        let set = TestSet::parse(&["10110"]).unwrap();
+        let chains = split_into_chains(&set, 2);
+        assert_eq!(chains[0].width(), 3); // cols 0,2,4
+        assert_eq!(chains[1].width(), 2); // cols 1,3
+    }
+
+    #[test]
+    fn split_conserves_bits() {
+        let set = TestSet::parse(&["10110100", "0X1X0X1X"]).unwrap();
+        let chains = split_into_chains(&set, 4);
+        let total: usize = chains.iter().map(|c| c.total_bits()).sum();
+        assert_eq!(total, set.total_bits());
+    }
+
+    #[test]
+    fn aggregate_rate_combines_chains() {
+        let set = TestSet::parse(&[
+            "0000000000000000",
+            "0000000011111111",
+            "00000000XXXXXXXX",
+            "0000000000001111",
+        ])
+        .unwrap();
+        let result = compress_chains(&set, 2, &NineCHuffmanCompressor::new(8)).unwrap();
+        assert_eq!(result.original_bits, set.total_bits());
+        assert_eq!(
+            result.compressed_bits,
+            result.chains.iter().map(|c| c.compressed_bits).sum::<usize>()
+        );
+        // Chain 0 (even columns) is all zeros: compresses very hard.
+        assert!(result.chains[0].rate_percent() > 50.0);
+    }
+
+    #[test]
+    fn per_chain_round_trip() {
+        let set = TestSet::parse(&["1011010010110100", "0X1X0X1X11110000"]).unwrap();
+        let result = compress_chains(&set, 4, &NineCHuffmanCompressor::new(4)).unwrap();
+        let chains = split_into_chains(&set, 4);
+        for (original, compressed) in chains.iter().zip(&result.chains) {
+            let restored = compressed.decompress().unwrap();
+            assert!(original.is_refined_by(&restored));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn rejects_zero_chains() {
+        let set = TestSet::parse(&["1010"]).unwrap();
+        let _ = split_into_chains(&set, 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! Matching vectors.
+
+use std::fmt;
+
+use evotc_bits::{BlockLenError, InputBlock, ParseTritError, Trit, MAX_BLOCK_LEN};
+
+/// A matching vector (MV): `K` positions over `{0, 1, U}` (paper, Section 2).
+///
+/// An MV *matches* an input block if no position holds `1` against `0` or
+/// `0` against `1`; `U` and the block's `X` match everything. Matching is a
+/// single word-parallel operation on the packed planes:
+///
+/// ```text
+/// matches(b)  ⇔  spec ∧ care(b) ∧ (value ⊕ value(b)) = 0
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use evotc_core::MatchingVector;
+/// use evotc_bits::InputBlock;
+///
+/// let mv: MatchingVector = "110U00".parse().unwrap();
+/// let a: InputBlock = "110100".parse().unwrap();
+/// let b: InputBlock = "110000".parse().unwrap();
+/// let c: InputBlock = "111100".parse().unwrap();
+/// assert!(mv.matches(&a) && mv.matches(&b));
+/// assert!(!mv.matches(&c));
+/// assert_eq!(mv.num_unspecified(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatchingVector {
+    len: u8,
+    spec: u64,
+    value: u64,
+}
+
+impl MatchingVector {
+    /// Creates the all-`U` MV of length `k` — it matches every input block,
+    /// so including it guarantees covering never fails (paper, Section 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if `k` is `0` or exceeds
+    /// [`evotc_bits::MAX_BLOCK_LEN`].
+    pub fn all_u(k: usize) -> Result<Self, BlockLenError> {
+        if k == 0 || k > MAX_BLOCK_LEN {
+            return Err(BlockLenError { requested: k });
+        }
+        Ok(MatchingVector {
+            len: k as u8,
+            spec: 0,
+            value: 0,
+        })
+    }
+
+    /// Creates an MV from a slice of trits (`Trit::X` is read as `U`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if the slice is empty or longer than
+    /// [`evotc_bits::MAX_BLOCK_LEN`].
+    pub fn from_trits(trits: &[Trit]) -> Result<Self, BlockLenError> {
+        let mut mv = MatchingVector::all_u(trits.len())?;
+        for (j, &t) in trits.iter().enumerate() {
+            mv.set_trit(j, t);
+        }
+        Ok(mv)
+    }
+
+    /// Creates an MV from raw planes (`spec` bit set = specified position).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if `k` is out of range.
+    pub fn from_planes(k: usize, spec: u64, value: u64) -> Result<Self, BlockLenError> {
+        let mut mv = MatchingVector::all_u(k)?;
+        let mask = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+        mv.spec = spec & mask;
+        mv.value = value & mv.spec;
+        Ok(mv)
+    }
+
+    /// Length `K`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the MV has no positions (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The specified-position plane.
+    #[inline]
+    pub fn spec_plane(&self) -> u64 {
+        self.spec
+    }
+
+    /// The value plane (zero at unspecified positions).
+    #[inline]
+    pub fn value_plane(&self) -> u64 {
+        self.value
+    }
+
+    /// Reads position `j` (0 = leftmost); `Trit::X` denotes `U`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()`.
+    #[inline]
+    pub fn trit(&self, j: usize) -> Trit {
+        assert!(j < self.len(), "position {j} out of range {}", self.len);
+        if (self.spec >> j) & 1 == 0 {
+            Trit::X
+        } else if (self.value >> j) & 1 == 1 {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Writes position `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()`.
+    #[inline]
+    pub fn set_trit(&mut self, j: usize, t: Trit) {
+        assert!(j < self.len(), "position {j} out of range {}", self.len);
+        match t {
+            Trit::X => {
+                self.spec &= !(1 << j);
+                self.value &= !(1 << j);
+            }
+            Trit::Zero => {
+                self.spec |= 1 << j;
+                self.value &= !(1 << j);
+            }
+            Trit::One => {
+                self.spec |= 1 << j;
+                self.value |= 1 << j;
+            }
+        }
+    }
+
+    /// Number of unspecified positions `N_U(v)` — the count of fill bits
+    /// appended after the codeword for every block encoded by this MV.
+    #[inline]
+    pub fn num_unspecified(&self) -> usize {
+        self.len() - self.spec.count_ones() as usize
+    }
+
+    /// Returns `true` if the MV matches the block: there is no position with
+    /// `1` against `0` or `0` against `1` (paper, Section 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn matches(&self, block: &InputBlock) -> bool {
+        assert_eq!(self.len(), block.len(), "MV/block length mismatch");
+        self.spec & block.care_plane() & (self.value ^ block.value_plane()) == 0
+    }
+
+    /// Unspecified positions `u_1 < u_2 < … < u_{N_U}` in increasing order —
+    /// the order in which fill values are transmitted (paper, Section 2,
+    /// definition of `C(ib, v)`).
+    pub fn unspecified_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(move |&j| (self.spec >> j) & 1 == 0)
+    }
+
+    /// The fill values of `block` at this MV's unspecified positions, in
+    /// transmission order. Don't-care block bits are filled with `0`
+    /// (any value preserves the encoded test set's specified bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn fill_bits(&self, block: &InputBlock) -> Vec<bool> {
+        assert_eq!(self.len(), block.len(), "MV/block length mismatch");
+        self.unspecified_positions()
+            .map(|j| block.trit(j).to_bool().unwrap_or(false))
+            .collect()
+    }
+
+    /// Returns `true` if `self` *subsumes* `other`: every block matched by
+    /// `other` is also matched by `self`. This holds exactly when `self`'s
+    /// specified positions are a subset of `other`'s with identical values
+    /// (see [`crate::subsume`] for how the encoder exploits this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn subsumes(&self, other: &MatchingVector) -> bool {
+        assert_eq!(self.len(), other.len(), "MV length mismatch");
+        self.spec & !other.spec == 0 && self.spec & (self.value ^ other.value) == 0
+    }
+
+    /// Reconstructs a fully specified block from this MV and fill bits, the
+    /// inverse of [`MatchingVector::fill_bits`] — what the on-chip decoder
+    /// computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill.len() != self.num_unspecified()`.
+    pub fn expand(&self, fill: &[bool]) -> InputBlock {
+        assert_eq!(
+            fill.len(),
+            self.num_unspecified(),
+            "fill bit count mismatch"
+        );
+        let mut block = InputBlock::all_x(self.len()).expect("MV length is valid");
+        for j in 0..self.len() {
+            block.set_trit(j, self.trit(j));
+        }
+        for (j, &bit) in self.unspecified_positions().zip(fill) {
+            block.set_trit(j, Trit::from_bool(bit));
+        }
+        block
+    }
+}
+
+impl std::str::FromStr for MatchingVector {
+    type Err = ParseMvError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trits = evotc_bits::parse_trits(s).map_err(ParseMvError::Trit)?;
+        MatchingVector::from_trits(&trits).map_err(ParseMvError::Len)
+    }
+}
+
+impl fmt::Display for MatchingVector {
+    /// Renders with the paper's `U` spelling, e.g. `110U00`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for j in 0..self.len() {
+            write!(f, "{}", self.trit(j).to_char_mv())?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`MatchingVector`] from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseMvError {
+    /// A character outside `{0,1,U,X,-}`.
+    Trit(ParseTritError),
+    /// Length outside `1..=64`.
+    Len(BlockLenError),
+}
+
+impl fmt::Display for ParseMvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMvError::Trit(e) => e.fmt(f),
+            ParseMvError::Len(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ParseMvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(s: &str) -> MatchingVector {
+        s.parse().unwrap()
+    }
+
+    fn ib(s: &str) -> InputBlock {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn display_uses_u_spelling() {
+        assert_eq!(mv("1U0").to_string(), "1U0");
+        assert_eq!(mv("1X0").to_string(), "1U0");
+    }
+
+    #[test]
+    fn paper_intro_matching_examples() {
+        // "111100 and 111011 both match v(5) = 111UUU" (paper, Section 1)
+        let v5 = mv("111UUU");
+        assert!(v5.matches(&ib("111100")));
+        assert!(v5.matches(&ib("111011")));
+        // 111000 matches v4, v5, v8 and v9
+        let b = ib("111000");
+        assert!(mv("111000").matches(&b));
+        assert!(v5.matches(&b));
+        assert!(mv("UUU000").matches(&b));
+        assert!(mv("UUUUUU").matches(&b));
+        assert!(!mv("000111").matches(&b));
+    }
+
+    #[test]
+    fn x_in_block_matches_any_mv_value() {
+        let b = ib("1XX0");
+        assert!(mv("10U0").matches(&b));
+        assert!(mv("1110").matches(&b));
+        assert!(!mv("0UUU").matches(&b));
+    }
+
+    #[test]
+    fn fill_bits_in_position_order() {
+        // paper: 111100 encoded by v5=111UUU as C(v5) ++ "100"
+        let v5 = mv("111UUU");
+        assert_eq!(v5.fill_bits(&ib("111100")), vec![true, false, false]);
+        assert_eq!(v5.fill_bits(&ib("111011")), vec![false, true, true]);
+    }
+
+    #[test]
+    fn fill_bits_default_x_to_zero() {
+        let v = mv("11UU");
+        assert_eq!(v.fill_bits(&ib("11X1")), vec![false, true]);
+    }
+
+    #[test]
+    fn expand_inverts_fill_bits() {
+        let v = mv("1U0U");
+        let b = ib("1100");
+        let fill = v.fill_bits(&b);
+        let expanded = v.expand(&fill);
+        assert_eq!(expanded.to_string(), "1100");
+        assert_eq!(expanded.num_x(), 0);
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_ordered() {
+        // 111U subsumes 1110 and 1111; not vice versa (paper §3.3 example)
+        let broad = mv("111U");
+        let narrow = mv("1110");
+        assert!(broad.subsumes(&narrow));
+        assert!(!narrow.subsumes(&broad));
+        assert!(broad.subsumes(&broad));
+        let all_u = MatchingVector::all_u(4).unwrap();
+        assert!(all_u.subsumes(&broad));
+        assert!(all_u.subsumes(&narrow));
+    }
+
+    #[test]
+    fn subsumption_requires_value_agreement() {
+        assert!(!mv("1UUU").subsumes(&mv("0UUU")));
+        assert!(mv("1UUU").subsumes(&mv("10UU")));
+    }
+
+    #[test]
+    fn subsumption_implies_matching_containment() {
+        // Exhaustive check on K=4: if a subsumes b, every block matched by b
+        // is matched by a.
+        let mvs: Vec<MatchingVector> = all_k4_vectors();
+        let blocks: Vec<InputBlock> = all_k4_blocks();
+        for a in &mvs {
+            for b in &mvs {
+                if a.subsumes(b) {
+                    for blk in &blocks {
+                        if b.matches(blk) {
+                            assert!(a.matches(blk), "{a} !>= {b} at {blk}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn all_k4_vectors() -> Vec<MatchingVector> {
+        let mut out = Vec::new();
+        for code in 0..81usize {
+            let mut c = code;
+            let mut trits = Vec::new();
+            for _ in 0..4 {
+                trits.push(Trit::from_index((c % 3) as u8));
+                c /= 3;
+            }
+            out.push(MatchingVector::from_trits(&trits).unwrap());
+        }
+        out
+    }
+
+    fn all_k4_blocks() -> Vec<InputBlock> {
+        let mut out = Vec::new();
+        for code in 0..81usize {
+            let mut c = code;
+            let mut trits = Vec::new();
+            for _ in 0..4 {
+                trits.push(Trit::from_index((c % 3) as u8));
+                c /= 3;
+            }
+            out.push(InputBlock::from_trits(&trits).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn num_unspecified_counts_us() {
+        assert_eq!(mv("UUUUUU").num_unspecified(), 6);
+        assert_eq!(mv("111000").num_unspecified(), 0);
+        assert_eq!(mv("1U1U1U").num_unspecified(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(MatchingVector::all_u(0).is_err());
+        assert!(MatchingVector::all_u(65).is_err());
+        assert!("".parse::<MatchingVector>().is_err());
+    }
+}

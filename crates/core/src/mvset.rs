@@ -1,0 +1,257 @@
+//! Ordered matching-vector sets.
+
+use std::fmt;
+
+use evotc_bits::{BlockLenError, Trit};
+
+use crate::mv::MatchingVector;
+
+/// A set of `L` matching vectors of common length `K`, held in *covering
+/// order*: sorted by increasing number of `U`s (paper, Section 3.2), ties
+/// broken by the original index so construction is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use evotc_core::MvSet;
+///
+/// let set = MvSet::parse(8, &["UUUUUUUU", "11110000", "1111UUUU"]).unwrap();
+/// // Sorted by number of Us: fully specified first, all-U last.
+/// assert_eq!(set.vector(0).to_string(), "11110000");
+/// assert_eq!(set.vector(2).to_string(), "UUUUUUUU");
+/// assert!(set.has_all_u());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvSet {
+    k: usize,
+    vectors: Vec<MatchingVector>,
+}
+
+impl MvSet {
+    /// Builds a set from vectors of length `k`, sorting into covering order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if `k` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or contains a vector of length `!= k`.
+    pub fn new(k: usize, vectors: Vec<MatchingVector>) -> Result<Self, BlockLenError> {
+        if k == 0 || k > evotc_bits::MAX_BLOCK_LEN {
+            return Err(BlockLenError { requested: k });
+        }
+        assert!(!vectors.is_empty(), "MV set must not be empty");
+        assert!(
+            vectors.iter().all(|v| v.len() == k),
+            "all MVs must have length {k}"
+        );
+        let mut vectors = vectors;
+        // Stable sort: ties keep the caller's order (e.g. the 9C v1..v9
+        // sequence inside each N_U class).
+        vectors.sort_by_key(|v| v.num_unspecified());
+        Ok(MvSet { k, vectors })
+    }
+
+    /// Parses vectors from strings (convenience for tests and examples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if `k` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a string does not parse or has length `!= k`.
+    pub fn parse<S: AsRef<str>>(k: usize, strs: &[S]) -> Result<Self, BlockLenError> {
+        let vectors = strs
+            .iter()
+            .map(|s| s.as_ref().parse::<MatchingVector>().expect("valid MV"))
+            .collect();
+        MvSet::new(k, vectors)
+    }
+
+    /// Decodes an EA genome — a string of `K·L` trits, the concatenation
+    /// `v⁽¹⁾₁ … v⁽¹⁾_K v⁽²⁾₁ … v⁽ᴸ⁾_K` (paper, Section 3.1) — into a set.
+    ///
+    /// If `force_all_u` is set, the final vector is replaced by the all-`U`
+    /// MV so that "there were no insolvable instances" (paper, Section 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockLenError`] if `k` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes.len()` is not a positive multiple of `k`.
+    pub fn from_genes(k: usize, genes: &[Trit], force_all_u: bool) -> Result<Self, BlockLenError> {
+        assert!(
+            !genes.is_empty() && genes.len() % k == 0,
+            "genome length {} is not a positive multiple of K={k}",
+            genes.len()
+        );
+        let mut vectors: Vec<MatchingVector> = genes
+            .chunks(k)
+            .map(|chunk| MatchingVector::from_trits(chunk).expect("chunk length k"))
+            .collect();
+        if force_all_u {
+            let last = vectors.len() - 1;
+            vectors[last] = MatchingVector::all_u(k)?;
+        }
+        MvSet::new(k, vectors)
+    }
+
+    /// Encodes the set back into a genome (inverse of
+    /// [`MvSet::from_genes`] up to covering order).
+    pub fn to_genes(&self) -> Vec<Trit> {
+        self.vectors
+            .iter()
+            .flat_map(|v| (0..self.k).map(move |j| v.trit(j)))
+            .collect()
+    }
+
+    /// Vector length `K`.
+    #[inline]
+    pub fn block_len(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vectors `L`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Returns `true` if the set has no vectors (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The `i`-th vector in covering order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &MatchingVector {
+        &self.vectors[i]
+    }
+
+    /// All vectors in covering order.
+    #[inline]
+    pub fn vectors(&self) -> &[MatchingVector] {
+        &self.vectors
+    }
+
+    /// Iterates over the vectors in covering order.
+    pub fn iter(&self) -> std::slice::Iter<'_, MatchingVector> {
+        self.vectors.iter()
+    }
+
+    /// Returns `true` if the set contains the all-`U` vector (covering can
+    /// never fail).
+    pub fn has_all_u(&self) -> bool {
+        self.vectors
+            .last()
+            .is_some_and(|v| v.num_unspecified() == self.k)
+    }
+
+    /// Appends the all-`U` vector if not already present, returning the
+    /// possibly extended set.
+    pub fn with_all_u(mut self) -> Self {
+        if !self.has_all_u() {
+            let all_u = MatchingVector::all_u(self.k).expect("k validated at construction");
+            self.vectors.push(all_u);
+        }
+        self
+    }
+}
+
+impl<'a> IntoIterator for &'a MvSet {
+    type Item = &'a MatchingVector;
+    type IntoIter = std::slice::Iter<'a, MatchingVector>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.vectors.iter()
+    }
+}
+
+impl fmt::Display for MvSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.vectors.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_number_of_us() {
+        let set = MvSet::parse(4, &["UUUU", "1U1U", "1111", "UU11"]).unwrap();
+        let us: Vec<usize> = set.iter().map(|v| v.num_unspecified()).collect();
+        assert_eq!(us, vec![0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn tie_break_preserves_input_order() {
+        let set = MvSet::parse(4, &["1U1U", "0U0U"]).unwrap();
+        assert_eq!(set.vector(0).to_string(), "1U1U");
+        assert_eq!(set.vector(1).to_string(), "0U0U");
+    }
+
+    #[test]
+    fn genome_round_trip() {
+        use Trit::*;
+        let genes = vec![One, Zero, X, One, X, X, Zero, Zero, One, One, One, One];
+        let set = MvSet::from_genes(4, &genes, false).unwrap();
+        assert_eq!(set.len(), 3);
+        // to_genes returns covering order; re-decoding gives the same set
+        let set2 = MvSet::from_genes(4, &set.to_genes(), false).unwrap();
+        assert_eq!(set, set2);
+    }
+
+    #[test]
+    fn force_all_u_replaces_last_vector() {
+        use Trit::*;
+        let genes = vec![One, One, Zero, Zero];
+        let set = MvSet::from_genes(2, &genes, true).unwrap();
+        assert!(set.has_all_u());
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn with_all_u_is_idempotent() {
+        let set = MvSet::parse(3, &["111"]).unwrap().with_all_u();
+        assert!(set.has_all_u());
+        assert_eq!(set.len(), 2);
+        let set = set.with_all_u();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn rejects_empty_set() {
+        let _ = MvSet::new(4, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "length 4")]
+    fn rejects_mixed_lengths() {
+        let a: MatchingVector = "1111".parse().unwrap();
+        let b: MatchingVector = "11".parse().unwrap();
+        let _ = MvSet::new(4, vec![a, b]);
+    }
+
+    #[test]
+    fn display_joins_vectors() {
+        let set = MvSet::parse(2, &["11", "UU"]).unwrap();
+        assert_eq!(set.to_string(), "11 UU");
+    }
+}

@@ -1,0 +1,254 @@
+//! The 9C baseline (Tehranipour/Nourani/Chakrabarty, DATE 2004 — the
+//! paper's reference \[20\]) and its Huffman-coded variant.
+//!
+//! 9C compression is the special case of the generic formulation with
+//! `L = 9`, a fixed MV set and a fixed prefix code. For block length `K`
+//! (even), the nine matching vectors are (paper, Section 1, for `K = 6`):
+//!
+//! | i | MV            | codeword |
+//! |---|---------------|----------|
+//! | 1 | `0…0`         | `0`      |
+//! | 2 | `1…1`         | `10`     |
+//! | 3 | `0…0 1…1`     | `11000`  |
+//! | 4 | `1…1 0…0`     | `11001`  |
+//! | 5 | `1…1 U…U`     | `11010`  |
+//! | 6 | `U…U 1…1`     | `11011`  |
+//! | 7 | `0…0 U…U`     | `11100`  |
+//! | 8 | `U…U 0…0`     | `11101`  |
+//! | 9 | `U…U U…U`     | `1111`   |
+
+use evotc_bits::{TestSet, Trit};
+use evotc_codes::PrefixCode;
+
+use crate::compressed::CompressedTestSet;
+use crate::encoding::{encode_with_code, encode_with_mvs};
+use crate::error::CompressError;
+use crate::mv::MatchingVector;
+use crate::mvset::MvSet;
+use crate::TestCompressor;
+
+/// Builds the nine 9C matching vectors for an even block length `k`.
+///
+/// The returned vectors are in the paper's `v⁽¹⁾ … v⁽⁹⁾` order, which is
+/// already sorted by increasing number of `U`s.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, zero, or exceeds [`evotc_bits::MAX_BLOCK_LEN`].
+pub fn ninec_matching_vectors(k: usize) -> Vec<MatchingVector> {
+    assert!(
+        k > 0 && k % 2 == 0 && k <= evotc_bits::MAX_BLOCK_LEN,
+        "9C requires an even block length in 2..=64, got {k}"
+    );
+    let half = k / 2;
+    let build = |first: Trit, second: Trit| {
+        let trits: Vec<Trit> = std::iter::repeat(first)
+            .take(half)
+            .chain(std::iter::repeat(second).take(half))
+            .collect();
+        MatchingVector::from_trits(&trits).expect("k validated")
+    };
+    use Trit::{One, X, Zero};
+    vec![
+        build(Zero, Zero), // v1 = 0^K
+        build(One, One),   // v2 = 1^K
+        build(Zero, One),  // v3 = 0^{K/2} 1^{K/2}
+        build(One, Zero),  // v4 = 1^{K/2} 0^{K/2}
+        build(One, X),     // v5 = 1^{K/2} U^{K/2}
+        build(X, One),     // v6 = U^{K/2} 1^{K/2}
+        build(Zero, X),    // v7 = 0^{K/2} U^{K/2}
+        build(X, Zero),    // v8 = U^{K/2} 0^{K/2}
+        build(X, X),       // v9 = U^K
+    ]
+}
+
+/// The fixed 9C codeword table (paper, Section 4), independent of `K`.
+pub fn ninec_codewords() -> PrefixCode {
+    PrefixCode::from_strs(&[
+        "0", "10", "11000", "11001", "11010", "11011", "11100", "11101", "1111",
+    ])
+    .expect("the 9C table is a valid prefix code")
+}
+
+/// The original 9C compressor: fixed MVs, fixed codewords.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::TestSet;
+/// use evotc_core::{NineCCompressor, TestCompressor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TestSet::parse(&["000000", "111111"])?;
+/// let compressed = NineCCompressor::new(6).compress(&set)?;
+/// assert_eq!(compressed.compressed_bits, 1 + 2); // C(v1)=0, C(v2)=10
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NineCCompressor {
+    k: usize,
+}
+
+impl NineCCompressor {
+    /// Creates the compressor for even block length `k` (the paper's
+    /// experiments use `K = 8`, "which yielded best results" in \[20\]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd, zero, or exceeds [`evotc_bits::MAX_BLOCK_LEN`].
+    pub fn new(k: usize) -> Self {
+        let _ = ninec_matching_vectors(k); // validates
+        NineCCompressor { k }
+    }
+
+    /// The block length.
+    pub fn block_len(&self) -> usize {
+        self.k
+    }
+}
+
+impl TestCompressor for NineCCompressor {
+    fn name(&self) -> String {
+        format!("9C(K={})", self.k)
+    }
+
+    fn compress(&self, set: &TestSet) -> Result<CompressedTestSet, CompressError> {
+        let mvs = MvSet::new(self.k, ninec_matching_vectors(self.k))?;
+        encode_with_code(&self.name(), set, &mvs, ninec_codewords())
+    }
+}
+
+/// 9C with the fixed code replaced by Huffman coding of the frequency-of-use
+/// data — the paper's `9C+HC` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NineCHuffmanCompressor {
+    k: usize,
+}
+
+impl NineCHuffmanCompressor {
+    /// Creates the compressor for even block length `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd, zero, or exceeds [`evotc_bits::MAX_BLOCK_LEN`].
+    pub fn new(k: usize) -> Self {
+        let _ = ninec_matching_vectors(k);
+        NineCHuffmanCompressor { k }
+    }
+
+    /// The block length.
+    pub fn block_len(&self) -> usize {
+        self.k
+    }
+}
+
+impl TestCompressor for NineCHuffmanCompressor {
+    fn name(&self) -> String {
+        format!("9C+HC(K={})", self.k)
+    }
+
+    fn compress(&self, set: &TestSet) -> Result<CompressedTestSet, CompressError> {
+        let mvs = MvSet::new(self.k, ninec_matching_vectors(self.k))?;
+        encode_with_mvs(&self.name(), set, &mvs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mv_table_matches_paper_k6() {
+        let mvs = ninec_matching_vectors(6);
+        let strs: Vec<String> = mvs.iter().map(|v| v.to_string()).collect();
+        assert_eq!(
+            strs,
+            vec![
+                "000000", "111111", "000111", "111000", "111UUU", "UUU111", "000UUU", "UUU000",
+                "UUUUUU"
+            ]
+        );
+    }
+
+    #[test]
+    fn codeword_table_matches_paper() {
+        let code = ninec_codewords();
+        assert_eq!(code.codeword(0).to_string(), "0");
+        assert_eq!(code.codeword(1).to_string(), "10");
+        assert_eq!(code.codeword(4).to_string(), "11010");
+        assert_eq!(code.codeword(8).to_string(), "1111");
+        assert!(code.kraft_sum_is_one());
+    }
+
+    #[test]
+    fn paper_intro_encoding_example() {
+        // "the input block 111100 will be coded as C(v(5))100" — 5 + 3 bits.
+        let set = TestSet::parse(&["111100"]).unwrap();
+        let c = NineCCompressor::new(6).compress(&set).unwrap();
+        assert_eq!(c.compressed_bits, 5 + 3);
+        let stream: String = c.stream().map(|b| if b { '1' } else { '0' }).collect();
+        assert_eq!(stream, "11010100");
+    }
+
+    #[test]
+    fn covering_prefers_specified_vectors() {
+        // 111000 must use C(v4) (5 bits), not C(v5)000 (8 bits).
+        let set = TestSet::parse(&["111000"]).unwrap();
+        let c = NineCCompressor::new(6).compress(&set).unwrap();
+        assert_eq!(c.compressed_bits, 5);
+    }
+
+    #[test]
+    fn every_block_is_coverable() {
+        // v9 = all-U guarantees coverage of arbitrary data.
+        let set = TestSet::parse(&["010101", "10X0X0"]).unwrap();
+        let c = NineCCompressor::new(6).compress(&set).unwrap();
+        let restored = c.decompress().unwrap();
+        assert!(set.is_refined_by(&restored));
+    }
+
+    #[test]
+    fn huffman_variant_never_worse_on_skewed_data() {
+        // A test set dominated by all-zero blocks: the fixed code is already
+        // near-optimal, but Huffman must not lose.
+        let rows: Vec<String> = (0..32)
+            .map(|i| {
+                if i % 8 == 0 {
+                    "11111111".to_string()
+                } else {
+                    "00000000".to_string()
+                }
+            })
+            .collect();
+        let set = TestSet::parse(&rows).unwrap();
+        let fixed = NineCCompressor::new(8).compress(&set).unwrap();
+        let huff = NineCHuffmanCompressor::new(8).compress(&set).unwrap();
+        assert!(huff.compressed_bits <= fixed.compressed_bits);
+    }
+
+    #[test]
+    fn round_trip_both_variants() {
+        let rows = ["0000XXXX", "11110000", "XXXXXXXX", "10101010"];
+        let set = TestSet::parse(&rows).unwrap();
+        for c in [
+            NineCCompressor::new(8).compress(&set).unwrap(),
+            NineCHuffmanCompressor::new(8).compress(&set).unwrap(),
+        ] {
+            let restored = c.decompress().unwrap();
+            assert!(set.is_refined_by(&restored), "{} failed round trip", c.scheme);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even block length")]
+    fn rejects_odd_k() {
+        let _ = NineCCompressor::new(7);
+    }
+
+    #[test]
+    fn names_identify_parameters() {
+        assert_eq!(NineCCompressor::new(8).name(), "9C(K=8)");
+        assert_eq!(NineCHuffmanCompressor::new(6).name(), "9C+HC(K=6)");
+    }
+}

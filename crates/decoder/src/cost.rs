@@ -1,0 +1,111 @@
+//! Hardware cost estimation for decoders.
+
+use std::fmt;
+
+use evotc_codes::PrefixCode;
+use evotc_core::MvSet;
+
+/// A first-order hardware cost estimate of a matching-vector decoder.
+///
+/// The decoder consists of the prefix-code FSM (one state per internal
+/// decode-tree node), the MV table (each MV stores `K` two-bit entries:
+/// `0`, `1` or `U`), a `⌈log₂(K+1)⌉`-bit fill counter and an output shift
+/// register. The gate estimate uses the classic 4-NAND-per-flip-flop /
+/// 1-NAND-per-table-bit rule of thumb — coarse, but it ranks decoder
+/// configurations the same way a synthesis run would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareCost {
+    /// FSM states of the code walker.
+    pub fsm_states: usize,
+    /// Bits of MV table storage.
+    pub table_bits: usize,
+    /// State/counter/shift flip-flops.
+    pub flip_flops: usize,
+    /// Gate-equivalent estimate.
+    pub gate_equivalents: usize,
+}
+
+impl HardwareCost {
+    /// Estimates the cost of a decoder for the given tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` and `mvs` have different symbol counts.
+    pub fn estimate(mvs: &MvSet, code: &PrefixCode) -> Self {
+        assert_eq!(code.len(), mvs.len(), "code/MV table size mismatch");
+        let k = mvs.block_len();
+        let used: Vec<usize> = (0..code.len())
+            .filter(|&i| !code.codeword(i).is_empty() || code.len() == 1)
+            .collect();
+        let fsm_states = code.decode_tree().num_internal_nodes();
+        // Two bits per MV position (0/1/U), only used MVs are stored.
+        let table_bits = used.len() * k * 2;
+        let state_bits = usize::BITS as usize - fsm_states.leading_zeros() as usize;
+        let counter_bits = usize::BITS as usize - k.leading_zeros() as usize;
+        let flip_flops = state_bits + counter_bits + k;
+        let gate_equivalents = flip_flops * 4 + table_bits + fsm_states * 2;
+        HardwareCost {
+            fsm_states,
+            table_bits,
+            flip_flops,
+            gate_equivalents,
+        }
+    }
+}
+
+impl fmt::Display for HardwareCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} FSM states, {} table bits, {} FFs, ≈{} gate equivalents",
+            self.fsm_states, self.table_bits, self.flip_flops, self.gate_equivalents
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evotc_core::{ninec_codewords, ninec_matching_vectors, MvSet};
+
+    fn ninec_cost(k: usize) -> HardwareCost {
+        let mvs = MvSet::new(k, ninec_matching_vectors(k)).unwrap();
+        HardwareCost::estimate(&mvs, &ninec_codewords())
+    }
+
+    #[test]
+    fn ninec_decoder_is_small() {
+        let cost = ninec_cost(8);
+        // 9 codewords of max length 5: the tree has few internal nodes.
+        assert!(cost.fsm_states <= 10);
+        assert!(cost.gate_equivalents < 500, "{cost}");
+    }
+
+    #[test]
+    fn cost_grows_with_k() {
+        assert!(ninec_cost(16).gate_equivalents > ninec_cost(6).gate_equivalents);
+    }
+
+    #[test]
+    fn bigger_codes_cost_more_states() {
+        let small = ninec_cost(8);
+        let mvs = MvSet::parse(
+            8,
+            &[
+                "11110000", "00001111", "1111UUUU", "UUUU0000", "10101010", "01010101",
+                "1UUUUUU1", "UUUUUUUU",
+            ],
+        )
+        .unwrap();
+        let code = evotc_codes::huffman_code(&[50, 20, 10, 8, 6, 3, 2, 1]);
+        let big = HardwareCost::estimate(&mvs, &code);
+        // Not strictly ordered in general, but these particular tables are.
+        assert!(big.table_bits >= small.table_bits - 32);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ninec_cost(8).to_string();
+        assert!(s.contains("FSM states") && s.contains("gate equivalents"));
+    }
+}

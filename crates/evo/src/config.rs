@@ -1,0 +1,237 @@
+//! EA configuration.
+
+use std::fmt;
+
+/// Configuration of the evolutionary algorithm.
+///
+/// The defaults are the paper's experimental settings (Section 4): population
+/// size `S = 10`, `C = 5` children per generation, crossover probability
+/// 30 %, mutation probability 30 %, inversion probability 10 % (the
+/// remaining 30 % copies a parent unchanged — *reproduction*), and
+/// termination after 500 generations without fitness improvement.
+///
+/// # Example
+///
+/// ```
+/// use evotc_evo::EaConfig;
+///
+/// let config = EaConfig::builder().seed(42).stagnation_limit(100).build();
+/// assert_eq!(config.population_size, 10);
+/// assert_eq!(config.children_per_generation, 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EaConfig {
+    /// Population size `S`.
+    pub population_size: usize,
+    /// Children generated per generation, `C`.
+    pub children_per_generation: usize,
+    /// Probability of producing a child by crossover.
+    pub crossover_probability: f64,
+    /// Probability of producing a child by point mutation.
+    pub mutation_probability: f64,
+    /// Probability of producing a child by inversion.
+    pub inversion_probability: f64,
+    /// Stop after this many consecutive generations without improvement of
+    /// the best fitness.
+    pub stagnation_limit: usize,
+    /// Hard cap on fitness evaluations (the paper's "limit on the number of
+    /// generated legal solutions").
+    pub max_evaluations: u64,
+    /// Hard cap on generations (safety net; `u64::MAX` disables it).
+    pub max_generations: u64,
+    /// RNG seed; runs with the same seed and inputs are identical.
+    pub seed: u64,
+}
+
+impl Default for EaConfig {
+    fn default() -> Self {
+        EaConfig {
+            population_size: 10,
+            children_per_generation: 5,
+            crossover_probability: 0.30,
+            mutation_probability: 0.30,
+            inversion_probability: 0.10,
+            stagnation_limit: 500,
+            max_evaluations: 1_000_000,
+            max_generations: u64::MAX,
+            seed: 0,
+        }
+    }
+}
+
+impl EaConfig {
+    /// Starts building a configuration from the paper's defaults.
+    pub fn builder() -> EaConfigBuilder {
+        EaConfigBuilder {
+            config: EaConfig::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty, no children are produced, or the
+    /// operator probabilities are negative or sum to more than one.
+    pub(crate) fn validate(&self) {
+        assert!(self.population_size > 0, "population must not be empty");
+        assert!(
+            self.children_per_generation > 0,
+            "at least one child per generation is required"
+        );
+        let probs = [
+            self.crossover_probability,
+            self.mutation_probability,
+            self.inversion_probability,
+        ];
+        assert!(
+            probs.iter().all(|&p| (0.0..=1.0).contains(&p)),
+            "operator probabilities must lie in [0, 1]"
+        );
+        assert!(
+            probs.iter().sum::<f64>() <= 1.0 + 1e-9,
+            "operator probabilities must sum to at most 1 (remainder is reproduction)"
+        );
+        assert!(self.stagnation_limit > 0, "stagnation limit must be positive");
+    }
+}
+
+impl fmt::Display for EaConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "S={} C={} px={:.2} pm={:.2} pi={:.2} stagnation={} seed={}",
+            self.population_size,
+            self.children_per_generation,
+            self.crossover_probability,
+            self.mutation_probability,
+            self.inversion_probability,
+            self.stagnation_limit,
+            self.seed
+        )
+    }
+}
+
+/// Builder for [`EaConfig`].
+#[derive(Debug, Clone)]
+pub struct EaConfigBuilder {
+    config: EaConfig,
+}
+
+impl EaConfigBuilder {
+    /// Sets the population size `S`.
+    pub fn population_size(mut self, s: usize) -> Self {
+        self.config.population_size = s;
+        self
+    }
+
+    /// Sets the number of children per generation `C`.
+    pub fn children_per_generation(mut self, c: usize) -> Self {
+        self.config.children_per_generation = c;
+        self
+    }
+
+    /// Sets the crossover probability.
+    pub fn crossover_probability(mut self, p: f64) -> Self {
+        self.config.crossover_probability = p;
+        self
+    }
+
+    /// Sets the mutation probability.
+    pub fn mutation_probability(mut self, p: f64) -> Self {
+        self.config.mutation_probability = p;
+        self
+    }
+
+    /// Sets the inversion probability.
+    pub fn inversion_probability(mut self, p: f64) -> Self {
+        self.config.inversion_probability = p;
+        self
+    }
+
+    /// Sets the stagnation limit (generations without improvement).
+    pub fn stagnation_limit(mut self, generations: usize) -> Self {
+        self.config.stagnation_limit = generations;
+        self
+    }
+
+    /// Sets the evaluation budget.
+    pub fn max_evaluations(mut self, evaluations: u64) -> Self {
+        self.config.max_evaluations = evaluations;
+        self
+    }
+
+    /// Sets the generation cap.
+    pub fn max_generations(mut self, generations: u64) -> Self {
+        self.config.max_generations = generations;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`EaConfig`] field documentation for the constraints).
+    pub fn build(self) -> EaConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EaConfig::default();
+        assert_eq!(c.population_size, 10);
+        assert_eq!(c.children_per_generation, 5);
+        assert!((c.crossover_probability - 0.30).abs() < 1e-12);
+        assert!((c.mutation_probability - 0.30).abs() < 1e-12);
+        assert!((c.inversion_probability - 0.10).abs() < 1e-12);
+        assert_eq!(c.stagnation_limit, 500);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = EaConfig::builder()
+            .population_size(20)
+            .children_per_generation(10)
+            .seed(99)
+            .build();
+        assert_eq!(c.population_size, 20);
+        assert_eq!(c.children_per_generation, 10);
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn rejects_empty_population() {
+        let _ = EaConfig::builder().population_size(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn rejects_overfull_probabilities() {
+        let _ = EaConfig::builder()
+            .crossover_probability(0.8)
+            .mutation_probability(0.8)
+            .build();
+    }
+
+    #[test]
+    fn display_mentions_all_knobs() {
+        let s = EaConfig::default().to_string();
+        for needle in ["S=10", "C=5", "px=0.30", "pm=0.30", "pi=0.10"] {
+            assert!(s.contains(needle), "{s} missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The (S + C) evolutionary engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::EaConfig;
+use crate::operators;
+use crate::stats::GenerationStats;
+
+/// An evolutionary algorithm over fixed-length genomes of gene type `G`.
+///
+/// `sample_gene` draws a random gene (used for the initial population and by
+/// the mutation operator); `fitness` maps a genome to a score, higher is
+/// better. Infeasible genomes should be given a fitness below every feasible
+/// one — exactly how the paper handles individuals for which covering is
+/// impossible (Section 3.1).
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Ea<G, SampleGene, Fitness>
+where
+    SampleGene: FnMut(&mut StdRng) -> G,
+    Fitness: FnMut(&[G]) -> f64,
+{
+    config: EaConfig,
+    genome_len: usize,
+    sample_gene: SampleGene,
+    fitness: Fitness,
+    seeds: Vec<Vec<G>>,
+}
+
+/// Outcome of an EA run.
+#[derive(Debug, Clone)]
+pub struct EaResult<G> {
+    /// The fittest genome found.
+    pub best_genome: Vec<G>,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Number of generations executed (excluding the initial population).
+    pub generations: u64,
+    /// Total number of fitness evaluations.
+    pub evaluations: u64,
+    /// Statistics per generation (index 0 is the initial population).
+    pub history: Vec<GenerationStats>,
+}
+
+struct Individual<G> {
+    genes: Vec<G>,
+    fitness: f64,
+}
+
+impl<G, SampleGene, Fitness> Ea<G, SampleGene, Fitness>
+where
+    G: Copy,
+    SampleGene: FnMut(&mut StdRng) -> G,
+    Fitness: FnMut(&[G]) -> f64,
+{
+    /// Creates an engine for genomes of length `genome_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genome_len` is zero or the configuration is invalid.
+    pub fn new(config: EaConfig, genome_len: usize, sample_gene: SampleGene, fitness: Fitness) -> Self {
+        assert!(genome_len > 0, "genome length must be positive");
+        config.validate();
+        Ea {
+            config,
+            genome_len,
+            sample_gene,
+            fitness,
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Injects genomes into the initial population (e.g. the 9C matching-
+    /// vector set, which the paper suggests seeding to rule out losses
+    /// against the baseline on circuits like s838).
+    ///
+    /// At most `population_size` seeds are used; the rest of the initial
+    /// population stays random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed genome has the wrong length.
+    pub fn seed_population<I>(&mut self, genomes: I) -> &mut Self
+    where
+        I: IntoIterator<Item = Vec<G>>,
+    {
+        for g in genomes {
+            assert_eq!(g.len(), self.genome_len, "seed genome length mismatch");
+            self.seeds.push(g);
+        }
+        self
+    }
+
+    /// Runs the algorithm to termination and returns the best individual.
+    pub fn run(self) -> EaResult<G> {
+        self.run_with_observer(|_| {})
+    }
+
+    /// Runs the algorithm, invoking `observer` after every generation.
+    pub fn run_with_observer(mut self, mut observer: impl FnMut(&GenerationStats)) -> EaResult<G> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let s = self.config.population_size;
+        let c = self.config.children_per_generation;
+        let mut evaluations: u64 = 0;
+
+        // Initial population: seeds first, then random individuals.
+        let mut population: Vec<Individual<G>> = Vec::with_capacity(s + c);
+        for genes in self.seeds.drain(..).take(s).collect::<Vec<_>>() {
+            let fitness = (self.fitness)(&genes);
+            evaluations += 1;
+            population.push(Individual { genes, fitness });
+        }
+        while population.len() < s {
+            let genes: Vec<G> = (0..self.genome_len)
+                .map(|_| (self.sample_gene)(&mut rng))
+                .collect();
+            let fitness = (self.fitness)(&genes);
+            evaluations += 1;
+            population.push(Individual { genes, fitness });
+        }
+        sort_by_fitness(&mut population);
+
+        let mut history = Vec::new();
+        let record = |population: &[Individual<G>], generation: u64, evaluations: u64| {
+            let best = population.first().map_or(f64::NEG_INFINITY, |i| i.fitness);
+            let mean =
+                population.iter().map(|i| i.fitness).sum::<f64>() / population.len() as f64;
+            GenerationStats {
+                generation,
+                best_fitness: best,
+                mean_fitness: mean,
+                evaluations,
+            }
+        };
+        let initial = record(&population, 0, evaluations);
+        observer(&initial);
+        history.push(initial);
+
+        let mut best_so_far = population[0].fitness;
+        let mut stagnant: usize = 0;
+        let mut generation: u64 = 0;
+
+        while stagnant < self.config.stagnation_limit
+            && evaluations < self.config.max_evaluations
+            && generation < self.config.max_generations
+        {
+            generation += 1;
+            let mut children: Vec<Vec<G>> = Vec::with_capacity(c + 1);
+            while children.len() < c {
+                let roll: f64 = rng.gen();
+                let pa = rng.gen_range(0..s);
+                if roll < self.config.crossover_probability {
+                    let pb = rng.gen_range(0..s);
+                    let (x, y) =
+                        operators::crossover(&population[pa].genes, &population[pb].genes, &mut rng);
+                    children.push(x);
+                    if children.len() < c {
+                        children.push(y);
+                    }
+                } else if roll
+                    < self.config.crossover_probability + self.config.mutation_probability
+                {
+                    children.push(operators::mutate(&population[pa].genes, &mut rng, |r| {
+                        (self.sample_gene)(r)
+                    }));
+                } else if roll
+                    < self.config.crossover_probability
+                        + self.config.mutation_probability
+                        + self.config.inversion_probability
+                {
+                    children.push(operators::invert(&population[pa].genes, &mut rng));
+                } else {
+                    // Reproduction: copy a parent unchanged.
+                    children.push(population[pa].genes.clone());
+                }
+            }
+            for genes in children {
+                let fitness = (self.fitness)(&genes);
+                evaluations += 1;
+                population.push(Individual { genes, fitness });
+            }
+            // (S + C) truncation selection: keep the best S.
+            sort_by_fitness(&mut population);
+            population.truncate(s);
+
+            if population[0].fitness > best_so_far {
+                best_so_far = population[0].fitness;
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+            }
+            let stats = record(&population, generation, evaluations);
+            observer(&stats);
+            history.push(stats);
+        }
+
+        let best = &population[0];
+        EaResult {
+            best_genome: best.genes.clone(),
+            best_fitness: best.fitness,
+            generations: generation,
+            evaluations,
+            history,
+        }
+    }
+}
+
+fn sort_by_fitness<G>(population: &mut [Individual<G>]) {
+    // Descending fitness; NaN sorts last. Stable sort keeps elders ahead of
+    // equally fit children, making runs reproducible.
+    population.sort_by(|a, b| b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_max_config(stagnation: usize, seed: u64) -> EaConfig {
+        EaConfig::builder()
+            .population_size(10)
+            .children_per_generation(5)
+            .stagnation_limit(stagnation)
+            .seed(seed)
+            .build()
+    }
+
+    fn run_one_max(seed: u64) -> EaResult<bool> {
+        let ea = Ea::new(
+            one_max_config(100, seed),
+            24,
+            |rng| rng.gen::<bool>(),
+            |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
+        );
+        ea.run()
+    }
+
+    #[test]
+    fn solves_one_max() {
+        let result = run_one_max(1);
+        assert!(
+            result.best_fitness >= 22.0,
+            "one-max only reached {}",
+            result.best_fitness
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_one_max(7);
+        let b = run_one_max(7);
+        assert_eq!(a.best_genome, b.best_genome);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_one_max(1);
+        let b = run_one_max(2);
+        // Either the genomes or the trajectories differ.
+        assert!(a.best_genome != b.best_genome || a.history != b.history);
+    }
+
+    #[test]
+    fn best_fitness_is_monotone_in_history() {
+        let result = run_one_max(3);
+        let mut prev = f64::NEG_INFINITY;
+        for s in &result.history {
+            assert!(s.best_fitness >= prev, "elitist selection lost the best");
+            prev = s.best_fitness;
+        }
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let config = EaConfig::builder()
+            .stagnation_limit(1_000_000)
+            .max_evaluations(100)
+            .seed(0)
+            .build();
+        let ea = Ea::new(config, 8, |rng| rng.gen::<bool>(), |_: &[bool]| 0.0);
+        let result = ea.run();
+        // Budget may be exceeded by at most one generation's children.
+        assert!(result.evaluations <= 105, "{} evals", result.evaluations);
+    }
+
+    #[test]
+    fn stagnation_terminates_constant_fitness() {
+        let config = one_max_config(5, 0);
+        let ea = Ea::new(config, 8, |rng| rng.gen::<bool>(), |_: &[bool]| 1.0);
+        let result = ea.run();
+        assert_eq!(result.generations, 5);
+    }
+
+    #[test]
+    fn seeding_injects_known_solution() {
+        let perfect = vec![true; 24];
+        let config = one_max_config(3, 0);
+        let mut ea = Ea::new(
+            config,
+            24,
+            |rng| rng.gen::<bool>(),
+            |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
+        );
+        ea.seed_population([perfect.clone()]);
+        let result = ea.run();
+        assert_eq!(result.best_genome, perfect);
+        assert_eq!(result.best_fitness, 24.0);
+    }
+
+    #[test]
+    fn observer_sees_every_generation() {
+        let mut seen = 0u64;
+        let ea = Ea::new(
+            one_max_config(4, 0),
+            8,
+            |rng| rng.gen::<bool>(),
+            |_: &[bool]| 0.0,
+        );
+        let result = ea.run_with_observer(|_| seen += 1);
+        assert_eq!(seen as usize, result.history.len());
+        assert_eq!(result.history.len() as u64, result.generations + 1);
+    }
+
+    #[test]
+    fn infeasible_fitness_is_displaced_by_feasible() {
+        // Fitness: -inf unless all genes true (simulating "covering
+        // impossible" marking), otherwise 1.0. With an all-true seed the
+        // population keeps the feasible individual on top.
+        let config = one_max_config(3, 1);
+        let mut ea = Ea::new(
+            config,
+            4,
+            |rng| rng.gen::<bool>(),
+            |genes: &[bool]| {
+                if genes.iter().all(|&g| g) {
+                    1.0
+                } else {
+                    f64::MIN
+                }
+            },
+        );
+        ea.seed_population([vec![true; 4]]);
+        let result = ea.run();
+        assert_eq!(result.best_fitness, 1.0);
+    }
+}

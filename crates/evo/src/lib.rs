@@ -1,0 +1,53 @@
+//! A GAME-style evolutionary-algorithm engine.
+//!
+//! The DATE 2005 paper optimizes matching-vector sets with the GAME package
+//! (Göckel/Drechsler/Becker, reference \[33\]); this crate re-implements the
+//! algorithm of the paper's Figure 1:
+//!
+//! ```text
+//! Generate random population (S individuals);
+//! evaluate fitness of each individual;
+//! repeat {
+//!     Generate C children, using evolutionary operators;
+//!     evaluate fitness of each child;
+//!     New population := S individuals with best fitness;
+//! } until (termination condition fulfilled);
+//! return individual with best fitness;
+//! ```
+//!
+//! Genomes are fixed-length strings over an arbitrary `Copy` gene type; the
+//! caller supplies a gene sampler (for random initialization and mutation)
+//! and a fitness function. The three operators of the paper — crossover,
+//! point mutation and inversion — are provided in [`operators`], and the
+//! engine draws them with configurable probabilities.
+//!
+//! # Example
+//!
+//! ```
+//! use evotc_evo::{Ea, EaConfig};
+//!
+//! // Maximize the number of `true` genes (one-max).
+//! let config = EaConfig::builder()
+//!     .population_size(8)
+//!     .children_per_generation(4)
+//!     .stagnation_limit(50)
+//!     .seed(1)
+//!     .build();
+//! let ea = Ea::new(config, 32, |rng| rand::Rng::gen::<bool>(rng), |genes: &[bool]| {
+//!     genes.iter().filter(|&&g| g).count() as f64
+//! });
+//! let result = ea.run();
+//! assert!(result.best_fitness >= 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+pub mod operators;
+mod stats;
+
+pub use config::{EaConfig, EaConfigBuilder};
+pub use engine::{Ea, EaResult};
+pub use stats::GenerationStats;

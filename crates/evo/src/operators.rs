@@ -1,0 +1,219 @@
+//! The paper's three evolutionary operators (Section 3.1).
+//!
+//! * **Crossover** takes two parents and produces two children by exchanging
+//!   genes: each position keeps one parent's gene in one child and the other
+//!   parent's gene in the other child (two-point exchange).
+//! * **Mutation** replaces one randomly selected gene by a random value.
+//! * **Inversion** reverses the gene order between two random positions.
+//!
+//! All operators are pure functions over gene slices, generic in the gene
+//! type, and draw randomness only from the supplied RNG — runs are fully
+//! reproducible from the seed.
+
+use rand::Rng;
+
+/// Two-point crossover: positions inside the randomly chosen window
+/// `[a, b)` are swapped between the parents, producing two children with
+/// "genes of one parent in several positions and the genes of the other
+/// parent in others" (paper, Section 3.1).
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use evotc_evo::operators::crossover;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let (a, b) = crossover(&[0, 0, 0, 0], &[1, 1, 1, 1], &mut rng);
+/// // Every position holds a gene from one of the parents.
+/// assert!(a.iter().chain(b.iter()).all(|&g| g == 0 || g == 1));
+/// // Together the children carry exactly the parents' genes per position.
+/// for i in 0..4 {
+///     assert_eq!(a[i] + b[i], 1);
+/// }
+/// ```
+pub fn crossover<G: Copy, R: Rng + ?Sized>(
+    parent_a: &[G],
+    parent_b: &[G],
+    rng: &mut R,
+) -> (Vec<G>, Vec<G>) {
+    assert_eq!(parent_a.len(), parent_b.len(), "parent lengths differ");
+    assert!(!parent_a.is_empty(), "parents must not be empty");
+    let n = parent_a.len();
+    let mut i = rng.gen_range(0..=n);
+    let mut j = rng.gen_range(0..=n);
+    if i > j {
+        std::mem::swap(&mut i, &mut j);
+    }
+    let mut child_a = parent_a.to_vec();
+    let mut child_b = parent_b.to_vec();
+    for k in i..j {
+        std::mem::swap(&mut child_a[k], &mut child_b[k]);
+    }
+    (child_a, child_b)
+}
+
+/// Uniform crossover: each position is swapped independently with
+/// probability ½. Not used by the paper's defaults but provided for the
+/// operator-ablation experiments.
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths or are empty.
+pub fn uniform_crossover<G: Copy, R: Rng + ?Sized>(
+    parent_a: &[G],
+    parent_b: &[G],
+    rng: &mut R,
+) -> (Vec<G>, Vec<G>) {
+    assert_eq!(parent_a.len(), parent_b.len(), "parent lengths differ");
+    assert!(!parent_a.is_empty(), "parents must not be empty");
+    let mut child_a = parent_a.to_vec();
+    let mut child_b = parent_b.to_vec();
+    for k in 0..parent_a.len() {
+        if rng.gen::<bool>() {
+            std::mem::swap(&mut child_a[k], &mut child_b[k]);
+        }
+    }
+    (child_a, child_b)
+}
+
+/// Point mutation: replaces one randomly selected gene by a value drawn from
+/// `sample_gene` (paper, Section 3.1).
+///
+/// The fresh value may equal the old one — mutation is "replace by a random
+/// value", not "replace by a different value" — matching the paper's
+/// operator and keeping the gene distribution unbiased.
+///
+/// # Panics
+///
+/// Panics if the parent is empty.
+pub fn mutate<G: Copy, R: Rng + ?Sized>(
+    parent: &[G],
+    rng: &mut R,
+    mut sample_gene: impl FnMut(&mut R) -> G,
+) -> Vec<G> {
+    assert!(!parent.is_empty(), "parent must not be empty");
+    let mut child = parent.to_vec();
+    let pos = rng.gen_range(0..child.len());
+    child[pos] = sample_gene(rng);
+    child
+}
+
+/// Inversion: reverses the ordering of the genes between two random
+/// positions of a parent (paper, Section 3.1).
+///
+/// # Panics
+///
+/// Panics if the parent is empty.
+pub fn invert<G: Copy, R: Rng + ?Sized>(parent: &[G], rng: &mut R) -> Vec<G> {
+    assert!(!parent.is_empty(), "parent must not be empty");
+    let n = parent.len();
+    let mut i = rng.gen_range(0..=n);
+    let mut j = rng.gen_range(0..=n);
+    if i > j {
+        std::mem::swap(&mut i, &mut j);
+    }
+    let mut child = parent.to_vec();
+    child[i..j].reverse();
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn crossover_preserves_multiset_per_position() {
+        let a = [1, 2, 3, 4, 5];
+        let b = [6, 7, 8, 9, 10];
+        for seed in 0..50 {
+            let (ca, cb) = crossover(&a, &b, &mut rng(seed));
+            for k in 0..a.len() {
+                let pair = (ca[k], cb[k]);
+                assert!(pair == (a[k], b[k]) || pair == (b[k], a[k]));
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_sometimes_mixes() {
+        let a = [0u8; 16];
+        let b = [1u8; 16];
+        let mixed = (0..50).any(|seed| {
+            let (ca, _) = crossover(&a, &b, &mut rng(seed));
+            ca.iter().any(|&g| g == 0) && ca.iter().any(|&g| g == 1)
+        });
+        assert!(mixed, "two-point crossover never exchanged a proper window");
+    }
+
+    #[test]
+    fn uniform_crossover_preserves_multiset_per_position() {
+        let a = [1, 2, 3, 4];
+        let b = [5, 6, 7, 8];
+        let (ca, cb) = uniform_crossover(&a, &b, &mut rng(9));
+        for k in 0..a.len() {
+            let pair = (ca[k], cb[k]);
+            assert!(pair == (a[k], b[k]) || pair == (b[k], a[k]));
+        }
+    }
+
+    #[test]
+    fn mutation_changes_at_most_one_gene() {
+        let parent = [0u8; 32];
+        for seed in 0..30 {
+            let child = mutate(&parent, &mut rng(seed), |r| r.gen_range(0..3u8));
+            let diff = parent
+                .iter()
+                .zip(&child)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(diff <= 1, "mutation changed {diff} genes");
+        }
+    }
+
+    #[test]
+    fn inversion_is_a_permutation() {
+        let parent = [1, 2, 3, 4, 5, 6, 7];
+        for seed in 0..30 {
+            let child = invert(&parent, &mut rng(seed));
+            let mut sorted = child.clone();
+            sorted.sort();
+            assert_eq!(sorted, parent.to_vec());
+        }
+    }
+
+    #[test]
+    fn inversion_reverses_some_window() {
+        // With a full-range window the child is the exact reverse.
+        let parent = [1, 2, 3];
+        let reversed = (0..200).any(|seed| invert(&parent, &mut rng(seed)) == [3, 2, 1]);
+        assert!(reversed, "full inversion never sampled");
+    }
+
+    #[test]
+    fn operators_are_deterministic_per_seed() {
+        let a = [1, 2, 3, 4, 5];
+        let b = [9, 8, 7, 6, 5];
+        assert_eq!(
+            crossover(&a, &b, &mut rng(7)),
+            crossover(&a, &b, &mut rng(7))
+        );
+        assert_eq!(invert(&a, &mut rng(7)), invert(&a, &mut rng(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn crossover_rejects_ragged_parents() {
+        let _ = crossover(&[1, 2], &[1], &mut rng(0));
+    }
+}

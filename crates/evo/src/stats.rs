@@ -1,0 +1,46 @@
+//! Per-generation statistics.
+
+use std::fmt;
+
+/// Fitness statistics of one generation.
+///
+/// Collected by [`crate::Ea::run`]; useful for convergence plots and for the
+/// operator-ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index (0 = initial population).
+    pub generation: u64,
+    /// Best fitness in the population after selection.
+    pub best_fitness: f64,
+    /// Mean fitness of the population after selection.
+    pub mean_fitness: f64,
+    /// Cumulative number of fitness evaluations so far.
+    pub evaluations: u64,
+}
+
+impl fmt::Display for GenerationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gen {:>5}: best {:.4}, mean {:.4}, {} evals",
+            self.generation, self.best_fitness, self.mean_fitness, self.evaluations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        let s = GenerationStats {
+            generation: 3,
+            best_fitness: 0.5,
+            mean_fitness: 0.25,
+            evaluations: 42,
+        }
+        .to_string();
+        assert!(s.contains("gen") && s.contains("42 evals"));
+    }
+}

@@ -1,0 +1,329 @@
+//! The ISCAS `.bench` interchange format.
+//!
+//! Grammar (per line): `INPUT(name)`, `OUTPUT(name)`,
+//! `name = KIND(a, b, …)`, `name = DFF(a)`, `#` comments. Sequential
+//! elements are cut: a `DFF` output becomes a pseudo primary input and its
+//! data net a pseudo primary output — the standard "combinational part"
+//! construction used for the ISCAS-89 circuits in the paper.
+
+use std::fmt::Write as _;
+
+use crate::gate::GateKind;
+use crate::netlist::{BuildNetlistError, NetId, Netlist, NetlistBuilder};
+
+/// Parses a `.bench` description into a combinational [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on syntax errors, unknown gate kinds,
+/// undefined nets, or structural violations (duplicates, cycles).
+///
+/// # Example
+///
+/// ```
+/// use evotc_netlist::parse_bench;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = NAND(a, b)
+/// ";
+/// let netlist = parse_bench(src)?;
+/// assert_eq!(netlist.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
+    struct GateLine {
+        line: usize,
+        target: String,
+        kind_name: String,
+        fanin_names: Vec<String>,
+    }
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<GateLine> = Vec::new();
+    let mut dff_outputs: Vec<String> = Vec::new(); // pseudo-PIs
+    let mut dff_inputs: Vec<String> = Vec::new(); // pseudo-POs
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(text, "INPUT") {
+            inputs.push(rest.to_string());
+        } else if let Some(rest) = strip_directive(text, "OUTPUT") {
+            outputs.push(rest.to_string());
+        } else if let Some((target, call)) = text.split_once('=') {
+            let target = target.trim().to_string();
+            let call = call.trim();
+            let (kind_name, args) = call
+                .split_once('(')
+                .ok_or(ParseBenchError::Syntax { line })?;
+            let args = args
+                .strip_suffix(')')
+                .ok_or(ParseBenchError::Syntax { line })?;
+            let fanin_names: Vec<String> = args
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            let kind_name = kind_name.trim().to_ascii_uppercase();
+            if kind_name == "DFF" {
+                if fanin_names.len() != 1 {
+                    return Err(ParseBenchError::Syntax { line });
+                }
+                dff_outputs.push(target);
+                dff_inputs.push(fanin_names[0].clone());
+            } else {
+                gates.push(GateLine {
+                    line,
+                    target,
+                    kind_name,
+                    fanin_names,
+                });
+            }
+        } else {
+            return Err(ParseBenchError::Syntax { line });
+        }
+    }
+
+    let mut builder = NetlistBuilder::new("bench");
+    for name in inputs.iter().chain(dff_outputs.iter()) {
+        if builder.find(name).is_some() {
+            return Err(ParseBenchError::Build(BuildNetlistError::DuplicateName {
+                name: name.clone(),
+            }));
+        }
+        builder.input(name);
+    }
+
+    // Gates may reference nets defined later; resolve with a worklist.
+    let mut pending: Vec<GateLine> = gates;
+    loop {
+        let before = pending.len();
+        let mut still: Vec<GateLine> = Vec::new();
+        for g in pending {
+            let resolved: Option<Vec<NetId>> = g
+                .fanin_names
+                .iter()
+                .map(|n| builder.find(n))
+                .collect();
+            match resolved {
+                Some(fanins) => {
+                    let kind: GateKind =
+                        g.kind_name
+                            .parse()
+                            .map_err(|_| ParseBenchError::UnknownGate {
+                                line: g.line,
+                                kind: g.kind_name.clone(),
+                            })?;
+                    builder
+                        .gate(&g.target, kind, fanins)
+                        .map_err(ParseBenchError::Build)?;
+                }
+                None => still.push(g),
+            }
+        }
+        if still.is_empty() {
+            break;
+        }
+        if still.len() == before {
+            // No progress: some fanin is genuinely undefined (or cyclic
+            // through undefined nets).
+            let g = &still[0];
+            let missing = g
+                .fanin_names
+                .iter()
+                .find(|n| builder.find(n).is_none())
+                .cloned()
+                .unwrap_or_default();
+            return Err(ParseBenchError::UndefinedNet {
+                line: g.line,
+                name: missing,
+            });
+        }
+        pending = still;
+    }
+
+    for name in outputs.iter().chain(dff_inputs.iter()) {
+        let id = builder.find(name).ok_or(ParseBenchError::UndefinedNet {
+            line: 0,
+            name: name.clone(),
+        })?;
+        builder.output(id);
+    }
+
+    builder.finish().map_err(ParseBenchError::Build)
+}
+
+fn strip_directive<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = text.strip_prefix(keyword)?.trim();
+    rest.strip_prefix('(')?.strip_suffix(')').map(str::trim)
+}
+
+/// Serializes a combinational netlist back to `.bench` text (DFF cuts are
+/// rendered as plain `INPUT`/`OUTPUT`).
+pub fn write_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    for &i in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.net_name(i));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.net_name(o));
+    }
+    for id in netlist.node_ids() {
+        if netlist.kind(id) == GateKind::Input {
+            continue;
+        }
+        let fanins: Vec<&str> = netlist
+            .fanins(id)
+            .iter()
+            .map(|&f| netlist.net_name(f))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            netlist.net_name(id),
+            netlist.kind(id),
+            fanins.join(", ")
+        );
+    }
+    out
+}
+
+/// Error parsing `.bench` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// Malformed line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Unrecognized gate kind.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate name found.
+        kind: String,
+    },
+    /// A referenced net is never defined.
+    UndefinedNet {
+        /// 1-based line number (0 for output references).
+        line: usize,
+        /// The undefined name.
+        name: String,
+    },
+    /// Structural violation detected while building.
+    Build(BuildNetlistError),
+}
+
+impl std::fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseBenchError::Syntax { line } => write!(f, "syntax error on line {line}"),
+            ParseBenchError::UnknownGate { line, kind } => {
+                write!(f, "unknown gate `{kind}` on line {line}")
+            }
+            ParseBenchError::UndefinedNet { line, name } => {
+                write!(f, "undefined net `{name}` (line {line})")
+            }
+            ParseBenchError::Build(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBenchError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iscas;
+
+    #[test]
+    fn parses_c17() {
+        let c17 = parse_bench(iscas::C17_BENCH).unwrap();
+        assert_eq!(c17.num_inputs(), 5);
+        assert_eq!(c17.num_outputs(), 2);
+        assert_eq!(c17.num_gates(), 6);
+        assert_eq!(c17.depth(), 3);
+    }
+
+    #[test]
+    fn parses_s27_with_dff_cut() {
+        let s27 = parse_bench(iscas::S27_BENCH).unwrap();
+        // 4 PIs + 3 DFF pseudo-PIs; 1 PO + 3 pseudo-POs
+        assert_eq!(s27.num_inputs(), 7);
+        assert_eq!(s27.num_outputs(), 4);
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let c17 = parse_bench(iscas::C17_BENCH).unwrap();
+        let text = write_bench(&c17);
+        let again = parse_bench(&text).unwrap();
+        assert_eq!(again.num_inputs(), c17.num_inputs());
+        assert_eq!(again.num_outputs(), c17.num_outputs());
+        assert_eq!(again.num_gates(), c17.num_gates());
+        assert_eq!(again.depth(), c17.depth());
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "
+            INPUT(a)
+            OUTPUT(y)
+            y = NOT(m)
+            m = BUFF(a)
+        ";
+        let n = parse_bench(src).unwrap();
+        assert_eq!(n.num_gates(), 2);
+        assert_eq!(n.depth(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# header\n\nINPUT(a)\nOUTPUT(y)\ny = BUFF(a) # trailing\n";
+        assert!(parse_bench(src).is_ok());
+    }
+
+    #[test]
+    fn reports_undefined_net() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        assert!(matches!(
+            parse_bench(src),
+            Err(ParseBenchError::UndefinedNet { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_unknown_gate() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n";
+        assert!(matches!(
+            parse_bench(src),
+            Err(ParseBenchError::UnknownGate { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_syntax_error_with_line() {
+        let src = "INPUT(a)\nthis is not bench\n";
+        assert!(matches!(
+            parse_bench(src),
+            Err(ParseBenchError::Syntax { line: 2 })
+        ));
+    }
+}

@@ -1,0 +1,209 @@
+//! Gate kinds.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The kind of a netlist node.
+///
+/// `Input` covers both real primary inputs and pseudo primary inputs
+/// (DFF outputs of a sequential circuit's combinational part).
+///
+/// # Example
+///
+/// ```
+/// use evotc_netlist::GateKind;
+///
+/// let g: GateKind = "NAND".parse().unwrap();
+/// assert_eq!(g, GateKind::Nand);
+/// assert!(g.is_inverting());
+/// assert_eq!(g.controlling_value(), Some(false));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary (or pseudo primary) input.
+    Input,
+    /// Identity.
+    Buf,
+    /// Inverter.
+    Not,
+    /// Logical AND.
+    And,
+    /// Logical NAND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Logical NOR.
+    Nor,
+    /// Logical XOR (any arity: odd parity).
+    Xor,
+    /// Logical XNOR (even parity).
+    Xnor,
+}
+
+impl GateKind {
+    /// All gate kinds with logic functions (everything but `Input`).
+    pub const LOGIC: [GateKind; 8] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// The value that forces this gate's output regardless of other inputs
+    /// (`false` for AND/NAND, `true` for OR/NOR); `None` for gates without a
+    /// controlling value. Central to PODEM backtracing and to robust
+    /// path-delay side-input constraints.
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the gate inverts (its output with all-non-
+    /// controlling or single input is the complement).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+
+    /// Evaluates the gate over fully specified inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`GateKind::Input`], with no inputs, or with more
+    /// than one input for `Buf`/`Not`.
+    pub fn eval_bool(self, inputs: &[bool]) -> bool {
+        assert!(!inputs.is_empty(), "gate must have at least one input");
+        match self {
+            GateKind::Input => panic!("inputs have no logic function"),
+            GateKind::Buf => {
+                assert_eq!(inputs.len(), 1, "BUF takes one input");
+                inputs[0]
+            }
+            GateKind::Not => {
+                assert_eq!(inputs.len(), 1, "NOT takes one input");
+                !inputs[0]
+            }
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+        }
+    }
+}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    /// Parses the `.bench` spelling (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "INPUT" => Ok(GateKind::Input),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            _ => Err(ParseGateKindError {
+                found: s.to_string(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GateKind::Input => "INPUT",
+            GateKind::Buf => "BUFF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        })
+    }
+}
+
+/// Error parsing a [`GateKind`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError {
+    /// The unrecognized gate name.
+    pub found: String,
+}
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.found)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        use GateKind::*;
+        assert!(And.eval_bool(&[true, true]));
+        assert!(!And.eval_bool(&[true, false]));
+        assert!(Nand.eval_bool(&[true, false]));
+        assert!(Or.eval_bool(&[false, true]));
+        assert!(!Nor.eval_bool(&[false, true]));
+        assert!(Nor.eval_bool(&[false, false]));
+        assert!(Xor.eval_bool(&[true, false, false]));
+        assert!(!Xor.eval_bool(&[true, true, false]));
+        assert!(Xnor.eval_bool(&[true, true]));
+        assert!(Not.eval_bool(&[false]));
+        assert!(Buf.eval_bool(&[true]));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for kind in GateKind::LOGIC {
+            let parsed: GateKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("nand".parse::<GateKind>().unwrap(), GateKind::Nand);
+        assert!("MUX".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Buf.controlling_value(), None);
+    }
+
+    #[test]
+    fn inversion_parity() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(GateKind::Not.is_inverting());
+        assert!(!GateKind::Xor.is_inverting());
+    }
+
+    #[test]
+    #[should_panic(expected = "one input")]
+    fn buf_rejects_multiple_inputs() {
+        let _ = GateKind::Buf.eval_bool(&[true, false]);
+    }
+}

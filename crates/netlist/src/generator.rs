@@ -1,0 +1,217 @@
+//! Deterministic random-circuit generation.
+//!
+//! The larger ISCAS netlists are not embedded in this repository; when the
+//! full ATPG pipeline is exercised on them, a structurally similar stand-in
+//! is generated from the circuit's public profile (same input/output/gate
+//! counts, typical fanin distribution). Generation is seeded, so every run
+//! sees the same circuit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gate::GateKind;
+use crate::iscas::CircuitProfile;
+use crate::netlist::{NetId, Netlist, NetlistBuilder};
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of logic gates.
+    pub gates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Derives a configuration from an ISCAS profile (seed = name hash, so
+    /// stand-ins are stable across runs and machines).
+    pub fn from_profile(profile: &CircuitProfile) -> Self {
+        let seed = profile
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+            });
+        GeneratorConfig {
+            inputs: profile.inputs,
+            outputs: profile.outputs,
+            gates: profile.gates,
+            seed,
+        }
+    }
+}
+
+/// Generates a random acyclic circuit with the given shape.
+///
+/// Gates draw their kind from a distribution resembling the ISCAS mix
+/// (NAND/NOR-heavy, some inverters, occasional XOR) and their fanins from
+/// recently created nets, which produces realistic logic depth instead of a
+/// flat two-level network. The last `outputs` gates plus random earlier nets
+/// are marked as primary outputs.
+///
+/// # Panics
+///
+/// Panics if `inputs` or `outputs` is zero, or `outputs > inputs + gates`.
+///
+/// # Example
+///
+/// ```
+/// use evotc_netlist::{generate, GeneratorConfig};
+///
+/// let netlist = generate(&GeneratorConfig { inputs: 8, outputs: 4, gates: 40, seed: 7 });
+/// assert_eq!(netlist.num_inputs(), 8);
+/// assert_eq!(netlist.num_outputs(), 4);
+/// assert_eq!(netlist.num_gates(), 40);
+/// ```
+pub fn generate(config: &GeneratorConfig) -> Netlist {
+    assert!(config.inputs > 0, "need at least one input");
+    assert!(config.outputs > 0, "need at least one output");
+    assert!(
+        config.outputs <= config.inputs + config.gates,
+        "more outputs than nets"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = NetlistBuilder::new("generated");
+    let mut nets: Vec<NetId> = (0..config.inputs)
+        .map(|i| b.input(&format!("pi{i}")))
+        .collect();
+
+    for g in 0..config.gates {
+        let kind = sample_kind(&mut rng);
+        let arity = match kind {
+            GateKind::Buf | GateKind::Not => 1,
+            _ => {
+                // Mostly 2-input, some 3- and 4-input gates.
+                match rng.gen_range(0..10) {
+                    0..=6 => 2,
+                    7 | 8 => 3,
+                    _ => 4,
+                }
+            }
+        };
+        // Prefer recent nets to build depth; fall back to anywhere.
+        let mut fanins = Vec::with_capacity(arity);
+        while fanins.len() < arity {
+            let pick = if rng.gen_bool(0.7) && nets.len() > config.inputs {
+                let lo = nets.len().saturating_sub(32);
+                rng.gen_range(lo..nets.len())
+            } else {
+                rng.gen_range(0..nets.len())
+            };
+            let id = nets[pick];
+            if !fanins.contains(&id) {
+                fanins.push(id);
+            } else if nets.len() <= arity {
+                // Tiny circuits may not have enough distinct nets.
+                fanins.push(id);
+            }
+        }
+        let id = b
+            .gate(&format!("g{g}"), kind, fanins)
+            .expect("generated names are unique and fanins exist");
+        nets.push(id);
+    }
+
+    // Outputs: the newest gates first (deep outputs), then random fill.
+    let mut chosen: Vec<NetId> = nets.iter().rev().take(config.outputs).copied().collect();
+    while chosen.len() < config.outputs {
+        chosen.push(nets[rng.gen_range(0..nets.len())]);
+    }
+    for id in chosen {
+        b.output(id);
+    }
+    b.finish().expect("generator builds acyclic netlists")
+}
+
+fn sample_kind(rng: &mut StdRng) -> GateKind {
+    match rng.gen_range(0..100) {
+        0..=29 => GateKind::Nand,
+        30..=49 => GateKind::Nor,
+        50..=64 => GateKind::And,
+        65..=79 => GateKind::Or,
+        80..=89 => GateKind::Not,
+        90..=95 => GateKind::Xor,
+        96..=97 => GateKind::Xnor,
+        _ => GateKind::Buf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iscas;
+
+    #[test]
+    fn shape_matches_config() {
+        let n = generate(&GeneratorConfig {
+            inputs: 12,
+            outputs: 5,
+            gates: 100,
+            seed: 1,
+        });
+        assert_eq!(n.num_inputs(), 12);
+        assert_eq!(n.num_outputs(), 5);
+        assert_eq!(n.num_gates(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneratorConfig {
+            inputs: 6,
+            outputs: 3,
+            gates: 30,
+            seed: 9,
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        for id in a.node_ids() {
+            assert_eq!(a.kind(id), b.kind(id));
+            assert_eq!(a.fanins(id), b.fanins(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GeneratorConfig { inputs: 6, outputs: 3, gates: 30, seed: 1 });
+        let b = generate(&GeneratorConfig { inputs: 6, outputs: 3, gates: 30, seed: 2 });
+        let differs = a
+            .node_ids()
+            .any(|id| a.kind(id) != b.kind(id) || a.fanins(id) != b.fanins(id));
+        assert!(differs);
+    }
+
+    #[test]
+    fn builds_nontrivial_depth() {
+        let n = generate(&GeneratorConfig {
+            inputs: 8,
+            outputs: 4,
+            gates: 200,
+            seed: 3,
+        });
+        assert!(n.depth() >= 5, "depth {} too shallow", n.depth());
+    }
+
+    #[test]
+    fn profile_derived_config_is_stable() {
+        let p = iscas::profile("s298").unwrap();
+        let a = GeneratorConfig::from_profile(p);
+        let b = GeneratorConfig::from_profile(p);
+        assert_eq!(a, b);
+        assert_eq!(a.inputs, 17);
+    }
+
+    #[test]
+    fn tiny_circuit_works() {
+        let n = generate(&GeneratorConfig {
+            inputs: 1,
+            outputs: 1,
+            gates: 1,
+            seed: 0,
+        });
+        assert_eq!(n.num_gates(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Public structural metadata for the ISCAS-85/89 circuits of the paper's
+//! tables, plus two embedded benchmark netlists (`c17`, `s27`).
+//!
+//! The input counts are for the *combinational view*: ISCAS-89 circuits
+//! count primary inputs plus scan flip-flops (pseudo primary inputs), which
+//! is the width of the test patterns consumed by the compression pipeline.
+//! Only structural counts are recorded here — the actual test sets used by
+//! the paper (Kajihara/Miyase stuck-at sets, TIP path-delay sets) are not
+//! public; `evotc-workloads` synthesizes calibrated stand-ins.
+
+/// Structural profile of a benchmark circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitProfile {
+    /// Circuit name (e.g. `"s5378"`).
+    pub name: &'static str,
+    /// Primary inputs of the combinational view (PI + pseudo-PI).
+    pub inputs: usize,
+    /// Primary outputs of the combinational view (PO + pseudo-PO).
+    pub outputs: usize,
+    /// Approximate gate count (used to size generated stand-in netlists).
+    pub gates: usize,
+}
+
+/// Profiles for every circuit appearing in the paper's Tables 1 and 2.
+pub const PROFILES: &[CircuitProfile] = &[
+    CircuitProfile { name: "c17", inputs: 5, outputs: 2, gates: 6 },
+    CircuitProfile { name: "c432", inputs: 36, outputs: 7, gates: 160 },
+    CircuitProfile { name: "c499", inputs: 41, outputs: 32, gates: 202 },
+    CircuitProfile { name: "c880", inputs: 60, outputs: 26, gates: 383 },
+    CircuitProfile { name: "c1355", inputs: 41, outputs: 32, gates: 546 },
+    CircuitProfile { name: "c1908", inputs: 33, outputs: 25, gates: 880 },
+    CircuitProfile { name: "c2670", inputs: 233, outputs: 140, gates: 1193 },
+    CircuitProfile { name: "c3540", inputs: 50, outputs: 22, gates: 1669 },
+    CircuitProfile { name: "c5315", inputs: 178, outputs: 123, gates: 2307 },
+    CircuitProfile { name: "c6288", inputs: 32, outputs: 32, gates: 2406 },
+    CircuitProfile { name: "c7552", inputs: 207, outputs: 108, gates: 3512 },
+    CircuitProfile { name: "s27", inputs: 7, outputs: 4, gates: 10 },
+    CircuitProfile { name: "s208", inputs: 18, outputs: 9, gates: 96 },
+    CircuitProfile { name: "s298", inputs: 17, outputs: 20, gates: 119 },
+    CircuitProfile { name: "s344", inputs: 24, outputs: 26, gates: 160 },
+    CircuitProfile { name: "s349", inputs: 24, outputs: 26, gates: 161 },
+    CircuitProfile { name: "s382", inputs: 24, outputs: 27, gates: 158 },
+    CircuitProfile { name: "s386", inputs: 13, outputs: 13, gates: 159 },
+    CircuitProfile { name: "s400", inputs: 24, outputs: 27, gates: 164 },
+    CircuitProfile { name: "s420", inputs: 34, outputs: 17, gates: 196 },
+    CircuitProfile { name: "s444", inputs: 24, outputs: 27, gates: 181 },
+    CircuitProfile { name: "s510", inputs: 25, outputs: 13, gates: 211 },
+    CircuitProfile { name: "s526", inputs: 24, outputs: 27, gates: 193 },
+    CircuitProfile { name: "s641", inputs: 54, outputs: 43, gates: 379 },
+    CircuitProfile { name: "s713", inputs: 54, outputs: 42, gates: 393 },
+    CircuitProfile { name: "s820", inputs: 23, outputs: 24, gates: 289 },
+    CircuitProfile { name: "s832", inputs: 23, outputs: 24, gates: 287 },
+    CircuitProfile { name: "s838", inputs: 66, outputs: 33, gates: 390 },
+    CircuitProfile { name: "s953", inputs: 45, outputs: 52, gates: 395 },
+    CircuitProfile { name: "s1196", inputs: 32, outputs: 32, gates: 529 },
+    CircuitProfile { name: "s1238", inputs: 32, outputs: 32, gates: 508 },
+    CircuitProfile { name: "s1423", inputs: 91, outputs: 79, gates: 657 },
+    CircuitProfile { name: "s1488", inputs: 14, outputs: 25, gates: 653 },
+    CircuitProfile { name: "s1494", inputs: 14, outputs: 25, gates: 647 },
+    CircuitProfile { name: "s5378", inputs: 214, outputs: 228, gates: 2779 },
+    CircuitProfile { name: "s9234", inputs: 247, outputs: 250, gates: 5597 },
+    CircuitProfile { name: "s13207", inputs: 700, outputs: 790, gates: 7951 },
+    CircuitProfile { name: "s15850", inputs: 611, outputs: 684, gates: 9772 },
+    CircuitProfile { name: "s35932", inputs: 1763, outputs: 2048, gates: 16065 },
+    CircuitProfile { name: "s38417", inputs: 1664, outputs: 1742, gates: 22179 },
+    CircuitProfile { name: "s38584", inputs: 1464, outputs: 1730, gates: 19253 },
+];
+
+/// Looks up a circuit profile by name.
+pub fn profile(name: &str) -> Option<&'static CircuitProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// The ISCAS-85 `c17` benchmark (public domain).
+pub const C17_BENCH: &str = "\
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// The ISCAS-89 `s27` benchmark (public domain); the DFFs are cut into
+/// pseudo inputs/outputs by [`crate::parse_bench`].
+pub const S27_BENCH: &str = "\
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse_bench;
+
+    #[test]
+    fn all_table_circuits_have_profiles() {
+        // Every circuit named in the paper's Table 1 or Table 2.
+        for name in [
+            "s349", "s344", "s298", "s208", "s400", "s382", "s386", "s444", "c6288", "s510",
+            "c432", "s526", "s1494", "s420", "s1488", "s832", "s820", "c499", "s713", "s641",
+            "c880", "c1908", "s953", "c1355", "s1196", "s1238", "s1423", "s838", "c3540",
+            "c2670", "c5315", "c7552", "s5378", "s9234", "s35932", "s15850", "s13207",
+            "s38584", "s38417", "s27",
+        ] {
+            assert!(profile(name).is_some(), "missing profile for {name}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_plausible() {
+        for p in PROFILES {
+            assert!(p.inputs > 0 && p.outputs > 0 && p.gates > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn embedded_benches_parse_to_profile() {
+        let c17 = parse_bench(C17_BENCH).unwrap();
+        let p = profile("c17").unwrap();
+        assert_eq!(c17.num_inputs(), p.inputs);
+        assert_eq!(c17.num_outputs(), p.outputs);
+        assert_eq!(c17.num_gates(), p.gates);
+
+        let s27 = parse_bench(S27_BENCH).unwrap();
+        let p = profile("s27").unwrap();
+        assert_eq!(s27.num_inputs(), p.inputs);
+        assert_eq!(s27.num_outputs(), p.outputs);
+    }
+
+    #[test]
+    fn lookup_misses_cleanly() {
+        assert!(profile("b19").is_none());
+    }
+}

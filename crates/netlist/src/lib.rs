@@ -1,0 +1,44 @@
+//! Gate-level netlists for the ATPG substrate.
+//!
+//! The DATE 2005 paper evaluates on ISCAS-85 circuits and the combinational
+//! parts of ISCAS-89 circuits. This crate provides the circuit model that the
+//! simulation (`evotc-sim`) and ATPG (`evotc-atpg`) crates operate on:
+//!
+//! * [`Netlist`] — an acyclic combinational gate network with named nets.
+//!   Sequential `.bench` circuits are converted by treating every `DFF`
+//!   output as a pseudo primary input and every `DFF` input as a pseudo
+//!   primary output, exactly the "combinational part" convention the paper
+//!   uses for ISCAS-89.
+//! * [`parse_bench`] / [`write_bench`] — the ISCAS `.bench` interchange
+//!   format.
+//! * [`generate`] — a deterministic random-circuit generator used to stand
+//!   in for the larger ISCAS circuits whose netlists are not embedded.
+//! * [`iscas`] — public structural metadata (input/output/gate counts) for
+//!   every circuit in the paper's tables plus embedded `c17` and `s27`.
+//!
+//! # Example
+//!
+//! ```
+//! use evotc_netlist::{parse_bench, iscas};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let c17 = parse_bench(iscas::C17_BENCH)?;
+//! assert_eq!(c17.num_inputs(), 5);
+//! assert_eq!(c17.num_outputs(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bench_format;
+mod gate;
+mod generator;
+pub mod iscas;
+mod netlist;
+
+pub use bench_format::{parse_bench, write_bench, ParseBenchError};
+pub use gate::GateKind;
+pub use generator::{generate, GeneratorConfig};
+pub use netlist::{BuildNetlistError, NetId, Netlist, NetlistBuilder};

@@ -1,0 +1,532 @@
+//! The combinational netlist model.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+
+/// Identifier of a net (equivalently, of the gate driving it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The index into the netlist's node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    kind: GateKind,
+    fanins: Vec<NetId>,
+}
+
+/// An acyclic combinational gate network.
+///
+/// Nodes are stored in **topological order** (every fanin precedes its
+/// fanout), which lets simulators evaluate in a single forward sweep.
+/// Construction goes through [`NetlistBuilder`], which validates name
+/// uniqueness, fanin arity and acyclicity and performs the topological sort.
+///
+/// # Example
+///
+/// ```
+/// use evotc_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("half-adder");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let sum = b.gate("sum", GateKind::Xor, vec![x, y])?;
+/// let carry = b.gate("carry", GateKind::And, vec![x, y])?;
+/// b.output(sum);
+/// b.output(carry);
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.num_gates(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    fanouts: Vec<Vec<NetId>>,
+    levels: Vec<u32>,
+}
+
+impl Netlist {
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (inputs + gates).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary (and pseudo primary) inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary (and pseudo primary) outputs.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic gates (non-input nodes).
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.nodes.len() - self.inputs.len()
+    }
+
+    /// The inputs, in declaration order. Test-pattern bit `j` drives
+    /// `inputs()[j]`.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The outputs, in declaration order.
+    #[inline]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// The gate kind of a node.
+    #[inline]
+    pub fn kind(&self, id: NetId) -> GateKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// The fanins of a node (empty for inputs).
+    #[inline]
+    pub fn fanins(&self, id: NetId) -> &[NetId] {
+        &self.nodes[id.index()].fanins
+    }
+
+    /// The fanouts of a node.
+    #[inline]
+    pub fn fanouts(&self, id: NetId) -> &[NetId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// The net name.
+    #[inline]
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Logic level (0 for inputs, `1 + max(fanin levels)` for gates).
+    #[inline]
+    pub fn level(&self, id: NetId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Maximum logic level (circuit depth).
+    pub fn depth(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// All node ids in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nodes.len() as u32).map(NetId)
+    }
+
+    /// Returns the position of `id` in the input list, if it is an input.
+    pub fn input_position(&self, id: NetId) -> Option<usize> {
+        self.inputs.iter().position(|&i| i == id)
+    }
+
+    /// Returns `true` if the node is a primary (or pseudo primary) output.
+    pub fn is_output(&self, id: NetId) -> bool {
+        self.outputs.contains(&id)
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs, {} gates, depth {}",
+            self.name,
+            self.num_inputs(),
+            self.num_outputs(),
+            self.num_gates(),
+            self.depth()
+        )
+    }
+}
+
+/// Builder for [`Netlist`].
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl NetlistBuilder {
+    /// Starts an empty netlist.
+    pub fn new(name: &str) -> Self {
+        NetlistBuilder {
+            name: name.to_string(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken (inputs are declared before any
+    /// gate that could clash; see [`NetlistBuilder::gate`] for the fallible
+    /// path used by parsers).
+    pub fn input(&mut self, name: &str) -> NetId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "net name `{name}` already declared"
+        );
+        let id = NetId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind: GateKind::Input,
+            fanins: Vec::new(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares a gate driving the net `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetlistError`] on duplicate names, `Input` kind, or
+    /// arity violations (no fanins; `Buf`/`Not` with more than one).
+    pub fn gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanins: Vec<NetId>,
+    ) -> Result<NetId, BuildNetlistError> {
+        if self.by_name.contains_key(name) {
+            return Err(BuildNetlistError::DuplicateName {
+                name: name.to_string(),
+            });
+        }
+        if kind == GateKind::Input {
+            return Err(BuildNetlistError::GateCannotBeInput {
+                name: name.to_string(),
+            });
+        }
+        if fanins.is_empty() {
+            return Err(BuildNetlistError::NoFanins {
+                name: name.to_string(),
+            });
+        }
+        if matches!(kind, GateKind::Buf | GateKind::Not) && fanins.len() != 1 {
+            return Err(BuildNetlistError::BadArity {
+                name: name.to_string(),
+                kind,
+                arity: fanins.len(),
+            });
+        }
+        if let Some(&bad) = fanins.iter().find(|f| f.index() >= self.nodes.len()) {
+            return Err(BuildNetlistError::UnknownFanin {
+                name: name.to_string(),
+                fanin: bad,
+            });
+        }
+        let id = NetId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind,
+            fanins,
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Marks a net as primary output.
+    pub fn output(&mut self, id: NetId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Looks up a declared net by name.
+    pub fn find(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Validates, topologically sorts, levelizes and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetlistError::Cycle`] if the gates form a cycle and
+    /// [`BuildNetlistError::NoNodes`] for an empty builder.
+    pub fn finish(self) -> Result<Netlist, BuildNetlistError> {
+        if self.nodes.is_empty() {
+            return Err(BuildNetlistError::NoNodes);
+        }
+        let n = self.nodes.len();
+        // Kahn's algorithm over the declared graph (declaration order is not
+        // guaranteed topological when parsers resolve forward references).
+        let mut indegree = vec![0usize; n];
+        let mut fanouts: Vec<Vec<NetId>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            indegree[i] = node.fanins.len();
+            for &f in &node.fanins {
+                fanouts[f.index()].push(NetId(i as u32));
+            }
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        // Keep declaration order within each frontier for determinism.
+        ready.reverse();
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            let mut appended = Vec::new();
+            for &fo in &fanouts[i] {
+                indegree[fo.index()] -= 1;
+                if indegree[fo.index()] == 0 {
+                    appended.push(fo.index());
+                }
+            }
+            appended.sort_unstable_by(|a, b| b.cmp(a));
+            ready.extend(appended);
+        }
+        if order.len() != n {
+            return Err(BuildNetlistError::Cycle);
+        }
+        // Remap ids to topological positions.
+        let mut remap = vec![NetId(0); n];
+        for (pos, &old) in order.iter().enumerate() {
+            remap[old] = NetId(pos as u32);
+        }
+        let mut nodes: Vec<Node> = Vec::with_capacity(n);
+        for &old in &order {
+            let node = &self.nodes[old];
+            nodes.push(Node {
+                name: node.name.clone(),
+                kind: node.kind,
+                fanins: node.fanins.iter().map(|f| remap[f.index()]).collect(),
+            });
+        }
+        let inputs: Vec<NetId> = self.inputs.iter().map(|i| remap[i.index()]).collect();
+        let outputs: Vec<NetId> = self.outputs.iter().map(|o| remap[o.index()]).collect();
+        let mut fanouts: Vec<Vec<NetId>> = vec![Vec::new(); n];
+        let mut levels = vec![0u32; n];
+        for (i, node) in nodes.iter().enumerate() {
+            let mut level = 0;
+            for &f in &node.fanins {
+                fanouts[f.index()].push(NetId(i as u32));
+                level = level.max(levels[f.index()] + 1);
+            }
+            levels[i] = level;
+        }
+        Ok(Netlist {
+            name: self.name,
+            nodes,
+            inputs,
+            outputs,
+            fanouts,
+            levels,
+        })
+    }
+}
+
+/// Error building a [`Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildNetlistError {
+    /// Two nets share a name.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// `GateKind::Input` passed to [`NetlistBuilder::gate`].
+    GateCannotBeInput {
+        /// The offending net.
+        name: String,
+    },
+    /// A gate with no fanins.
+    NoFanins {
+        /// The offending net.
+        name: String,
+    },
+    /// `Buf`/`Not` with more than one fanin.
+    BadArity {
+        /// The offending net.
+        name: String,
+        /// Its kind.
+        kind: GateKind,
+        /// The observed fanin count.
+        arity: usize,
+    },
+    /// A fanin id that was never declared.
+    UnknownFanin {
+        /// The offending net.
+        name: String,
+        /// The undeclared fanin.
+        fanin: NetId,
+    },
+    /// The gate graph contains a cycle.
+    Cycle,
+    /// The builder is empty.
+    NoNodes,
+}
+
+impl fmt::Display for BuildNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetlistError::DuplicateName { name } => {
+                write!(f, "net name `{name}` declared twice")
+            }
+            BuildNetlistError::GateCannotBeInput { name } => {
+                write!(f, "net `{name}`: gates cannot have kind INPUT")
+            }
+            BuildNetlistError::NoFanins { name } => {
+                write!(f, "gate `{name}` has no fanins")
+            }
+            BuildNetlistError::BadArity { name, kind, arity } => {
+                write!(f, "gate `{name}`: {kind} takes one input, got {arity}")
+            }
+            BuildNetlistError::UnknownFanin { name, fanin } => {
+                write!(f, "gate `{name}` references undeclared net {fanin}")
+            }
+            BuildNetlistError::Cycle => write!(f, "combinational cycle detected"),
+            BuildNetlistError::NoNodes => write!(f, "netlist has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for BuildNetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("ha");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.gate("s", GateKind::Xor, vec![x, y]).unwrap();
+        let c = b.gate("c", GateKind::And, vec![x, y]).unwrap();
+        b.output(s);
+        b.output(c);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_and_levels() {
+        let n = half_adder();
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_gates(), 2);
+        assert_eq!(n.num_outputs(), 2);
+        assert_eq!(n.depth(), 1);
+        for &i in n.inputs() {
+            assert_eq!(n.level(i), 0);
+        }
+    }
+
+    #[test]
+    fn topological_invariant() {
+        let n = half_adder();
+        for id in n.node_ids() {
+            for &f in n.fanins(id) {
+                assert!(f.index() < id.index(), "fanin after fanout");
+            }
+        }
+    }
+
+    #[test]
+    fn fanouts_inverse_of_fanins() {
+        let n = half_adder();
+        for id in n.node_ids() {
+            for &f in n.fanins(id) {
+                assert!(n.fanouts(f).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_references_are_sorted_out() {
+        // Declare the consumer before the producer via direct builder ids.
+        let mut b = NetlistBuilder::new("fwd");
+        let x = b.input("x");
+        let inv = b.gate("inv", GateKind::Not, vec![x]).unwrap();
+        let buf = b.gate("buf", GateKind::Buf, vec![inv]).unwrap();
+        b.output(buf);
+        let n = b.finish().unwrap();
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.find_net("buf").map(|id| n.level(id)), Some(2));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        let x = b.input("x");
+        assert!(matches!(
+            b.gate("x", GateKind::Not, vec![x]),
+            Err(BuildNetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_validated() {
+        let mut b = NetlistBuilder::new("bad");
+        let x = b.input("x");
+        let y = b.input("y");
+        assert!(matches!(
+            b.gate("n", GateKind::Not, vec![x, y]),
+            Err(BuildNetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            b.gate("g", GateKind::And, vec![]),
+            Err(BuildNetlistError::NoFanins { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        assert!(matches!(
+            NetlistBuilder::new("empty").finish(),
+            Err(BuildNetlistError::NoNodes)
+        ));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = half_adder().to_string();
+        assert!(s.contains("2 inputs") && s.contains("2 gates"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Full-circuit three-valued simulation.
+
+use evotc_bits::{TestPattern, Trit};
+use evotc_netlist::{GateKind, NetId, Netlist};
+
+use crate::logic::eval_gate;
+
+/// Simulates a test pattern, returning the three-valued value of every net
+/// (indexed by [`NetId::index`]).
+///
+/// # Panics
+///
+/// Panics if the pattern width differs from the circuit's input count.
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate).
+pub fn simulate(netlist: &Netlist, pattern: &TestPattern) -> Vec<Trit> {
+    simulate_with_forced(netlist, pattern, &[])
+}
+
+/// Simulates with some nets *forced* to fixed values (fault injection:
+/// a stuck-at-`v` fault forces its net to `v` regardless of the driver).
+///
+/// # Panics
+///
+/// Panics if the pattern width differs from the circuit's input count.
+pub fn simulate_with_forced(
+    netlist: &Netlist,
+    pattern: &TestPattern,
+    forced: &[(NetId, Trit)],
+) -> Vec<Trit> {
+    assert_eq!(
+        pattern.width(),
+        netlist.num_inputs(),
+        "pattern width {} != inputs {}",
+        pattern.width(),
+        netlist.num_inputs()
+    );
+    let mut values = vec![Trit::X; netlist.num_nodes()];
+    for (j, &input) in netlist.inputs().iter().enumerate() {
+        values[input.index()] = pattern.trit(j);
+    }
+    let mut fanin_buf: Vec<Trit> = Vec::with_capacity(8);
+    for id in netlist.node_ids() {
+        if netlist.kind(id) != GateKind::Input {
+            fanin_buf.clear();
+            fanin_buf.extend(netlist.fanins(id).iter().map(|f| values[f.index()]));
+            values[id.index()] = eval_gate(netlist.kind(id), &fanin_buf);
+        }
+        if let Some(&(_, v)) = forced.iter().find(|&&(net, _)| net == id) {
+            values[id.index()] = v;
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evotc_netlist::{iscas, parse_bench};
+
+    fn c17() -> Netlist {
+        parse_bench(iscas::C17_BENCH).unwrap()
+    }
+
+    fn outputs_of(netlist: &Netlist, pattern: &str) -> Vec<Trit> {
+        let p: TestPattern = pattern.parse().unwrap();
+        let values = simulate(netlist, &p);
+        netlist
+            .outputs()
+            .iter()
+            .map(|o| values[o.index()])
+            .collect()
+    }
+
+    #[test]
+    fn c17_known_vectors() {
+        let n = c17();
+        // inputs order: 1,2,3,6,7.
+        // all zeros: 10=NAND(0,0)=1, 11=NAND(0,0)=1, 16=NAND(0,1)=1,
+        // 19=NAND(1,0)=1, 22=NAND(1,1)=0, 23=NAND(1,1)=0
+        assert_eq!(outputs_of(&n, "00000"), vec![Trit::Zero, Trit::Zero]);
+        // all ones: 10=NAND(1,1)=0, 11=0, 16=NAND(1,0)=1, 19=NAND(0,1)=1,
+        // 22=NAND(0,1)=1, 23=NAND(1,1)=0
+        assert_eq!(outputs_of(&n, "11111"), vec![Trit::One, Trit::Zero]);
+    }
+
+    #[test]
+    fn x_inputs_propagate_pessimistically() {
+        let n = c17();
+        let out = outputs_of(&n, "XXXXX");
+        assert!(out.iter().all(|&t| t == Trit::X));
+        // but a controlling 0 on input 3 (third input) forces both NANDs high
+        let out = outputs_of(&n, "XX0XX");
+        // 10 = NAND(1, 0) = 1; 11 = NAND(0, 6) = 1
+        // 16 = NAND(2, 1) = X; 22 = NAND(1, X) = X
+        assert_eq!(out[0], Trit::X);
+    }
+
+    #[test]
+    fn forced_value_overrides_driver() {
+        let n = c17();
+        let p: TestPattern = "00000".parse().unwrap();
+        let g10 = n.find_net("10").unwrap();
+        let good = simulate(&n, &p);
+        assert_eq!(good[g10.index()], Trit::One);
+        let faulty = simulate_with_forced(&n, &p, &[(g10, Trit::Zero)]);
+        assert_eq!(faulty[g10.index()], Trit::Zero);
+        // 22 = NAND(10, 16): good NAND(1,1)=0, faulty NAND(0,1)=1
+        let g22 = n.find_net("22").unwrap();
+        assert_ne!(good[g22.index()], faulty[g22.index()]);
+    }
+
+    #[test]
+    fn forced_input_is_respected() {
+        let n = c17();
+        let p: TestPattern = "XXXXX".parse().unwrap();
+        let pi = n.inputs()[0];
+        let v = simulate_with_forced(&n, &p, &[(pi, Trit::One)]);
+        assert_eq!(v[pi.index()], Trit::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width")]
+    fn width_is_validated() {
+        let n = c17();
+        let p: TestPattern = "101".parse().unwrap();
+        let _ = simulate(&n, &p);
+    }
+}

@@ -1,0 +1,170 @@
+//! The single stuck-at fault model.
+
+use std::fmt;
+
+use evotc_netlist::{GateKind, NetId, Netlist};
+
+/// A single stuck-at fault on a net (the classic model behind the paper's
+/// stuck-at test sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StuckAtFault {
+    /// The faulty net.
+    pub net: NetId,
+    /// The stuck value (`false` = stuck-at-0).
+    pub stuck_at: bool,
+}
+
+impl StuckAtFault {
+    /// Creates a stuck-at-0 fault.
+    pub fn sa0(net: NetId) -> Self {
+        StuckAtFault {
+            net,
+            stuck_at: false,
+        }
+    }
+
+    /// Creates a stuck-at-1 fault.
+    pub fn sa1(net: NetId) -> Self {
+        StuckAtFault {
+            net,
+            stuck_at: true,
+        }
+    }
+}
+
+impl fmt::Display for StuckAtFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/sa{}", self.net, u8::from(self.stuck_at))
+    }
+}
+
+/// Enumerates both stuck-at faults on every net.
+pub fn all_faults(netlist: &Netlist) -> Vec<StuckAtFault> {
+    let mut out = Vec::with_capacity(2 * netlist.num_nodes());
+    for id in netlist.node_ids() {
+        out.push(StuckAtFault::sa0(id));
+        out.push(StuckAtFault::sa1(id));
+    }
+    out
+}
+
+/// Structural equivalence collapsing.
+///
+/// Two classic rules shrink the fault list without losing coverage:
+///
+/// * The output faults of `BUF` are equivalent to the same faults at the
+///   input; for `NOT` they are equivalent with inverted polarity. On
+///   fanout-free chains only the chain head needs faults.
+/// * For AND/NAND (OR/NOR), a stuck-at-controlling fault on any fanin is
+///   equivalent to stuck-at-(gate output under controlling input) at the
+///   output, so when the fanin is fanout-free its representative moves to
+///   the gate output.
+///
+/// This implementation drops net faults that are equivalent to a fault on
+/// the (single-fanout) driven gate, keeping the representative closest to
+/// the outputs — typically collapsing 30–50 % of the list, enough to speed
+/// up ATPG substantially while staying obviously sound.
+pub fn collapse_faults(netlist: &Netlist) -> Vec<StuckAtFault> {
+    let mut keep: Vec<StuckAtFault> = Vec::new();
+    for id in netlist.node_ids() {
+        for stuck_at in [false, true] {
+            if is_collapsed_away(netlist, id, stuck_at) {
+                continue;
+            }
+            keep.push(StuckAtFault { net: id, stuck_at });
+        }
+    }
+    keep
+}
+
+/// A fault is dropped when it is equivalent to a fault on its unique fanout
+/// gate (which is enumerated separately).
+fn is_collapsed_away(netlist: &Netlist, net: NetId, stuck_at: bool) -> bool {
+    if netlist.is_output(net) {
+        return false; // output faults are always representatives
+    }
+    let fanouts = netlist.fanouts(net);
+    if fanouts.len() != 1 {
+        return false; // fanout stems need their own faults
+    }
+    let gate = fanouts[0];
+    match netlist.kind(gate) {
+        // BUF: input sa-v == output sa-v. NOT: input sa-v == output sa-!v.
+        GateKind::Buf | GateKind::Not => true,
+        // AND: input sa-0 == output sa-0; NAND: input sa-0 == output sa-1.
+        GateKind::And | GateKind::Nand => !stuck_at,
+        // OR: input sa-1 == output sa-1; NOR: input sa-1 == output sa-0.
+        GateKind::Or | GateKind::Nor => stuck_at,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evotc_netlist::{iscas, parse_bench, GateKind, NetlistBuilder};
+
+    #[test]
+    fn all_faults_counts() {
+        let n = parse_bench(iscas::C17_BENCH).unwrap();
+        assert_eq!(all_faults(&n).len(), 2 * n.num_nodes());
+    }
+
+    #[test]
+    fn collapsing_shrinks_the_list() {
+        let n = parse_bench(iscas::C17_BENCH).unwrap();
+        let full = all_faults(&n).len();
+        let collapsed = collapse_faults(&n).len();
+        assert!(collapsed < full, "{collapsed} !< {full}");
+        assert!(collapsed >= n.num_outputs() * 2);
+    }
+
+    #[test]
+    fn inverter_chain_collapses_to_heads_and_tail() {
+        // x -> NOT a -> NOT b(out): x faults collapse into a, a into b.
+        let mut builder = NetlistBuilder::new("chain");
+        let x = builder.input("x");
+        let a = builder.gate("a", GateKind::Not, vec![x]).unwrap();
+        let b = builder.gate("b", GateKind::Not, vec![a]).unwrap();
+        builder.output(b);
+        let n = builder.finish().unwrap();
+        let collapsed = collapse_faults(&n);
+        // only the output keeps faults
+        assert_eq!(collapsed.len(), 2);
+        assert!(collapsed.iter().all(|f| n.is_output(f.net)));
+    }
+
+    #[test]
+    fn fanout_stems_keep_their_faults() {
+        // x drives two gates: x faults must stay.
+        let mut builder = NetlistBuilder::new("stem");
+        let x = builder.input("x");
+        let y = builder.input("y");
+        let a = builder.gate("a", GateKind::And, vec![x, y]).unwrap();
+        let o = builder.gate("o", GateKind::Or, vec![x, a]).unwrap();
+        builder.output(o);
+        let n = builder.finish().unwrap();
+        let collapsed = collapse_faults(&n);
+        assert!(collapsed.iter().any(|f| f.net == x));
+    }
+
+    #[test]
+    fn and_gate_keeps_sa1_on_inputs() {
+        let mut builder = NetlistBuilder::new("and");
+        let x = builder.input("x");
+        let y = builder.input("y");
+        let a = builder.gate("a", GateKind::And, vec![x, y]).unwrap();
+        builder.output(a);
+        let n = builder.finish().unwrap();
+        let collapsed = collapse_faults(&n);
+        // x/sa0 collapses into a/sa0, x/sa1 must remain.
+        assert!(!collapsed.contains(&StuckAtFault::sa0(x)));
+        assert!(collapsed.contains(&StuckAtFault::sa1(x)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = StuckAtFault::sa1(NetId(3));
+        assert_eq!(f.to_string(), "n3/sa1");
+    }
+}

@@ -1,0 +1,125 @@
+//! Three-valued gate evaluation.
+
+use evotc_bits::Trit;
+use evotc_netlist::GateKind;
+
+/// Evaluates a gate over three-valued inputs with standard pessimistic `X`
+/// semantics: the output is `X` unless the specified inputs force a value
+/// (e.g. one `0` input forces an AND gate to `0` regardless of `X`s).
+///
+/// # Panics
+///
+/// Panics for [`GateKind::Input`] (inputs have no logic function), empty
+/// input slices, and arity violations on `Buf`/`Not`.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::Trit;
+/// use evotc_netlist::GateKind;
+/// use evotc_sim::eval_gate;
+///
+/// assert_eq!(eval_gate(GateKind::And, &[Trit::Zero, Trit::X]), Trit::Zero);
+/// assert_eq!(eval_gate(GateKind::And, &[Trit::One, Trit::X]), Trit::X);
+/// ```
+pub fn eval_gate(kind: GateKind, inputs: &[Trit]) -> Trit {
+    assert!(!inputs.is_empty(), "gate must have at least one input");
+    match kind {
+        GateKind::Input => panic!("inputs have no logic function"),
+        GateKind::Buf => {
+            assert_eq!(inputs.len(), 1, "BUF takes one input");
+            inputs[0]
+        }
+        GateKind::Not => {
+            assert_eq!(inputs.len(), 1, "NOT takes one input");
+            not(inputs[0])
+        }
+        GateKind::And => and_all(inputs),
+        GateKind::Nand => not(and_all(inputs)),
+        GateKind::Or => or_all(inputs),
+        GateKind::Nor => not(or_all(inputs)),
+        GateKind::Xor => xor_all(inputs),
+        GateKind::Xnor => not(xor_all(inputs)),
+    }
+}
+
+fn not(a: Trit) -> Trit {
+    match a {
+        Trit::Zero => Trit::One,
+        Trit::One => Trit::Zero,
+        Trit::X => Trit::X,
+    }
+}
+
+fn and_all(inputs: &[Trit]) -> Trit {
+    if inputs.iter().any(|&t| t == Trit::Zero) {
+        Trit::Zero
+    } else if inputs.iter().all(|&t| t == Trit::One) {
+        Trit::One
+    } else {
+        Trit::X
+    }
+}
+
+fn or_all(inputs: &[Trit]) -> Trit {
+    if inputs.iter().any(|&t| t == Trit::One) {
+        Trit::One
+    } else if inputs.iter().all(|&t| t == Trit::Zero) {
+        Trit::Zero
+    } else {
+        Trit::X
+    }
+}
+
+fn xor_all(inputs: &[Trit]) -> Trit {
+    let mut acc = Trit::Zero;
+    for &t in inputs {
+        acc = match (acc, t) {
+            (Trit::X, _) | (_, Trit::X) => return Trit::X,
+            (a, b) => Trit::from_bool(a.to_bool().expect("not X") ^ b.to_bool().expect("not X")),
+        };
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Trit::{One, X, Zero};
+
+    #[test]
+    fn controlling_values_dominate_x() {
+        assert_eq!(eval_gate(GateKind::And, &[Zero, X, X]), Zero);
+        assert_eq!(eval_gate(GateKind::Nand, &[Zero, X]), One);
+        assert_eq!(eval_gate(GateKind::Or, &[One, X]), One);
+        assert_eq!(eval_gate(GateKind::Nor, &[One, X]), Zero);
+    }
+
+    #[test]
+    fn x_propagates_when_undecided() {
+        assert_eq!(eval_gate(GateKind::And, &[One, X]), X);
+        assert_eq!(eval_gate(GateKind::Or, &[Zero, X]), X);
+        assert_eq!(eval_gate(GateKind::Xor, &[One, X]), X);
+        assert_eq!(eval_gate(GateKind::Not, &[X]), X);
+    }
+
+    #[test]
+    fn fully_specified_matches_boolean() {
+        use evotc_netlist::GateKind::*;
+        for kind in [And, Nand, Or, Nor, Xor, Xnor] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let expected = kind.eval_bool(&[a, b]);
+                    let got = eval_gate(kind, &[Trit::from_bool(a), Trit::from_bool(b)]);
+                    assert_eq!(got, Trit::from_bool(expected), "{kind} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_parity_over_three_inputs() {
+        assert_eq!(eval_gate(GateKind::Xor, &[One, One, One]), One);
+        assert_eq!(eval_gate(GateKind::Xnor, &[One, One, Zero]), One);
+    }
+}

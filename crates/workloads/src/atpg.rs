@@ -1,0 +1,83 @@
+//! Real end-to-end workloads: circuit → ATPG → uncompacted test set.
+//!
+//! No synthetic substitution here — these run the actual paper pipeline
+//! (PODEM with don't-care extraction, robust path-delay generation) on
+//! embedded or generated circuits. Used by the examples and integration
+//! tests to demonstrate the full flow.
+
+use evotc_atpg::{
+    generate_path_delay_tests, generate_stuck_at_tests, PathDelayConfig, StuckAtConfig,
+};
+use evotc_bits::TestSet;
+use evotc_netlist::{generate, iscas, parse_bench, GeneratorConfig, Netlist};
+
+/// Materializes a circuit: embedded netlist when available (`c17`, `s27`),
+/// otherwise a deterministic generated stand-in with the profile's shape.
+///
+/// # Panics
+///
+/// Panics if the circuit has no ISCAS profile.
+pub fn circuit(name: &str) -> Netlist {
+    match name {
+        "c17" => parse_bench(iscas::C17_BENCH).expect("embedded c17 parses"),
+        "s27" => parse_bench(iscas::S27_BENCH).expect("embedded s27 parses"),
+        other => {
+            let profile = iscas::profile(other)
+                .unwrap_or_else(|| panic!("no ISCAS profile for circuit `{other}`"));
+            generate(&GeneratorConfig::from_profile(profile))
+        }
+    }
+}
+
+/// Runs stuck-at ATPG on `name` and returns the uncompacted test set
+/// (unassigned inputs left as `X`).
+pub fn stuck_at_tests(name: &str) -> TestSet {
+    generate_stuck_at_tests(&circuit(name), &StuckAtConfig::default()).tests
+}
+
+/// Runs robust path-delay ATPG on `name` (bounded path enumeration) and
+/// returns the two-pattern test set (width `2n`).
+pub fn path_delay_tests(name: &str, max_paths: usize) -> TestSet {
+    let config = PathDelayConfig {
+        max_paths,
+        ..Default::default()
+    };
+    generate_path_delay_tests(&circuit(name), &config).tests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evotc_core::{NineCHuffmanCompressor, TestCompressor};
+
+    #[test]
+    fn embedded_circuits_resolve() {
+        assert_eq!(circuit("c17").num_inputs(), 5);
+        assert_eq!(circuit("s27").num_inputs(), 7);
+    }
+
+    #[test]
+    fn generated_standins_match_profile() {
+        let n = circuit("s298");
+        let p = iscas::profile("s298").unwrap();
+        assert_eq!(n.num_inputs(), p.inputs);
+        assert_eq!(n.num_gates(), p.gates);
+    }
+
+    #[test]
+    fn atpg_tests_compress_end_to_end() {
+        let tests = stuck_at_tests("s27");
+        assert!(!tests.is_empty());
+        // The full pipeline: real ATPG output into a real compressor.
+        let compressed = NineCHuffmanCompressor::new(8).compress(&tests).unwrap();
+        let restored = compressed.decompress().unwrap();
+        assert!(tests.is_refined_by(&restored));
+    }
+
+    #[test]
+    fn path_delay_tests_have_pair_width() {
+        let tests = path_delay_tests("c17", 16);
+        assert_eq!(tests.width(), 10);
+        assert!(!tests.is_empty());
+    }
+}

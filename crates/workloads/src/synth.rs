@@ -1,0 +1,236 @@
+//! Structured synthetic test sets.
+//!
+//! Real uncompacted ATPG test sets are not uniformly random: many cubes
+//! target faults in the same logic cone and therefore share most of their
+//! specified bits. The generator models this with *archetype cubes*: each
+//! pattern is a noisy copy of one of a few archetypes (bits dropped to `X`,
+//! occasional value flips, a sprinkle of extra specified bits). This
+//! produces exactly the "input blocks that almost match" the paper's
+//! generalized matching vectors exploit (Section 1).
+
+use evotc_bits::{TestPattern, TestSet, Trit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Pattern width `n` (circuit inputs; `2n` for path-delay pairs).
+    pub width: usize,
+    /// Total test-data volume `T · n` in bits; `T` is derived by rounding
+    /// up to whole patterns.
+    pub total_bits: usize,
+    /// Fraction of specified (non-`X`) bits, in `[0, 1]` — the calibration
+    /// knob (higher density compresses worse).
+    pub specified_density: f64,
+    /// Probability that a specified bit is `1` (ATPG sets skew toward `0`).
+    pub one_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// A reasonable starting spec for a circuit of `width` inputs: density
+    /// to be calibrated, mild `1` skew.
+    pub fn new(width: usize, total_bits: usize, seed: u64) -> Self {
+        SyntheticSpec {
+            width,
+            total_bits,
+            specified_density: 0.5,
+            one_bias: 0.35,
+            seed,
+        }
+    }
+
+    /// Number of patterns `T` (rounded up).
+    pub fn num_patterns(&self) -> usize {
+        self.total_bits.div_ceil(self.width).max(1)
+    }
+}
+
+/// Generates a test set according to the spec.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or `specified_density`/`one_bias` lie outside
+/// `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use evotc_workloads::synth::{generate, SyntheticSpec};
+///
+/// let spec = SyntheticSpec { width: 24, total_bits: 624, specified_density: 0.4, one_bias: 0.35, seed: 7 };
+/// let set = generate(&spec);
+/// assert_eq!(set.width(), 24);
+/// assert_eq!(set.num_patterns(), 26);
+/// assert!((set.x_density() - 0.6).abs() < 0.1);
+/// ```
+pub fn generate(spec: &SyntheticSpec) -> TestSet {
+    assert!(spec.width > 0, "pattern width must be positive");
+    assert!(
+        (0.0..=1.0).contains(&spec.specified_density),
+        "density must lie in [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&spec.one_bias),
+        "one-bias must lie in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let t = spec.num_patterns();
+    // A handful of archetypes, more for larger sets (cone diversity).
+    let num_archetypes = (t / 12).clamp(2, 48);
+    let d = spec.specified_density;
+    // Per-pattern bit: specified iff the archetype bit is kept (p = 0.9) or
+    // resurrected from X (p chosen so the expectation stays at `d`).
+    let keep = 0.9;
+    let extra = if d >= 1.0 {
+        1.0
+    } else {
+        (d * (1.0 - keep) / (1.0 - d)).min(1.0)
+    };
+
+    let archetypes: Vec<Vec<Trit>> = (0..num_archetypes)
+        .map(|_| {
+            (0..spec.width)
+                .map(|_| {
+                    if rng.gen_bool(d) {
+                        Trit::from_bool(rng.gen_bool(spec.one_bias))
+                    } else {
+                        Trit::X
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut set = TestSet::new(spec.width);
+    for _ in 0..t {
+        let archetype = &archetypes[rng.gen_range(0..num_archetypes)];
+        let mut trits = Vec::with_capacity(spec.width);
+        for &a in archetype {
+            let trit = match a {
+                Trit::X => {
+                    if extra > 0.0 && rng.gen_bool(extra) {
+                        Trit::from_bool(rng.gen_bool(spec.one_bias))
+                    } else {
+                        Trit::X
+                    }
+                }
+                value => {
+                    if rng.gen_bool(keep) {
+                        // small chance of a flipped requirement
+                        if rng.gen_bool(0.05) {
+                            Trit::from_bool(!value.to_bool().expect("specified"))
+                        } else {
+                            value
+                        }
+                    } else {
+                        Trit::X
+                    }
+                }
+            };
+            trits.push(trit);
+        }
+        set.push(TestPattern::from_trits(&trits))
+            .expect("constant width");
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(density: f64, seed: u64) -> SyntheticSpec {
+        SyntheticSpec {
+            width: 32,
+            total_bits: 32 * 200,
+            specified_density: density,
+            one_bias: 0.35,
+            seed,
+        }
+    }
+
+    #[test]
+    fn density_is_respected() {
+        for d in [0.1, 0.3, 0.6, 0.9] {
+            let set = generate(&spec(d, 1));
+            let specified = 1.0 - set.x_density();
+            assert!(
+                (specified - d).abs() < 0.08,
+                "target {d}, got {specified:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&spec(0.4, 9));
+        let b = generate(&spec(0.4, 9));
+        assert_eq!(a, b);
+        let c = generate(&spec(0.4, 10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extreme_densities() {
+        let all_x = generate(&spec(0.0, 3));
+        assert!((all_x.x_density() - 1.0).abs() < 1e-9);
+        // At d = 1.0 the keep-probability (0.9) still drops ~10 % to X.
+        let none_x = generate(&spec(1.0, 3));
+        assert!(none_x.x_density() < 0.15, "{}", none_x.x_density());
+    }
+
+    #[test]
+    fn archetypes_create_near_duplicates() {
+        // Patterns cloned from the same archetype agree on most specified
+        // bits, so compatible pairs must be much more common than under a
+        // uniform random model.
+        let set = generate(&spec(0.5, 4));
+        let patterns = set.patterns();
+        let mut compatible = 0usize;
+        let mut total = 0usize;
+        for i in 0..50 {
+            for j in (i + 1)..50 {
+                total += 1;
+                if patterns[i].compatible(&patterns[j]) {
+                    compatible += 1;
+                }
+            }
+        }
+        let frac = compatible as f64 / total as f64;
+        // Uniform random 32-bit patterns at 50% density would collide with
+        // probability (1 - 0.25*0.5)^32 ≈ 0.014.
+        assert!(frac > 0.03, "compatible fraction only {frac:.3}");
+    }
+
+    #[test]
+    fn one_bias_shifts_values() {
+        let mut lows = 0usize;
+        let mut highs = 0usize;
+        let set = generate(&SyntheticSpec {
+            one_bias: 0.2,
+            ..spec(0.8, 5)
+        });
+        for p in set.iter() {
+            for t in p.iter() {
+                match t.to_bool() {
+                    Some(true) => highs += 1,
+                    Some(false) => lows += 1,
+                    None => {}
+                }
+            }
+        }
+        let frac = highs as f64 / (highs + lows) as f64;
+        assert!(frac < 0.35, "one fraction {frac:.3}");
+    }
+
+    #[test]
+    fn pattern_count_rounds_up() {
+        let s = SyntheticSpec::new(24, 625, 0);
+        assert_eq!(s.num_patterns(), 27);
+        let set = generate(&s);
+        assert_eq!(set.num_patterns(), 27);
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-circuit workload construction.
+
+use evotc_bits::TestSet;
+use evotc_netlist::iscas;
+
+use crate::calibrate::calibrate_density;
+use crate::synth::{generate, SyntheticSpec};
+use crate::tables::{PathDelayRow, StuckAtRow};
+
+/// Default cap on the bits used while *calibrating* (not generating).
+const CALIBRATION_BITS: usize = 1 << 16;
+
+/// Builds the calibrated stuck-at workload for a Table 1 row: a test set
+/// with the paper's exact size, the circuit's real input count, and a
+/// don't-care density tuned so our 9C (K=8) reproduces the row's 9C rate.
+///
+/// # Panics
+///
+/// Panics if the circuit has no ISCAS profile (all Table 1 circuits do).
+pub fn stuck_at_workload(row: &StuckAtRow, seed: u64) -> TestSet {
+    workload_with_limit(row.circuit, row.test_set_bits, row.rate_9c, seed, usize::MAX, 1)
+}
+
+/// Builds the calibrated path-delay workload for a Table 2 row. Path-delay
+/// tests are vector pairs, so the pattern width is `2n`.
+///
+/// # Panics
+///
+/// Panics if the circuit has no ISCAS profile.
+pub fn path_delay_workload(row: &PathDelayRow, seed: u64) -> TestSet {
+    workload_with_limit(row.circuit, row.test_set_bits, row.rate_9c, seed, usize::MAX, 2)
+}
+
+/// Workload construction with an explicit size cap — the harness's *quick*
+/// profile subsamples multi-megabit circuits (`total_bits.min(limit)`),
+/// which leaves compression rates essentially unchanged (they are density-
+/// driven) while keeping runtimes interactive. `width_factor` is 1 for
+/// stuck-at rows and 2 for path-delay pairs.
+///
+/// # Panics
+///
+/// Panics if the circuit has no ISCAS profile or `width_factor` is zero.
+pub fn workload_with_limit(
+    circuit: &str,
+    total_bits: usize,
+    target_9c_rate: f64,
+    seed: u64,
+    limit: usize,
+    width_factor: usize,
+) -> TestSet {
+    assert!(width_factor > 0, "width factor must be positive");
+    let profile = iscas::profile(circuit)
+        .unwrap_or_else(|| panic!("no ISCAS profile for circuit `{circuit}`"));
+    let width = profile.inputs * width_factor;
+    let spec = SyntheticSpec::new(width, total_bits.min(limit), seed);
+    let cal = calibrate_density(&spec, target_9c_rate, 1.0, CALIBRATION_BITS);
+    generate(&SyntheticSpec {
+        specified_density: cal.specified_density,
+        ..spec
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::ninec_rate;
+    use crate::tables;
+
+    #[test]
+    fn stuck_at_workload_matches_row_shape() {
+        let row = tables::stuck_at_row("s298").unwrap();
+        let set = stuck_at_workload(row, 0);
+        assert_eq!(set.width(), 17); // s298 combinational inputs
+        // sizes round up to whole patterns
+        assert!(set.total_bits() >= row.test_set_bits);
+        assert!(set.total_bits() < row.test_set_bits + set.width());
+    }
+
+    #[test]
+    fn calibration_anchors_the_9c_rate() {
+        let row = tables::stuck_at_row("s444").unwrap();
+        let set = stuck_at_workload(row, 1);
+        let rate = ninec_rate(&set);
+        assert!(
+            (rate - row.rate_9c).abs() < 6.0,
+            "s444: calibrated 9C rate {rate:.1}% vs paper {:.1}%",
+            row.rate_9c
+        );
+    }
+
+    #[test]
+    fn path_delay_width_is_doubled() {
+        let row = tables::path_delay_row("s27").unwrap();
+        let set = path_delay_workload(row, 0);
+        assert_eq!(set.width(), 14); // 2 * 7
+    }
+
+    #[test]
+    fn limit_caps_large_circuits() {
+        let set = workload_with_limit("s5378", 71_262, 73.0, 0, 10_000, 1);
+        assert!(set.total_bits() <= 10_000 + set.width());
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's future-work extension: compression in a multiple scan chain
+//! environment — split the test set across chains, one decoder per chain.
+//!
+//! Run with: `cargo run --release --example multiscan`
+
+use evotc::core::{multiscan, NineCHuffmanCompressor, TestCompressor};
+use evotc::workloads::synth::{generate, SyntheticSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let set = generate(&SyntheticSpec {
+        width: 64,
+        total_bits: 64 * 200,
+        specified_density: 0.35,
+        one_bias: 0.3,
+        seed: 5,
+    });
+    let single = NineCHuffmanCompressor::new(8).compress(&set)?;
+    println!("single chain : {single}");
+    for chains in [2usize, 4, 8] {
+        let result = multiscan::compress_chains(&set, chains, &NineCHuffmanCompressor::new(8))?;
+        println!("{chains:>2} chains   : {result}");
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! A miniature version of the paper's K/L exploration: how block length and
+//! matching-vector count trade off on one calibrated workload.
+//!
+//! Run with: `cargo run --release --example parameter_sweep`
+
+use evotc::core::{EaCompressor, TestCompressor};
+use evotc::workloads::synth::{generate, SyntheticSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let set = generate(&SyntheticSpec {
+        width: 24,
+        total_bits: 24 * 300,
+        specified_density: 0.45,
+        one_bias: 0.35,
+        seed: 11,
+    });
+    println!("workload: {} bits, {:.0}% don't-cares\n", set.total_bits(), 100.0 * set.x_density());
+    println!("{:>4} {:>4} {:>10}", "K", "L", "rate (%)");
+    for k in [4usize, 8, 12] {
+        for l in [4usize, 9, 16] {
+            let compressed = EaCompressor::builder(k, l)
+                .seed(2)
+                .stagnation_limit(25)
+                .max_evaluations(1_000)
+                .build()
+                .compress(&set)?;
+            println!("{k:>4} {l:>4} {:>10.1}", compressed.rate_percent());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Path-delay workload (Table 2 style): robust two-pattern tests on c17,
+//! compressed with EA1/EA2 parameters from the paper.
+//!
+//! Run with: `cargo run --release --example path_delay_flow`
+
+use evotc::atpg::{generate_path_delay_tests, PathDelayConfig};
+use evotc::core::{EaCompressor, NineCCompressor, TestCompressor};
+use evotc::netlist::{iscas, parse_bench};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = parse_bench(iscas::C17_BENCH)?;
+    let outcome = generate_path_delay_tests(&circuit, &PathDelayConfig::default());
+    println!(
+        "robust path-delay ATPG on c17: {} paths, {} robust tests, {} untestable targets",
+        outcome.paths_considered, outcome.robust_tests, outcome.untestable_or_aborted
+    );
+    println!(
+        "two-pattern test set: {} rows x {} bits ({:.0}% don't-cares)\n",
+        outcome.tests.num_patterns(),
+        outcome.tests.width(),
+        100.0 * outcome.tests.x_density()
+    );
+
+    let ninec = NineCCompressor::new(8).compress(&outcome.tests)?;
+    // EA1 = (K=8, L=9), EA2 = (K=12, L=64): the paper's Table 2 columns.
+    let ea1 = EaCompressor::builder(8, 9).seed(1).stagnation_limit(60).build();
+    let ea2 = EaCompressor::builder(12, 16).seed(1).stagnation_limit(60).build();
+    println!("{ninec}");
+    println!("{}", ea1.compress(&outcome.tests)?);
+    println!("{}", ea2.compress(&outcome.tests)?);
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! End-to-end: circuit -> ATPG -> compression -> decoder, across all crates
+//! with no synthetic data at all.
+
+use evotc::atpg::{generate_path_delay_tests, generate_stuck_at_tests, PathDelayConfig,
+    StuckAtConfig};
+use evotc::core::{EaCompressor, NineCHuffmanCompressor, TestCompressor};
+use evotc::decoder::{DecoderFsm, HardwareCost};
+use evotc::netlist::{generate, iscas, parse_bench, GeneratorConfig};
+
+#[test]
+fn s27_stuck_at_full_pipeline() {
+    let circuit = parse_bench(iscas::S27_BENCH).unwrap();
+    let atpg = generate_stuck_at_tests(&circuit, &StuckAtConfig::default());
+    assert!(atpg.fault_coverage() > 0.99);
+
+    let compressed = EaCompressor::builder(6, 6)
+        .seed(1)
+        .stagnation_limit(40)
+        .build()
+        .compress(&atpg.tests)
+        .unwrap();
+    let restored = compressed.decompress().unwrap();
+    assert!(atpg.tests.is_refined_by(&restored));
+    DecoderFsm::verify_against_reference(&compressed);
+
+    let cost = HardwareCost::estimate(compressed.mv_set(), compressed.code());
+    assert!(cost.gate_equivalents < 2_000, "{cost}");
+}
+
+#[test]
+fn c17_path_delay_full_pipeline() {
+    let circuit = parse_bench(iscas::C17_BENCH).unwrap();
+    let atpg = generate_path_delay_tests(&circuit, &PathDelayConfig::default());
+    assert!(atpg.robust_tests > 0);
+    let compressed = NineCHuffmanCompressor::new(10).compress(&atpg.tests).unwrap();
+    assert!(atpg.tests.is_refined_by(&compressed.decompress().unwrap()));
+}
+
+#[test]
+fn generated_circuit_pipeline() {
+    let circuit = generate(&GeneratorConfig {
+        inputs: 20,
+        outputs: 10,
+        gates: 150,
+        seed: 13,
+    });
+    let atpg = generate_stuck_at_tests(&circuit, &StuckAtConfig::default());
+    assert!(!atpg.tests.is_empty());
+    assert!(atpg.tests.x_density() > 0.0, "don't-cares expected");
+    let compressed = NineCHuffmanCompressor::new(8).compress(&atpg.tests).unwrap();
+    assert!(atpg.tests.is_refined_by(&compressed.decompress().unwrap()));
+}

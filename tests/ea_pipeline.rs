@@ -1,0 +1,81 @@
+//! Cross-crate integration: the EA pipeline against the baselines on
+//! structured workloads, plus the all-U feasibility guarantee.
+
+use evotc::core::{EaCompressor, NineCCompressor, NineCHuffmanCompressor, TestCompressor};
+use evotc::workloads::synth::{generate, SyntheticSpec};
+
+fn workload(seed: u64) -> evotc::bits::TestSet {
+    generate(&SyntheticSpec {
+        width: 24,
+        total_bits: 24 * 120,
+        specified_density: 0.45,
+        one_bias: 0.35,
+        seed,
+    })
+}
+
+#[test]
+fn ea_beats_ninec_on_structured_workloads() {
+    let set = workload(3);
+    let ninec = NineCCompressor::new(8).compress(&set).unwrap();
+    let ninec_hc = NineCHuffmanCompressor::new(8).compress(&set).unwrap();
+    let ea = EaCompressor::builder(12, 16)
+        .seed(1)
+        .stagnation_limit(40)
+        .max_evaluations(2_000)
+        .build()
+        .compress(&set)
+        .unwrap();
+    assert!(ninec_hc.compressed_bits <= ninec.compressed_bits);
+    assert!(
+        ea.compressed_bits < ninec_hc.compressed_bits,
+        "EA {} vs 9C+HC {}",
+        ea.compressed_bits,
+        ninec_hc.compressed_bits
+    );
+}
+
+#[test]
+fn ea_always_feasible_with_all_u() {
+    // Tiny L on dense data: only the all-U vector guarantees coverage.
+    let set = workload(9);
+    let c = EaCompressor::builder(8, 2)
+        .seed(0)
+        .stagnation_limit(5)
+        .max_evaluations(100)
+        .build()
+        .compress(&set)
+        .unwrap();
+    assert!(c.mv_set().has_all_u());
+    assert!(set.is_refined_by(&c.decompress().unwrap()));
+}
+
+#[test]
+fn more_budget_never_hurts() {
+    let set = workload(5);
+    let short = EaCompressor::builder(8, 8)
+        .seed(2)
+        .stagnation_limit(5)
+        .max_evaluations(120)
+        .build()
+        .compress(&set)
+        .unwrap();
+    let long = EaCompressor::builder(8, 8)
+        .seed(2)
+        .stagnation_limit(60)
+        .max_evaluations(3_000)
+        .build()
+        .compress(&set)
+        .unwrap();
+    // Elitist selection: the best individual never degrades with budget.
+    assert!(long.compressed_bits <= short.compressed_bits);
+}
+
+#[test]
+fn multiscan_chains_round_trip() {
+    let set = workload(7);
+    let result =
+        evotc::core::multiscan::compress_chains(&set, 3, &NineCHuffmanCompressor::new(8)).unwrap();
+    assert_eq!(result.original_bits, set.total_bits());
+    assert_eq!(result.chains.len(), 3);
+}

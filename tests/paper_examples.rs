@@ -1,0 +1,78 @@
+//! Conformance tests pinning the paper's literal worked examples.
+
+use evotc::bits::{BlockHistogram, TestSet, TestSetString};
+use evotc::core::{
+    ninec_codewords, ninec_matching_vectors, subsume, Covering, MvSet, NineCCompressor,
+    TestCompressor,
+};
+
+/// Section 1: the 9C matching vectors for K = 6 and their fixed codewords.
+#[test]
+fn section1_ninec_tables() {
+    let mvs: Vec<String> = ninec_matching_vectors(6)
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    assert_eq!(
+        mvs,
+        ["000000", "111111", "000111", "111000", "111UUU", "UUU111", "000UUU", "UUU000", "UUUUUU"]
+    );
+    let code = ninec_codewords();
+    let words: Vec<String> = (0..9).map(|i| code.codeword(i).to_string()).collect();
+    assert_eq!(
+        words,
+        ["0", "10", "11000", "11001", "11010", "11011", "11100", "11101", "1111"]
+    );
+}
+
+/// Section 1: "the input block 111100 will be coded as C(v(5))100, and
+/// 111011 will be coded as C(v(5))011".
+#[test]
+fn section1_encoding_examples() {
+    let set = TestSet::parse(&["111100", "111011"]).unwrap();
+    let compressed = NineCCompressor::new(6).compress(&set).unwrap();
+    let stream: String = compressed
+        .stream()
+        .map(|b| if b { '1' } else { '0' })
+        .collect();
+    assert_eq!(stream, "1101010011010011");
+    //           C(v5) 100 C(v5) 011
+}
+
+/// Section 1: "it is better to use MVs with as few U values as possible" —
+/// 111000 takes C(v4), 5 bits, not C(v5)000 (8) or C(v9)111000 (10).
+#[test]
+fn section1_covering_prefers_fewer_us() {
+    let set = TestSet::parse(&["111000"]).unwrap();
+    let compressed = NineCCompressor::new(6).compress(&set).unwrap();
+    assert_eq!(compressed.compressed_bits, 5);
+}
+
+/// Section 3.3: the Huffman-vs-subsumption example — 20 bits by plain
+/// Huffman, 18 after merging v(2)=1110 into v(1)=111U.
+#[test]
+fn section3_subsumption_example() {
+    let mut rows = vec!["1111"; 5];
+    rows.extend(vec!["1110"; 3]);
+    rows.extend(vec!["0000"; 2]);
+    let set = TestSet::parse(&rows).unwrap();
+    let hist = BlockHistogram::from_string(&TestSetString::new(&set, 4));
+    let mvs = MvSet::parse(4, &["1110", "0000", "111U"]).unwrap();
+    let covering = Covering::cover(&mvs, &hist).unwrap();
+    let result = subsume::improve(&mvs, &covering);
+    assert_eq!(result.size_before, 20, "paper's Huffman size");
+    assert_eq!(result.size_after, 18, "paper's improved size");
+}
+
+/// Section 1: motivating example — if the only blocks starting with 111 are
+/// 111100 and 111110, the MV 1111U0 saves two fill bits per block vs 111UUU.
+#[test]
+fn section1_motivation_fewer_fill_bits() {
+    let rows = vec!["111100", "111110", "111100", "111110"];
+    let set = TestSet::parse(&rows).unwrap();
+    let sharp = MvSet::parse(6, &["1111U0"]).unwrap();
+    let broad = MvSet::parse(6, &["111UUU"]).unwrap();
+    let a = evotc::core::encode_with_mvs("sharp", &set, &sharp).unwrap();
+    let b = evotc::core::encode_with_mvs("broad", &set, &broad).unwrap();
+    assert_eq!(b.compressed_bits - a.compressed_bits, 2 * rows.len());
+}

@@ -1,0 +1,85 @@
+//! Property tests for the coding substrate: Huffman optimality bounds,
+//! prefix-freeness, and round trips of every baseline coder.
+
+use evotc::codes::{fdr, golomb, huffman_code, huffman_lengths, runlength, selective};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Huffman total length is within [entropy, entropy + n] bits
+    /// (Shannon's bound for a prefix code on measured frequencies).
+    #[test]
+    fn huffman_respects_entropy_bounds(freqs in proptest::collection::vec(1u64..1000, 2..32)) {
+        let lengths = huffman_lengths(&freqs);
+        let total: f64 = freqs.iter().sum::<u64>() as f64;
+        let entropy_bits: f64 = freqs
+            .iter()
+            .map(|&f| f as f64 * (total / f as f64).log2())
+            .sum();
+        let huffman_bits: u64 = freqs
+            .iter()
+            .zip(&lengths)
+            .map(|(&f, &l)| f * l as u64)
+            .sum();
+        prop_assert!(huffman_bits as f64 >= entropy_bits - 1e-6,
+            "below entropy: {huffman_bits} < {entropy_bits}");
+        prop_assert!((huffman_bits as f64) < entropy_bits + total,
+            "beyond entropy + n: {huffman_bits} vs {entropy_bits} + {total}");
+    }
+
+    /// Huffman codes are complete prefix codes (Kraft sum exactly one).
+    #[test]
+    fn huffman_is_complete_prefix_code(freqs in proptest::collection::vec(1u64..500, 2..40)) {
+        let code = huffman_code(&freqs);
+        prop_assert!(code.kraft_sum_is_one());
+        for i in 0..code.len() {
+            for j in 0..code.len() {
+                if i != j {
+                    prop_assert!(!code.codeword(i).is_prefix_of(&code.codeword(j)));
+                }
+            }
+        }
+    }
+
+    /// Huffman decode tree inverts encoding for arbitrary symbol sequences.
+    #[test]
+    fn huffman_decode_inverts_encode(
+        freqs in proptest::collection::vec(1u64..100, 2..16),
+        msg in proptest::collection::vec(0usize..16, 0..64),
+    ) {
+        let msg: Vec<usize> = msg.into_iter().map(|s| s % freqs.len()).collect();
+        let code = huffman_code(&freqs);
+        let bits: Vec<bool> = msg.iter().flat_map(|&s| code.codeword(s).iter()).collect();
+        let tree = code.decode_tree();
+        prop_assert_eq!(tree.decode(bits.iter().copied()), Some(msg));
+    }
+
+    #[test]
+    fn runlength_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..256), b in 2usize..8) {
+        let enc = runlength::encode(&bits, b);
+        prop_assert_eq!(runlength::decode_to_len(&enc, b, bits.len()), bits);
+    }
+
+    #[test]
+    fn golomb_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..256), log_m in 1u32..6) {
+        let m = 1usize << log_m;
+        let enc = golomb::encode(&bits, m);
+        prop_assert_eq!(golomb::decode_to_len(&enc, m, bits.len()), bits);
+    }
+
+    #[test]
+    fn fdr_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..256)) {
+        let enc = fdr::encode(&bits);
+        prop_assert_eq!(fdr::decode_to_len(&enc, bits.len()), bits);
+    }
+
+    /// Selective Huffman never loses more than the flag bit per block.
+    #[test]
+    fn selective_overhead_is_bounded(bits in proptest::collection::vec(any::<bool>(), 1..512)) {
+        let r = selective::compress(&bits, 8, 8);
+        let blocks = r.original_bits / 8;
+        prop_assert!(r.encoded_bits <= r.original_bits + blocks,
+            "{} > {} + {blocks}", r.encoded_bits, r.original_bits);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: every compressor is lossless modulo don't-care fill,
+//! for arbitrary test sets and parameters.
+
+use evotc::bits::{TestPattern, TestSet, Trit};
+use evotc::core::{EaCompressor, NineCCompressor, NineCHuffmanCompressor, TestCompressor};
+use evotc::decoder::DecoderFsm;
+use proptest::prelude::*;
+
+fn arb_test_set(max_width: usize, max_patterns: usize) -> impl Strategy<Value = TestSet> {
+    (1..=max_width, 1..=max_patterns).prop_flat_map(|(width, patterns)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u8..3, width..=width),
+            patterns..=patterns,
+        )
+        .prop_map(move |rows| {
+            rows.into_iter()
+                .map(|row| {
+                    TestPattern::from_trits(
+                        &row.into_iter().map(Trit::from_index).collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<TestSet>()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ninec_round_trips(set in arb_test_set(24, 12), k in 1usize..=6) {
+        let k = k * 2; // 9C requires even K
+        let compressed = NineCCompressor::new(k).compress(&set).unwrap();
+        let restored = compressed.decompress().unwrap();
+        prop_assert!(set.is_refined_by(&restored));
+    }
+
+    #[test]
+    fn ninec_huffman_never_worse_than_fixed(set in arb_test_set(20, 10)) {
+        let fixed = NineCCompressor::new(8).compress(&set).unwrap();
+        let huff = NineCHuffmanCompressor::new(8).compress(&set).unwrap();
+        // Huffman codes are optimal for the measured frequencies; the fixed
+        // 9C code is one particular prefix code for the same MV set.
+        prop_assert!(huff.compressed_bits <= fixed.compressed_bits);
+    }
+
+    #[test]
+    fn ea_round_trips(set in arb_test_set(16, 8), seed in 0u64..4) {
+        let compressed = EaCompressor::builder(4, 3)
+            .seed(seed)
+            .stagnation_limit(8)
+            .max_evaluations(200)
+            .build()
+            .compress(&set)
+            .unwrap();
+        let restored = compressed.decompress().unwrap();
+        prop_assert!(set.is_refined_by(&restored));
+    }
+
+    #[test]
+    fn decoder_fsm_equals_reference(set in arb_test_set(16, 8)) {
+        let compressed = NineCHuffmanCompressor::new(4).compress(&set).unwrap();
+        DecoderFsm::verify_against_reference(&compressed);
+    }
+
+    #[test]
+    fn rate_definition_is_consistent(set in arb_test_set(16, 8)) {
+        let c = NineCCompressor::new(8).compress(&set).unwrap();
+        let expected = 100.0
+            * (c.original_bits as f64 - c.compressed_bits as f64)
+            / c.original_bits as f64;
+        prop_assert!((c.rate_percent() - expected).abs() < 1e-9);
+    }
+}
