@@ -150,7 +150,7 @@ mod tests {
     fn x_inputs_leave_planes_unknown() {
         let n = parse_bench(iscas::C17_BENCH).unwrap();
         let g10 = n.find_net("10").unwrap();
-        let values = simulate_dv(&n, &vec![Trit::X; 5], g10, false);
+        let values = simulate_dv(&n, &[Trit::X; 5], g10, false);
         // fault site: good X, faulty 0
         assert_eq!(values[g10.index()].faulty, Trit::Zero);
         assert!(values[g10.index()].good.is_x());

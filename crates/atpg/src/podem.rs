@@ -238,7 +238,9 @@ mod tests {
     fn cubes_contain_dont_cares() {
         let n = c17();
         let g10 = n.find_net("10").unwrap();
-        if let PodemResult::Test(cube) = Podem::new(&n, PodemConfig::default()).run(StuckAtFault::sa0(g10)) {
+        if let PodemResult::Test(cube) =
+            Podem::new(&n, PodemConfig::default()).run(StuckAtFault::sa0(g10))
+        {
             assert!(cube.num_x() > 0, "expected unassigned inputs in {cube}");
         } else {
             panic!("fault should be testable");

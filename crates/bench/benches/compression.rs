@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use evotc_bits::{BlockHistogram, TestSetString};
-use evotc_core::{encoded_size, Covering, EaCompressor, MvSet, NineCCompressor, NineCHuffmanCompressor, TestCompressor};
+use evotc_core::{
+    encoded_size, Covering, EaCompressor, MvSet, NineCCompressor, NineCHuffmanCompressor,
+    TestCompressor,
+};
 use evotc_workloads::synth::{generate, SyntheticSpec};
 
 fn workload() -> evotc_bits::TestSet {
@@ -43,7 +46,12 @@ fn bench_covering_kernel(c: &mut Criterion) {
     let hist = BlockHistogram::from_string(&string);
     let mvs = MvSet::parse(
         12,
-        &["000000000000", "111111111111", "000000UUUUUU", "UUUUUU000000"],
+        &[
+            "000000000000",
+            "111111111111",
+            "000000UUUUUU",
+            "UUUUUU000000",
+        ],
     )
     .unwrap()
     .with_all_u();

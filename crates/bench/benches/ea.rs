@@ -28,9 +28,12 @@ fn bench_generations(c: &mut Criterion) {
                 .max_generations(100)
                 .seed(1)
                 .build();
-            Ea::new(config, 64, |rng| rng.gen::<bool>(), |g: &[bool]| {
-                g.iter().filter(|&&x| x).count() as f64
-            })
+            Ea::new(
+                config,
+                64,
+                |rng| rng.gen::<bool>(),
+                |g: &[bool]| g.iter().filter(|&&x| x).count() as f64,
+            )
             .run()
         })
     });

@@ -21,8 +21,12 @@ fn bench_fault_sim(c: &mut Criterion) {
         gates: 500,
         seed: 2,
     });
-    let inputs: Vec<u64> = (0..32).map(|j| 0x9E37_79B9_7F4A_7C15u64.rotate_left(j)).collect();
-    c.bench_function("simulate64_500_gates", |b| b.iter(|| simulate64(&n, &inputs)));
+    let inputs: Vec<u64> = (0..32)
+        .map(|j| 0x9E37_79B9_7F4A_7C15u64.rotate_left(j))
+        .collect();
+    c.bench_function("simulate64_500_gates", |b| {
+        b.iter(|| simulate64(&n, &inputs))
+    });
     let fault = all_faults(&n)[100];
     c.bench_function("fault_sim_500_gates", |b| {
         b.iter(|| detected_mask(&n, fault, &inputs))
@@ -35,7 +39,10 @@ fn bench_podem(c: &mut Criterion) {
     c.bench_function("podem_c17_all_faults", |b| {
         b.iter(|| {
             let podem = Podem::new(&n, PodemConfig::default());
-            faults.iter().map(|&f| podem.run(f)).count()
+            faults.iter().fold(0usize, |n, &f| {
+                criterion::black_box(podem.run(f));
+                n + 1
+            })
         })
     });
 }
@@ -63,5 +70,11 @@ fn bench_decoder(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_huffman, bench_fault_sim, bench_podem, bench_decoder);
+criterion_group!(
+    benches,
+    bench_huffman,
+    bench_fault_sim,
+    bench_podem,
+    bench_decoder
+);
 criterion_main!(benches);

@@ -40,7 +40,11 @@ fn main() {
                 .map(|c| c.rate_percent())
                 .unwrap_or(f64::NEG_INFINITY)
         };
-        println!("| {circuit} | {hc:.1} | {:.1} | {:.1} |", build(false), build(true));
+        println!(
+            "| {circuit} | {hc:.1} | {:.1} | {:.1} |",
+            build(false),
+            build(true)
+        );
     }
     println!("\nSeeding guarantees the EA starts at least as good as 9C+HC.");
 }

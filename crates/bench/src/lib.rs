@@ -61,7 +61,16 @@ impl RunProfile {
             stagnation_limit: 500,
             max_evaluations: u64::MAX,
             runs: 5,
-            grid: &[(4, 16), (6, 9), (8, 9), (8, 16), (8, 64), (12, 32), (12, 64), (16, 64)],
+            grid: &[
+                (4, 16),
+                (6, 9),
+                (8, 9),
+                (8, 16),
+                (8, 64),
+                (12, 32),
+                (12, 64),
+                (16, 64),
+            ],
         }
     }
 

@@ -131,16 +131,12 @@ impl TestSet {
     pub fn is_refined_by(&self, other: &TestSet) -> bool {
         self.width == other.width
             && self.patterns.len() == other.patterns.len()
-            && self
-                .patterns
-                .iter()
-                .zip(&other.patterns)
-                .all(|(a, b)| {
-                    (0..self.width).all(|j| match a.trit(j) {
-                        Trit::X => true,
-                        t => other_matches(b.trit(j), t),
-                    })
+            && self.patterns.iter().zip(&other.patterns).all(|(a, b)| {
+                (0..self.width).all(|j| match a.trit(j) {
+                    Trit::X => true,
+                    t => other_matches(b.trit(j), t),
                 })
+            })
     }
 }
 
@@ -339,7 +335,12 @@ impl TestSetString {
     /// # Panics
     ///
     /// Panics if `width` is zero or `blocks` is shorter than the payload.
-    pub fn reassemble(blocks: &[InputBlock], k: usize, width: usize, payload_bits: usize) -> TestSet {
+    pub fn reassemble(
+        blocks: &[InputBlock],
+        k: usize,
+        width: usize,
+        payload_bits: usize,
+    ) -> TestSet {
         assert!(width > 0, "pattern width must be positive");
         assert!(
             blocks.len() * k >= payload_bits,

@@ -73,10 +73,10 @@ impl Trit {
     /// everything (paper, Section 2, matching-vector definition).
     #[inline]
     pub fn matches(self, other: Trit) -> bool {
-        match (self, other) {
-            (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero) => false,
-            _ => true,
-        }
+        !matches!(
+            (self, other),
+            (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)
+        )
     }
 
     /// Renders the symbol using the test-data spelling `0`/`1`/`X`.

@@ -45,7 +45,11 @@ impl Codeword {
     /// Panics if `len > 64`.
     pub fn from_bits(bits: u64, len: usize) -> Self {
         assert!(len <= Self::MAX_LEN, "codeword length {len} exceeds 64");
-        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
         Codeword {
             len: len as u8,
             bits: bits & mask,

@@ -24,8 +24,13 @@ pub struct DecodeTree {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Node {
-    Internal { zero: u32, one: u32 },
-    Leaf { symbol: u32 },
+    Internal {
+        zero: u32,
+        one: u32,
+    },
+    Leaf {
+        symbol: u32,
+    },
     /// A branch no codeword reaches (incomplete codes only).
     Dead,
 }
@@ -50,7 +55,7 @@ impl DecodeTree {
     /// degenerate code transmits no bits and has no tree.
     pub fn from_code(code: &PrefixCode) -> Self {
         assert!(
-            code.len() > 1 || code.codeword(0).len() > 0,
+            code.len() > 1 || !code.codeword(0).is_empty(),
             "degenerate single-symbol code with empty codeword has no decode tree"
         );
         let mut nodes = vec![Node::Dead];

@@ -134,8 +134,7 @@ impl FdrReport {
         if self.original_bits == 0 {
             return 0.0;
         }
-        100.0 * (self.original_bits as f64 - self.encoded_bits as f64)
-            / self.original_bits as f64
+        100.0 * (self.original_bits as f64 - self.encoded_bits as f64) / self.original_bits as f64
     }
 }
 

@@ -28,7 +28,10 @@ use std::fmt;
 /// assert_eq!(golomb::decode_to_len(&enc, 4, data.len()), data);
 /// ```
 pub fn encode(bits: &[bool], m: usize) -> Vec<bool> {
-    assert!(m.is_power_of_two() && m > 0, "group size must be a power of two");
+    assert!(
+        m.is_power_of_two() && m > 0,
+        "group size must be a power of two"
+    );
     let tail_bits = m.trailing_zeros() as usize;
     let mut out = Vec::new();
     let mut run = 0usize;
@@ -64,7 +67,10 @@ pub fn encode(bits: &[bool], m: usize) -> Vec<bool> {
 /// Panics if `m` is not a power of two, or the stream is malformed
 /// (truncated tail).
 pub fn decode(enc: &[bool], m: usize) -> Vec<bool> {
-    assert!(m.is_power_of_two() && m > 0, "group size must be a power of two");
+    assert!(
+        m.is_power_of_two() && m > 0,
+        "group size must be a power of two"
+    );
     let tail_bits = m.trailing_zeros() as usize;
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -123,8 +129,7 @@ impl GolombReport {
         if self.original_bits == 0 {
             return 0.0;
         }
-        100.0 * (self.original_bits as f64 - self.encoded_bits as f64)
-            / self.original_bits as f64
+        100.0 * (self.original_bits as f64 - self.encoded_bits as f64) / self.original_bits as f64
     }
 }
 

@@ -260,8 +260,7 @@ mod tests {
         for l0 in 1..=3u64 {
             for l1 in 1..=3u64 {
                 for l2 in 1..=3u64 {
-                    let kraft: f64 =
-                        [l0, l1, l2].iter().map(|&l| 2f64.powi(-(l as i32))).sum();
+                    let kraft: f64 = [l0, l1, l2].iter().map(|&l| 2f64.powi(-(l as i32))).sum();
                     if kraft <= 1.0 + 1e-12 {
                         best = best.min(7 * l0 + 2 * l1 + l2);
                     }

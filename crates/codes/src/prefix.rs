@@ -126,11 +126,7 @@ impl PrefixCode {
     pub fn kraft_sum_is_one(&self) -> bool {
         // Sum 2^(64 - len) in u128 and compare with 2^64.
         let target: u128 = 1u128 << 64;
-        let sum: u128 = self
-            .codewords
-            .iter()
-            .map(|c| 1u128 << (64 - c.len()))
-            .sum();
+        let sum: u128 = self.codewords.iter().map(|c| 1u128 << (64 - c.len())).sum();
         sum == target
     }
 

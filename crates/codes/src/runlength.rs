@@ -71,7 +71,10 @@ pub fn encode(bits: &[bool], b: usize) -> Vec<bool> {
 /// multiple of `b`.
 pub fn decode(enc: &[bool], b: usize) -> Vec<bool> {
     assert!(b > 0 && b <= 32, "counter width must be in 1..=32");
-    assert!(enc.len() % b == 0, "stream is not a whole number of counters");
+    assert!(
+        enc.len() % b == 0,
+        "stream is not a whole number of counters"
+    );
     let max = (1u64 << b) - 1;
     let mut out = Vec::new();
     for chunk in enc.chunks(b) {
@@ -79,9 +82,7 @@ pub fn decode(enc: &[bool], b: usize) -> Vec<bool> {
         for &bit in chunk {
             v = (v << 1) | u64::from(bit);
         }
-        for _ in 0..v {
-            out.push(false);
-        }
+        out.resize(out.len() + v as usize, false);
         if v != max {
             out.push(true);
         }
@@ -128,8 +129,7 @@ impl RunLengthReport {
         if self.original_bits == 0 {
             return 0.0;
         }
-        100.0 * (self.original_bits as f64 - self.encoded_bits as f64)
-            / self.original_bits as f64
+        100.0 * (self.original_bits as f64 - self.encoded_bits as f64) / self.original_bits as f64
     }
 }
 

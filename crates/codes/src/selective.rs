@@ -34,8 +34,7 @@ impl SelectiveReport {
         if self.original_bits == 0 {
             return 0.0;
         }
-        100.0 * (self.original_bits as f64 - self.encoded_bits as f64)
-            / self.original_bits as f64
+        100.0 * (self.original_bits as f64 - self.encoded_bits as f64) / self.original_bits as f64
     }
 }
 

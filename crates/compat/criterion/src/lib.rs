@@ -1,0 +1,205 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://docs.rs/criterion/0.5) crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! external dev-dependencies are vendored as small reimplementations of
+//! exactly the API surface the workspace uses (see
+//! `crates/compat/README.md`). For `criterion` that is [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Instead of criterion's statistical pipeline, each benchmark is warmed up
+//! and then timed over a fixed wall-clock window; the mean, minimum and
+//! iteration count are printed as one line per benchmark. That keeps
+//! `cargo bench` useful for spotting order-of-magnitude regressions while
+//! remaining dependency-free. Benchmark binaries accept (and honor) a
+//! substring filter argument, and ignore the flags cargo's bench harness
+//! passes (`--bench`, `--test`), so `cargo bench <filter>` and
+//! `cargo test --benches` both behave.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Wall-clock budget for the measurement phase of one benchmark.
+    measurement_time: Duration,
+    /// When set (`--test` from `cargo test --benches`), run each routine
+    /// once for correctness instead of timing it.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {
+                    // An unrecognized `--flag` (e.g. criterion's
+                    // `--save-baseline main`) may carry a value in the next
+                    // argument; skip it so it is not mistaken for a filter.
+                    skip_value = !a.contains('=');
+                }
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            measurement_time: Duration::from_millis(300),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Times `routine` (via the [`Bencher`] it receives) and prints one
+    /// summary line labelled `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
+            report: None,
+        };
+        routine(&mut bencher);
+        match bencher.report {
+            Some(r) if !self.test_mode => println!(
+                "{id:<40} mean {:>12} min {:>12} ({} iters)",
+                format_ns(r.mean_ns),
+                format_ns(r.min_ns),
+                r.iters,
+            ),
+            _ => println!("{id:<40} ok"),
+        }
+        self
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Timer handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    measurement_time: Duration,
+    test_mode: bool,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records wall-clock statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up iteration: pays first-call costs (lazy init, cold caches)
+        // and is excluded from the reported statistics.
+        black_box(routine());
+        let mut iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        // At least one timed iteration, even for routines slower than the
+        // measurement window.
+        while iters == 0 || total < self.measurement_time {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+        }
+        self.report = Some(Report {
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            min_ns: min.as_nanos() as f64,
+            iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a runnable group, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the given groups, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_filters() {
+        let mut c = Criterion {
+            filter: Some("match".into()),
+            measurement_time: Duration::from_millis(5),
+            test_mode: false,
+        };
+        let mut ran = 0;
+        c.bench_function("matching", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        c.bench_function("skipped", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn format_ns_picks_unit() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

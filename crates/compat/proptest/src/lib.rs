@@ -1,0 +1,114 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://docs.rs/proptest/1) crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! external dev-dependencies are vendored as small reimplementations of
+//! exactly the API surface the workspace uses (see
+//! `crates/compat/README.md`). For `proptest` that is:
+//!
+//! - the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! - [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! - integer range strategies, tuple strategies, [`collection::vec`] and
+//!   [`arbitrary::any`],
+//! - [`prop_assert!`] and [`prop_assert_eq!`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs via the
+//!   panic message; with deterministic per-case seeds the failure replays
+//!   exactly, which is what CI needs.
+//! - **Deterministic seeding.** Case `i` of test `t` is seeded from
+//!   `hash(module_path::t, i)`, so runs are reproducible without a
+//!   regression-file mechanism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn` runs `config.cases` times with fresh
+/// generated inputs.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     // In test code this fn carries #[test]; attributes pass through.
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+///
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategies = ($($strat,)*);
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ($($arg,)*) =
+                    $crate::strategy::Strategy::new_value(&__strategies, &mut __rng);
+                $body
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

@@ -115,11 +115,9 @@ impl CompressedTestSet {
         let mut reader = self.stream();
         let mut walk = tree.walk();
         while blocks.len() < expected_blocks {
-            let bit = reader
-                .read_bit()
-                .ok_or(CompressError::CorruptStream {
-                    bit_offset: reader.position(),
-                })?;
+            let bit = reader.read_bit().ok_or(CompressError::CorruptStream {
+                bit_offset: reader.position(),
+            })?;
             match walk.step(bit) {
                 evotc_codes::Step::Pending => {}
                 evotc_codes::Step::Symbol(mv_index) => {

@@ -54,8 +54,7 @@ impl Covering {
         let mut frequencies = vec![0u64; mvs.len()];
         let mut assignment = Vec::with_capacity(histogram.num_distinct());
         for &(block, count) in histogram.iter() {
-            let mv = Self::first_match(mvs, &block)
-                .ok_or(CompressError::Uncoverable { block })?;
+            let mv = Self::first_match(mvs, &block).ok_or(CompressError::Uncoverable { block })?;
             frequencies[mv] += count;
             assignment.push(mv);
         }

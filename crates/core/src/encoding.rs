@@ -141,7 +141,9 @@ mod tests {
     #[test]
     fn size_matches_stream_length() {
         let s = set(&["110100XX", "11000000", "1101XXXX", "00001111"]);
-        let mvs = MvSet::parse(8, &["110U00UU", "00001111"]).unwrap().with_all_u();
+        let mvs = MvSet::parse(8, &["110U00UU", "00001111"])
+            .unwrap()
+            .with_all_u();
         let string = TestSetString::new(&s, 8);
         let hist = BlockHistogram::from_string(&string);
         let predicted = encoded_size(&mvs, &hist).unwrap();

@@ -65,7 +65,9 @@ mod tests {
         let b: InputBlock = "1X0".parse().unwrap();
         let e = CompressError::Uncoverable { block: b };
         assert!(e.to_string().contains("1X0"));
-        assert!(CompressError::EmptyTestSet.to_string().contains("no patterns"));
+        assert!(CompressError::EmptyTestSet
+            .to_string()
+            .contains("no patterns"));
         let e = CompressError::CorruptStream { bit_offset: 17 };
         assert!(e.to_string().contains("17"));
     }

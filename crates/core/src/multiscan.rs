@@ -171,7 +171,11 @@ mod tests {
         assert_eq!(result.original_bits, set.total_bits());
         assert_eq!(
             result.compressed_bits,
-            result.chains.iter().map(|c| c.compressed_bits).sum::<usize>()
+            result
+                .chains
+                .iter()
+                .map(|c| c.compressed_bits)
+                .sum::<usize>()
         );
         // Chain 0 (even columns) is all zeros: compresses very hard.
         assert!(result.chains[0].rate_percent() > 50.0);

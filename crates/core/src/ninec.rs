@@ -48,7 +48,7 @@ pub fn ninec_matching_vectors(k: usize) -> Vec<MatchingVector> {
             .collect();
         MatchingVector::from_trits(&trits).expect("k validated")
     };
-    use Trit::{One, X, Zero};
+    use Trit::{One, Zero, X};
     vec![
         build(Zero, Zero), // v1 = 0^K
         build(One, One),   // v2 = 1^K
@@ -236,7 +236,11 @@ mod tests {
             NineCHuffmanCompressor::new(8).compress(&set).unwrap(),
         ] {
             let restored = c.decompress().unwrap();
-            assert!(set.is_refined_by(&restored), "{} failed round trip", c.scheme);
+            assert!(
+                set.is_refined_by(&restored),
+                "{} failed round trip",
+                c.scheme
+            );
         }
     }
 

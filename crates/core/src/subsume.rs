@@ -52,9 +52,7 @@ fn total_size(mvs: &MvSet, freqs: &[u64]) -> u64 {
     freqs
         .iter()
         .enumerate()
-        .map(|(i, &f)| {
-            f * (code.codeword(i).len() as u64 + mvs.vector(i).num_unspecified() as u64)
-        })
+        .map(|(i, &f)| f * (code.codeword(i).len() as u64 + mvs.vector(i).num_unspecified() as u64))
         .sum()
 }
 
@@ -161,8 +159,16 @@ mod tests {
         assert_eq!(result.size_after, 18);
         assert_eq!(result.num_merges(), 1);
         // 1110 merged into 111U
-        let j = mvs.vectors().iter().position(|v| v.to_string() == "1110").unwrap();
-        let i = mvs.vectors().iter().position(|v| v.to_string() == "111U").unwrap();
+        let j = mvs
+            .vectors()
+            .iter()
+            .position(|v| v.to_string() == "1110")
+            .unwrap();
+        let i = mvs
+            .vectors()
+            .iter()
+            .position(|v| v.to_string() == "111U")
+            .unwrap();
         assert_eq!(result.merged_into[j], Some(i));
         assert_eq!(result.frequencies[i], 8);
         assert_eq!(result.frequencies[j], 0);

@@ -92,8 +92,8 @@ mod tests {
         let mvs = MvSet::parse(
             8,
             &[
-                "11110000", "00001111", "1111UUUU", "UUUU0000", "10101010", "01010101",
-                "1UUUUUU1", "UUUUUUUU",
+                "11110000", "00001111", "1111UUUU", "UUUU0000", "10101010", "01010101", "1UUUUUU1",
+                "UUUUUUUU",
             ],
         )
         .unwrap();

@@ -76,7 +76,10 @@ impl std::fmt::Display for LoadError {
                 write!(f, "{offered} MVs exceed the device capacity of {capacity}")
             }
             LoadError::BlockTooLong { offered, capacity } => {
-                write!(f, "block length {offered} exceeds the device capacity of {capacity}")
+                write!(
+                    f,
+                    "block length {offered} exceeds the device capacity of {capacity}"
+                )
             }
             LoadError::TableMismatch => write!(f, "code and MV table sizes differ"),
         }

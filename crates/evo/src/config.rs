@@ -92,7 +92,10 @@ impl EaConfig {
             probs.iter().sum::<f64>() <= 1.0 + 1e-9,
             "operator probabilities must sum to at most 1 (remainder is reproduction)"
         );
-        assert!(self.stagnation_limit > 0, "stagnation limit must be positive");
+        assert!(
+            self.stagnation_limit > 0,
+            "stagnation limit must be positive"
+        );
     }
 }
 

@@ -59,7 +59,12 @@ where
     /// # Panics
     ///
     /// Panics if `genome_len` is zero or the configuration is invalid.
-    pub fn new(config: EaConfig, genome_len: usize, sample_gene: SampleGene, fitness: Fitness) -> Self {
+    pub fn new(
+        config: EaConfig,
+        genome_len: usize,
+        sample_gene: SampleGene,
+        fitness: Fitness,
+    ) -> Self {
         assert!(genome_len > 0, "genome length must be positive");
         config.validate();
         Ea {
@@ -124,8 +129,7 @@ where
         let mut history = Vec::new();
         let record = |population: &[Individual<G>], generation: u64, evaluations: u64| {
             let best = population.first().map_or(f64::NEG_INFINITY, |i| i.fitness);
-            let mean =
-                population.iter().map(|i| i.fitness).sum::<f64>() / population.len() as f64;
+            let mean = population.iter().map(|i| i.fitness).sum::<f64>() / population.len() as f64;
             GenerationStats {
                 generation,
                 best_fitness: best,
@@ -152,8 +156,11 @@ where
                 let pa = rng.gen_range(0..s);
                 if roll < self.config.crossover_probability {
                     let pb = rng.gen_range(0..s);
-                    let (x, y) =
-                        operators::crossover(&population[pa].genes, &population[pb].genes, &mut rng);
+                    let (x, y) = operators::crossover(
+                        &population[pa].genes,
+                        &population[pb].genes,
+                        &mut rng,
+                    );
                     children.push(x);
                     if children.len() < c {
                         children.push(y);
@@ -209,7 +216,11 @@ where
 fn sort_by_fitness<G>(population: &mut [Individual<G>]) {
     // Descending fitness; NaN sorts last. Stable sort keeps elders ahead of
     // equally fit children, making runs reproducible.
-    population.sort_by(|a, b| b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal));
+    population.sort_by(|a, b| {
+        b.fitness
+            .partial_cmp(&a.fitness)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 }
 
 #[cfg(test)]

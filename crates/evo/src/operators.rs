@@ -151,7 +151,7 @@ mod tests {
         let b = [1u8; 16];
         let mixed = (0..50).any(|seed| {
             let (ca, _) = crossover(&a, &b, &mut rng(seed));
-            ca.iter().any(|&g| g == 0) && ca.iter().any(|&g| g == 1)
+            ca.contains(&0) && ca.contains(&1)
         });
         assert!(mixed, "two-point crossover never exchanged a proper window");
     }
@@ -172,11 +172,7 @@ mod tests {
         let parent = [0u8; 32];
         for seed in 0..30 {
             let child = mutate(&parent, &mut rng(seed), |r| r.gen_range(0..3u8));
-            let diff = parent
-                .iter()
-                .zip(&child)
-                .filter(|(a, b)| a != b)
-                .count();
+            let diff = parent.iter().zip(&child).filter(|(a, b)| a != b).count();
             assert!(diff <= 1, "mutation changed {diff} genes");
         }
     }

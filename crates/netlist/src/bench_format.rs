@@ -109,11 +109,8 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
         let before = pending.len();
         let mut still: Vec<GateLine> = Vec::new();
         for g in pending {
-            let resolved: Option<Vec<NetId>> = g
-                .fanin_names
-                .iter()
-                .map(|n| builder.find(n))
-                .collect();
+            let resolved: Option<Vec<NetId>> =
+                g.fanin_names.iter().map(|n| builder.find(n)).collect();
             match resolved {
                 Some(fanins) => {
                     let kind: GateKind =

@@ -30,12 +30,9 @@ impl GeneratorConfig {
     /// Derives a configuration from an ISCAS profile (seed = name hash, so
     /// stand-ins are stable across runs and machines).
     pub fn from_profile(profile: &CircuitProfile) -> Self {
-        let seed = profile
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-            });
+        let seed = profile.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        });
         GeneratorConfig {
             inputs: profile.inputs,
             outputs: profile.outputs,
@@ -176,8 +173,18 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&GeneratorConfig { inputs: 6, outputs: 3, gates: 30, seed: 1 });
-        let b = generate(&GeneratorConfig { inputs: 6, outputs: 3, gates: 30, seed: 2 });
+        let a = generate(&GeneratorConfig {
+            inputs: 6,
+            outputs: 3,
+            gates: 30,
+            seed: 1,
+        });
+        let b = generate(&GeneratorConfig {
+            inputs: 6,
+            outputs: 3,
+            gates: 30,
+            seed: 2,
+        });
         let differs = a
             .node_ids()
             .any(|id| a.kind(id) != b.kind(id) || a.fanins(id) != b.fanins(id));

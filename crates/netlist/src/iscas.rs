@@ -23,47 +23,252 @@ pub struct CircuitProfile {
 
 /// Profiles for every circuit appearing in the paper's Tables 1 and 2.
 pub const PROFILES: &[CircuitProfile] = &[
-    CircuitProfile { name: "c17", inputs: 5, outputs: 2, gates: 6 },
-    CircuitProfile { name: "c432", inputs: 36, outputs: 7, gates: 160 },
-    CircuitProfile { name: "c499", inputs: 41, outputs: 32, gates: 202 },
-    CircuitProfile { name: "c880", inputs: 60, outputs: 26, gates: 383 },
-    CircuitProfile { name: "c1355", inputs: 41, outputs: 32, gates: 546 },
-    CircuitProfile { name: "c1908", inputs: 33, outputs: 25, gates: 880 },
-    CircuitProfile { name: "c2670", inputs: 233, outputs: 140, gates: 1193 },
-    CircuitProfile { name: "c3540", inputs: 50, outputs: 22, gates: 1669 },
-    CircuitProfile { name: "c5315", inputs: 178, outputs: 123, gates: 2307 },
-    CircuitProfile { name: "c6288", inputs: 32, outputs: 32, gates: 2406 },
-    CircuitProfile { name: "c7552", inputs: 207, outputs: 108, gates: 3512 },
-    CircuitProfile { name: "s27", inputs: 7, outputs: 4, gates: 10 },
-    CircuitProfile { name: "s208", inputs: 18, outputs: 9, gates: 96 },
-    CircuitProfile { name: "s298", inputs: 17, outputs: 20, gates: 119 },
-    CircuitProfile { name: "s344", inputs: 24, outputs: 26, gates: 160 },
-    CircuitProfile { name: "s349", inputs: 24, outputs: 26, gates: 161 },
-    CircuitProfile { name: "s382", inputs: 24, outputs: 27, gates: 158 },
-    CircuitProfile { name: "s386", inputs: 13, outputs: 13, gates: 159 },
-    CircuitProfile { name: "s400", inputs: 24, outputs: 27, gates: 164 },
-    CircuitProfile { name: "s420", inputs: 34, outputs: 17, gates: 196 },
-    CircuitProfile { name: "s444", inputs: 24, outputs: 27, gates: 181 },
-    CircuitProfile { name: "s510", inputs: 25, outputs: 13, gates: 211 },
-    CircuitProfile { name: "s526", inputs: 24, outputs: 27, gates: 193 },
-    CircuitProfile { name: "s641", inputs: 54, outputs: 43, gates: 379 },
-    CircuitProfile { name: "s713", inputs: 54, outputs: 42, gates: 393 },
-    CircuitProfile { name: "s820", inputs: 23, outputs: 24, gates: 289 },
-    CircuitProfile { name: "s832", inputs: 23, outputs: 24, gates: 287 },
-    CircuitProfile { name: "s838", inputs: 66, outputs: 33, gates: 390 },
-    CircuitProfile { name: "s953", inputs: 45, outputs: 52, gates: 395 },
-    CircuitProfile { name: "s1196", inputs: 32, outputs: 32, gates: 529 },
-    CircuitProfile { name: "s1238", inputs: 32, outputs: 32, gates: 508 },
-    CircuitProfile { name: "s1423", inputs: 91, outputs: 79, gates: 657 },
-    CircuitProfile { name: "s1488", inputs: 14, outputs: 25, gates: 653 },
-    CircuitProfile { name: "s1494", inputs: 14, outputs: 25, gates: 647 },
-    CircuitProfile { name: "s5378", inputs: 214, outputs: 228, gates: 2779 },
-    CircuitProfile { name: "s9234", inputs: 247, outputs: 250, gates: 5597 },
-    CircuitProfile { name: "s13207", inputs: 700, outputs: 790, gates: 7951 },
-    CircuitProfile { name: "s15850", inputs: 611, outputs: 684, gates: 9772 },
-    CircuitProfile { name: "s35932", inputs: 1763, outputs: 2048, gates: 16065 },
-    CircuitProfile { name: "s38417", inputs: 1664, outputs: 1742, gates: 22179 },
-    CircuitProfile { name: "s38584", inputs: 1464, outputs: 1730, gates: 19253 },
+    CircuitProfile {
+        name: "c17",
+        inputs: 5,
+        outputs: 2,
+        gates: 6,
+    },
+    CircuitProfile {
+        name: "c432",
+        inputs: 36,
+        outputs: 7,
+        gates: 160,
+    },
+    CircuitProfile {
+        name: "c499",
+        inputs: 41,
+        outputs: 32,
+        gates: 202,
+    },
+    CircuitProfile {
+        name: "c880",
+        inputs: 60,
+        outputs: 26,
+        gates: 383,
+    },
+    CircuitProfile {
+        name: "c1355",
+        inputs: 41,
+        outputs: 32,
+        gates: 546,
+    },
+    CircuitProfile {
+        name: "c1908",
+        inputs: 33,
+        outputs: 25,
+        gates: 880,
+    },
+    CircuitProfile {
+        name: "c2670",
+        inputs: 233,
+        outputs: 140,
+        gates: 1193,
+    },
+    CircuitProfile {
+        name: "c3540",
+        inputs: 50,
+        outputs: 22,
+        gates: 1669,
+    },
+    CircuitProfile {
+        name: "c5315",
+        inputs: 178,
+        outputs: 123,
+        gates: 2307,
+    },
+    CircuitProfile {
+        name: "c6288",
+        inputs: 32,
+        outputs: 32,
+        gates: 2406,
+    },
+    CircuitProfile {
+        name: "c7552",
+        inputs: 207,
+        outputs: 108,
+        gates: 3512,
+    },
+    CircuitProfile {
+        name: "s27",
+        inputs: 7,
+        outputs: 4,
+        gates: 10,
+    },
+    CircuitProfile {
+        name: "s208",
+        inputs: 18,
+        outputs: 9,
+        gates: 96,
+    },
+    CircuitProfile {
+        name: "s298",
+        inputs: 17,
+        outputs: 20,
+        gates: 119,
+    },
+    CircuitProfile {
+        name: "s344",
+        inputs: 24,
+        outputs: 26,
+        gates: 160,
+    },
+    CircuitProfile {
+        name: "s349",
+        inputs: 24,
+        outputs: 26,
+        gates: 161,
+    },
+    CircuitProfile {
+        name: "s382",
+        inputs: 24,
+        outputs: 27,
+        gates: 158,
+    },
+    CircuitProfile {
+        name: "s386",
+        inputs: 13,
+        outputs: 13,
+        gates: 159,
+    },
+    CircuitProfile {
+        name: "s400",
+        inputs: 24,
+        outputs: 27,
+        gates: 164,
+    },
+    CircuitProfile {
+        name: "s420",
+        inputs: 34,
+        outputs: 17,
+        gates: 196,
+    },
+    CircuitProfile {
+        name: "s444",
+        inputs: 24,
+        outputs: 27,
+        gates: 181,
+    },
+    CircuitProfile {
+        name: "s510",
+        inputs: 25,
+        outputs: 13,
+        gates: 211,
+    },
+    CircuitProfile {
+        name: "s526",
+        inputs: 24,
+        outputs: 27,
+        gates: 193,
+    },
+    CircuitProfile {
+        name: "s641",
+        inputs: 54,
+        outputs: 43,
+        gates: 379,
+    },
+    CircuitProfile {
+        name: "s713",
+        inputs: 54,
+        outputs: 42,
+        gates: 393,
+    },
+    CircuitProfile {
+        name: "s820",
+        inputs: 23,
+        outputs: 24,
+        gates: 289,
+    },
+    CircuitProfile {
+        name: "s832",
+        inputs: 23,
+        outputs: 24,
+        gates: 287,
+    },
+    CircuitProfile {
+        name: "s838",
+        inputs: 66,
+        outputs: 33,
+        gates: 390,
+    },
+    CircuitProfile {
+        name: "s953",
+        inputs: 45,
+        outputs: 52,
+        gates: 395,
+    },
+    CircuitProfile {
+        name: "s1196",
+        inputs: 32,
+        outputs: 32,
+        gates: 529,
+    },
+    CircuitProfile {
+        name: "s1238",
+        inputs: 32,
+        outputs: 32,
+        gates: 508,
+    },
+    CircuitProfile {
+        name: "s1423",
+        inputs: 91,
+        outputs: 79,
+        gates: 657,
+    },
+    CircuitProfile {
+        name: "s1488",
+        inputs: 14,
+        outputs: 25,
+        gates: 653,
+    },
+    CircuitProfile {
+        name: "s1494",
+        inputs: 14,
+        outputs: 25,
+        gates: 647,
+    },
+    CircuitProfile {
+        name: "s5378",
+        inputs: 214,
+        outputs: 228,
+        gates: 2779,
+    },
+    CircuitProfile {
+        name: "s9234",
+        inputs: 247,
+        outputs: 250,
+        gates: 5597,
+    },
+    CircuitProfile {
+        name: "s13207",
+        inputs: 700,
+        outputs: 790,
+        gates: 7951,
+    },
+    CircuitProfile {
+        name: "s15850",
+        inputs: 611,
+        outputs: 684,
+        gates: 9772,
+    },
+    CircuitProfile {
+        name: "s35932",
+        inputs: 1763,
+        outputs: 2048,
+        gates: 16065,
+    },
+    CircuitProfile {
+        name: "s38417",
+        inputs: 1664,
+        outputs: 1742,
+        gates: 22179,
+    },
+    CircuitProfile {
+        name: "s38584",
+        inputs: 1464,
+        outputs: 1730,
+        gates: 19253,
+    },
 ];
 
 /// Looks up a circuit profile by name.
@@ -124,9 +329,9 @@ mod tests {
         for name in [
             "s349", "s344", "s298", "s208", "s400", "s382", "s386", "s444", "c6288", "s510",
             "c432", "s526", "s1494", "s420", "s1488", "s832", "s820", "c499", "s713", "s641",
-            "c880", "c1908", "s953", "c1355", "s1196", "s1238", "s1423", "s838", "c3540",
-            "c2670", "c5315", "c7552", "s5378", "s9234", "s35932", "s15850", "s13207",
-            "s38584", "s38417", "s27",
+            "c880", "c1908", "s953", "c1355", "s1196", "s1238", "s1423", "s838", "c3540", "c2670",
+            "c5315", "c7552", "s5378", "s9234", "s35932", "s15850", "s13207", "s38584", "s38417",
+            "s27",
         ] {
             assert!(profile(name).is_some(), "missing profile for {name}");
         }

@@ -52,7 +52,7 @@ fn not(a: Trit) -> Trit {
 }
 
 fn and_all(inputs: &[Trit]) -> Trit {
-    if inputs.iter().any(|&t| t == Trit::Zero) {
+    if inputs.contains(&Trit::Zero) {
         Trit::Zero
     } else if inputs.iter().all(|&t| t == Trit::One) {
         Trit::One
@@ -62,7 +62,7 @@ fn and_all(inputs: &[Trit]) -> Trit {
 }
 
 fn or_all(inputs: &[Trit]) -> Trit {
-    if inputs.iter().any(|&t| t == Trit::One) {
+    if inputs.contains(&Trit::One) {
         Trit::One
     } else if inputs.iter().all(|&t| t == Trit::Zero) {
         Trit::Zero
@@ -85,7 +85,7 @@ fn xor_all(inputs: &[Trit]) -> Trit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Trit::{One, X, Zero};
+    use Trit::{One, Zero, X};
 
     #[test]
     fn controlling_values_dominate_x() {

@@ -98,8 +98,8 @@ pub fn detected_mask(netlist: &Netlist, fault: StuckAtFault, inputs: &[u64]) -> 
 mod tests {
     use super::*;
     use evotc_bits::TestPattern;
-    use evotc_netlist::{iscas, parse_bench};
     use evotc_netlist::Netlist;
+    use evotc_netlist::{iscas, parse_bench};
 
     fn c17() -> Netlist {
         parse_bench(iscas::C17_BENCH).unwrap()
@@ -119,9 +119,9 @@ mod tests {
             .collect();
         let mut inputs = vec![0u64; 5];
         for (p, pattern) in patterns.iter().enumerate() {
-            for j in 0..5 {
+            for (j, word) in inputs.iter_mut().enumerate() {
                 if pattern.trit(j).to_bool().unwrap() {
-                    inputs[j] |= 1 << p;
+                    *word |= 1 << p;
                 }
             }
         }

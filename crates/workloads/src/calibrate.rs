@@ -108,7 +108,10 @@ mod tests {
             specified_density: 0.8,
             ..spec
         }));
-        assert!(low > high, "low-density {low:.1}% !> high-density {high:.1}%");
+        assert!(
+            low > high,
+            "low-density {low:.1}% !> high-density {high:.1}%"
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl SyntheticSpec {
 /// ```
 /// use evotc_workloads::synth::{generate, SyntheticSpec};
 ///
-/// let spec = SyntheticSpec { width: 24, total_bits: 624, specified_density: 0.4, one_bias: 0.35, seed: 7 };
+/// let spec = SyntheticSpec { width: 24, total_bits: 624, specified_density: 0.4, one_bias: 0.35, seed: 1 };
 /// let set = generate(&spec);
 /// assert_eq!(set.width(), 24);
 /// assert_eq!(set.num_patterns(), 26);

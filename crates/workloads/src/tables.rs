@@ -41,78 +41,554 @@ pub struct PathDelayRow {
 
 /// Table 1 of the paper: stuck-at test sets, sorted by test-set size.
 pub const TABLE1: &[StuckAtRow] = &[
-    StuckAtRow { circuit: "s349", test_set_bits: 624, rate_9c: 23.0, rate_9c_hc: 30.0, rate_ea: 54.2, rate_ea_best: 55.8 },
-    StuckAtRow { circuit: "s344", test_set_bits: 624, rate_9c: 25.0, rate_9c_hc: 33.0, rate_ea: 51.8, rate_ea_best: 55.8 },
-    StuckAtRow { circuit: "s298", test_set_bits: 629, rate_9c: 19.0, rate_9c_hc: 27.0, rate_ea: 45.2, rate_ea_best: 51.2 },
-    StuckAtRow { circuit: "s208", test_set_bits: 722, rate_9c: 26.0, rate_9c_hc: 32.0, rate_ea: 47.8, rate_ea_best: 50.4 },
-    StuckAtRow { circuit: "s400", test_set_bits: 984, rate_9c: 29.0, rate_9c_hc: 36.0, rate_ea: 54.4, rate_ea_best: 56.4 },
-    StuckAtRow { circuit: "s382", test_set_bits: 1008, rate_9c: 29.0, rate_9c_hc: 36.0, rate_ea: 52.0, rate_ea_best: 54.2 },
-    StuckAtRow { circuit: "s386", test_set_bits: 1157, rate_9c: 0.0, rate_9c_hc: 13.0, rate_ea: 30.4, rate_ea_best: 30.6 },
-    StuckAtRow { circuit: "s444", test_set_bits: 1176, rate_9c: 40.0, rate_9c_hc: 43.0, rate_ea: 54.4, rate_ea_best: 57.8 },
-    StuckAtRow { circuit: "c6288", test_set_bits: 1216, rate_9c: 8.0, rate_9c_hc: 19.0, rate_ea: 17.6, rate_ea_best: 20.4 },
-    StuckAtRow { circuit: "s510", test_set_bits: 1850, rate_9c: 42.0, rate_9c_hc: 45.0, rate_ea: 57.6, rate_ea_best: 57.6 },
-    StuckAtRow { circuit: "c432", test_set_bits: 1944, rate_9c: 26.0, rate_9c_hc: 36.0, rate_ea: 49.2, rate_ea_best: 50.4 },
-    StuckAtRow { circuit: "s526", test_set_bits: 1944, rate_9c: 25.0, rate_9c_hc: 29.0, rate_ea: 46.4, rate_ea_best: 46.4 },
-    StuckAtRow { circuit: "s1494", test_set_bits: 2324, rate_9c: -1.0, rate_9c_hc: 11.0, rate_ea: 23.0, rate_ea_best: 28.9 },
-    StuckAtRow { circuit: "s420", test_set_bits: 2380, rate_9c: 53.0, rate_9c_hc: 55.0, rate_ea: 54.4, rate_ea_best: 56.2 },
-    StuckAtRow { circuit: "s1488", test_set_bits: 2436, rate_9c: 2.0, rate_9c_hc: 15.0, rate_ea: 25.6, rate_ea_best: 30.0 },
-    StuckAtRow { circuit: "s832", test_set_bits: 3404, rate_9c: 35.0, rate_9c_hc: 38.0, rate_ea: 43.8, rate_ea_best: 43.8 },
-    StuckAtRow { circuit: "s820", test_set_bits: 3496, rate_9c: 31.0, rate_9c_hc: 35.0, rate_ea: 42.8, rate_ea_best: 43.4 },
-    StuckAtRow { circuit: "c499", test_set_bits: 3854, rate_9c: 43.0, rate_9c_hc: 51.0, rate_ea: 45.0, rate_ea_best: 51.6 },
-    StuckAtRow { circuit: "s713", test_set_bits: 4104, rate_9c: 51.0, rate_9c_hc: 52.0, rate_ea: 61.4, rate_ea_best: 61.8 },
-    StuckAtRow { circuit: "s641", test_set_bits: 4212, rate_9c: 51.0, rate_9c_hc: 52.0, rate_ea: 60.2, rate_ea_best: 62.2 },
-    StuckAtRow { circuit: "c880", test_set_bits: 4680, rate_9c: 40.0, rate_9c_hc: 42.0, rate_ea: 47.8, rate_ea_best: 49.8 },
-    StuckAtRow { circuit: "c1908", test_set_bits: 4950, rate_9c: -2.0, rate_9c_hc: 10.0, rate_ea: 18.4, rate_ea_best: 19.0 },
-    StuckAtRow { circuit: "s953", test_set_bits: 5220, rate_9c: 51.0, rate_9c_hc: 53.0, rate_ea: 61.6, rate_ea_best: 63.2 },
-    StuckAtRow { circuit: "c1355", test_set_bits: 5289, rate_9c: 38.0, rate_9c_hc: 45.0, rate_ea: 40.8, rate_ea_best: 44.8 },
-    StuckAtRow { circuit: "s1196", test_set_bits: 6016, rate_9c: 34.0, rate_9c_hc: 38.0, rate_ea: 46.2, rate_ea_best: 46.2 },
-    StuckAtRow { circuit: "s1238", test_set_bits: 6240, rate_9c: 34.0, rate_9c_hc: 37.0, rate_ea: 44.0, rate_ea_best: 45.8 },
-    StuckAtRow { circuit: "s1423", test_set_bits: 8463, rate_9c: 59.0, rate_9c_hc: 59.0, rate_ea: 61.0, rate_ea_best: 61.6 },
-    StuckAtRow { circuit: "s838", test_set_bits: 8509, rate_9c: 67.0, rate_9c_hc: 68.0, rate_ea: 66.2, rate_ea_best: 68.6 },
-    StuckAtRow { circuit: "c3540", test_set_bits: 10350, rate_9c: 36.0, rate_9c_hc: 39.0, rate_ea: 43.8, rate_ea_best: 44.2 },
-    StuckAtRow { circuit: "c2670", test_set_bits: 33086, rate_9c: 70.0, rate_9c_hc: 70.0, rate_ea: 70.4, rate_ea_best: 70.6 },
-    StuckAtRow { circuit: "c5315", test_set_bits: 33108, rate_9c: 65.0, rate_9c_hc: 65.0, rate_ea: 66.2, rate_ea_best: 67.0 },
-    StuckAtRow { circuit: "c7552", test_set_bits: 60030, rate_9c: 63.0, rate_9c_hc: 64.0, rate_ea: 63.2, rate_ea_best: 63.2 },
-    StuckAtRow { circuit: "s5378", test_set_bits: 71262, rate_9c: 73.0, rate_9c_hc: 73.0, rate_ea: 76.8, rate_ea_best: 76.8 },
-    StuckAtRow { circuit: "s9234", test_set_bits: 118560, rate_9c: 75.0, rate_9c_hc: 75.0, rate_ea: 76.2, rate_ea_best: 76.4 },
-    StuckAtRow { circuit: "s35932", test_set_bits: 133988, rate_9c: 71.0, rate_9c_hc: 71.0, rate_ea: 73.8, rate_ea_best: 73.8 },
-    StuckAtRow { circuit: "s15850", test_set_bits: 305500, rate_9c: 80.0, rate_9c_hc: 80.0, rate_ea: 83.0, rate_ea_best: 83.0 },
-    StuckAtRow { circuit: "s13207", test_set_bits: 410200, rate_9c: 83.0, rate_9c_hc: 83.0, rate_ea: 85.8, rate_ea_best: 85.9 },
-    StuckAtRow { circuit: "s38584", test_set_bits: 1250256, rate_9c: 82.0, rate_9c_hc: 82.0, rate_ea: 86.2, rate_ea_best: 86.2 },
-    StuckAtRow { circuit: "s38417", test_set_bits: 2068352, rate_9c: 84.0, rate_9c_hc: 84.0, rate_ea: 87.0, rate_ea_best: 87.9 },
+    StuckAtRow {
+        circuit: "s349",
+        test_set_bits: 624,
+        rate_9c: 23.0,
+        rate_9c_hc: 30.0,
+        rate_ea: 54.2,
+        rate_ea_best: 55.8,
+    },
+    StuckAtRow {
+        circuit: "s344",
+        test_set_bits: 624,
+        rate_9c: 25.0,
+        rate_9c_hc: 33.0,
+        rate_ea: 51.8,
+        rate_ea_best: 55.8,
+    },
+    StuckAtRow {
+        circuit: "s298",
+        test_set_bits: 629,
+        rate_9c: 19.0,
+        rate_9c_hc: 27.0,
+        rate_ea: 45.2,
+        rate_ea_best: 51.2,
+    },
+    StuckAtRow {
+        circuit: "s208",
+        test_set_bits: 722,
+        rate_9c: 26.0,
+        rate_9c_hc: 32.0,
+        rate_ea: 47.8,
+        rate_ea_best: 50.4,
+    },
+    StuckAtRow {
+        circuit: "s400",
+        test_set_bits: 984,
+        rate_9c: 29.0,
+        rate_9c_hc: 36.0,
+        rate_ea: 54.4,
+        rate_ea_best: 56.4,
+    },
+    StuckAtRow {
+        circuit: "s382",
+        test_set_bits: 1008,
+        rate_9c: 29.0,
+        rate_9c_hc: 36.0,
+        rate_ea: 52.0,
+        rate_ea_best: 54.2,
+    },
+    StuckAtRow {
+        circuit: "s386",
+        test_set_bits: 1157,
+        rate_9c: 0.0,
+        rate_9c_hc: 13.0,
+        rate_ea: 30.4,
+        rate_ea_best: 30.6,
+    },
+    StuckAtRow {
+        circuit: "s444",
+        test_set_bits: 1176,
+        rate_9c: 40.0,
+        rate_9c_hc: 43.0,
+        rate_ea: 54.4,
+        rate_ea_best: 57.8,
+    },
+    StuckAtRow {
+        circuit: "c6288",
+        test_set_bits: 1216,
+        rate_9c: 8.0,
+        rate_9c_hc: 19.0,
+        rate_ea: 17.6,
+        rate_ea_best: 20.4,
+    },
+    StuckAtRow {
+        circuit: "s510",
+        test_set_bits: 1850,
+        rate_9c: 42.0,
+        rate_9c_hc: 45.0,
+        rate_ea: 57.6,
+        rate_ea_best: 57.6,
+    },
+    StuckAtRow {
+        circuit: "c432",
+        test_set_bits: 1944,
+        rate_9c: 26.0,
+        rate_9c_hc: 36.0,
+        rate_ea: 49.2,
+        rate_ea_best: 50.4,
+    },
+    StuckAtRow {
+        circuit: "s526",
+        test_set_bits: 1944,
+        rate_9c: 25.0,
+        rate_9c_hc: 29.0,
+        rate_ea: 46.4,
+        rate_ea_best: 46.4,
+    },
+    StuckAtRow {
+        circuit: "s1494",
+        test_set_bits: 2324,
+        rate_9c: -1.0,
+        rate_9c_hc: 11.0,
+        rate_ea: 23.0,
+        rate_ea_best: 28.9,
+    },
+    StuckAtRow {
+        circuit: "s420",
+        test_set_bits: 2380,
+        rate_9c: 53.0,
+        rate_9c_hc: 55.0,
+        rate_ea: 54.4,
+        rate_ea_best: 56.2,
+    },
+    StuckAtRow {
+        circuit: "s1488",
+        test_set_bits: 2436,
+        rate_9c: 2.0,
+        rate_9c_hc: 15.0,
+        rate_ea: 25.6,
+        rate_ea_best: 30.0,
+    },
+    StuckAtRow {
+        circuit: "s832",
+        test_set_bits: 3404,
+        rate_9c: 35.0,
+        rate_9c_hc: 38.0,
+        rate_ea: 43.8,
+        rate_ea_best: 43.8,
+    },
+    StuckAtRow {
+        circuit: "s820",
+        test_set_bits: 3496,
+        rate_9c: 31.0,
+        rate_9c_hc: 35.0,
+        rate_ea: 42.8,
+        rate_ea_best: 43.4,
+    },
+    StuckAtRow {
+        circuit: "c499",
+        test_set_bits: 3854,
+        rate_9c: 43.0,
+        rate_9c_hc: 51.0,
+        rate_ea: 45.0,
+        rate_ea_best: 51.6,
+    },
+    StuckAtRow {
+        circuit: "s713",
+        test_set_bits: 4104,
+        rate_9c: 51.0,
+        rate_9c_hc: 52.0,
+        rate_ea: 61.4,
+        rate_ea_best: 61.8,
+    },
+    StuckAtRow {
+        circuit: "s641",
+        test_set_bits: 4212,
+        rate_9c: 51.0,
+        rate_9c_hc: 52.0,
+        rate_ea: 60.2,
+        rate_ea_best: 62.2,
+    },
+    StuckAtRow {
+        circuit: "c880",
+        test_set_bits: 4680,
+        rate_9c: 40.0,
+        rate_9c_hc: 42.0,
+        rate_ea: 47.8,
+        rate_ea_best: 49.8,
+    },
+    StuckAtRow {
+        circuit: "c1908",
+        test_set_bits: 4950,
+        rate_9c: -2.0,
+        rate_9c_hc: 10.0,
+        rate_ea: 18.4,
+        rate_ea_best: 19.0,
+    },
+    StuckAtRow {
+        circuit: "s953",
+        test_set_bits: 5220,
+        rate_9c: 51.0,
+        rate_9c_hc: 53.0,
+        rate_ea: 61.6,
+        rate_ea_best: 63.2,
+    },
+    StuckAtRow {
+        circuit: "c1355",
+        test_set_bits: 5289,
+        rate_9c: 38.0,
+        rate_9c_hc: 45.0,
+        rate_ea: 40.8,
+        rate_ea_best: 44.8,
+    },
+    StuckAtRow {
+        circuit: "s1196",
+        test_set_bits: 6016,
+        rate_9c: 34.0,
+        rate_9c_hc: 38.0,
+        rate_ea: 46.2,
+        rate_ea_best: 46.2,
+    },
+    StuckAtRow {
+        circuit: "s1238",
+        test_set_bits: 6240,
+        rate_9c: 34.0,
+        rate_9c_hc: 37.0,
+        rate_ea: 44.0,
+        rate_ea_best: 45.8,
+    },
+    StuckAtRow {
+        circuit: "s1423",
+        test_set_bits: 8463,
+        rate_9c: 59.0,
+        rate_9c_hc: 59.0,
+        rate_ea: 61.0,
+        rate_ea_best: 61.6,
+    },
+    StuckAtRow {
+        circuit: "s838",
+        test_set_bits: 8509,
+        rate_9c: 67.0,
+        rate_9c_hc: 68.0,
+        rate_ea: 66.2,
+        rate_ea_best: 68.6,
+    },
+    StuckAtRow {
+        circuit: "c3540",
+        test_set_bits: 10350,
+        rate_9c: 36.0,
+        rate_9c_hc: 39.0,
+        rate_ea: 43.8,
+        rate_ea_best: 44.2,
+    },
+    StuckAtRow {
+        circuit: "c2670",
+        test_set_bits: 33086,
+        rate_9c: 70.0,
+        rate_9c_hc: 70.0,
+        rate_ea: 70.4,
+        rate_ea_best: 70.6,
+    },
+    StuckAtRow {
+        circuit: "c5315",
+        test_set_bits: 33108,
+        rate_9c: 65.0,
+        rate_9c_hc: 65.0,
+        rate_ea: 66.2,
+        rate_ea_best: 67.0,
+    },
+    StuckAtRow {
+        circuit: "c7552",
+        test_set_bits: 60030,
+        rate_9c: 63.0,
+        rate_9c_hc: 64.0,
+        rate_ea: 63.2,
+        rate_ea_best: 63.2,
+    },
+    StuckAtRow {
+        circuit: "s5378",
+        test_set_bits: 71262,
+        rate_9c: 73.0,
+        rate_9c_hc: 73.0,
+        rate_ea: 76.8,
+        rate_ea_best: 76.8,
+    },
+    StuckAtRow {
+        circuit: "s9234",
+        test_set_bits: 118560,
+        rate_9c: 75.0,
+        rate_9c_hc: 75.0,
+        rate_ea: 76.2,
+        rate_ea_best: 76.4,
+    },
+    StuckAtRow {
+        circuit: "s35932",
+        test_set_bits: 133988,
+        rate_9c: 71.0,
+        rate_9c_hc: 71.0,
+        rate_ea: 73.8,
+        rate_ea_best: 73.8,
+    },
+    StuckAtRow {
+        circuit: "s15850",
+        test_set_bits: 305500,
+        rate_9c: 80.0,
+        rate_9c_hc: 80.0,
+        rate_ea: 83.0,
+        rate_ea_best: 83.0,
+    },
+    StuckAtRow {
+        circuit: "s13207",
+        test_set_bits: 410200,
+        rate_9c: 83.0,
+        rate_9c_hc: 83.0,
+        rate_ea: 85.8,
+        rate_ea_best: 85.9,
+    },
+    StuckAtRow {
+        circuit: "s38584",
+        test_set_bits: 1250256,
+        rate_9c: 82.0,
+        rate_9c_hc: 82.0,
+        rate_ea: 86.2,
+        rate_ea_best: 86.2,
+    },
+    StuckAtRow {
+        circuit: "s38417",
+        test_set_bits: 2068352,
+        rate_9c: 84.0,
+        rate_9c_hc: 84.0,
+        rate_ea: 87.0,
+        rate_ea_best: 87.9,
+    },
 ];
 
 /// Table 2 of the paper: path-delay test sets, sorted by test-set size.
 pub const TABLE2: &[PathDelayRow] = &[
-    PathDelayRow { circuit: "s27", test_set_bits: 448, rate_9c: -5.0, rate_9c_hc: 9.0, rate_ea1: 46.2, rate_ea2: 51.6 },
-    PathDelayRow { circuit: "s298", test_set_bits: 6018, rate_9c: 41.0, rate_9c_hc: 44.0, rate_ea1: 48.9, rate_ea2: 54.2 },
-    PathDelayRow { circuit: "s386", test_set_bits: 6032, rate_9c: 8.0, rate_9c_hc: 19.0, rate_ea1: 24.7, rate_ea2: 26.0 },
-    PathDelayRow { circuit: "s208", test_set_bits: 7524, rate_9c: 40.0, rate_9c_hc: 43.0, rate_ea1: 43.5, rate_ea2: 46.6 },
-    PathDelayRow { circuit: "s444", test_set_bits: 14544, rate_9c: 49.0, rate_9c_hc: 52.0, rate_ea1: 55.6, rate_ea2: 55.8 },
-    PathDelayRow { circuit: "s382", test_set_bits: 16272, rate_9c: 50.0, rate_9c_hc: 55.0, rate_ea1: 58.0, rate_ea2: 59.2 },
-    PathDelayRow { circuit: "s400", test_set_bits: 16320, rate_9c: 50.0, rate_9c_hc: 55.0, rate_ea1: 57.1, rate_ea2: 58.2 },
-    PathDelayRow { circuit: "s526", test_set_bits: 17088, rate_9c: 44.0, rate_9c_hc: 45.0, rate_ea1: 59.3, rate_ea2: 60.0 },
-    PathDelayRow { circuit: "s349", test_set_bits: 17712, rate_9c: 41.0, rate_9c_hc: 44.0, rate_ea1: 57.0, rate_ea2: 61.2 },
-    PathDelayRow { circuit: "s344", test_set_bits: 17712, rate_9c: 41.0, rate_9c_hc: 44.0, rate_ea1: 57.0, rate_ea2: 60.8 },
-    PathDelayRow { circuit: "s510", test_set_bits: 18450, rate_9c: 45.0, rate_9c_hc: 47.0, rate_ea1: 48.9, rate_ea2: 52.6 },
-    PathDelayRow { circuit: "s1494", test_set_bits: 20300, rate_9c: 1.0, rate_9c_hc: 15.0, rate_ea1: 19.9, rate_ea2: 25.0 },
-    PathDelayRow { circuit: "s1488", test_set_bits: 20664, rate_9c: 2.0, rate_9c_hc: 15.0, rate_ea1: 20.5, rate_ea2: 24.6 },
-    PathDelayRow { circuit: "s820", test_set_bits: 21850, rate_9c: 34.0, rate_9c_hc: 38.0, rate_ea1: 38.2, rate_ea2: 42.4 },
-    PathDelayRow { circuit: "s832", test_set_bits: 22448, rate_9c: 34.0, rate_9c_hc: 38.0, rate_ea1: 38.4, rate_ea2: 42.4 },
-    PathDelayRow { circuit: "s420", test_set_bits: 43588, rate_9c: 58.0, rate_9c_hc: 59.0, rate_ea1: 57.9, rate_ea2: 51.2 },
-    PathDelayRow { circuit: "s713", test_set_bits: 56376, rate_9c: 61.0, rate_9c_hc: 63.0, rate_ea1: 64.6, rate_ea2: 69.0 },
-    PathDelayRow { circuit: "s953", test_set_bits: 75510, rate_9c: 57.0, rate_9c_hc: 59.0, rate_ea1: 59.4, rate_ea2: 62.8 },
-    PathDelayRow { circuit: "s641", test_set_bits: 94500, rate_9c: 60.0, rate_9c_hc: 62.0, rate_ea1: 62.6, rate_ea2: 66.2 },
-    PathDelayRow { circuit: "s1196", test_set_bits: 95616, rate_9c: 40.0, rate_9c_hc: 42.0, rate_ea1: 46.9, rate_ea2: 46.4 },
-    PathDelayRow { circuit: "s1238", test_set_bits: 96128, rate_9c: 39.0, rate_9c_hc: 41.0, rate_ea1: 46.3, rate_ea2: 45.8 },
-    PathDelayRow { circuit: "s838", test_set_bits: 269808, rate_9c: 70.0, rate_9c_hc: 70.0, rate_ea1: 69.3, rate_ea2: 64.2 },
-    PathDelayRow { circuit: "s1423", test_set_bits: 2321592, rate_9c: 49.0, rate_9c_hc: 50.0, rate_ea1: 51.8, rate_ea2: 52.8 },
-    PathDelayRow { circuit: "s5378", test_set_bits: 3625588, rate_9c: 78.0, rate_9c_hc: 78.0, rate_ea1: 77.5, rate_ea2: 81.2 },
-    PathDelayRow { circuit: "s9234", test_set_bits: 4666324, rate_9c: 81.0, rate_9c_hc: 82.0, rate_ea1: 80.1, rate_ea2: 83.2 },
-    PathDelayRow { circuit: "s35932", test_set_bits: 7108416, rate_9c: 87.0, rate_9c_hc: 87.0, rate_ea1: 86.7, rate_ea2: 91.0 },
-    PathDelayRow { circuit: "s13207", test_set_bits: 10234000, rate_9c: 85.0, rate_9c_hc: 85.0, rate_ea1: 85.9, rate_ea2: 89.6 },
-    PathDelayRow { circuit: "s15850", test_set_bits: 36502362, rate_9c: 84.0, rate_9c_hc: 84.0, rate_ea1: 82.7, rate_ea2: 86.3 },
-    PathDelayRow { circuit: "s38584", test_set_bits: 81190512, rate_9c: 87.0, rate_9c_hc: 87.0, rate_ea1: 67.5, rate_ea2: 90.0 },
+    PathDelayRow {
+        circuit: "s27",
+        test_set_bits: 448,
+        rate_9c: -5.0,
+        rate_9c_hc: 9.0,
+        rate_ea1: 46.2,
+        rate_ea2: 51.6,
+    },
+    PathDelayRow {
+        circuit: "s298",
+        test_set_bits: 6018,
+        rate_9c: 41.0,
+        rate_9c_hc: 44.0,
+        rate_ea1: 48.9,
+        rate_ea2: 54.2,
+    },
+    PathDelayRow {
+        circuit: "s386",
+        test_set_bits: 6032,
+        rate_9c: 8.0,
+        rate_9c_hc: 19.0,
+        rate_ea1: 24.7,
+        rate_ea2: 26.0,
+    },
+    PathDelayRow {
+        circuit: "s208",
+        test_set_bits: 7524,
+        rate_9c: 40.0,
+        rate_9c_hc: 43.0,
+        rate_ea1: 43.5,
+        rate_ea2: 46.6,
+    },
+    PathDelayRow {
+        circuit: "s444",
+        test_set_bits: 14544,
+        rate_9c: 49.0,
+        rate_9c_hc: 52.0,
+        rate_ea1: 55.6,
+        rate_ea2: 55.8,
+    },
+    PathDelayRow {
+        circuit: "s382",
+        test_set_bits: 16272,
+        rate_9c: 50.0,
+        rate_9c_hc: 55.0,
+        rate_ea1: 58.0,
+        rate_ea2: 59.2,
+    },
+    PathDelayRow {
+        circuit: "s400",
+        test_set_bits: 16320,
+        rate_9c: 50.0,
+        rate_9c_hc: 55.0,
+        rate_ea1: 57.1,
+        rate_ea2: 58.2,
+    },
+    PathDelayRow {
+        circuit: "s526",
+        test_set_bits: 17088,
+        rate_9c: 44.0,
+        rate_9c_hc: 45.0,
+        rate_ea1: 59.3,
+        rate_ea2: 60.0,
+    },
+    PathDelayRow {
+        circuit: "s349",
+        test_set_bits: 17712,
+        rate_9c: 41.0,
+        rate_9c_hc: 44.0,
+        rate_ea1: 57.0,
+        rate_ea2: 61.2,
+    },
+    PathDelayRow {
+        circuit: "s344",
+        test_set_bits: 17712,
+        rate_9c: 41.0,
+        rate_9c_hc: 44.0,
+        rate_ea1: 57.0,
+        rate_ea2: 60.8,
+    },
+    PathDelayRow {
+        circuit: "s510",
+        test_set_bits: 18450,
+        rate_9c: 45.0,
+        rate_9c_hc: 47.0,
+        rate_ea1: 48.9,
+        rate_ea2: 52.6,
+    },
+    PathDelayRow {
+        circuit: "s1494",
+        test_set_bits: 20300,
+        rate_9c: 1.0,
+        rate_9c_hc: 15.0,
+        rate_ea1: 19.9,
+        rate_ea2: 25.0,
+    },
+    PathDelayRow {
+        circuit: "s1488",
+        test_set_bits: 20664,
+        rate_9c: 2.0,
+        rate_9c_hc: 15.0,
+        rate_ea1: 20.5,
+        rate_ea2: 24.6,
+    },
+    PathDelayRow {
+        circuit: "s820",
+        test_set_bits: 21850,
+        rate_9c: 34.0,
+        rate_9c_hc: 38.0,
+        rate_ea1: 38.2,
+        rate_ea2: 42.4,
+    },
+    PathDelayRow {
+        circuit: "s832",
+        test_set_bits: 22448,
+        rate_9c: 34.0,
+        rate_9c_hc: 38.0,
+        rate_ea1: 38.4,
+        rate_ea2: 42.4,
+    },
+    PathDelayRow {
+        circuit: "s420",
+        test_set_bits: 43588,
+        rate_9c: 58.0,
+        rate_9c_hc: 59.0,
+        rate_ea1: 57.9,
+        rate_ea2: 51.2,
+    },
+    PathDelayRow {
+        circuit: "s713",
+        test_set_bits: 56376,
+        rate_9c: 61.0,
+        rate_9c_hc: 63.0,
+        rate_ea1: 64.6,
+        rate_ea2: 69.0,
+    },
+    PathDelayRow {
+        circuit: "s953",
+        test_set_bits: 75510,
+        rate_9c: 57.0,
+        rate_9c_hc: 59.0,
+        rate_ea1: 59.4,
+        rate_ea2: 62.8,
+    },
+    PathDelayRow {
+        circuit: "s641",
+        test_set_bits: 94500,
+        rate_9c: 60.0,
+        rate_9c_hc: 62.0,
+        rate_ea1: 62.6,
+        rate_ea2: 66.2,
+    },
+    PathDelayRow {
+        circuit: "s1196",
+        test_set_bits: 95616,
+        rate_9c: 40.0,
+        rate_9c_hc: 42.0,
+        rate_ea1: 46.9,
+        rate_ea2: 46.4,
+    },
+    PathDelayRow {
+        circuit: "s1238",
+        test_set_bits: 96128,
+        rate_9c: 39.0,
+        rate_9c_hc: 41.0,
+        rate_ea1: 46.3,
+        rate_ea2: 45.8,
+    },
+    PathDelayRow {
+        circuit: "s838",
+        test_set_bits: 269808,
+        rate_9c: 70.0,
+        rate_9c_hc: 70.0,
+        rate_ea1: 69.3,
+        rate_ea2: 64.2,
+    },
+    PathDelayRow {
+        circuit: "s1423",
+        test_set_bits: 2321592,
+        rate_9c: 49.0,
+        rate_9c_hc: 50.0,
+        rate_ea1: 51.8,
+        rate_ea2: 52.8,
+    },
+    PathDelayRow {
+        circuit: "s5378",
+        test_set_bits: 3625588,
+        rate_9c: 78.0,
+        rate_9c_hc: 78.0,
+        rate_ea1: 77.5,
+        rate_ea2: 81.2,
+    },
+    PathDelayRow {
+        circuit: "s9234",
+        test_set_bits: 4666324,
+        rate_9c: 81.0,
+        rate_9c_hc: 82.0,
+        rate_ea1: 80.1,
+        rate_ea2: 83.2,
+    },
+    PathDelayRow {
+        circuit: "s35932",
+        test_set_bits: 7108416,
+        rate_9c: 87.0,
+        rate_9c_hc: 87.0,
+        rate_ea1: 86.7,
+        rate_ea2: 91.0,
+    },
+    PathDelayRow {
+        circuit: "s13207",
+        test_set_bits: 10234000,
+        rate_9c: 85.0,
+        rate_9c_hc: 85.0,
+        rate_ea1: 85.9,
+        rate_ea2: 89.6,
+    },
+    PathDelayRow {
+        circuit: "s15850",
+        test_set_bits: 36502362,
+        rate_9c: 84.0,
+        rate_9c_hc: 84.0,
+        rate_ea1: 82.7,
+        rate_ea2: 86.3,
+    },
+    PathDelayRow {
+        circuit: "s38584",
+        test_set_bits: 81190512,
+        rate_9c: 87.0,
+        rate_9c_hc: 87.0,
+        rate_ea1: 67.5,
+        rate_ea2: 90.0,
+    },
 ];
 
 /// Looks up a Table 1 row by circuit name.
@@ -160,17 +636,29 @@ mod tests {
 
     #[test]
     fn rows_are_sorted_by_size() {
-        assert!(TABLE1.windows(2).all(|w| w[0].test_set_bits <= w[1].test_set_bits));
-        assert!(TABLE2.windows(2).all(|w| w[0].test_set_bits <= w[1].test_set_bits));
+        assert!(TABLE1
+            .windows(2)
+            .all(|w| w[0].test_set_bits <= w[1].test_set_bits));
+        assert!(TABLE2
+            .windows(2)
+            .all(|w| w[0].test_set_bits <= w[1].test_set_bits));
     }
 
     #[test]
     fn every_row_has_a_circuit_profile() {
         for r in TABLE1 {
-            assert!(evotc_netlist::iscas::profile(r.circuit).is_some(), "{}", r.circuit);
+            assert!(
+                evotc_netlist::iscas::profile(r.circuit).is_some(),
+                "{}",
+                r.circuit
+            );
         }
         for r in TABLE2 {
-            assert!(evotc_netlist::iscas::profile(r.circuit).is_some(), "{}", r.circuit);
+            assert!(
+                evotc_netlist::iscas::profile(r.circuit).is_some(),
+                "{}",
+                r.circuit
+            );
         }
     }
 

@@ -18,7 +18,14 @@ const CALIBRATION_BITS: usize = 1 << 16;
 ///
 /// Panics if the circuit has no ISCAS profile (all Table 1 circuits do).
 pub fn stuck_at_workload(row: &StuckAtRow, seed: u64) -> TestSet {
-    workload_with_limit(row.circuit, row.test_set_bits, row.rate_9c, seed, usize::MAX, 1)
+    workload_with_limit(
+        row.circuit,
+        row.test_set_bits,
+        row.rate_9c,
+        seed,
+        usize::MAX,
+        1,
+    )
 }
 
 /// Builds the calibrated path-delay workload for a Table 2 row. Path-delay
@@ -28,7 +35,14 @@ pub fn stuck_at_workload(row: &StuckAtRow, seed: u64) -> TestSet {
 ///
 /// Panics if the circuit has no ISCAS profile.
 pub fn path_delay_workload(row: &PathDelayRow, seed: u64) -> TestSet {
-    workload_with_limit(row.circuit, row.test_set_bits, row.rate_9c, seed, usize::MAX, 2)
+    workload_with_limit(
+        row.circuit,
+        row.test_set_bits,
+        row.rate_9c,
+        seed,
+        usize::MAX,
+        2,
+    )
 }
 
 /// Workload construction with an explicit size cap — the harness's *quick*
@@ -71,7 +85,7 @@ mod tests {
         let row = tables::stuck_at_row("s298").unwrap();
         let set = stuck_at_workload(row, 0);
         assert_eq!(set.width(), 17); // s298 combinational inputs
-        // sizes round up to whole patterns
+                                     // sizes round up to whole patterns
         assert!(set.total_bits() >= row.test_set_bits);
         assert!(set.total_bits() < row.test_set_bits + set.width());
     }

@@ -11,22 +11,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let set_a = TestSet::parse(&["11010011", "110100XX", "0000XXXX", "00001111"])?;
     let set_b = TestSet::parse(&["10101010", "1010XXXX", "01010101"])?;
 
-    let ea = EaCompressor::builder(8, 6).seed(4).stagnation_limit(60).build();
+    let ea = EaCompressor::builder(8, 6)
+        .seed(4)
+        .stagnation_limit(60)
+        .build();
     let a = ea.compress(&set_a)?;
     let b = ea.compress(&set_b)?;
 
     println!("test set A: {a}");
-    println!("  hard-wired decoder cost: {}", HardwareCost::estimate(a.mv_set(), a.code()));
+    println!(
+        "  hard-wired decoder cost: {}",
+        HardwareCost::estimate(a.mv_set(), a.code())
+    );
     println!("test set B: {b}");
-    println!("  hard-wired decoder cost: {}", HardwareCost::estimate(b.mv_set(), b.code()));
+    println!(
+        "  hard-wired decoder cost: {}",
+        HardwareCost::estimate(b.mv_set(), b.code())
+    );
 
     let mut device = ReconfigurableDecoder::new(16, 16);
-    println!("\nreconfigurable device (16 MVs x 16 bits): {}", device.device_cost());
+    println!(
+        "\nreconfigurable device (16 MVs x 16 bits): {}",
+        device.device_cost()
+    );
 
     device.load(a.mv_set().clone(), a.code().clone())?;
     assert!(set_a.is_refined_by(&device.decompress(&a)?));
     device.load(b.mv_set().clone(), b.code().clone())?;
     assert!(set_b.is_refined_by(&device.decompress(&b)?));
-    println!("decoded both test sets after {} table loads — no redesign", device.reloads());
+    println!(
+        "decoded both test sets after {} table loads — no redesign",
+        device.reloads()
+    );
     Ok(())
 }

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         one_bias: 0.35,
         seed: 11,
     });
-    println!("workload: {} bits, {:.0}% don't-cares\n", set.total_bits(), 100.0 * set.x_density());
+    println!(
+        "workload: {} bits, {:.0}% don't-cares\n",
+        set.total_bits(),
+        100.0 * set.x_density()
+    );
     println!("{:>4} {:>4} {:>10}", "K", "L", "rate (%)");
     for k in [4usize, 8, 12] {
         for l in [4usize, 9, 16] {

@@ -23,8 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ninec = NineCCompressor::new(8).compress(&outcome.tests)?;
     // EA1 = (K=8, L=9), EA2 = (K=12, L=64): the paper's Table 2 columns.
-    let ea1 = EaCompressor::builder(8, 9).seed(1).stagnation_limit(60).build();
-    let ea2 = EaCompressor::builder(12, 16).seed(1).stagnation_limit(60).build();
+    let ea1 = EaCompressor::builder(8, 9)
+        .seed(1)
+        .stagnation_limit(60)
+        .build();
+    let ea2 = EaCompressor::builder(12, 16)
+        .seed(1)
+        .stagnation_limit(60)
+        .build();
     println!("{ninec}");
     println!("{}", ea1.compress(&outcome.tests)?);
     println!("{}", ea2.compress(&outcome.tests)?);

@@ -16,13 +16,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "11010011110100XX",
         "000011110000XXXX",
     ])?;
-    println!("test set: {} patterns x {} bits, {:.0}% don't-cares\n",
-        set.num_patterns(), set.width(), 100.0 * set.x_density());
+    println!(
+        "test set: {} patterns x {} bits, {:.0}% don't-cares\n",
+        set.num_patterns(),
+        set.width(),
+        100.0 * set.x_density()
+    );
 
     for compressor in [
         Box::new(NineCCompressor::new(8)) as Box<dyn TestCompressor>,
         Box::new(NineCHuffmanCompressor::new(8)),
-        Box::new(EaCompressor::builder(8, 8).seed(1).stagnation_limit(80).build()),
+        Box::new(
+            EaCompressor::builder(8, 8)
+                .seed(1)
+                .stagnation_limit(80)
+                .build(),
+        ),
     ] {
         let compressed = compressor.compress(&set)?;
         println!("{compressed}");

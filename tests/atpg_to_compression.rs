@@ -1,8 +1,9 @@
 //! End-to-end: circuit -> ATPG -> compression -> decoder, across all crates
 //! with no synthetic data at all.
 
-use evotc::atpg::{generate_path_delay_tests, generate_stuck_at_tests, PathDelayConfig,
-    StuckAtConfig};
+use evotc::atpg::{
+    generate_path_delay_tests, generate_stuck_at_tests, PathDelayConfig, StuckAtConfig,
+};
 use evotc::core::{EaCompressor, NineCHuffmanCompressor, TestCompressor};
 use evotc::decoder::{DecoderFsm, HardwareCost};
 use evotc::netlist::{generate, iscas, parse_bench, GeneratorConfig};
@@ -32,7 +33,9 @@ fn c17_path_delay_full_pipeline() {
     let circuit = parse_bench(iscas::C17_BENCH).unwrap();
     let atpg = generate_path_delay_tests(&circuit, &PathDelayConfig::default());
     assert!(atpg.robust_tests > 0);
-    let compressed = NineCHuffmanCompressor::new(10).compress(&atpg.tests).unwrap();
+    let compressed = NineCHuffmanCompressor::new(10)
+        .compress(&atpg.tests)
+        .unwrap();
     assert!(atpg.tests.is_refined_by(&compressed.decompress().unwrap()));
 }
 
@@ -47,6 +50,8 @@ fn generated_circuit_pipeline() {
     let atpg = generate_stuck_at_tests(&circuit, &StuckAtConfig::default());
     assert!(!atpg.tests.is_empty());
     assert!(atpg.tests.x_density() > 0.0, "don't-cares expected");
-    let compressed = NineCHuffmanCompressor::new(8).compress(&atpg.tests).unwrap();
+    let compressed = NineCHuffmanCompressor::new(8)
+        .compress(&atpg.tests)
+        .unwrap();
     assert!(atpg.tests.is_refined_by(&compressed.decompress().unwrap()));
 }

@@ -15,7 +15,10 @@ fn section1_ninec_tables() {
         .collect();
     assert_eq!(
         mvs,
-        ["000000", "111111", "000111", "111000", "111UUU", "UUU111", "000UUU", "UUU000", "UUUUUU"]
+        [
+            "000000", "111111", "000111", "111000", "111UUU", "UUU111", "000UUU", "UUU000",
+            "UUUUUU"
+        ]
     );
     let code = ninec_codewords();
     let words: Vec<String> = (0..9).map(|i| code.codeword(i).to_string()).collect();
