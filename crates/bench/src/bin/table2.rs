@@ -1,23 +1,23 @@
 //! Regenerates Table 2 (path-delay test sets): 9C vs 9C+HC vs EA1 vs EA2.
 //!
-//! Usage: `cargo run -p evotc-bench --bin table2 --release [-- --full] [circuit…]`
+//! Usage: `cargo run -p evotc-bench --bin table2 --release [-- --full] [--threads N] [circuit…]`
 
-use evotc_bench::{markdown_table, run_path_delay_row, RunProfile};
+use evotc_bench::{circuit_filter, markdown_table, run_path_delay_rows, RunProfile};
 use evotc_workloads::tables::{TABLE2, TABLE2_AVG};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let profile = RunProfile::from_args(args.iter().cloned());
-    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let filter = circuit_filter(&args);
 
-    let mut rows = Vec::new();
-    for row in TABLE2 {
-        if !filter.is_empty() && !filter.iter().any(|f| *f == row.circuit) {
-            continue;
-        }
-        eprintln!("running {} ({} bits)…", row.circuit, row.test_set_bits);
-        rows.push(run_path_delay_row(row, &profile));
+    let selected: Vec<_> = TABLE2
+        .iter()
+        .filter(|row| filter.is_empty() || filter.iter().any(|f| *f == row.circuit))
+        .collect();
+    for row in &selected {
+        eprintln!("queued {} ({} bits)…", row.circuit, row.test_set_bits);
     }
+    let rows = run_path_delay_rows(&selected, &profile);
     println!("# Table 2 — path-delay test sets (measured)\n");
     println!("{}", markdown_table(&rows, ("EA1", "EA2")));
     println!(

@@ -40,6 +40,10 @@ pub struct RunProfile {
     pub runs: usize,
     /// (K, L) grid searched for the EA-Best column.
     pub grid: &'static [(usize, usize)],
+    /// Fitness-evaluation threads per EA run, and worker threads for batch
+    /// workload construction (`0` = auto; results are identical for every
+    /// value — see `evotc_evo::parallel`).
+    pub threads: usize,
 }
 
 impl RunProfile {
@@ -51,6 +55,7 @@ impl RunProfile {
             max_evaluations: 1_500,
             runs: 2,
             grid: &[(8, 16), (12, 32)],
+            threads: 0,
         }
     }
 
@@ -71,17 +76,50 @@ impl RunProfile {
                 (12, 64),
                 (16, 64),
             ],
+            threads: 0,
         }
     }
 
-    /// Parses `--full` from CLI arguments.
+    /// Parses `--full` and `--threads N` / `--threads=N` from CLI arguments.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
-        if args.into_iter().any(|a| a == "--full") {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut profile = if args.iter().any(|a| a == "--full") {
             RunProfile::full()
         } else {
             RunProfile::quick()
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let value = if let Some(v) = arg.strip_prefix("--threads=") {
+                Some(v.to_string())
+            } else if arg == "--threads" {
+                iter.next().cloned()
+            } else {
+                None
+            };
+            if let Some(v) = value {
+                profile.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--threads expects a number, got `{v}`"));
+            }
+        }
+        profile
+    }
+}
+
+/// Extracts the circuit-name filter from CLI arguments: everything that is
+/// neither a `--flag` nor the value of a space-separated `--threads N`.
+pub fn circuit_filter(args: &[String]) -> Vec<&String> {
+    let mut filter = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            let _ = iter.next(); // the count, not a circuit name
+        } else if !arg.starts_with("--") {
+            filter.push(arg);
         }
     }
+    filter
 }
 
 /// One regenerated row of Table 1 or Table 2.
@@ -101,12 +139,13 @@ pub struct MeasuredRow {
     pub rate_ea2: f64,
 }
 
-/// Builds an EA compressor with the profile's budget.
+/// Builds an EA compressor with the profile's budget and thread count.
 pub fn ea_compressor(k: usize, l: usize, seed: u64, profile: &RunProfile) -> EaCompressor {
     EaCompressor::builder(k, l)
         .seed(seed)
         .stagnation_limit(profile.stagnation_limit)
         .max_evaluations(profile.max_evaluations)
+        .threads(profile.threads)
         .build()
 }
 
@@ -164,6 +203,30 @@ pub fn run_path_delay_row(row: &PathDelayRow, profile: &RunProfile) -> MeasuredR
         2,
     );
     measure_row(row.circuit, &set, (8, 9), Some((12, 64)), profile)
+}
+
+/// Regenerates many Table 1 rows, building the calibrated workloads on the
+/// profile's worker threads first (see `evotc_workloads::parallel`), then
+/// measuring each row. Output order and values match calling
+/// [`run_stuck_at_row`] per row.
+pub fn run_stuck_at_rows(rows: &[&StuckAtRow], profile: &RunProfile) -> Vec<MeasuredRow> {
+    let threads = evotc_evo::parallel::resolve_threads(profile.threads);
+    let sets = evotc_workloads::stuck_at_workloads(rows, 1, profile.size_limit, threads);
+    rows.iter()
+        .zip(&sets)
+        .map(|(row, set)| measure_row(row.circuit, set, (12, 64), None, profile))
+        .collect()
+}
+
+/// Regenerates many Table 2 rows; the path-delay counterpart of
+/// [`run_stuck_at_rows`].
+pub fn run_path_delay_rows(rows: &[&PathDelayRow], profile: &RunProfile) -> Vec<MeasuredRow> {
+    let threads = evotc_evo::parallel::resolve_threads(profile.threads);
+    let sets = evotc_workloads::path_delay_workloads(rows, 1, profile.size_limit, threads);
+    rows.iter()
+        .zip(&sets)
+        .map(|(row, set)| measure_row(row.circuit, set, (8, 9), Some((12, 64)), profile))
+        .collect()
 }
 
 fn measure_row(
@@ -237,6 +300,7 @@ mod tests {
             max_evaluations: 300,
             runs: 1,
             grid: &[(8, 9)],
+            threads: 0,
         }
     }
 
@@ -281,5 +345,32 @@ mod tests {
             RunProfile::full()
         );
         assert_eq!(RunProfile::from_args(Vec::new()), RunProfile::quick());
+        let threaded = RunProfile::from_args(vec!["--threads".into(), "4".into()]);
+        assert_eq!(threaded.threads, 4);
+        assert_eq!(
+            RunProfile::from_args(vec!["--full".into(), "--threads=2".into()]).threads,
+            2
+        );
+    }
+
+    #[test]
+    fn circuit_filter_skips_flags_and_thread_counts() {
+        let args: Vec<String> = ["--full", "--threads", "4", "s349", "--threads=2", "s27"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let filter = circuit_filter(&args);
+        assert_eq!(filter, [&"s349".to_string(), &"s27".to_string()]);
+        assert!(circuit_filter(&["--threads".to_string(), "8".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn batch_row_runner_matches_per_row_runner() {
+        let profile = tiny_profile();
+        let rows: Vec<&tables::StuckAtRow> = tables::TABLE1[..2].iter().collect();
+        let batch = run_stuck_at_rows(&rows, &profile);
+        for (row, measured) in rows.iter().zip(&batch) {
+            assert_eq!(measured, &run_stuck_at_row(row, &profile));
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Evolutionary matching-vector determination (paper, Section 3.1).
 
 use evotc_bits::{BlockHistogram, TestSet, TestSetString, Trit};
-use evotc_evo::{Ea, EaConfig, GenerationStats};
+use evotc_evo::{Ea, EaConfig, FitnessEval, GenerationStats};
 use rand::Rng;
 
 use crate::compressed::CompressedTestSet;
@@ -111,24 +111,12 @@ impl EaCompressor {
     }
 
     fn optimize(&self, histogram: &BlockHistogram, original_bits: f64) -> (MvSet, EaRunSummary) {
-        let k = self.k;
-        let force_all_u = self.force_all_u;
-        let fitness = |genes: &[Trit]| -> f64 {
-            let mvs = match MvSet::from_genes(k, genes, force_all_u) {
-                Ok(m) => m,
-                Err(_) => return f64::MIN,
-            };
-            match encoded_size(&mvs, histogram) {
-                // Compression rate, the EA's fitness (paper, Section 3.1).
-                Some(size) => 100.0 * (original_bits - size as f64) / original_bits,
-                // "Fitness of an individual for which covering is impossible
-                // is set to a sufficiently small number."
-                None => f64::MIN,
-            }
-        };
+        // One immutable evaluator borrows the histogram; every worker thread
+        // shares it instead of re-borrowing mutable closure state.
+        let fitness = MvFitness::new(self.k, self.force_all_u, histogram, original_bits);
         let mut ea = Ea::new(
             self.config.clone(),
-            k * self.l,
+            self.k * self.l,
             |rng| Trit::from_index(rng.gen_range(0..3u8)),
             fitness,
         );
@@ -136,13 +124,14 @@ impl EaCompressor {
             ea.seed_population([self.ninec_genome()]);
         }
         let result = ea.run();
-        let mvs = MvSet::from_genes(k, &result.best_genome, force_all_u)
+        let mvs = MvSet::from_genes(self.k, &result.best_genome, self.force_all_u)
             .expect("k was validated when the histogram was built");
         let summary = EaRunSummary {
             best_fitness: result.best_fitness,
             generations: result.generations,
             evaluations: result.evaluations,
             history: result.history,
+            elapsed: result.elapsed,
         };
         (mvs, summary)
     }
@@ -175,6 +164,60 @@ impl TestCompressor for EaCompressor {
     }
 }
 
+/// The paper's fitness function (Section 3.1) as a shareable batch
+/// evaluator: the compression rate of the MV set a genome encodes, computed
+/// over the distinct-block histogram.
+///
+/// The evaluator is immutable — it borrows one [`BlockHistogram`] — so the
+/// parallel engine can hand the same instance to every worker thread.
+/// Genomes whose MV set is malformed or cannot cover every block score
+/// [`MvFitness::INFEASIBLE`], which ranks strictly below every feasible
+/// compression rate.
+#[derive(Debug, Clone, Copy)]
+pub struct MvFitness<'a> {
+    k: usize,
+    force_all_u: bool,
+    histogram: &'a BlockHistogram,
+    original_bits: f64,
+}
+
+impl<'a> MvFitness<'a> {
+    /// "Fitness of an individual for which covering is impossible is set to
+    /// a sufficiently small number" (paper, Section 3.1).
+    pub const INFEASIBLE: f64 = f64::MIN;
+
+    /// Creates the evaluator for genomes of `L · k` trits over `histogram`;
+    /// `original_bits` is the uncompressed payload size the rate is
+    /// relative to.
+    pub fn new(
+        k: usize,
+        force_all_u: bool,
+        histogram: &'a BlockHistogram,
+        original_bits: f64,
+    ) -> Self {
+        MvFitness {
+            k,
+            force_all_u,
+            histogram,
+            original_bits,
+        }
+    }
+}
+
+impl FitnessEval<Trit> for MvFitness<'_> {
+    fn evaluate(&self, genes: &[Trit]) -> f64 {
+        let mvs = match MvSet::from_genes(self.k, genes, self.force_all_u) {
+            Ok(m) => m,
+            Err(_) => return Self::INFEASIBLE,
+        };
+        match encoded_size(&mvs, self.histogram) {
+            // Compression rate, the EA's fitness (paper, Section 3.1).
+            Some(size) => 100.0 * (self.original_bits - size as f64) / self.original_bits,
+            None => Self::INFEASIBLE,
+        }
+    }
+}
+
 /// Statistics of one EA optimization run.
 #[derive(Debug, Clone)]
 pub struct EaRunSummary {
@@ -186,6 +229,16 @@ pub struct EaRunSummary {
     pub evaluations: u64,
     /// Per-generation fitness trajectory.
     pub history: Vec<GenerationStats>,
+    /// Wall-clock duration of the optimization.
+    pub elapsed: std::time::Duration,
+}
+
+impl EaRunSummary {
+    /// Fitness-evaluation throughput (evaluations per second); `0.0` before
+    /// any time has elapsed.
+    pub fn evaluations_per_sec(&self) -> f64 {
+        evotc_evo::evals_per_sec(self.evaluations, self.elapsed)
+    }
 }
 
 /// Builder for [`EaCompressor`].
@@ -221,6 +274,14 @@ impl EaCompressorBuilder {
     /// Sets the fitness-evaluation budget.
     pub fn max_evaluations(mut self, evaluations: u64) -> Self {
         self.config.max_evaluations = evaluations;
+        self
+    }
+
+    /// Sets the fitness-evaluation thread count (`0` = auto; see
+    /// [`evotc_evo::parallel::resolve_threads`]). Compression results are
+    /// bit-identical for every value — this knob only trades wall-clock.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
         self
     }
 
@@ -266,6 +327,7 @@ impl EaCompressorBuilder {
             .max_evaluations(self.config.max_evaluations)
             .max_generations(self.config.max_generations)
             .seed(self.config.seed)
+            .threads(self.config.threads)
             .build();
         let _ = config;
         EaCompressor {
@@ -365,6 +427,49 @@ mod tests {
     #[test]
     fn name_encodes_parameters() {
         assert_eq!(quick(12, 64, 0).name(), "EA(K=12,L=64)");
+    }
+
+    #[test]
+    fn thread_count_never_changes_compression() {
+        let set = small_set();
+        let compress = |threads: usize| {
+            EaCompressor::builder(8, 4)
+                .seed(6)
+                .stagnation_limit(40)
+                .threads(threads)
+                .build()
+                .compress(&set)
+                .unwrap()
+        };
+        let reference = compress(1);
+        for threads in [2, 4] {
+            let other = compress(threads);
+            assert_eq!(other.compressed_bits, reference.compressed_bits);
+            assert_eq!(other.mv_set(), reference.mv_set());
+        }
+    }
+
+    #[test]
+    fn mv_fitness_matches_achieved_rate() {
+        let set = small_set();
+        let string = TestSetString::try_new(&set, 8).unwrap();
+        let histogram = BlockHistogram::from_string(&string);
+        let (c, _) = quick(8, 4, 1).compress_with_summary(&set).unwrap();
+        let fitness = MvFitness::new(8, true, &histogram, string.payload_bits() as f64);
+        let mvs = c.mv_set();
+        let genes: Vec<Trit> = (0..mvs.len())
+            .flat_map(|i| (0..8).map(move |j| mvs.vector(i).trit(j)))
+            .collect();
+        assert!((fitness.evaluate(&genes) - c.rate_percent()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_reports_throughput() {
+        let set = small_set();
+        let (_, summary) = quick(8, 4, 3).compress_with_summary(&set).unwrap();
+        assert!(summary.evaluations_per_sec() > 0.0);
+        let last = summary.history.last().unwrap();
+        assert_eq!(last.evaluations, summary.evaluations);
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct EaConfig {
     pub max_generations: u64,
     /// RNG seed; runs with the same seed and inputs are identical.
     pub seed: u64,
+    /// Worker threads for fitness evaluation. `0` (the default) resolves
+    /// automatically — see [`crate::parallel::resolve_threads`]. Results are
+    /// bit-identical for every value: the thread count is a throughput knob,
+    /// never a semantic one.
+    pub threads: usize,
 }
 
 impl Default for EaConfig {
@@ -55,6 +60,7 @@ impl Default for EaConfig {
             max_evaluations: 1_000_000,
             max_generations: u64::MAX,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -103,14 +109,19 @@ impl fmt::Display for EaConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "S={} C={} px={:.2} pm={:.2} pi={:.2} stagnation={} seed={}",
+            "S={} C={} px={:.2} pm={:.2} pi={:.2} stagnation={} seed={} threads={}",
             self.population_size,
             self.children_per_generation,
             self.crossover_probability,
             self.mutation_probability,
             self.inversion_probability,
             self.stagnation_limit,
-            self.seed
+            self.seed,
+            if self.threads == 0 {
+                "auto".to_string()
+            } else {
+                self.threads.to_string()
+            }
         )
     }
 }
@@ -176,6 +187,14 @@ impl EaConfigBuilder {
         self
     }
 
+    /// Sets the fitness-evaluation thread count (`0` = auto; see
+    /// [`crate::parallel::resolve_threads`]). Thread count never changes
+    /// results, only wall-clock.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Panics
@@ -233,8 +252,23 @@ mod tests {
     #[test]
     fn display_mentions_all_knobs() {
         let s = EaConfig::default().to_string();
-        for needle in ["S=10", "C=5", "px=0.30", "pm=0.30", "pi=0.10"] {
+        for needle in [
+            "S=10",
+            "C=5",
+            "px=0.30",
+            "pm=0.30",
+            "pi=0.10",
+            "threads=auto",
+        ] {
             assert!(s.contains(needle), "{s} missing {needle}");
         }
+    }
+
+    #[test]
+    fn threads_knob_round_trips() {
+        let c = EaConfig::builder().threads(4).build();
+        assert_eq!(c.threads, 4);
+        assert!(c.to_string().contains("threads=4"));
+        assert_eq!(EaConfig::default().threads, 0);
     }
 }

@@ -1,30 +1,40 @@
 //! The (S + C) evolutionary engine.
 
+use std::time::{Duration, Instant};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::EaConfig;
+use crate::fitness::FitnessEval;
 use crate::operators;
+use crate::parallel;
 use crate::stats::GenerationStats;
 
 /// An evolutionary algorithm over fixed-length genomes of gene type `G`.
 ///
 /// `sample_gene` draws a random gene (used for the initial population and by
-/// the mutation operator); `fitness` maps a genome to a score, higher is
-/// better. Infeasible genomes should be given a fitness below every feasible
-/// one — exactly how the paper handles individuals for which covering is
-/// impossible (Section 3.1).
+/// the mutation operator); `fitness` is any [`FitnessEval`] — a plain
+/// `Fn(&[G]) -> f64` closure works — that maps a genome to a score, higher
+/// is better. Infeasible genomes should be given a fitness below every
+/// feasible one — exactly how the paper handles individuals for which
+/// covering is impossible (Section 3.1).
+///
+/// Fitness is evaluated batch-wise: the engine collects each generation's
+/// children and scores the whole batch at once, on up to
+/// [`EaConfig::threads`] worker threads (see [`crate::parallel`]). Results
+/// are bit-identical for every thread count.
 ///
 /// See the [crate-level documentation](crate) for a complete example.
-pub struct Ea<G, SampleGene, Fitness>
+pub struct Ea<G, SampleGene, F>
 where
     SampleGene: FnMut(&mut StdRng) -> G,
-    Fitness: FnMut(&[G]) -> f64,
+    F: FitnessEval<G>,
 {
     config: EaConfig,
     genome_len: usize,
     sample_gene: SampleGene,
-    fitness: Fitness,
+    fitness: F,
     seeds: Vec<Vec<G>>,
 }
 
@@ -41,6 +51,17 @@ pub struct EaResult<G> {
     pub evaluations: u64,
     /// Statistics per generation (index 0 is the initial population).
     pub history: Vec<GenerationStats>,
+    /// Wall-clock duration of the run (not part of the determinism
+    /// contract).
+    pub elapsed: Duration,
+}
+
+impl<G> EaResult<G> {
+    /// Fitness-evaluation throughput of the whole run (evaluations per
+    /// second). Returns `0.0` before any time has elapsed.
+    pub fn evaluations_per_sec(&self) -> f64 {
+        crate::stats::evals_per_sec(self.evaluations, self.elapsed)
+    }
 }
 
 struct Individual<G> {
@@ -48,23 +69,18 @@ struct Individual<G> {
     fitness: f64,
 }
 
-impl<G, SampleGene, Fitness> Ea<G, SampleGene, Fitness>
+impl<G, SampleGene, F> Ea<G, SampleGene, F>
 where
-    G: Copy,
+    G: Copy + Send + Sync,
     SampleGene: FnMut(&mut StdRng) -> G,
-    Fitness: FnMut(&[G]) -> f64,
+    F: FitnessEval<G> + Sync,
 {
     /// Creates an engine for genomes of length `genome_len`.
     ///
     /// # Panics
     ///
     /// Panics if `genome_len` is zero or the configuration is invalid.
-    pub fn new(
-        config: EaConfig,
-        genome_len: usize,
-        sample_gene: SampleGene,
-        fitness: Fitness,
-    ) -> Self {
+    pub fn new(config: EaConfig, genome_len: usize, sample_gene: SampleGene, fitness: F) -> Self {
         assert!(genome_len > 0, "genome length must be positive");
         config.validate();
         Ea {
@@ -104,26 +120,26 @@ where
 
     /// Runs the algorithm, invoking `observer` after every generation.
     pub fn run_with_observer(mut self, mut observer: impl FnMut(&GenerationStats)) -> EaResult<G> {
+        let start = Instant::now();
+        let threads = parallel::resolve_threads(self.config.threads);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let s = self.config.population_size;
         let c = self.config.children_per_generation;
         let mut evaluations: u64 = 0;
 
-        // Initial population: seeds first, then random individuals.
-        let mut population: Vec<Individual<G>> = Vec::with_capacity(s + c);
-        for genes in self.seeds.drain(..).take(s).collect::<Vec<_>>() {
-            let fitness = (self.fitness)(&genes);
-            evaluations += 1;
-            population.push(Individual { genes, fitness });
+        // Initial population: seeds first, then random individuals. Genomes
+        // are collected up front and scored as one batch; the RNG is only
+        // touched on this thread, so its stream is independent of `threads`.
+        let mut genomes: Vec<Vec<G>> = self.seeds.drain(..).take(s).collect();
+        while genomes.len() < s {
+            genomes.push(
+                (0..self.genome_len)
+                    .map(|_| (self.sample_gene)(&mut rng))
+                    .collect(),
+            );
         }
-        while population.len() < s {
-            let genes: Vec<G> = (0..self.genome_len)
-                .map(|_| (self.sample_gene)(&mut rng))
-                .collect();
-            let fitness = (self.fitness)(&genes);
-            evaluations += 1;
-            population.push(Individual { genes, fitness });
-        }
+        let mut population = evaluate_into_individuals(&self.fitness, genomes, threads);
+        evaluations += population.len() as u64;
         sort_by_fitness(&mut population);
 
         let mut history = Vec::new();
@@ -135,6 +151,7 @@ where
                 best_fitness: best,
                 mean_fitness: mean,
                 evaluations,
+                elapsed: start.elapsed(),
             }
         };
         let initial = record(&population, 0, evaluations);
@@ -182,11 +199,8 @@ where
                     children.push(population[pa].genes.clone());
                 }
             }
-            for genes in children {
-                let fitness = (self.fitness)(&genes);
-                evaluations += 1;
-                population.push(Individual { genes, fitness });
-            }
+            evaluations += children.len() as u64;
+            population.extend(evaluate_into_individuals(&self.fitness, children, threads));
             // (S + C) truncation selection: keep the best S.
             sort_by_fitness(&mut population);
             population.truncate(s);
@@ -209,8 +223,28 @@ where
             generations: generation,
             evaluations,
             history,
+            elapsed: start.elapsed(),
         }
     }
+}
+
+/// Scores a batch of genomes (on up to `threads` workers) and pairs each
+/// genome with its fitness, preserving order.
+fn evaluate_into_individuals<G, F>(
+    fitness: &F,
+    genomes: Vec<Vec<G>>,
+    threads: usize,
+) -> Vec<Individual<G>>
+where
+    G: Sync,
+    F: FitnessEval<G> + Sync,
+{
+    let scores = parallel::evaluate(fitness, &genomes, threads);
+    genomes
+        .into_iter()
+        .zip(scores)
+        .map(|(genes, fitness)| Individual { genes, fitness })
+        .collect()
 }
 
 fn sort_by_fitness<G>(population: &mut [Individual<G>]) {
@@ -268,8 +302,61 @@ mod tests {
     fn different_seeds_diverge() {
         let a = run_one_max(1);
         let b = run_one_max(2);
-        // Either the genomes or the trajectories differ.
-        assert!(a.best_genome != b.best_genome || a.history != b.history);
+        // Either the genomes or the trajectories differ. `elapsed` differs
+        // between any two runs, so compare only the deterministic fields.
+        let trajectory = |r: &EaResult<bool>| {
+            r.history
+                .iter()
+                .map(|s| (s.generation, s.best_fitness.to_bits(), s.evaluations))
+                .collect::<Vec<_>>()
+        };
+        assert!(a.best_genome != b.best_genome || trajectory(&a) != trajectory(&b));
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_trajectory() {
+        let run = |threads: usize| {
+            let config = EaConfig::builder()
+                .population_size(10)
+                .children_per_generation(5)
+                .stagnation_limit(40)
+                .seed(9)
+                .threads(threads)
+                .build();
+            Ea::new(
+                config,
+                24,
+                |rng| rng.gen::<bool>(),
+                |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
+            )
+            .run()
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            let other = run(threads);
+            assert_eq!(other.best_genome, reference.best_genome, "t={threads}");
+            assert_eq!(other.best_fitness, reference.best_fitness);
+            assert_eq!(other.generations, reference.generations);
+            assert_eq!(other.evaluations, reference.evaluations);
+        }
+    }
+
+    #[test]
+    fn batch_evaluator_sees_whole_generations() {
+        // A custom FitnessEval whose batch override must agree with the
+        // closure path: the engine should hand it S first, then C per
+        // generation.
+        struct Counting;
+        impl FitnessEval<bool> for Counting {
+            fn evaluate(&self, genes: &[bool]) -> f64 {
+                genes.iter().filter(|&&g| g).count() as f64
+            }
+        }
+        let config = one_max_config(100, 7);
+        let via_trait = Ea::new(config.clone(), 24, |rng| rng.gen::<bool>(), Counting).run();
+        let via_closure = run_one_max(7);
+        assert_eq!(via_trait.best_genome, via_closure.best_genome);
+        assert_eq!(via_trait.evaluations, via_closure.evaluations);
     }
 
     #[test]
@@ -280,6 +367,18 @@ mod tests {
             assert!(s.best_fitness >= prev, "elitist selection lost the best");
             prev = s.best_fitness;
         }
+    }
+
+    #[test]
+    fn history_elapsed_is_monotone_and_result_reports_throughput() {
+        let result = run_one_max(2);
+        let mut prev = Duration::ZERO;
+        for s in &result.history {
+            assert!(s.elapsed >= prev, "elapsed went backwards");
+            prev = s.elapsed;
+        }
+        assert!(result.elapsed >= prev);
+        assert!(result.evaluations_per_sec() >= 0.0);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Batch-oriented fitness evaluation.
+
+/// Fitness of fixed-length genomes over gene type `G`; higher is better.
+///
+/// The engine hands whole batches to [`FitnessEval::evaluate_batch`] — the
+/// initial population first, then every generation's children — which makes
+/// the batch the natural unit of parallelism (see [`crate::parallel`]).
+///
+/// Implementations must be *pure*: the fitness of a genome may depend only
+/// on the genes (plus immutable shared state such as a precomputed
+/// histogram), never on evaluation order, interior mutability, or randomness.
+/// That purity is what lets the engine guarantee bit-identical results for
+/// every thread count.
+///
+/// Infeasible genomes should be scored below every feasible one — exactly
+/// how the paper handles individuals for which covering is impossible
+/// (Section 3.1).
+///
+/// Any `Fn(&[G]) -> f64` closure implements this trait, so simple callers
+/// never need to name it:
+///
+/// ```
+/// use evotc_evo::FitnessEval;
+///
+/// let one_max = |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64;
+/// assert_eq!(one_max.evaluate(&[true, false, true]), 2.0);
+/// assert_eq!(one_max.evaluate_batch(&[vec![true], vec![false]]), [1.0, 0.0]);
+/// ```
+pub trait FitnessEval<G> {
+    /// Scores a single genome.
+    fn evaluate(&self, genes: &[G]) -> f64;
+
+    /// Scores a batch of genomes; entry `i` of the result is the fitness of
+    /// `genomes[i]`.
+    ///
+    /// The default implementation maps [`FitnessEval::evaluate`] over the
+    /// batch in order. Override it when per-batch work can be amortized
+    /// (shared scratch buffers, vectorized kernels); the override must
+    /// return exactly `genomes.len()` scores in input order.
+    fn evaluate_batch(&self, genomes: &[Vec<G>]) -> Vec<f64> {
+        genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
+}
+
+/// Every plain fitness closure is a batch evaluator.
+impl<G, F> FitnessEval<G> for F
+where
+    F: Fn(&[G]) -> f64,
+{
+    fn evaluate(&self, genes: &[G]) -> f64 {
+        self(genes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SumLen;
+
+    impl FitnessEval<u8> for SumLen {
+        fn evaluate(&self, genes: &[u8]) -> f64 {
+            genes.iter().map(|&g| g as f64).sum()
+        }
+    }
+
+    #[test]
+    fn default_batch_maps_in_order() {
+        let genomes = vec![vec![1u8, 2], vec![10], vec![]];
+        assert_eq!(SumLen.evaluate_batch(&genomes), vec![3.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn closures_implement_the_trait() {
+        let f = |genes: &[bool]| genes.len() as f64;
+        assert_eq!(f.evaluate(&[true, true]), 2.0);
+        assert_eq!(f.evaluate_batch(&[vec![], vec![false]]), vec![0.0, 1.0]);
+    }
+}

@@ -17,9 +17,15 @@
 //!
 //! Genomes are fixed-length strings over an arbitrary `Copy` gene type; the
 //! caller supplies a gene sampler (for random initialization and mutation)
-//! and a fitness function. The three operators of the paper — crossover,
-//! point mutation and inversion — are provided in [`operators`], and the
-//! engine draws them with configurable probabilities.
+//! and a fitness evaluator — any [`FitnessEval`], which a plain
+//! `Fn(&[G]) -> f64` closure satisfies. The three operators of the paper —
+//! crossover, point mutation and inversion — are provided in [`operators`],
+//! and the engine draws them with configurable probabilities.
+//!
+//! Fitness is evaluated in batches (the initial population, then each
+//! generation's children), optionally across scoped worker threads — see
+//! [`parallel`] and the `threads` knob on [`EaConfig`]. Thread count never
+//! changes results: runs are bit-identical for any value of the knob.
 //!
 //! # Example
 //!
@@ -45,9 +51,12 @@
 
 mod config;
 mod engine;
+mod fitness;
 pub mod operators;
+pub mod parallel;
 mod stats;
 
 pub use config::{EaConfig, EaConfigBuilder};
 pub use engine::{Ea, EaResult};
-pub use stats::GenerationStats;
+pub use fitness::FitnessEval;
+pub use stats::{evals_per_sec, GenerationStats};

@@ -1,0 +1,174 @@
+//! Deterministic population-parallel fitness evaluation.
+//!
+//! The paper's EA spends essentially all of its wall-clock evaluating
+//! fitness (the compression rate over the distinct-block histogram), so the
+//! natural scaling move is population-level parallelism: split each batch of
+//! genomes into contiguous chunks, evaluate the chunks on scoped worker
+//! threads, and stitch the scores back together in input order.
+//!
+//! # Determinism contract
+//!
+//! [`evaluate`] is bit-identical for every thread count. Chunking changes
+//! only *where* a genome is scored, never the order of the returned scores,
+//! and the engine's RNG lives on the calling thread — worker threads get a
+//! shared `&E` and never touch random state. The contract holds as long as
+//! the evaluator is pure (see [`FitnessEval`]); it is enforced by
+//! `tests/parallel_determinism.rs` and by CI running the whole suite under
+//! [`THREADS_ENV`]` = 1`.
+//!
+//! # Example
+//!
+//! ```
+//! use evotc_evo::parallel;
+//!
+//! let one_max = |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64;
+//! let genomes: Vec<Vec<bool>> = (0..64).map(|i| vec![i % 3 == 0; 16]).collect();
+//!
+//! let serial = parallel::evaluate(&one_max, &genomes, 1);
+//! let threaded = parallel::evaluate(&one_max, &genomes, 4);
+//! assert_eq!(serial, threaded); // thread count never changes results
+//! ```
+
+use crate::fitness::FitnessEval;
+
+/// Environment variable overriding the automatic thread count (used when a
+/// configuration asks for `threads = 0`). CI runs the test suite once
+/// without it and once with `EVOTC_TEST_THREADS=1` to enforce the
+/// determinism contract on every push.
+pub const THREADS_ENV: &str = "EVOTC_TEST_THREADS";
+
+/// Cap on the automatically resolved thread count; fitness batches are a
+/// couple dozen genomes, so wider pools only add spawn overhead.
+const MAX_AUTO_THREADS: usize = 8;
+
+/// Resolves a configured thread count to a concrete one.
+///
+/// `threads > 0` is taken literally. `threads = 0` means *auto*: the value
+/// of [`THREADS_ENV`] when set to a positive integer, otherwise the
+/// machine's available parallelism capped at 8.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        return threads;
+    }
+    if let Some(n) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(MAX_AUTO_THREADS))
+        .unwrap_or(1)
+}
+
+/// Evaluates a batch of genomes on up to `threads` scoped worker threads.
+///
+/// The result is identical to `eval.evaluate_batch(genomes)` for every
+/// thread count (see the [module docs](self) for the contract). Workers are
+/// spawned per call via [`std::thread::scope`], so the evaluator only needs
+/// to borrow its shared state (`E: Sync`), not own it.
+///
+/// # Panics
+///
+/// Panics if the evaluator returns a batch of the wrong length.
+pub fn evaluate<G, E>(eval: &E, genomes: &[Vec<G>], threads: usize) -> Vec<f64>
+where
+    G: Sync,
+    E: FitnessEval<G> + Sync,
+{
+    let workers = threads.max(1).min(genomes.len());
+    if workers <= 1 {
+        let scores = eval.evaluate_batch(genomes);
+        assert_batch_len(scores.len(), genomes.len());
+        return scores;
+    }
+    // Contiguous chunks keep the output order equal to the input order; the
+    // zipped `chunks_mut` hands every worker a disjoint slot to write into.
+    let chunk = genomes.len().div_ceil(workers);
+    let mut scores = vec![f64::NAN; genomes.len()];
+    std::thread::scope(|scope| {
+        for (slot, batch) in scores.chunks_mut(chunk).zip(genomes.chunks(chunk)) {
+            scope.spawn(move || {
+                let chunk_scores = eval.evaluate_batch(batch);
+                assert_batch_len(chunk_scores.len(), batch.len());
+                slot.copy_from_slice(&chunk_scores);
+            });
+        }
+    });
+    scores
+}
+
+fn assert_batch_len(got: usize, want: usize) {
+    assert_eq!(
+        got, want,
+        "FitnessEval::evaluate_batch returned {got} scores for {want} genomes"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_max(genes: &[bool]) -> f64 {
+        genes.iter().filter(|&&g| g).count() as f64
+    }
+
+    fn genomes(n: usize) -> Vec<Vec<bool>> {
+        (0..n)
+            .map(|i| (0..24).map(|j| (i + j) % 3 == 0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn every_thread_count_matches_serial() {
+        for n in [0, 1, 2, 5, 17, 64] {
+            let g = genomes(n);
+            let serial = evaluate(&one_max, &g, 1);
+            for threads in [2, 3, 4, 8, 100] {
+                assert_eq!(evaluate(&one_max, &g, threads), serial, "n={n} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_line_up_with_genomes() {
+        let g = genomes(13);
+        let scores = evaluate(&one_max, &g, 4);
+        for (genome, &score) in g.iter().zip(&scores) {
+            assert_eq!(score, one_max(genome));
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_treated_as_one_worker_minimum() {
+        let g = genomes(3);
+        assert_eq!(evaluate(&one_max, &g, 0), evaluate(&one_max, &g, 1));
+    }
+
+    #[test]
+    fn explicit_thread_counts_resolve_to_themselves() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn auto_resolves_to_a_positive_count() {
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "returned 1 scores for 2 genomes")]
+    fn short_batches_are_rejected() {
+        struct Short;
+        impl FitnessEval<bool> for Short {
+            fn evaluate(&self, _: &[bool]) -> f64 {
+                0.0
+            }
+            fn evaluate_batch(&self, _: &[Vec<bool>]) -> Vec<f64> {
+                vec![0.0]
+            }
+        }
+        let _ = evaluate(&Short, &[vec![true], vec![false]], 1);
+    }
+}

@@ -1,11 +1,13 @@
 //! Per-generation statistics.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Fitness statistics of one generation.
 ///
-/// Collected by [`crate::Ea::run`]; useful for convergence plots and for the
-/// operator-ablation experiments.
+/// Collected by [`crate::Ea::run`]; useful for convergence plots, for the
+/// operator-ablation experiments, and — via [`GenerationStats::evaluations`]
+/// and [`GenerationStats::elapsed`] — for throughput reporting in benches.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GenerationStats {
     /// Generation index (0 = initial population).
@@ -16,14 +18,41 @@ pub struct GenerationStats {
     pub mean_fitness: f64,
     /// Cumulative number of fitness evaluations so far.
     pub evaluations: u64,
+    /// Wall-clock time since the run started. The only non-deterministic
+    /// field: exclude it when comparing trajectories across runs.
+    pub elapsed: Duration,
+}
+
+/// Fitness-evaluation throughput: `evaluations / elapsed` in evaluations
+/// per second, or `0.0` before any time has elapsed. The one definition
+/// behind every `evaluations_per_sec()` accessor in the workspace.
+pub fn evals_per_sec(evaluations: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        evaluations as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+impl GenerationStats {
+    /// Cumulative fitness-evaluation throughput (evaluations per second)
+    /// since the run started. Returns `0.0` before any time has elapsed.
+    pub fn evaluations_per_sec(&self) -> f64 {
+        evals_per_sec(self.evaluations, self.elapsed)
+    }
 }
 
 impl fmt::Display for GenerationStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "gen {:>5}: best {:.4}, mean {:.4}, {} evals",
-            self.generation, self.best_fitness, self.mean_fitness, self.evaluations
+            "gen {:>5}: best {:.4}, mean {:.4}, {} evals ({:.0} eval/s)",
+            self.generation,
+            self.best_fitness,
+            self.mean_fitness,
+            self.evaluations,
+            self.evaluations_per_sec()
         )
     }
 }
@@ -32,15 +61,31 @@ impl fmt::Display for GenerationStats {
 mod tests {
     use super::*;
 
-    #[test]
-    fn display_is_compact() {
-        let s = GenerationStats {
+    fn stats(evaluations: u64, elapsed: Duration) -> GenerationStats {
+        GenerationStats {
             generation: 3,
             best_fitness: 0.5,
             mean_fitness: 0.25,
-            evaluations: 42,
+            evaluations,
+            elapsed,
         }
-        .to_string();
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = stats(42, Duration::from_secs(2)).to_string();
         assert!(s.contains("gen") && s.contains("42 evals"));
+        assert!(s.contains("21 eval/s"));
+    }
+
+    #[test]
+    fn throughput_is_evaluations_over_elapsed() {
+        let s = stats(1_000, Duration::from_millis(500));
+        assert!((s.evaluations_per_sec() - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elapsed_reports_zero_throughput() {
+        assert_eq!(stats(10, Duration::ZERO).evaluations_per_sec(), 0.0);
     }
 }

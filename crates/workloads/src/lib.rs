@@ -33,8 +33,12 @@
 
 pub mod atpg;
 pub mod calibrate;
+pub mod parallel;
 pub mod synth;
 pub mod tables;
 mod workload;
 
-pub use workload::{path_delay_workload, stuck_at_workload, workload_with_limit};
+pub use workload::{
+    path_delay_workload, path_delay_workloads, stuck_at_workload, stuck_at_workloads,
+    workload_with_limit,
+};

@@ -1,0 +1,90 @@
+//! Parallel construction of per-row workloads.
+//!
+//! Regenerating a paper table means building one calibrated workload per
+//! circuit row — dozens of independent bisection-and-generate jobs, each a
+//! pure function of its row. [`build`] fans those rows out across scoped
+//! worker threads and returns the results in row order, so table generation
+//! is deterministic for every thread count (the same contract as
+//! `evotc_evo::parallel`).
+//!
+//! Rows are assigned round-robin (worker `w` takes rows `w`, `w + threads`,
+//! …): the tables are sorted by test-set size, so striding spreads the
+//! expensive multi-megabit circuits evenly instead of stacking them on the
+//! last worker.
+
+/// Builds one value per row on up to `threads` scoped worker threads,
+/// preserving row order.
+///
+/// `build` must be pure — the output for a row may not depend on evaluation
+/// order. `threads = 0` is treated as 1.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn build<T, U, F>(rows: &[T], threads: usize, build: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = threads.max(1).min(rows.len());
+    if workers <= 1 {
+        return rows.iter().map(build).collect();
+    }
+    let mut out: Vec<Option<U>> = (0..rows.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let build = &build;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    rows.iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, row)| (i, build(row)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("workload worker panicked") {
+                out[i] = Some(value);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every row was assigned to exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_row_order_for_every_thread_count() {
+        let rows: Vec<usize> = (0..23).collect();
+        let serial = build(&rows, 1, |&r| r * r);
+        for threads in [0, 2, 3, 8, 64] {
+            assert_eq!(build(&rows, threads, |&r| r * r), serial, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let rows: [u8; 0] = [];
+        assert!(build(&rows, 4, |&r| r).is_empty());
+    }
+
+    #[test]
+    fn builds_real_workloads_identically() {
+        let rows = &crate::tables::TABLE1[..4];
+        let serial = build(rows, 1, |row| {
+            crate::workload_with_limit(row.circuit, row.test_set_bits, row.rate_9c, 0, 2_000, 1)
+        });
+        let threaded = build(rows, 3, |row| {
+            crate::workload_with_limit(row.circuit, row.test_set_bits, row.rate_9c, 0, 2_000, 1)
+        });
+        assert_eq!(serial, threaded);
+    }
+}

@@ -74,6 +74,44 @@ pub fn workload_with_limit(
     })
 }
 
+/// Builds the calibrated workloads for many Table 1 rows on up to `threads`
+/// scoped worker threads (see [`crate::parallel`]). Each row's set is capped
+/// at `limit` bits, like [`workload_with_limit`] (`usize::MAX` = paper
+/// scale). The result is in row order and identical for every thread count.
+///
+/// Accepts rows by value or by reference (`&[StuckAtRow]` and
+/// `&[&StuckAtRow]` both work).
+///
+/// # Panics
+///
+/// Panics if any circuit has no ISCAS profile.
+pub fn stuck_at_workloads<R>(rows: &[R], seed: u64, limit: usize, threads: usize) -> Vec<TestSet>
+where
+    R: std::borrow::Borrow<StuckAtRow> + Sync,
+{
+    crate::parallel::build(rows, threads, |row| {
+        let row = row.borrow();
+        workload_with_limit(row.circuit, row.test_set_bits, row.rate_9c, seed, limit, 1)
+    })
+}
+
+/// Builds the calibrated workloads for many Table 2 rows on up to `threads`
+/// scoped worker threads, in row order; the path-delay counterpart of
+/// [`stuck_at_workloads`] (pattern width `2n`).
+///
+/// # Panics
+///
+/// Panics if any circuit has no ISCAS profile.
+pub fn path_delay_workloads<R>(rows: &[R], seed: u64, limit: usize, threads: usize) -> Vec<TestSet>
+where
+    R: std::borrow::Borrow<PathDelayRow> + Sync,
+{
+    crate::parallel::build(rows, threads, |row| {
+        let row = row.borrow();
+        workload_with_limit(row.circuit, row.test_set_bits, row.rate_9c, seed, limit, 2)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +145,18 @@ mod tests {
         let row = tables::path_delay_row("s27").unwrap();
         let set = path_delay_workload(row, 0);
         assert_eq!(set.width(), 14); // 2 * 7
+    }
+
+    #[test]
+    fn batch_builders_match_single_row_builders() {
+        let rows = &tables::TABLE1[..3];
+        let batch = stuck_at_workloads(rows, 1, usize::MAX, 4);
+        for (row, set) in rows.iter().zip(&batch) {
+            assert_eq!(set, &stuck_at_workload(row, 1));
+        }
+        let pd_rows: Vec<&tables::PathDelayRow> = tables::TABLE2[..1].iter().collect();
+        let pd_batch = path_delay_workloads(&pd_rows, 0, usize::MAX, 2);
+        assert_eq!(pd_batch[0], path_delay_workload(pd_rows[0], 0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example parameter_sweep`
 
-use evotc::core::{EaCompressor, TestCompressor};
+use evotc::core::EaCompressor;
 use evotc::workloads::synth::{generate, SyntheticSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,16 +19,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         set.total_bits(),
         100.0 * set.x_density()
     );
-    println!("{:>4} {:>4} {:>10}", "K", "L", "rate (%)");
+    println!("{:>4} {:>4} {:>10} {:>12}", "K", "L", "rate (%)", "eval/s");
     for k in [4usize, 8, 12] {
         for l in [4usize, 9, 16] {
-            let compressed = EaCompressor::builder(k, l)
+            // threads(0) = auto: fitness evaluation spreads across the
+            // machine's cores; the rate is identical for any thread count.
+            let (compressed, summary) = EaCompressor::builder(k, l)
                 .seed(2)
                 .stagnation_limit(25)
                 .max_evaluations(1_000)
+                .threads(0)
                 .build()
-                .compress(&set)?;
-            println!("{k:>4} {l:>4} {:>10.1}", compressed.rate_percent());
+                .compress_with_summary(&set)?;
+            println!(
+                "{k:>4} {l:>4} {:>10.1} {:>12.0}",
+                compressed.rate_percent(),
+                summary.evaluations_per_sec()
+            );
         }
     }
     Ok(())

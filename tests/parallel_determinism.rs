@@ -1,0 +1,124 @@
+//! The determinism contract of the parallel EA engine: the thread count is
+//! a throughput knob, never a semantic one. Same seed → byte-identical
+//! results for `threads` ∈ {1, 2, 8}, at every layer — the raw engine, the
+//! standalone batch evaluator, and the full compressor pipeline.
+//!
+//! CI additionally runs the whole workspace suite twice (default threads
+//! and `EVOTC_TEST_THREADS=1`) so every other test enforces the same
+//! contract implicitly.
+
+use evotc::bits::TestSet;
+use evotc::core::EaCompressor;
+use evotc::evo::{parallel, Ea, EaConfig, EaResult};
+use evotc::workloads::synth::{generate, SyntheticSpec};
+use rand::Rng;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn engine_run(threads: usize, seed: u64) -> EaResult<bool> {
+    let config = EaConfig::builder()
+        .population_size(12)
+        .children_per_generation(8)
+        .stagnation_limit(50)
+        .seed(seed)
+        .threads(threads)
+        .build();
+    Ea::new(
+        config,
+        48,
+        |rng| rng.gen::<bool>(),
+        |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
+    )
+    .run()
+}
+
+#[test]
+fn engine_results_are_byte_identical_across_thread_counts() {
+    for seed in [0u64, 7, 42] {
+        let reference = engine_run(1, seed);
+        for threads in THREAD_COUNTS {
+            let run = engine_run(threads, seed);
+            assert_eq!(run.best_genome, reference.best_genome, "seed {seed}");
+            assert_eq!(run.best_fitness.to_bits(), reference.best_fitness.to_bits());
+            assert_eq!(run.generations, reference.generations);
+            assert_eq!(run.evaluations, reference.evaluations);
+        }
+    }
+}
+
+#[test]
+fn engine_trajectories_match_modulo_wall_clock() {
+    let reference = engine_run(1, 3);
+    for threads in THREAD_COUNTS {
+        let run = engine_run(threads, 3);
+        assert_eq!(run.history.len(), reference.history.len());
+        for (a, b) in run.history.iter().zip(&reference.history) {
+            // `elapsed` is the one non-deterministic field; everything else
+            // in the trajectory must match bit for bit.
+            assert_eq!(a.generation, b.generation);
+            assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+            assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
+            assert_eq!(a.evaluations, b.evaluations);
+        }
+    }
+}
+
+#[test]
+fn standalone_evaluator_is_order_preserving_for_any_chunking() {
+    let fitness = |genes: &[u8]| genes.iter().map(|&g| g as f64).sum::<f64>();
+    let genomes: Vec<Vec<u8>> = (0..37).map(|i| vec![i as u8; 16]).collect();
+    let serial = parallel::evaluate(&fitness, &genomes, 1);
+    for threads in [2, 3, 5, 8, 37, 100] {
+        assert_eq!(parallel::evaluate(&fitness, &genomes, threads), serial);
+    }
+}
+
+fn workload() -> TestSet {
+    generate(&SyntheticSpec {
+        width: 24,
+        total_bits: 24 * 80,
+        specified_density: 0.45,
+        one_bias: 0.35,
+        seed: 11,
+    })
+}
+
+#[test]
+fn compressor_results_are_byte_identical_across_thread_counts() {
+    let set = workload();
+    let compress = |threads: usize| {
+        EaCompressor::builder(12, 16)
+            .seed(5)
+            .stagnation_limit(25)
+            .max_evaluations(800)
+            .threads(threads)
+            .build()
+            .compress_with_summary(&set)
+            .expect("workload compresses")
+    };
+    let (ref_compressed, ref_summary) = compress(1);
+    for threads in THREAD_COUNTS {
+        let (compressed, summary) = compress(threads);
+        assert_eq!(compressed.compressed_bits, ref_compressed.compressed_bits);
+        assert_eq!(compressed.mv_set(), ref_compressed.mv_set());
+        assert_eq!(
+            compressed.decompress().unwrap(),
+            ref_compressed.decompress().unwrap()
+        );
+        assert_eq!(
+            summary.best_fitness.to_bits(),
+            ref_summary.best_fitness.to_bits()
+        );
+        assert_eq!(summary.generations, ref_summary.generations);
+        assert_eq!(summary.evaluations, ref_summary.evaluations);
+    }
+}
+
+#[test]
+fn explicit_threads_beat_the_env_override() {
+    // `resolve_threads` takes an explicit count literally; only `0` (auto)
+    // consults EVOTC_TEST_THREADS. Explicitly-threaded runs therefore stay
+    // parallel even when CI forces the suite serial — and still must agree.
+    assert_eq!(parallel::resolve_threads(3), 3);
+    assert!(parallel::resolve_threads(0) >= 1);
+}

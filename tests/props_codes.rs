@@ -61,8 +61,31 @@ proptest! {
         prop_assert_eq!(runlength::decode_to_len(&enc, b, bits.len()), bits);
     }
 
+    /// Run-length round trips over the full counter-width range, including
+    /// the degenerate 1-bit counter and widths far beyond any run length.
+    #[test]
+    fn runlength_round_trips_any_counter_width(
+        bits in proptest::collection::vec(any::<bool>(), 0..768),
+        b in 1usize..=16,
+    ) {
+        let enc = runlength::encode(&bits, b);
+        prop_assert_eq!(runlength::decode_to_len(&enc, b, bits.len()), bits);
+    }
+
     #[test]
     fn golomb_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..256), log_m in 1u32..6) {
+        let m = 1usize << log_m;
+        let enc = golomb::encode(&bits, m);
+        prop_assert_eq!(golomb::decode_to_len(&enc, m, bits.len()), bits);
+    }
+
+    /// Golomb round trips for every legal group size (all powers of two up
+    /// to 256, including the trivial m = 1) on longer streams.
+    #[test]
+    fn golomb_round_trips_every_group_size(
+        bits in proptest::collection::vec(any::<bool>(), 0..768),
+        log_m in 0u32..=8,
+    ) {
         let m = 1usize << log_m;
         let enc = golomb::encode(&bits, m);
         prop_assert_eq!(golomb::decode_to_len(&enc, m, bits.len()), bits);
@@ -72,6 +95,49 @@ proptest! {
     fn fdr_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..256)) {
         let enc = fdr::encode(&bits);
         prop_assert_eq!(fdr::decode_to_len(&enc, bits.len()), bits);
+    }
+
+    /// Round trips on run-structured streams — the distribution these codes
+    /// target: long zero-runs with `1` terminators, built from arbitrary run
+    /// lengths (0 gives adjacent ones, up to runs far past every counter /
+    /// group boundary). Trailing zeros (no terminator) are covered too.
+    #[test]
+    fn zero_run_streams_round_trip_through_all_run_coders(
+        runs in proptest::collection::vec(0usize..600, 0..24),
+        trailing_zeros in 0usize..600,
+        b in 1usize..=10,
+        log_m in 0u32..=7,
+    ) {
+        let mut bits: Vec<bool> = Vec::new();
+        for run in runs {
+            bits.extend(std::iter::repeat(false).take(run));
+            bits.push(true);
+        }
+        bits.extend(std::iter::repeat(false).take(trailing_zeros));
+
+        let rl = runlength::encode(&bits, b);
+        prop_assert_eq!(runlength::decode_to_len(&rl, b, bits.len()), bits.clone());
+
+        let m = 1usize << log_m;
+        let go = golomb::encode(&bits, m);
+        prop_assert_eq!(golomb::decode_to_len(&go, m, bits.len()), bits.clone());
+
+        let fd = fdr::encode(&bits);
+        prop_assert_eq!(fdr::decode_to_len(&fd, bits.len()), bits);
+    }
+
+    /// The all-zeros stream (the best case for every run coder) round trips
+    /// at any length, and FDR compresses it once it spans a whole counter.
+    #[test]
+    fn all_zero_streams_round_trip(len in 0usize..2_000) {
+        let bits = vec![false; len];
+        prop_assert_eq!(runlength::decode_to_len(&runlength::encode(&bits, 4), 4, len), bits.clone());
+        prop_assert_eq!(golomb::decode_to_len(&golomb::encode(&bits, 8), 8, len), bits.clone());
+        let enc = fdr::encode(&bits);
+        prop_assert_eq!(fdr::decode_to_len(&enc, len), bits);
+        if len >= 64 {
+            prop_assert!(enc.len() < len, "FDR failed to compress {len} zeros");
+        }
     }
 
     /// Selective Huffman never loses more than the flag bit per block.

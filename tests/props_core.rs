@@ -3,7 +3,8 @@
 //! fitness shortcut being exact.
 
 use evotc::bits::{BlockHistogram, InputBlock, TestPattern, TestSet, TestSetString, Trit};
-use evotc::core::{encoded_size, Covering, MatchingVector, MvSet};
+use evotc::core::{encoded_size, Covering, MatchingVector, MvFitness, MvSet};
+use evotc::evo::FitnessEval;
 use proptest::prelude::*;
 
 fn arb_trits(len: usize) -> impl Strategy<Value = Vec<Trit>> {
@@ -123,6 +124,51 @@ proptest! {
             })
             .sum();
         prop_assert_eq!(via_histogram, naive);
+    }
+
+    /// Section 3.1's covering rule: every infeasible genome's fitness ranks
+    /// strictly below every feasible genome's. Feasibility is checked
+    /// independently via `encoded_size` (covering possible ⇔ some size);
+    /// without a forced all-`U` vector, random small MV sets over fully
+    /// specified blocks produce both classes.
+    #[test]
+    fn infeasible_genomes_rank_strictly_below_feasible_ones(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 8..=8).prop_map(|bs| {
+                bs.into_iter().map(Trit::from_bool).collect::<Vec<_>>()
+            }),
+            1..8,
+        ),
+        genomes in proptest::collection::vec(arb_trits(4 * 3), 2..12),
+    ) {
+        let patterns: TestSet = rows.iter().map(|t| TestPattern::from_trits(t)).collect();
+        let string = TestSetString::new(&patterns, 4);
+        let hist = BlockHistogram::from_string(&string);
+        let fitness = MvFitness::new(4, false, &hist, string.payload_bits() as f64);
+
+        let scores = fitness.evaluate_batch(&genomes);
+        let mut feasible: Vec<f64> = Vec::new();
+        let mut infeasible: Vec<f64> = Vec::new();
+        for (genome, &score) in genomes.iter().zip(&scores) {
+            let covers = MvSet::from_genes(4, genome, false)
+                .ok()
+                .and_then(|mvs| encoded_size(&mvs, &hist))
+                .is_some();
+            if covers {
+                prop_assert!(score > MvFitness::INFEASIBLE,
+                    "feasible genome scored the infeasible sentinel");
+                feasible.push(score);
+            } else {
+                prop_assert_eq!(score, MvFitness::INFEASIBLE);
+                infeasible.push(score);
+            }
+        }
+        for &bad in &infeasible {
+            for &good in &feasible {
+                prop_assert!(bad < good,
+                    "infeasible {bad} did not rank strictly below feasible {good}");
+            }
+        }
     }
 
     /// Expanding an MV with the fill bits of a block reproduces every

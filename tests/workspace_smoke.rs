@@ -9,7 +9,7 @@ use evotc::bits::{BlockHistogram, TestSet, TestSetString, Trit};
 use evotc::codes::huffman_code;
 use evotc::core::{EaCompressor, NineCCompressor, NineCHuffmanCompressor, TestCompressor};
 use evotc::decoder::DecoderFsm;
-use evotc::evo::{Ea, EaConfig};
+use evotc::evo::{parallel, Ea, EaConfig, FitnessEval};
 use evotc::netlist::{iscas, parse_bench};
 
 fn small_set() -> TestSet {
@@ -92,6 +92,36 @@ fn facade_evo_engine_resolves() {
     })
     .run();
     assert!(result.best_fitness >= 12.0, "one-max barely optimized");
+    assert!(result.evaluations_per_sec() >= 0.0);
+}
+
+#[test]
+fn facade_parallel_evaluator_resolves() {
+    // The batched fitness API: closures implement FitnessEval, the chunked
+    // evaluator is order-preserving for any thread count, and the EA
+    // compressor's threads knob is reachable through the facade.
+    let one_max = |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64;
+    assert_eq!(one_max.evaluate(&[true, false]), 1.0);
+    let genomes: Vec<Vec<bool>> = (0..10).map(|i| vec![i % 2 == 0; 8]).collect();
+    assert_eq!(
+        parallel::evaluate(&one_max, &genomes, 4),
+        parallel::evaluate(&one_max, &genomes, 1)
+    );
+    assert!(parallel::resolve_threads(0) >= 1);
+
+    let threaded = EaCompressor::builder(8, 4)
+        .seed(7)
+        .threads(2)
+        .build()
+        .compress(&small_set())
+        .expect("threaded EA compresses");
+    let serial = EaCompressor::builder(8, 4)
+        .seed(7)
+        .threads(1)
+        .build()
+        .compress(&small_set())
+        .expect("serial EA compresses");
+    assert_eq!(threaded.compressed_bits, serial.compressed_bits);
 }
 
 #[test]
