@@ -1,0 +1,94 @@
+//! Quick fitness-kernel perf smoke: measures evaluations/second of the
+//! legacy fitness path vs the allocation-free bit-sliced kernel at the
+//! paper-default shape (K=12, L=64, shared `fitness_fixture` workload) and
+//! writes `BENCH_fitness.json` so the repo carries a perf trajectory across
+//! PRs.
+//!
+//! Runs in a few seconds ("quick mode"). In CI the correctness gate runs
+//! gating (`--check-only`) and the timed run is a separate non-gating step:
+//! a slow shared runner must not fail the build, but a bitwise
+//! kernel-vs-legacy divergence must. Locally:
+//!
+//! ```text
+//! cargo run --release -p evotc_bench --bin fitness_smoke
+//! ```
+//!
+//! Exits non-zero only if the two paths disagree on any genome (a
+//! correctness failure, not a perf one).
+
+use std::time::{Duration, Instant};
+
+use evotc_bench::fitness_fixture::{paper_histogram, random_genomes, BLOCK_LEN, NUM_MVS};
+use evotc_core::{EvalScratch, MvFitness};
+use evotc_evo::FitnessEval;
+
+const GENOMES: usize = 128;
+/// Wall-clock budget per measured path; quick mode stays CI-friendly.
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// Runs `eval_all` repeatedly for the budget and returns evaluations/sec.
+fn throughput(mut eval_all: impl FnMut() -> f64) -> f64 {
+    // Warm-up pass (first-touch allocations, cold caches).
+    std::hint::black_box(eval_all());
+    let start = Instant::now();
+    let mut evals = 0u64;
+    while start.elapsed() < MEASURE {
+        std::hint::black_box(eval_all());
+        evals += GENOMES as u64;
+    }
+    evals as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let check_only = std::env::args().any(|a| a == "--check-only");
+    let (histogram, payload_bits) = paper_histogram();
+    let fitness = MvFitness::new(BLOCK_LEN, true, &histogram, payload_bits);
+    let genomes = random_genomes(GENOMES, BLOCK_LEN * NUM_MVS, 42);
+
+    // Correctness gate first: bit-identical fitness on every genome.
+    let mut scratch = EvalScratch::new();
+    for g in &genomes {
+        let legacy = fitness.evaluate(g);
+        let kernel = fitness.evaluate_scratch(g, &mut scratch);
+        if legacy.to_bits() != kernel.to_bits() {
+            eprintln!("FAIL: kernel {kernel} != legacy {legacy}");
+            std::process::exit(1);
+        }
+    }
+    if check_only {
+        println!("fitness kernel == legacy on {GENOMES} genomes (K={BLOCK_LEN}, L={NUM_MVS})");
+        return;
+    }
+
+    let legacy_eps = throughput(|| genomes.iter().map(|g| fitness.evaluate(g)).sum());
+    let mut scratch = EvalScratch::new();
+    let kernel_eps = throughput(|| {
+        genomes
+            .iter()
+            .map(|g| fitness.evaluate_scratch(g, &mut scratch))
+            .sum()
+    });
+    let speedup = kernel_eps / legacy_eps;
+
+    println!("workload           : s953 (K={BLOCK_LEN}, L={NUM_MVS})");
+    println!("distinct blocks    : {}", histogram.num_distinct());
+    println!("legacy eval/s      : {legacy_eps:.0}");
+    println!("kernel eval/s      : {kernel_eps:.0}");
+    println!("speedup            : {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"fitness_kernel\",\n  \"workload\": \"s953\",\n  \"k\": {k},\n  \"l\": {l},\n  \"distinct_blocks\": {distinct},\n  \"genomes\": {genomes},\n  \"legacy_evals_per_sec\": {legacy:.0},\n  \"kernel_evals_per_sec\": {kernel:.0},\n  \"speedup\": {speedup:.2}\n}}\n",
+        k = BLOCK_LEN,
+        l = NUM_MVS,
+        distinct = histogram.num_distinct(),
+        genomes = GENOMES,
+        legacy = legacy_eps,
+        kernel = kernel_eps,
+        speedup = speedup,
+    );
+    let path = "BENCH_fitness.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e} (numbers are above)"),
+    }
+}

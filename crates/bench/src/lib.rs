@@ -288,6 +288,55 @@ pub fn markdown_table(rows: &[MeasuredRow], headers: (&str, &str)) -> String {
     out
 }
 
+/// Shared fixtures for the fitness-kernel measurements, used by both the
+/// `fitness_kernel` criterion bench and the `fitness_smoke` binary so the
+/// two can never drift apart on workload or genome recipe.
+pub mod fitness_fixture {
+    use evotc_bits::{BlockHistogram, TestSetString, Trit};
+    use evotc_workloads::{synth, tables, workload_with_limit};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The paper-default shape: block length `K = 12`.
+    pub const BLOCK_LEN: usize = 12;
+    /// The paper-default shape: `L = 64` matching vectors.
+    pub const NUM_MVS: usize = 64;
+
+    /// Uniformly random genomes over `{0, 1, U}`, seeded — the population
+    /// the EA's initial generation scores.
+    pub fn random_genomes(n: usize, genome_len: usize, seed: u64) -> Vec<Vec<Trit>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (0..genome_len)
+                    .map(|_| Trit::from_index(rng.gen_range(0..3u8)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The calibrated s953 stuck-at workload at `K = 12`: histogram plus
+    /// uncompressed payload bits (the fitness denominator).
+    pub fn paper_histogram() -> (BlockHistogram, f64) {
+        let row = tables::stuck_at_row("s953").expect("s953 is a Table 1 row");
+        let set = workload_with_limit(row.circuit, row.test_set_bits, row.rate_9c, 1, 1 << 14, 1);
+        let string = TestSetString::try_new(&set, BLOCK_LEN).expect("K=12 fits the workload");
+        let bits = string.payload_bits() as f64;
+        (BlockHistogram::from_string(&string), bits)
+    }
+
+    /// A deliberately large synthetic set: many distinct blocks stress the
+    /// bit-sliced covering scan rather than the Huffman tail.
+    pub fn synthetic_histogram() -> (BlockHistogram, f64) {
+        let mut spec = synth::SyntheticSpec::new(96, 1 << 17, 7);
+        spec.specified_density = 0.7;
+        let set = synth::generate(&spec);
+        let string = TestSetString::try_new(&set, BLOCK_LEN).expect("K=12 fits the synth set");
+        let bits = string.payload_bits() as f64;
+        (BlockHistogram::from_string(&string), bits)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -122,10 +122,15 @@ impl InputBlock {
     ///
     /// # Panics
     ///
-    /// Panics if `j >= self.len()`.
+    /// Panics in debug builds if `j >= self.len()`; release builds take a
+    /// safe fallback and return [`Trit::X`] — this accessor runs per fill
+    /// bit on the encoding hot path.
     #[inline]
     pub fn trit(&self, j: usize) -> Trit {
-        assert!(j < self.len(), "position {j} out of range {}", self.len);
+        debug_assert!(j < self.len(), "position {j} out of range {}", self.len);
+        if j >= self.len() {
+            return Trit::X;
+        }
         if (self.care >> j) & 1 == 0 {
             Trit::X
         } else if (self.value >> j) & 1 == 1 {

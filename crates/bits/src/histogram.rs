@@ -1,7 +1,5 @@
 //! Distinct-block histograms.
 
-use std::collections::HashMap;
-
 use crate::block::InputBlock;
 use crate::test_set::TestSetString;
 
@@ -48,14 +46,22 @@ impl BlockHistogram {
     ///
     /// Panics if a block's length differs from `k`.
     pub fn from_blocks<I: IntoIterator<Item = InputBlock>>(k: usize, blocks: I) -> Self {
-        let mut map: HashMap<InputBlock, u64> = HashMap::new();
-        let mut total = 0u64;
-        for b in blocks {
+        // Blocks are `Ord` (two packed words), so sort + run-length count is
+        // both faster than hashing and free of any hasher state: sort the raw
+        // blocks, then collapse equal runs into (block, count) entries.
+        let mut all: Vec<InputBlock> = blocks.into_iter().collect();
+        for b in &all {
             assert_eq!(b.len(), k, "block length mismatch");
-            *map.entry(b).or_insert(0) += 1;
-            total += 1;
         }
-        let mut entries: Vec<(InputBlock, u64)> = map.into_iter().collect();
+        let total = all.len() as u64;
+        all.sort_unstable();
+        let mut entries: Vec<(InputBlock, u64)> = Vec::new();
+        for b in all {
+            match entries.last_mut() {
+                Some((prev, count)) if *prev == b => *count += 1,
+                _ => entries.push((b, 1)),
+            }
+        }
         // Deterministic order: by descending count, then block value, so that
         // all downstream consumers (and test expectations) are reproducible.
         entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -155,6 +161,18 @@ mod tests {
     fn x_blocks_are_distinct_from_specified() {
         let h = histo(&["1X10", "1010"], 4);
         assert_eq!(h.num_distinct(), 2);
+    }
+
+    #[test]
+    fn sorted_build_orders_by_count_then_block() {
+        // Ties on count break by ascending block order; counts descend.
+        let h = histo(&["0011", "1100", "0011", "1111", "1100", "0000"], 4);
+        let counts: Vec<u64> = h.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![2, 2, 1, 1]);
+        // `InputBlock`'s `Ord` compares the packed planes (position 0 is the
+        // low bit), so "1100" (value 0b0011) sorts before "0011" (0b1100).
+        let blocks: Vec<String> = h.iter().map(|&(b, _)| b.to_string()).collect();
+        assert_eq!(blocks, vec!["1100", "0011", "0000", "1111"]);
     }
 
     #[test]

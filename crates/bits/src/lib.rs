@@ -17,6 +17,9 @@
 //! * [`BlockHistogram`] — distinct input blocks with multiplicities; covering
 //!   and EA fitness are computed over the histogram, which is exact and much
 //!   faster than scanning every block.
+//! * [`SlicedHistogram`] — a column-major (bit-sliced) transposition of the
+//!   histogram so one matching vector is matched against 64 distinct blocks
+//!   per word operation; the substrate of the EA fitness kernel.
 //! * [`BitWriter`] / [`BitReader`] — MSB-first bit streams for the compressed
 //!   payload.
 //!
@@ -41,6 +44,7 @@ mod block;
 mod error;
 mod histogram;
 mod pattern;
+mod sliced;
 mod test_set;
 mod trit;
 
@@ -49,5 +53,6 @@ pub use block::{InputBlock, ParseBlockError, MAX_BLOCK_LEN};
 pub use error::{BlockLenError, ParseTritError, WidthMismatchError};
 pub use histogram::BlockHistogram;
 pub use pattern::TestPattern;
+pub use sliced::SlicedHistogram;
 pub use test_set::{ParseTestSetError, TestSet, TestSetString};
 pub use trit::{parse_trits, Trit};

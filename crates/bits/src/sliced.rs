@@ -1,0 +1,261 @@
+//! Bit-sliced (column-major) views of a block histogram.
+
+use crate::block::InputBlock;
+use crate::histogram::BlockHistogram;
+
+/// A column-major transposition of a [`BlockHistogram`]: for every trit
+/// position `j` of the block, the *care* and *value* bits of all distinct
+/// blocks are packed into `u64` words, one block per bit.
+///
+/// Where an [`InputBlock`] packs its `K` positions into one word (row-major),
+/// the sliced layout packs 64 *blocks* into one word per position
+/// (column-major), pre-resolved into per-position *conflict sets*. A
+/// matching vector is then matched against 64 distinct blocks with one word
+/// operation per *specified* MV position — the inner loop of the EA fitness
+/// kernel:
+///
+/// ```text
+/// mismatch |= conflict_col[j][mv_value[j]]   // zeros[j] or ones[j]
+/// ```
+///
+/// The transposition is built once per run (per histogram) and shared
+/// read-only by every evaluation and worker thread.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::{BlockHistogram, SlicedHistogram, TestSet, TestSetString};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TestSet::parse(&["1010", "1010", "0101"])?;
+/// let hist = BlockHistogram::from_string(&TestSetString::new(&set, 4));
+/// let sliced = SlicedHistogram::from_histogram(&hist);
+/// assert_eq!(sliced.num_distinct(), 2);
+/// assert_eq!(sliced.counts(), &[2, 1]); // histogram order
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlicedHistogram {
+    k: usize,
+    num_distinct: usize,
+    /// Words per column: `ceil(num_distinct / 64)`.
+    words: usize,
+    /// `k * words` words; column `j` occupies `ones[j*words .. (j+1)*words]`.
+    /// Bit `d % 64` of word `d / 64` is set iff distinct block `d` holds a
+    /// *specified `1`* at position `j` — i.e. the blocks conflicting with an
+    /// MV that says `0` there. Bits at and above `num_distinct` are zero.
+    ones: Vec<u64>,
+    /// Same layout: blocks holding a *specified `0`* at position `j` — the
+    /// blocks conflicting with an MV that says `1` there.
+    zeros: Vec<u64>,
+    /// Multiplicity of each distinct block, in histogram order.
+    counts: Vec<u64>,
+}
+
+impl SlicedHistogram {
+    /// Transposes a histogram into bit planes. Distinct-block index `d`
+    /// follows the histogram's (deterministic) entry order.
+    ///
+    /// The columns are stored pre-resolved as *conflict sets* (`ones[j]` =
+    /// blocks specified `1` at `j`, `zeros[j]` = blocks specified `0`), so
+    /// the matching inner loop is a single load + OR per word instead of
+    /// recombining care/value planes on every evaluation.
+    pub fn from_histogram(histogram: &BlockHistogram) -> Self {
+        let k = histogram.block_len();
+        let n = histogram.num_distinct();
+        let words = n.div_ceil(64);
+        let mut ones = vec![0u64; k * words];
+        let mut zeros = vec![0u64; k * words];
+        let mut counts = Vec::with_capacity(n);
+        for (d, &(block, count)) in histogram.iter().enumerate() {
+            let (w, b) = (d / 64, d % 64);
+            let care_plane = block.care_plane();
+            let value_plane = block.value_plane();
+            for j in 0..k {
+                let care = (care_plane >> j) & 1;
+                let value = (value_plane >> j) & 1;
+                ones[j * words + w] |= (care & value) << b;
+                zeros[j * words + w] |= (care & !value & 1) << b;
+            }
+            counts.push(count);
+        }
+        SlicedHistogram {
+            k,
+            num_distinct: n,
+            words,
+            ones,
+            zeros,
+            counts,
+        }
+    }
+
+    /// Block length `K`.
+    #[inline]
+    pub fn block_len(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct blocks (bits used per column).
+    #[inline]
+    pub fn num_distinct(&self) -> usize {
+        self.num_distinct
+    }
+
+    /// Words per column (`ceil(num_distinct / 64)`) — the length callers
+    /// must size their mismatch/uncovered bitset buffers to.
+    #[inline]
+    pub fn words_per_column(&self) -> usize {
+        self.words
+    }
+
+    /// Multiplicities in histogram order; `counts()[d]` belongs to bit
+    /// `d % 64` of word `d / 64` in every column.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// A word whose low `num_distinct % 64` bits are set — the mask of valid
+    /// bits in the *last* word of a column (all ones when the count is a
+    /// multiple of 64). Returns `0` for an empty histogram.
+    #[inline]
+    pub fn last_word_mask(&self) -> u64 {
+        match self.num_distinct % 64 {
+            0 if self.num_distinct == 0 => 0,
+            0 => u64::MAX,
+            r => (1u64 << r) - 1,
+        }
+    }
+
+    /// ORs into `mismatch` the set of distinct blocks that **conflict** with
+    /// a matching vector given by its raw planes (`spec` bit `j` set means
+    /// position `j` is specified with logic value `value` bit `j`).
+    ///
+    /// A block conflicts iff at some specified MV position it cares and holds
+    /// the opposite value. Blocks whose bit stays clear are matched by the
+    /// MV. The cost is one pass of `words_per_column()` word operations per
+    /// *specified* position — 64 blocks per word op.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `mismatch.len() != words_per_column()`.
+    #[inline]
+    pub fn accumulate_mismatch(&self, spec: u64, value: u64, mismatch: &mut [u64]) {
+        debug_assert_eq!(mismatch.len(), self.words, "mismatch buffer length");
+        let mut remaining = spec;
+        while remaining != 0 {
+            let j = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            // An MV saying `1` at j conflicts with the blocks specified `0`
+            // there, and vice versa — each pre-resolved as one column.
+            let table = if (value >> j) & 1 == 1 {
+                &self.zeros
+            } else {
+                &self.ones
+            };
+            let column = &table[j * self.words..(j + 1) * self.words];
+            for (m, &c) in mismatch.iter_mut().zip(column) {
+                *m |= c;
+            }
+        }
+    }
+
+    /// Reconstructs distinct block `d` from the columns (for tests and
+    /// debugging; the kernel never needs it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= num_distinct()`.
+    pub fn block(&self, d: usize) -> InputBlock {
+        assert!(d < self.num_distinct, "block {d} out of range");
+        let (w, b) = (d / 64, d % 64);
+        let mut care_plane = 0u64;
+        let mut value_plane = 0u64;
+        for j in 0..self.k {
+            let one = (self.ones[j * self.words + w] >> b) & 1;
+            let zero = (self.zeros[j * self.words + w] >> b) & 1;
+            care_plane |= (one | zero) << j;
+            value_plane |= one << j;
+        }
+        InputBlock::from_planes(self.k, care_plane, value_plane).expect("k is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_set::{TestSet, TestSetString};
+
+    fn sliced(rows: &[&str], k: usize) -> (BlockHistogram, SlicedHistogram) {
+        let set = TestSet::parse(rows).unwrap();
+        let hist = BlockHistogram::from_string(&TestSetString::new(&set, k));
+        let s = SlicedHistogram::from_histogram(&hist);
+        (hist, s)
+    }
+
+    #[test]
+    fn round_trips_blocks_and_counts() {
+        let (hist, s) = sliced(&["110100XX", "110000XX", "110100XX"], 8);
+        assert_eq!(s.num_distinct(), hist.num_distinct());
+        for (d, &(block, count)) in hist.iter().enumerate() {
+            assert_eq!(s.block(d), block, "block {d}");
+            assert_eq!(s.counts()[d], count, "count {d}");
+        }
+    }
+
+    #[test]
+    fn mismatch_agrees_with_row_major_matching() {
+        let (hist, s) = sliced(&["1101", "1100", "0000", "1X01", "0X10"], 4);
+        // Try every MV over a few spec/value combinations.
+        for spec in 0..16u64 {
+            for value in 0..16u64 {
+                let value = value & spec;
+                let mut mismatch = vec![0u64; s.words_per_column()];
+                s.accumulate_mismatch(spec, value, &mut mismatch);
+                for (d, &(block, _)) in hist.iter().enumerate() {
+                    let row_major = spec & block.care_plane() & (value ^ block.value_plane()) == 0;
+                    let sliced_match = (mismatch[d / 64] >> (d % 64)) & 1 == 0;
+                    assert_eq!(
+                        sliced_match, row_major,
+                        "spec={spec:04b} value={value:04b} block {block}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatch_accumulates_across_calls() {
+        let (_, s) = sliced(&["1111", "0000"], 4);
+        let mut mismatch = vec![0u64; s.words_per_column()];
+        // First MV 1111 mismatches 0000; second MV 0000 mismatches 1111.
+        s.accumulate_mismatch(0b1111, 0b1111, &mut mismatch);
+        let after_first = mismatch.clone();
+        s.accumulate_mismatch(0b1111, 0b0000, &mut mismatch);
+        assert_ne!(after_first, mismatch);
+        // Every block now conflicts with one of the two MVs.
+        assert_eq!(mismatch[0] & s.last_word_mask(), s.last_word_mask());
+    }
+
+    #[test]
+    fn last_word_mask_covers_partial_and_full_words() {
+        let (_, s) = sliced(&["10", "01", "11"], 2);
+        assert_eq!(s.last_word_mask(), 0b111);
+        // 64 distinct blocks of K=6 -> exactly one full word.
+        let rows: Vec<String> = (0..64u32).map(|i| format!("{i:06b}")).collect();
+        let refs: Vec<&str> = rows.iter().map(String::as_str).collect();
+        let (_, full) = sliced(&refs, 6);
+        assert_eq!(full.num_distinct(), 64);
+        assert_eq!(full.words_per_column(), 1);
+        assert_eq!(full.last_word_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn all_u_mv_mismatches_nothing() {
+        let (_, s) = sliced(&["1X0X", "0101", "1111"], 4);
+        let mut mismatch = vec![0u64; s.words_per_column()];
+        s.accumulate_mismatch(0, 0, &mut mismatch);
+        assert!(mismatch.iter().all(|&w| w == 0));
+    }
+}

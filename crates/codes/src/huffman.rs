@@ -139,6 +139,104 @@ pub fn canonical_code(lengths: &[usize]) -> PrefixCode {
     PrefixCode::new_unchecked(words)
 }
 
+/// Reusable buffers for [`huffman_weighted_length`].
+///
+/// The EA fitness kernel computes a Huffman *cost* thousands of times per
+/// generation; keeping the two merge queues alive across calls makes the
+/// computation allocation-free after the first use.
+#[derive(Debug, Clone, Default)]
+pub struct HuffmanScratch {
+    /// Nonzero frequencies, sorted ascending (the leaf queue).
+    leaves: Vec<u64>,
+    /// Merge weights in creation order (nondecreasing — the node queue).
+    merged: Vec<u64>,
+}
+
+impl HuffmanScratch {
+    /// Creates empty scratch buffers; they grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        HuffmanScratch::default()
+    }
+}
+
+/// Computes `Σ fᵢ·lᵢ` — the total codeword bits of an optimal
+/// (minimum-redundancy) prefix code for `freqs` — without building a tree,
+/// codewords, or a [`PrefixCode`].
+///
+/// Uses the sum-of-merge-weights identity: the weighted external path length
+/// of a Huffman tree equals the sum of the weights of all internal (merged)
+/// nodes. The two-queue construction over pre-sorted leaves makes each call
+/// `O(n log n)` time and zero allocations once `scratch` has warmed up.
+///
+/// The result is **bit-identical** to pricing the code built by
+/// [`huffman_code`]: all optimal prefix codes share the same weighted total,
+/// so tie-breaking differences cannot change the sum, and the degenerate
+/// cases match `huffman_code`'s conventions — zero-frequency symbols cost
+/// nothing, and a single used symbol is clamped to a one-bit codeword.
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::{huffman_weighted_length, HuffmanScratch};
+///
+/// let mut scratch = HuffmanScratch::new();
+/// // freqs 5,3,2 -> lengths 1,2,2 -> 5*1 + 3*2 + 2*2 = 15 bits
+/// assert_eq!(huffman_weighted_length(&[5, 3, 2], &mut scratch), 15);
+/// // Single used symbol: clamped to one bit, as in `huffman_code`.
+/// assert_eq!(huffman_weighted_length(&[0, 42, 0], &mut scratch), 42);
+/// ```
+pub fn huffman_weighted_length(freqs: &[u64], scratch: &mut HuffmanScratch) -> u64 {
+    scratch.leaves.clear();
+    scratch.merged.clear();
+    scratch
+        .leaves
+        .extend(freqs.iter().copied().filter(|&f| f > 0));
+    match scratch.leaves.len() {
+        0 => return 0,
+        // One used symbol: `huffman_code` clamps its codeword to one bit so
+        // the stream stays self-delimiting; price it the same way.
+        1 => return scratch.leaves[0],
+        _ => {}
+    }
+    scratch.leaves.sort_unstable();
+
+    // Two-queue merge: the smallest unconsumed weight is always at the front
+    // of either the sorted leaf queue or the FIFO of merge results (merge
+    // weights are produced in nondecreasing order).
+    let mut li = 0usize; // front of the leaf queue
+    let mut mi = 0usize; // front of the merged queue
+    let mut total = 0u64;
+    let rounds = scratch.leaves.len() - 1;
+    for _ in 0..rounds {
+        let mut take = || {
+            let leaf = scratch.leaves.get(li).copied();
+            let node = scratch.merged.get(mi).copied();
+            match (leaf, node) {
+                // Prefer the leaf on ties: either choice yields an optimal
+                // tree, and therefore the same total.
+                (Some(l), Some(n)) if l <= n => {
+                    li += 1;
+                    l
+                }
+                (Some(l), None) => {
+                    li += 1;
+                    l
+                }
+                (_, Some(n)) => {
+                    mi += 1;
+                    n
+                }
+                (None, None) => unreachable!("queues exhausted before n-1 merges"),
+            }
+        };
+        let merged = take() + take();
+        total += merged;
+        scratch.merged.push(merged);
+    }
+    total
+}
+
 /// Builds an optimal prefix code directly from frequencies:
 /// Huffman lengths + canonical assignment. With exactly one used symbol the
 /// codeword is clamped to one bit (`0`) so the stream remains self-delimiting
@@ -248,6 +346,46 @@ mod tests {
         let a = huffman_code(&[3, 3, 3, 3, 3]);
         let b = huffman_code(&[3, 3, 3, 3, 3]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_length_matches_code_pricing() {
+        let mut scratch = HuffmanScratch::new();
+        let cases: [&[u64]; 10] = [
+            &[5, 3, 2],
+            &[1, 1, 1, 1],
+            &[100, 10, 5, 1],
+            &[0, 7, 0, 7],
+            &[0, 42, 0],
+            &[0, 0],
+            &[],
+            &[3, 3, 3, 3, 3],
+            &[9, 5, 3, 2, 1],
+            &[1, 2, 4, 8, 16, 32, 64, 128],
+        ];
+        for freqs in cases {
+            assert_eq!(
+                huffman_weighted_length(freqs, &mut scratch),
+                total_bits(freqs),
+                "freqs {freqs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_length_scratch_is_reusable_across_shapes() {
+        // Alternate large and small inputs through one scratch: stale
+        // buffer contents must never leak into a later call.
+        let mut scratch = HuffmanScratch::new();
+        for _ in 0..3 {
+            assert_eq!(huffman_weighted_length(&[5, 3, 2], &mut scratch), 15);
+            let big: Vec<u64> = (1..=64).collect();
+            assert_eq!(
+                huffman_weighted_length(&big, &mut scratch),
+                total_bits(&big)
+            );
+            assert_eq!(huffman_weighted_length(&[0, 0, 9], &mut scratch), 9);
+        }
     }
 
     #[test]

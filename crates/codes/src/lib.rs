@@ -10,6 +10,10 @@
 //!   tree ([`DecodeTree`]).
 //! * [`huffman_code`] / [`huffman_lengths`] — minimum-redundancy codes from
 //!   symbol frequencies (Huffman 1952, the paper's reference \[29\]).
+//! * [`huffman_weighted_length`] — the *cost* of an optimal code (total
+//!   codeword bits) without materializing a tree or codewords; the
+//!   allocation-free form the EA fitness kernel uses, with reusable
+//!   [`HuffmanScratch`] buffers.
 //! * [`canonical_code`] — the canonical reassignment of Huffman lengths used
 //!   to keep decoder hardware small.
 //! * Baseline coders from the paper's related-work section: run-length
@@ -43,5 +47,7 @@ pub mod selective;
 
 pub use codeword::{Codeword, ParseCodewordError};
 pub use decode::{DecodeTree, Step, Walk};
-pub use huffman::{canonical_code, huffman_code, huffman_lengths};
+pub use huffman::{
+    canonical_code, huffman_code, huffman_lengths, huffman_weighted_length, HuffmanScratch,
+};
 pub use prefix::{BuildPrefixCodeError, PrefixCode};

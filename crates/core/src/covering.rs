@@ -13,6 +13,12 @@ use crate::mvset::MvSet;
 /// increasing number of `U`s and the first match is taken, because encodings
 /// by MVs with fewer `U`s are shorter (fewer fill bits).
 ///
+/// Covering **relies on the [`MvSet`] covering-order invariant** (see
+/// [`crate::covering_key`]) and deliberately does not re-sort: iteration
+/// order *is* covering order. The scratch fitness kernel
+/// ([`crate::encoded_size_scratch`]) walks the same order over a bit-sliced
+/// histogram and produces identical frequencies.
+///
 /// # Example
 ///
 /// ```

@@ -168,17 +168,52 @@ impl TestCompressor for EaCompressor {
 /// evaluator: the compression rate of the MV set a genome encodes, computed
 /// over the distinct-block histogram.
 ///
-/// The evaluator is immutable — it borrows one [`BlockHistogram`] — so the
-/// parallel engine can hand the same instance to every worker thread.
-/// Genomes whose MV set is malformed or cannot cover every block score
-/// [`MvFitness::INFEASIBLE`], which ranks strictly below every feasible
-/// compression rate.
-#[derive(Debug, Clone, Copy)]
+/// The evaluator is immutable — it borrows one [`BlockHistogram`] and owns
+/// the bit-sliced transposition built from it — so the parallel engine can
+/// hand the same instance to every worker thread. Genomes whose MV set is
+/// malformed or cannot cover every block score [`MvFitness::INFEASIBLE`],
+/// which ranks strictly below every feasible compression rate.
+///
+/// Two equivalent evaluation paths exist:
+///
+/// * [`MvFitness::evaluate`] — the legacy reference path (decode an
+///   [`MvSet`], cover, build a Huffman code). Kept as the oracle the kernel
+///   is tested against.
+/// * [`MvFitness::evaluate_scratch`] — the allocation-free, bit-sliced
+///   kernel (see [`crate::EvalScratch`]); what [`FitnessEval::evaluate_batch`]
+///   uses with one scratch per batch chunk, i.e. per worker thread.
+///
+/// Both return bit-identical `f64` fitness for every genome — enforced by
+/// `tests/props_fitness_kernel.rs`.
+#[derive(Debug)]
 pub struct MvFitness<'a> {
     k: usize,
     force_all_u: bool,
     histogram: &'a BlockHistogram,
+    sliced: evotc_bits::SlicedHistogram,
     original_bits: f64,
+    /// Warmed-up kernel buffers returned by previous batch calls. Workers
+    /// check one out per [`FitnessEval::evaluate_batch`] call and return it
+    /// afterwards, so scratch allocations persist across generations
+    /// instead of being rebuilt every batch. Scratch contents never affect
+    /// results (the kernel fully re-initializes what it reads), so the pool
+    /// is invisible to the determinism contract.
+    scratch_pool: std::sync::Mutex<Vec<crate::EvalScratch>>,
+}
+
+impl Clone for MvFitness<'_> {
+    /// Clones the evaluator configuration; the clone starts with an empty
+    /// scratch pool (buffers are warm-up state, not semantics).
+    fn clone(&self) -> Self {
+        MvFitness {
+            k: self.k,
+            force_all_u: self.force_all_u,
+            histogram: self.histogram,
+            sliced: self.sliced.clone(),
+            original_bits: self.original_bits,
+            scratch_pool: std::sync::Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl<'a> MvFitness<'a> {
@@ -188,7 +223,8 @@ impl<'a> MvFitness<'a> {
 
     /// Creates the evaluator for genomes of `L · k` trits over `histogram`;
     /// `original_bits` is the uncompressed payload size the rate is
-    /// relative to.
+    /// relative to. The bit-sliced transposition of the histogram is built
+    /// here, once per run.
     pub fn new(
         k: usize,
         force_all_u: bool,
@@ -199,8 +235,41 @@ impl<'a> MvFitness<'a> {
             k,
             force_all_u,
             histogram,
+            sliced: evotc_bits::SlicedHistogram::from_histogram(histogram),
             original_bits,
+            scratch_pool: std::sync::Mutex::new(Vec::new()),
         }
+    }
+
+    /// Scores one genome through the allocation-free kernel, reusing
+    /// `scratch` across calls. Bit-identical to [`MvFitness::evaluate`].
+    pub fn evaluate_scratch(&self, genes: &[Trit], scratch: &mut crate::EvalScratch) -> f64 {
+        // Mirror the legacy path exactly: both panic on a misconstructed
+        // evaluator. An out-of-range K panics in `MvSet::from_genes` (the
+        // per-chunk decode rejects chunks longer than a word, and K = 0 is a
+        // division by zero); a K that disagrees with the histogram panics in
+        // `Covering::cover`. Neither is a per-genome condition, so neither
+        // may score INFEASIBLE.
+        assert!(
+            self.k > 0 && self.k <= evotc_bits::MAX_BLOCK_LEN,
+            "block length K must be in 1..=64"
+        );
+        assert_eq!(
+            self.k,
+            self.sliced.block_len(),
+            "MV and histogram block lengths differ"
+        );
+        match crate::kernel::encoded_size_scratch(&self.sliced, genes, self.force_all_u, scratch) {
+            Some(size) => self.rate(size),
+            None => Self::INFEASIBLE,
+        }
+    }
+
+    /// Compression rate, the EA's fitness (paper, Section 3.1). Shared by
+    /// both evaluation paths so they stay bit-identical by construction.
+    #[inline]
+    fn rate(&self, size: u64) -> f64 {
+        100.0 * (self.original_bits - size as f64) / self.original_bits
     }
 }
 
@@ -211,9 +280,30 @@ impl FitnessEval<Trit> for MvFitness<'_> {
             Err(_) => return Self::INFEASIBLE,
         };
         match encoded_size(&mvs, self.histogram) {
-            // Compression rate, the EA's fitness (paper, Section 3.1).
-            Some(size) => 100.0 * (self.original_bits - size as f64) / self.original_bits,
+            Some(size) => self.rate(size),
             None => Self::INFEASIBLE,
+        }
+    }
+
+    /// One [`crate::EvalScratch`] per batch chunk: the parallel evaluator
+    /// calls this exactly once per worker thread, so every worker reuses a
+    /// single set of kernel buffers for its whole chunk — and the buffers
+    /// themselves are checked out of a pool on `self`, so they survive from
+    /// generation to generation instead of being reallocated per batch.
+    fn evaluate_batch(&self, genomes: &[Vec<Trit>], out: &mut [f64]) {
+        // A poisoned pool (a panicking sibling worker) degrades to a fresh
+        // scratch; results are unaffected either way.
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default();
+        for (genes, slot) in genomes.iter().zip(out.iter_mut()) {
+            *slot = self.evaluate_scratch(genes, &mut scratch);
+        }
+        if let Ok(mut pool) = self.scratch_pool.lock() {
+            pool.push(scratch);
         }
     }
 }

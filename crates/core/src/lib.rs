@@ -54,6 +54,7 @@ mod covering;
 mod ea_opt;
 mod encoding;
 mod error;
+mod kernel;
 pub mod multiscan;
 mod mv;
 mod mvset;
@@ -65,8 +66,9 @@ pub use covering::Covering;
 pub use ea_opt::{EaCompressor, EaCompressorBuilder, EaRunSummary, MvFitness};
 pub use encoding::{encode_with_code, encode_with_mvs, encoded_size};
 pub use error::CompressError;
+pub use kernel::{encoded_size_scratch, EvalScratch};
 pub use mv::{MatchingVector, ParseMvError};
-pub use mvset::MvSet;
+pub use mvset::{covering_key, MvSet};
 pub use ninec::{ninec_codewords, ninec_matching_vectors, NineCCompressor, NineCHuffmanCompressor};
 
 use evotc_bits::TestSet;

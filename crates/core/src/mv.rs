@@ -109,10 +109,14 @@ impl MatchingVector {
     ///
     /// # Panics
     ///
-    /// Panics if `j >= self.len()`.
+    /// Panics in debug builds if `j >= self.len()`; release builds take a
+    /// safe fallback and return [`Trit::X`].
     #[inline]
     pub fn trit(&self, j: usize) -> Trit {
-        assert!(j < self.len(), "position {j} out of range {}", self.len);
+        debug_assert!(j < self.len(), "position {j} out of range {}", self.len);
+        if j >= self.len() {
+            return Trit::X;
+        }
         if (self.spec >> j) & 1 == 0 {
             Trit::X
         } else if (self.value >> j) & 1 == 1 {
@@ -156,12 +160,17 @@ impl MatchingVector {
     /// Returns `true` if the MV matches the block: there is no position with
     /// `1` against `0` or `0` against `1` (paper, Section 2).
     ///
+    /// This is the word-parallel inner comparison of the covering scan, so
+    /// it is forced inline and the length check is a `debug_assert!` —
+    /// release builds compute directly on the packed planes (positions past
+    /// the shorter operand read as unspecified, which is well-defined).
+    ///
     /// # Panics
     ///
-    /// Panics if lengths differ.
-    #[inline]
+    /// Panics in debug builds if lengths differ.
+    #[inline(always)]
     pub fn matches(&self, block: &InputBlock) -> bool {
-        assert_eq!(self.len(), block.len(), "MV/block length mismatch");
+        debug_assert_eq!(self.len(), block.len(), "MV/block length mismatch");
         self.spec & block.care_plane() & (self.value ^ block.value_plane()) == 0
     }
 

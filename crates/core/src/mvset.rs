@@ -10,6 +10,18 @@ use crate::mv::MatchingVector;
 /// order*: sorted by increasing number of `U`s (paper, Section 3.2), ties
 /// broken by the original index so construction is deterministic.
 ///
+/// # Covering order is an invariant
+///
+/// Every constructor establishes covering order exactly once (the canonical
+/// sort key is [`covering_key`]), and no operation ever breaks it —
+/// [`MvSet::with_all_u`] appends the maximal-key vector, so the set stays
+/// sorted. Consumers **rely on the invariant instead of re-sorting**:
+/// [`crate::Covering`] takes the first match in iteration order, and the
+/// scratch fitness kernel ([`crate::EvalScratch`]) performs the same single
+/// canonical sort on its index buffer. If you construct vectors by another
+/// route, go through [`MvSet::new`]; handing an unsorted slice to a consumer
+/// that assumes the invariant silently changes which MV covers a block.
+///
 /// # Example
 ///
 /// ```
@@ -47,9 +59,14 @@ impl MvSet {
             "all MVs must have length {k}"
         );
         let mut vectors = vectors;
-        // Stable sort: ties keep the caller's order (e.g. the 9C v1..v9
-        // sequence inside each N_U class).
-        vectors.sort_by_key(|v| v.num_unspecified());
+        // The one canonical sort establishing the covering-order invariant.
+        // Already-ordered input (round trips through `to_genes`, sorted
+        // construction) skips the sort entirely. Stable sort: ties keep the
+        // caller's order (e.g. the 9C v1..v9 sequence inside each N_U
+        // class), matching `covering_key`'s index tie-break.
+        if !is_covering_order(&vectors) {
+            vectors.sort_by_key(|v| v.num_unspecified());
+        }
         Ok(MvSet { k, vectors })
     }
 
@@ -165,6 +182,28 @@ impl MvSet {
         }
         self
     }
+}
+
+/// The canonical covering-order sort key: ascending number of `U`s (paper,
+/// Section 3.2 — MVs with fewer `U`s yield shorter encodings and must be
+/// tried first), ties broken by the position the vector held before sorting
+/// so construction is deterministic.
+///
+/// [`MvSet::new`] and the scratch fitness kernel sort by this one key; there
+/// is deliberately no second sorting site that could drift out of agreement.
+#[inline]
+pub fn covering_key(num_unspecified: usize, original_index: usize) -> u64 {
+    debug_assert!(original_index <= u32::MAX as usize, "MV index overflow");
+    ((num_unspecified as u64) << 32) | original_index as u64
+}
+
+/// Returns `true` if `vectors` already satisfies the covering-order
+/// invariant (nondecreasing number of `U`s).
+#[inline]
+fn is_covering_order(vectors: &[MatchingVector]) -> bool {
+    vectors
+        .windows(2)
+        .all(|w| w[0].num_unspecified() <= w[1].num_unspecified())
 }
 
 impl<'a> IntoIterator for &'a MvSet {

@@ -127,6 +127,14 @@ where
         let c = self.config.children_per_generation;
         let mut evaluations: u64 = 0;
 
+        // Reusable buffers: `scores` is refilled by every batch evaluation,
+        // `children` holds one generation's genomes, and `pool` recycles the
+        // gene `Vec`s of discarded individuals so steady-state generations
+        // allocate nothing.
+        let mut scores: Vec<f64> = Vec::new();
+        let mut children: Vec<Vec<G>> = Vec::with_capacity(c + 1);
+        let mut pool: Vec<Vec<G>> = Vec::new();
+
         // Initial population: seeds first, then random individuals. Genomes
         // are collected up front and scored as one batch; the RNG is only
         // touched on this thread, so its stream is independent of `threads`.
@@ -138,7 +146,12 @@ where
                     .collect(),
             );
         }
-        let mut population = evaluate_into_individuals(&self.fitness, genomes, threads);
+        parallel::evaluate_into(&self.fitness, &genomes, threads, &mut scores);
+        let mut population: Vec<Individual<G>> = genomes
+            .into_iter()
+            .zip(scores.iter().copied())
+            .map(|(genes, fitness)| Individual { genes, fitness })
+            .collect();
         evaluations += population.len() as u64;
         sort_by_fitness(&mut population);
 
@@ -167,43 +180,66 @@ where
             && generation < self.config.max_generations
         {
             generation += 1;
-            let mut children: Vec<Vec<G>> = Vec::with_capacity(c + 1);
+            children.clear();
             while children.len() < c {
                 let roll: f64 = rng.gen();
                 let pa = rng.gen_range(0..s);
                 if roll < self.config.crossover_probability {
                     let pb = rng.gen_range(0..s);
-                    let (x, y) = operators::crossover(
+                    let mut x = pool.pop().unwrap_or_default();
+                    let mut y = pool.pop().unwrap_or_default();
+                    operators::crossover_into(
                         &population[pa].genes,
                         &population[pb].genes,
                         &mut rng,
+                        &mut x,
+                        &mut y,
                     );
                     children.push(x);
                     if children.len() < c {
                         children.push(y);
+                    } else {
+                        pool.push(y);
                     }
                 } else if roll
                     < self.config.crossover_probability + self.config.mutation_probability
                 {
-                    children.push(operators::mutate(&population[pa].genes, &mut rng, |r| {
-                        (self.sample_gene)(r)
-                    }));
+                    let mut child = pool.pop().unwrap_or_default();
+                    operators::mutate_into(
+                        &population[pa].genes,
+                        &mut rng,
+                        |r| (self.sample_gene)(r),
+                        &mut child,
+                    );
+                    children.push(child);
                 } else if roll
                     < self.config.crossover_probability
                         + self.config.mutation_probability
                         + self.config.inversion_probability
                 {
-                    children.push(operators::invert(&population[pa].genes, &mut rng));
+                    let mut child = pool.pop().unwrap_or_default();
+                    operators::invert_into(&population[pa].genes, &mut rng, &mut child);
+                    children.push(child);
                 } else {
                     // Reproduction: copy a parent unchanged.
-                    children.push(population[pa].genes.clone());
+                    let mut child = pool.pop().unwrap_or_default();
+                    child.clear();
+                    child.extend_from_slice(&population[pa].genes);
+                    children.push(child);
                 }
             }
             evaluations += children.len() as u64;
-            population.extend(evaluate_into_individuals(&self.fitness, children, threads));
-            // (S + C) truncation selection: keep the best S.
+            parallel::evaluate_into(&self.fitness, &children, threads, &mut scores);
+            population.extend(
+                children
+                    .drain(..)
+                    .zip(scores.iter().copied())
+                    .map(|(genes, fitness)| Individual { genes, fitness }),
+            );
+            // (S + C) truncation selection: keep the best S; losers donate
+            // their gene buffers back to the pool.
             sort_by_fitness(&mut population);
-            population.truncate(s);
+            pool.extend(population.drain(s..).map(|individual| individual.genes));
 
             if population[0].fitness > best_so_far {
                 best_so_far = population[0].fitness;
@@ -226,25 +262,6 @@ where
             elapsed: start.elapsed(),
         }
     }
-}
-
-/// Scores a batch of genomes (on up to `threads` workers) and pairs each
-/// genome with its fitness, preserving order.
-fn evaluate_into_individuals<G, F>(
-    fitness: &F,
-    genomes: Vec<Vec<G>>,
-    threads: usize,
-) -> Vec<Individual<G>>
-where
-    G: Sync,
-    F: FitnessEval<G> + Sync,
-{
-    let scores = parallel::evaluate(fitness, &genomes, threads);
-    genomes
-        .into_iter()
-        .zip(scores)
-        .map(|(genes, fitness)| Individual { genes, fitness })
-        .collect()
 }
 
 fn sort_by_fitness<G>(population: &mut [Individual<G>]) {

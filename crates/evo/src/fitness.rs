@@ -5,6 +5,11 @@
 /// The engine hands whole batches to [`FitnessEval::evaluate_batch`] — the
 /// initial population first, then every generation's children — which makes
 /// the batch the natural unit of parallelism (see [`crate::parallel`]).
+/// Scores are written into a caller-provided slice, so the engine can reuse
+/// one output buffer across generations and an override can keep per-batch
+/// scratch state (buffers, histograms) alive for the whole batch — one
+/// scratch per worker thread, since the parallel evaluator makes exactly one
+/// `evaluate_batch` call per worker chunk.
 ///
 /// Implementations must be *pure*: the fitness of a genome may depend only
 /// on the genes (plus immutable shared state such as a precomputed
@@ -24,21 +29,28 @@
 ///
 /// let one_max = |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64;
 /// assert_eq!(one_max.evaluate(&[true, false, true]), 2.0);
-/// assert_eq!(one_max.evaluate_batch(&[vec![true], vec![false]]), [1.0, 0.0]);
+/// let mut scores = [0.0; 2];
+/// one_max.evaluate_batch(&[vec![true], vec![false]], &mut scores);
+/// assert_eq!(scores, [1.0, 0.0]);
 /// ```
 pub trait FitnessEval<G> {
     /// Scores a single genome.
     fn evaluate(&self, genes: &[G]) -> f64;
 
-    /// Scores a batch of genomes; entry `i` of the result is the fitness of
-    /// `genomes[i]`.
+    /// Scores a batch of genomes, writing the fitness of `genomes[i]` into
+    /// `out[i]`. Callers guarantee `out.len() == genomes.len()`.
     ///
     /// The default implementation maps [`FitnessEval::evaluate`] over the
     /// batch in order. Override it when per-batch work can be amortized
-    /// (shared scratch buffers, vectorized kernels); the override must
-    /// return exactly `genomes.len()` scores in input order.
-    fn evaluate_batch(&self, genomes: &[Vec<G>]) -> Vec<f64> {
-        genomes.iter().map(|g| self.evaluate(g)).collect()
+    /// (reusable scratch buffers, vectorized kernels); the override must
+    /// fill every slot of `out` and must not depend on batch boundaries —
+    /// the parallel evaluator splits batches into arbitrary contiguous
+    /// chunks.
+    fn evaluate_batch(&self, genomes: &[Vec<G>], out: &mut [f64]) {
+        debug_assert_eq!(genomes.len(), out.len(), "scores slice length");
+        for (genes, slot) in genomes.iter().zip(out.iter_mut()) {
+            *slot = self.evaluate(genes);
+        }
     }
 }
 
@@ -67,13 +79,17 @@ mod tests {
     #[test]
     fn default_batch_maps_in_order() {
         let genomes = vec![vec![1u8, 2], vec![10], vec![]];
-        assert_eq!(SumLen.evaluate_batch(&genomes), vec![3.0, 10.0, 0.0]);
+        let mut scores = vec![f64::NAN; genomes.len()];
+        SumLen.evaluate_batch(&genomes, &mut scores);
+        assert_eq!(scores, vec![3.0, 10.0, 0.0]);
     }
 
     #[test]
     fn closures_implement_the_trait() {
         let f = |genes: &[bool]| genes.len() as f64;
         assert_eq!(f.evaluate(&[true, true]), 2.0);
-        assert_eq!(f.evaluate_batch(&[vec![], vec![false]]), vec![0.0, 1.0]);
+        let mut scores = [f64::NAN; 2];
+        f.evaluate_batch(&[vec![], vec![false]], &mut scores);
+        assert_eq!(scores, [0.0, 1.0]);
     }
 }

@@ -41,6 +41,27 @@ pub fn crossover<G: Copy, R: Rng + ?Sized>(
     parent_b: &[G],
     rng: &mut R,
 ) -> (Vec<G>, Vec<G>) {
+    let mut child_a = Vec::new();
+    let mut child_b = Vec::new();
+    crossover_into(parent_a, parent_b, rng, &mut child_a, &mut child_b);
+    (child_a, child_b)
+}
+
+/// [`crossover`] writing the children into reusable buffers (cleared first),
+/// so the engine can recycle genome `Vec`s across generations instead of
+/// allocating per child. Draws from the RNG in the same order as
+/// [`crossover`], so the two forms are interchangeable mid-run.
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths or are empty.
+pub fn crossover_into<G: Copy, R: Rng + ?Sized>(
+    parent_a: &[G],
+    parent_b: &[G],
+    rng: &mut R,
+    child_a: &mut Vec<G>,
+    child_b: &mut Vec<G>,
+) {
     assert_eq!(parent_a.len(), parent_b.len(), "parent lengths differ");
     assert!(!parent_a.is_empty(), "parents must not be empty");
     let n = parent_a.len();
@@ -49,12 +70,13 @@ pub fn crossover<G: Copy, R: Rng + ?Sized>(
     if i > j {
         std::mem::swap(&mut i, &mut j);
     }
-    let mut child_a = parent_a.to_vec();
-    let mut child_b = parent_b.to_vec();
+    child_a.clear();
+    child_a.extend_from_slice(parent_a);
+    child_b.clear();
+    child_b.extend_from_slice(parent_b);
     for k in i..j {
         std::mem::swap(&mut child_a[k], &mut child_b[k]);
     }
-    (child_a, child_b)
 }
 
 /// Uniform crossover: each position is swapped independently with
@@ -94,13 +116,30 @@ pub fn uniform_crossover<G: Copy, R: Rng + ?Sized>(
 pub fn mutate<G: Copy, R: Rng + ?Sized>(
     parent: &[G],
     rng: &mut R,
-    mut sample_gene: impl FnMut(&mut R) -> G,
+    sample_gene: impl FnMut(&mut R) -> G,
 ) -> Vec<G> {
+    let mut child = Vec::new();
+    mutate_into(parent, rng, sample_gene, &mut child);
+    child
+}
+
+/// [`mutate`] writing the child into a reusable buffer (cleared first).
+/// Draws from the RNG in the same order as [`mutate`].
+///
+/// # Panics
+///
+/// Panics if the parent is empty.
+pub fn mutate_into<G: Copy, R: Rng + ?Sized>(
+    parent: &[G],
+    rng: &mut R,
+    mut sample_gene: impl FnMut(&mut R) -> G,
+    child: &mut Vec<G>,
+) {
     assert!(!parent.is_empty(), "parent must not be empty");
-    let mut child = parent.to_vec();
+    child.clear();
+    child.extend_from_slice(parent);
     let pos = rng.gen_range(0..child.len());
     child[pos] = sample_gene(rng);
-    child
 }
 
 /// Inversion: reverses the ordering of the genes between two random
@@ -110,6 +149,18 @@ pub fn mutate<G: Copy, R: Rng + ?Sized>(
 ///
 /// Panics if the parent is empty.
 pub fn invert<G: Copy, R: Rng + ?Sized>(parent: &[G], rng: &mut R) -> Vec<G> {
+    let mut child = Vec::new();
+    invert_into(parent, rng, &mut child);
+    child
+}
+
+/// [`invert`] writing the child into a reusable buffer (cleared first).
+/// Draws from the RNG in the same order as [`invert`].
+///
+/// # Panics
+///
+/// Panics if the parent is empty.
+pub fn invert_into<G: Copy, R: Rng + ?Sized>(parent: &[G], rng: &mut R, child: &mut Vec<G>) {
     assert!(!parent.is_empty(), "parent must not be empty");
     let n = parent.len();
     let mut i = rng.gen_range(0..=n);
@@ -117,9 +168,9 @@ pub fn invert<G: Copy, R: Rng + ?Sized>(parent: &[G], rng: &mut R) -> Vec<G> {
     if i > j {
         std::mem::swap(&mut i, &mut j);
     }
-    let mut child = parent.to_vec();
+    child.clear();
+    child.extend_from_slice(parent);
     child[i..j].reverse();
-    child
 }
 
 #[cfg(test)]

@@ -64,46 +64,56 @@ pub fn resolve_threads(threads: usize) -> usize {
 
 /// Evaluates a batch of genomes on up to `threads` scoped worker threads.
 ///
-/// The result is identical to `eval.evaluate_batch(genomes)` for every
+/// The result is identical to a serial `eval.evaluate_batch` call for every
 /// thread count (see the [module docs](self) for the contract). Workers are
 /// spawned per call via [`std::thread::scope`], so the evaluator only needs
 /// to borrow its shared state (`E: Sync`), not own it.
-///
-/// # Panics
-///
-/// Panics if the evaluator returns a batch of the wrong length.
 pub fn evaluate<G, E>(eval: &E, genomes: &[Vec<G>], threads: usize) -> Vec<f64>
 where
     G: Sync,
     E: FitnessEval<G> + Sync,
 {
-    let workers = threads.max(1).min(genomes.len());
-    if workers <= 1 {
-        let scores = eval.evaluate_batch(genomes);
-        assert_batch_len(scores.len(), genomes.len());
-        return scores;
-    }
-    // Contiguous chunks keep the output order equal to the input order; the
-    // zipped `chunks_mut` hands every worker a disjoint slot to write into.
-    let chunk = genomes.len().div_ceil(workers);
-    let mut scores = vec![f64::NAN; genomes.len()];
-    std::thread::scope(|scope| {
-        for (slot, batch) in scores.chunks_mut(chunk).zip(genomes.chunks(chunk)) {
-            scope.spawn(move || {
-                let chunk_scores = eval.evaluate_batch(batch);
-                assert_batch_len(chunk_scores.len(), batch.len());
-                slot.copy_from_slice(&chunk_scores);
-            });
-        }
-    });
+    let mut scores = Vec::new();
+    evaluate_into(eval, genomes, threads, &mut scores);
     scores
 }
 
-fn assert_batch_len(got: usize, want: usize) {
-    assert_eq!(
-        got, want,
-        "FitnessEval::evaluate_batch returned {got} scores for {want} genomes"
-    );
+/// Like [`evaluate`], but writes the scores into a reusable buffer (cleared
+/// and resized to `genomes.len()`), so a caller evaluating every generation
+/// — the engine — allocates no score vector after the first call.
+///
+/// Slots are prefilled with `NaN` before the evaluator runs; an
+/// [`FitnessEval::evaluate_batch`] override that skips a slot therefore
+/// leaves `NaN` behind, which the engine's selection ranks last — the same
+/// treatment a `NaN`-returning evaluator gets.
+///
+/// Each worker receives one contiguous chunk of the batch and exactly one
+/// [`FitnessEval::evaluate_batch`] call writing straight into its disjoint
+/// slice of `scores` — which is what lets a batch override keep a single
+/// scratch state per worker thread, and why no copying or stitching happens
+/// afterwards. Chunking changes only *where* a genome is scored, never the
+/// order of the scores.
+pub fn evaluate_into<G, E>(eval: &E, genomes: &[Vec<G>], threads: usize, scores: &mut Vec<f64>)
+where
+    G: Sync,
+    E: FitnessEval<G> + Sync,
+{
+    scores.clear();
+    scores.resize(genomes.len(), f64::NAN);
+    let workers = threads.max(1).min(genomes.len());
+    if workers <= 1 {
+        eval.evaluate_batch(genomes, scores);
+    } else {
+        // Contiguous chunks keep the output order equal to the input order;
+        // the zipped `chunks_mut` hands every worker a disjoint slot to
+        // write into.
+        let chunk = genomes.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (slot, batch) in scores.chunks_mut(chunk).zip(genomes.chunks(chunk)) {
+                scope.spawn(move || eval.evaluate_batch(batch, slot));
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -158,17 +168,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "returned 1 scores for 2 genomes")]
-    fn short_batches_are_rejected() {
-        struct Short;
-        impl FitnessEval<bool> for Short {
+    fn evaluate_into_reuses_and_resizes_the_buffer() {
+        let mut scores = vec![42.0; 100]; // stale, oversized contents
+        evaluate_into(&one_max, &genomes(5), 2, &mut scores);
+        assert_eq!(scores.len(), 5);
+        assert_eq!(scores, evaluate(&one_max, &genomes(5), 1));
+        // Growing again after a smaller batch also works.
+        evaluate_into(&one_max, &genomes(9), 3, &mut scores);
+        assert_eq!(scores.len(), 9);
+    }
+
+    #[test]
+    fn batch_overrides_see_worker_sized_chunks() {
+        // An override writing chunk lengths proves each worker gets exactly
+        // one evaluate_batch call over its contiguous chunk.
+        struct ChunkLen;
+        impl FitnessEval<bool> for ChunkLen {
             fn evaluate(&self, _: &[bool]) -> f64 {
-                0.0
+                1.0
             }
-            fn evaluate_batch(&self, _: &[Vec<bool>]) -> Vec<f64> {
-                vec![0.0]
+            fn evaluate_batch(&self, genomes: &[Vec<bool>], out: &mut [f64]) {
+                for slot in out.iter_mut() {
+                    *slot = genomes.len() as f64;
+                }
             }
         }
-        let _ = evaluate(&Short, &[vec![true], vec![false]], 1);
+        let g = genomes(8);
+        let scores = evaluate(&ChunkLen, &g, 4);
+        assert_eq!(scores, vec![2.0; 8]); // 8 genomes over 4 workers = 2 each
     }
 }

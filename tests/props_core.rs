@@ -146,7 +146,8 @@ proptest! {
         let hist = BlockHistogram::from_string(&string);
         let fitness = MvFitness::new(4, false, &hist, string.payload_bits() as f64);
 
-        let scores = fitness.evaluate_batch(&genomes);
+        let mut scores = vec![f64::NAN; genomes.len()];
+        fitness.evaluate_batch(&genomes, &mut scores);
         let mut feasible: Vec<f64> = Vec::new();
         let mut infeasible: Vec<f64> = Vec::new();
         for (genome, &score) in genomes.iter().zip(&scores) {
