@@ -104,7 +104,10 @@ fn drop_faults(
 ) {
     let filled = cube.fill_x(false);
     let inputs: Vec<u64> = (0..netlist.num_inputs())
-        .map(|j| u64::from(filled.trit(j).to_bool().expect("filled")))
+        .map(|j| {
+            let t = filled.try_trit(j).expect("width matches input count");
+            u64::from(t.to_bool().expect("filled"))
+        })
         .collect();
     for (i, &fault) in faults.iter().enumerate() {
         if dropped[i] {

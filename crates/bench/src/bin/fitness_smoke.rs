@@ -1,40 +1,61 @@
 //! Quick fitness-kernel perf smoke: measures evaluations/second of the
-//! legacy fitness path vs the allocation-free bit-sliced kernel at the
-//! paper-default shape (K=12, L=64, shared `fitness_fixture` workload) and
-//! writes `BENCH_fitness.json` so the repo carries a perf trajectory across
-//! PRs.
+//! legacy fitness path, the allocation-free bit-sliced kernel, and the
+//! incremental (cache-patching) path under a single-gene mutation-chain
+//! workload — all at the paper-default shape (K=12, L=64, shared
+//! `fitness_fixture` workload) — and writes `BENCH_fitness.json` so the repo
+//! carries a perf trajectory across PRs.
 //!
 //! Runs in a few seconds ("quick mode"). In CI the correctness gate runs
 //! gating (`--check-only`) and the timed run is a separate non-gating step:
-//! a slow shared runner must not fail the build, but a bitwise
-//! kernel-vs-legacy divergence must. Locally:
+//! a slow shared runner must not fail the build, but a bitwise divergence
+//! between any two paths must. Locally:
 //!
 //! ```text
 //! cargo run --release -p evotc_bench --bin fitness_smoke
 //! ```
 //!
-//! Exits non-zero only if the two paths disagree on any genome (a
+//! Exits non-zero only if the paths disagree on any genome or chain step (a
 //! correctness failure, not a perf one).
 
 use std::time::{Duration, Instant};
 
 use evotc_bench::fitness_fixture::{paper_histogram, random_genomes, BLOCK_LEN, NUM_MVS};
-use evotc_core::{EvalScratch, MvFitness};
+use evotc_bits::Trit;
+use evotc_core::{EvalCache, EvalScratch, MvFitness};
 use evotc_evo::FitnessEval;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const GENOMES: usize = 128;
+/// Steps per single-gene mutation chain (the incremental workload).
+const CHAIN_LEN: usize = 256;
 /// Wall-clock budget per measured path; quick mode stays CI-friendly.
 const MEASURE: Duration = Duration::from_millis(1500);
 
-/// Runs `eval_all` repeatedly for the budget and returns evaluations/sec.
-fn throughput(mut eval_all: impl FnMut() -> f64) -> f64 {
+/// A deterministic single-gene mutation chain: the genomes the EA would see
+/// when each child is its predecessor with one redrawn gene.
+fn mutation_chain(start: &[Trit], steps: usize, seed: u64) -> Vec<(usize, Vec<Trit>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut genome = start.to_vec();
+    let mut chain = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let pos = rng.gen_range(0..genome.len());
+        genome[pos] = Trit::from_index(rng.gen_range(0..3u8));
+        chain.push((pos, genome.clone()));
+    }
+    chain
+}
+
+/// Runs `eval_all` (which claims `per_pass` evaluations) repeatedly for the
+/// budget and returns evaluations/sec.
+fn throughput(per_pass: u64, mut eval_all: impl FnMut() -> f64) -> f64 {
     // Warm-up pass (first-touch allocations, cold caches).
     std::hint::black_box(eval_all());
     let start = Instant::now();
     let mut evals = 0u64;
     while start.elapsed() < MEASURE {
         std::hint::black_box(eval_all());
-        evals += GENOMES as u64;
+        evals += per_pass;
     }
     evals as f64 / start.elapsed().as_secs_f64()
 }
@@ -45,7 +66,8 @@ fn main() {
     let fitness = MvFitness::new(BLOCK_LEN, true, &histogram, payload_bits);
     let genomes = random_genomes(GENOMES, BLOCK_LEN * NUM_MVS, 42);
 
-    // Correctness gate first: bit-identical fitness on every genome.
+    // Correctness gate 1: bit-identical fitness, kernel vs legacy, on every
+    // random genome.
     let mut scratch = EvalScratch::new();
     for g in &genomes {
         let legacy = fitness.evaluate(g);
@@ -55,14 +77,41 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // Correctness gate 2: the incremental path must match the full kernel
+    // bit-for-bit on every step of a single-gene mutation chain.
+    let chain = mutation_chain(&genomes[0], CHAIN_LEN, 7);
+    let mut cache = EvalCache::new();
+    let seed_fitness = fitness.evaluate_cached(&genomes[0], None, &mut cache);
+    if seed_fitness.to_bits()
+        != fitness
+            .evaluate_scratch(&genomes[0], &mut scratch)
+            .to_bits()
+    {
+        eprintln!("FAIL: incremental rebuild diverged on the chain seed");
+        std::process::exit(1);
+    }
+    for (step, (pos, genome)) in chain.iter().enumerate() {
+        let incremental = fitness.evaluate_cached(genome, Some(&(*pos..pos + 1)), &mut cache);
+        let full = fitness.evaluate_scratch(genome, &mut scratch);
+        if incremental.to_bits() != full.to_bits() {
+            eprintln!("FAIL: incremental {incremental} != full {full} at chain step {step}");
+            std::process::exit(1);
+        }
+    }
     if check_only {
-        println!("fitness kernel == legacy on {GENOMES} genomes (K={BLOCK_LEN}, L={NUM_MVS})");
+        println!(
+            "fitness kernel == legacy on {GENOMES} genomes; incremental == full on a \
+             {CHAIN_LEN}-step mutation chain (K={BLOCK_LEN}, L={NUM_MVS})"
+        );
         return;
     }
 
-    let legacy_eps = throughput(|| genomes.iter().map(|g| fitness.evaluate(g)).sum());
+    let legacy_eps = throughput(GENOMES as u64, || {
+        genomes.iter().map(|g| fitness.evaluate(g)).sum()
+    });
     let mut scratch = EvalScratch::new();
-    let kernel_eps = throughput(|| {
+    let kernel_eps = throughput(GENOMES as u64, || {
         genomes
             .iter()
             .map(|g| fitness.evaluate_scratch(g, &mut scratch))
@@ -70,14 +119,46 @@ fn main() {
     });
     let speedup = kernel_eps / legacy_eps;
 
-    println!("workload           : s953 (K={BLOCK_LEN}, L={NUM_MVS})");
-    println!("distinct blocks    : {}", histogram.num_distinct());
-    println!("legacy eval/s      : {legacy_eps:.0}");
-    println!("kernel eval/s      : {kernel_eps:.0}");
-    println!("speedup            : {speedup:.2}x");
+    // The incremental workload: one full evaluation to seed the cache, then
+    // CHAIN_LEN single-gene children priced from deltas. The full-kernel
+    // reference prices exactly the same genomes from scratch.
+    let per_pass = (CHAIN_LEN + 1) as u64;
+    let mut scratch = EvalScratch::new();
+    let full_chain_eps = throughput(per_pass, || {
+        let mut acc = fitness.evaluate_scratch(&genomes[0], &mut scratch);
+        for (_, genome) in &chain {
+            acc += fitness.evaluate_scratch(genome, &mut scratch);
+        }
+        acc
+    });
+    let mut cache = EvalCache::new();
+    let incremental_eps = throughput(per_pass, || {
+        let mut acc = fitness.evaluate_cached(&genomes[0], None, &mut cache);
+        for (pos, genome) in &chain {
+            acc += fitness.evaluate_cached(genome, Some(&(*pos..pos + 1)), &mut cache);
+        }
+        acc
+    });
+    let incremental_speedup = incremental_eps / full_chain_eps;
+
+    println!("workload             : s953 (K={BLOCK_LEN}, L={NUM_MVS})");
+    println!("distinct blocks      : {}", histogram.num_distinct());
+    println!("legacy eval/s        : {legacy_eps:.0}");
+    println!("kernel eval/s        : {kernel_eps:.0}");
+    println!("speedup              : {speedup:.2}x");
+    println!("chain length         : {CHAIN_LEN}");
+    println!("full-chain eval/s    : {full_chain_eps:.0}");
+    println!("incremental eval/s   : {incremental_eps:.0}");
+    println!("incremental speedup  : {incremental_speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"bench\": \"fitness_kernel\",\n  \"workload\": \"s953\",\n  \"k\": {k},\n  \"l\": {l},\n  \"distinct_blocks\": {distinct},\n  \"genomes\": {genomes},\n  \"legacy_evals_per_sec\": {legacy:.0},\n  \"kernel_evals_per_sec\": {kernel:.0},\n  \"speedup\": {speedup:.2}\n}}\n",
+        "{{\n  \"bench\": \"fitness_kernel\",\n  \"workload\": \"s953\",\n  \"k\": {k},\n  \
+         \"l\": {l},\n  \"distinct_blocks\": {distinct},\n  \"genomes\": {genomes},\n  \
+         \"legacy_evals_per_sec\": {legacy:.0},\n  \"kernel_evals_per_sec\": {kernel:.0},\n  \
+         \"speedup\": {speedup:.2},\n  \"chain_len\": {chain_len},\n  \
+         \"full_chain_evals_per_sec\": {full_chain:.0},\n  \
+         \"incremental_evals_per_sec\": {incremental:.0},\n  \
+         \"incremental_speedup\": {inc_speedup:.2}\n}}\n",
         k = BLOCK_LEN,
         l = NUM_MVS,
         distinct = histogram.num_distinct(),
@@ -85,6 +166,10 @@ fn main() {
         legacy = legacy_eps,
         kernel = kernel_eps,
         speedup = speedup,
+        chain_len = CHAIN_LEN,
+        full_chain = full_chain_eps,
+        incremental = incremental_eps,
+        inc_speedup = incremental_speedup,
     );
     let path = "BENCH_fitness.json";
     match std::fs::write(path, &json) {

@@ -118,13 +118,29 @@ impl InputBlock {
         self.value
     }
 
+    /// Reads the trit at position `j`, or `None` for out-of-range positions.
+    ///
+    /// The checked counterpart of [`InputBlock::trit`], whose release-mode
+    /// fallback silently reads `Trit::X` past the block length. Prefer
+    /// `try_trit` (usually with `.expect(...)`) everywhere outside the
+    /// fitness/encoding hot paths.
+    #[inline]
+    pub fn try_trit(&self, j: usize) -> Option<Trit> {
+        if j < self.len() {
+            Some(self.trit(j))
+        } else {
+            None
+        }
+    }
+
     /// Reads the trit at position `j` (0 = leftmost).
     ///
     /// # Panics
     ///
     /// Panics in debug builds if `j >= self.len()`; release builds take a
     /// safe fallback and return [`Trit::X`] — this accessor runs per fill
-    /// bit on the encoding hot path.
+    /// bit on the encoding hot path. Callers off that path should use
+    /// [`InputBlock::try_trit`] instead.
     #[inline]
     pub fn trit(&self, j: usize) -> Trit {
         debug_assert!(j < self.len(), "position {j} out of range {}", self.len);
@@ -305,6 +321,15 @@ mod tests {
         assert_eq!(b.trit(0), Trit::One);
         assert_eq!(b.trit(1), Trit::Zero);
         assert_eq!(b.trit(2), Trit::X);
+    }
+
+    #[test]
+    fn try_trit_is_checked() {
+        let b: InputBlock = "10X".parse().unwrap();
+        assert_eq!(b.try_trit(0), Some(Trit::One));
+        assert_eq!(b.try_trit(1), Some(Trit::Zero));
+        assert_eq!(b.try_trit(2), Some(Trit::X));
+        assert_eq!(b.try_trit(3), None);
     }
 
     #[test]

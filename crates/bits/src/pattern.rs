@@ -65,6 +65,22 @@ impl TestPattern {
         self.width == 0
     }
 
+    /// Reads the trit at position `j`, or `None` for out-of-range positions.
+    ///
+    /// This is the checked counterpart of [`TestPattern::trit`]: the
+    /// unchecked accessor silently reads `Trit::X` past the width in release
+    /// builds, which can mask real indexing bugs. Prefer `try_trit` (usually
+    /// with `.expect(...)`) everywhere outside the fitness/encoding hot
+    /// paths.
+    #[inline]
+    pub fn try_trit(&self, j: usize) -> Option<Trit> {
+        if j < self.width {
+            Some(self.trit(j))
+        } else {
+            None
+        }
+    }
+
     /// Reads the trit at position `j`.
     ///
     /// # Panics
@@ -72,7 +88,8 @@ impl TestPattern {
     /// Panics in debug builds if `j >= self.width()`; release builds take a
     /// safe fallback and return [`Trit::X`] for out-of-range positions. The
     /// accessor sits on the workload-construction hot path, so the bounds
-    /// check is a `debug_assert!`.
+    /// check is a `debug_assert!` — callers off that path should use
+    /// [`TestPattern::try_trit`] instead.
     #[inline]
     pub fn trit(&self, j: usize) -> Trit {
         debug_assert!(j < self.width, "position {j} out of range {}", self.width);
@@ -310,6 +327,15 @@ mod tests {
         let it = p.iter();
         assert_eq!(it.len(), 3);
         assert_eq!(it.collect::<Vec<_>>(), vec![Trit::One, Trit::Zero, Trit::X]);
+    }
+
+    #[test]
+    fn try_trit_is_checked() {
+        let p: TestPattern = "10X".parse().unwrap();
+        assert_eq!(p.try_trit(0), Some(Trit::One));
+        assert_eq!(p.try_trit(2), Some(Trit::X));
+        assert_eq!(p.try_trit(3), None);
+        assert_eq!(TestPattern::all_x(0).try_trit(0), None);
     }
 
     #[test]

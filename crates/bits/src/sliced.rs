@@ -128,6 +128,26 @@ impl SlicedHistogram {
         }
     }
 
+    /// The pre-resolved conflict plane of one position: the bitset of
+    /// distinct blocks that conflict with a matching vector specifying logic
+    /// value `value_bit` at position `j` (an MV saying `1` conflicts with
+    /// the blocks specified `0` there, and vice versa).
+    ///
+    /// This is the primitive behind [`SlicedHistogram::accumulate_mismatch`],
+    /// exposed so incremental evaluators can patch a single MV's match set
+    /// with a handful of word operations instead of rescanning the whole
+    /// histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= block_len()`.
+    #[inline]
+    pub fn conflict_column(&self, j: usize, value_bit: bool) -> &[u64] {
+        assert!(j < self.k, "position {j} out of range {}", self.k);
+        let table = if value_bit { &self.zeros } else { &self.ones };
+        &table[j * self.words..(j + 1) * self.words]
+    }
+
     /// ORs into `mismatch` the set of distinct blocks that **conflict** with
     /// a matching vector given by its raw planes (`spec` bit `j` set means
     /// position `j` is specified with logic value `value` bit `j`).
@@ -147,14 +167,7 @@ impl SlicedHistogram {
         while remaining != 0 {
             let j = remaining.trailing_zeros() as usize;
             remaining &= remaining - 1;
-            // An MV saying `1` at j conflicts with the blocks specified `0`
-            // there, and vice versa — each pre-resolved as one column.
-            let table = if (value >> j) & 1 == 1 {
-                &self.zeros
-            } else {
-                &self.ones
-            };
-            let column = &table[j * self.words..(j + 1) * self.words];
+            let column = self.conflict_column(j, (value >> j) & 1 == 1);
             for (m, &c) in mismatch.iter_mut().zip(column) {
                 *m |= c;
             }
@@ -249,6 +262,37 @@ mod tests {
         assert_eq!(full.num_distinct(), 64);
         assert_eq!(full.words_per_column(), 1);
         assert_eq!(full.last_word_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn conflict_columns_compose_into_accumulate_mismatch() {
+        let (_, s) = sliced(&["1101", "1100", "0000", "1X01", "0X10"], 4);
+        for spec in 0..16u64 {
+            for value in 0..16u64 {
+                let value = value & spec;
+                let mut via_accumulate = vec![0u64; s.words_per_column()];
+                s.accumulate_mismatch(spec, value, &mut via_accumulate);
+                let mut via_columns = vec![0u64; s.words_per_column()];
+                for j in 0..4 {
+                    if (spec >> j) & 1 == 1 {
+                        for (m, &c) in via_columns
+                            .iter_mut()
+                            .zip(s.conflict_column(j, (value >> j) & 1 == 1))
+                        {
+                            *m |= c;
+                        }
+                    }
+                }
+                assert_eq!(via_columns, via_accumulate, "spec={spec:04b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn conflict_column_rejects_out_of_range_positions() {
+        let (_, s) = sliced(&["10", "01"], 2);
+        let _ = s.conflict_column(2, false);
     }
 
     #[test]

@@ -188,30 +188,35 @@ impl HuffmanScratch {
 /// ```
 pub fn huffman_weighted_length(freqs: &[u64], scratch: &mut HuffmanScratch) -> u64 {
     scratch.leaves.clear();
-    scratch.merged.clear();
     scratch
         .leaves
         .extend(freqs.iter().copied().filter(|&f| f > 0));
-    match scratch.leaves.len() {
+    scratch.leaves.sort_unstable();
+    merge_total(&scratch.leaves, &mut scratch.merged)
+}
+
+/// The two-queue Huffman merge over a pre-sorted leaf queue: the smallest
+/// unconsumed weight is always at the front of either the sorted leaf queue
+/// or the FIFO of merge results (merge weights are produced in nondecreasing
+/// order). Shared by [`huffman_weighted_length`] and
+/// [`huffman_weighted_length_delta`], so the two paths cannot drift apart.
+fn merge_total(leaves: &[u64], merged: &mut Vec<u64>) -> u64 {
+    merged.clear();
+    match leaves.len() {
         0 => return 0,
         // One used symbol: `huffman_code` clamps its codeword to one bit so
         // the stream stays self-delimiting; price it the same way.
-        1 => return scratch.leaves[0],
+        1 => return leaves[0],
         _ => {}
     }
-    scratch.leaves.sort_unstable();
-
-    // Two-queue merge: the smallest unconsumed weight is always at the front
-    // of either the sorted leaf queue or the FIFO of merge results (merge
-    // weights are produced in nondecreasing order).
     let mut li = 0usize; // front of the leaf queue
     let mut mi = 0usize; // front of the merged queue
     let mut total = 0u64;
-    let rounds = scratch.leaves.len() - 1;
+    let rounds = leaves.len() - 1;
     for _ in 0..rounds {
         let mut take = || {
-            let leaf = scratch.leaves.get(li).copied();
-            let node = scratch.merged.get(mi).copied();
+            let leaf = leaves.get(li).copied();
+            let node = merged.get(mi).copied();
             match (leaf, node) {
                 // Prefer the leaf on ties: either choice yields an optimal
                 // tree, and therefore the same total.
@@ -230,10 +235,125 @@ pub fn huffman_weighted_length(freqs: &[u64], scratch: &mut HuffmanScratch) -> u
                 (None, None) => unreachable!("queues exhausted before n-1 merges"),
             }
         };
-        let merged = take() + take();
-        total += merged;
-        scratch.merged.push(merged);
+        let merged_weight = take() + take();
+        total += merged_weight;
+        merged.push(merged_weight);
     }
+    total
+}
+
+/// The sorted nonzero-frequency leaf queue of a previous Huffman pricing,
+/// kept alive so a later pricing that changes only a few frequencies can be
+/// computed from a delta instead of a fresh sort (see
+/// [`huffman_weighted_length_delta`]).
+#[derive(Debug, Clone, Default)]
+pub struct HuffmanDeltaState {
+    /// Nonzero frequencies, sorted ascending.
+    leaves: Vec<u64>,
+    /// Merge-weight FIFO (scratch for the two-queue merge).
+    merged: Vec<u64>,
+}
+
+impl HuffmanDeltaState {
+    /// Creates an empty state (no symbols used).
+    pub fn new() -> Self {
+        HuffmanDeltaState::default()
+    }
+
+    /// Rebuilds the leaf queue from a frequency vector, dropping zeros.
+    pub fn reset(&mut self, freqs: &[u64]) {
+        self.leaves.clear();
+        self.leaves.extend(freqs.iter().copied().filter(|&f| f > 0));
+        self.leaves.sort_unstable();
+    }
+
+    /// The sorted nonzero frequencies currently held.
+    pub fn leaves(&self) -> &[u64] {
+        &self.leaves
+    }
+
+    /// Total codeword bits of an optimal prefix code for the held
+    /// frequencies — [`huffman_weighted_length`] without the sort.
+    pub fn weighted_length(&mut self) -> u64 {
+        let leaves = std::mem::take(&mut self.leaves);
+        let total = merge_total(&leaves, &mut self.merged);
+        self.leaves = leaves;
+        total
+    }
+
+    /// Replaces this state's leaf queue with `patched`'s, swapping buffers
+    /// so neither side allocates — how a cached base state adopts the queue
+    /// a committed [`huffman_weighted_length_delta`] evaluation produced in
+    /// its scratch. `patched`'s queue is the base's old queue afterwards.
+    pub fn adopt_leaves_from(&mut self, patched: &mut HuffmanDeltaState) {
+        std::mem::swap(&mut self.leaves, &mut patched.leaves);
+    }
+}
+
+/// Computes `Σ fᵢ·lᵢ` for a frequency vector that differs from `base` in a
+/// few entries, without re-sorting from scratch: `base`'s sorted leaf queue
+/// is copied into `scratch`, each `(old, new)` change is applied with a
+/// binary-searched remove/insert (a frequency of `0` on either side means
+/// the symbol is absent there), and the two-queue merge runs over the
+/// patched queue.
+///
+/// `base` is untouched, so one cached parent state can price many
+/// speculative children. The result is **bit-identical** to
+/// [`huffman_weighted_length`] over the patched frequency vector — both are
+/// the unique optimal weighted total of the same leaf multiset.
+///
+/// # Panics
+///
+/// Panics if a change's `old` frequency is not present in `base` — the
+/// caller's bookkeeping of what changed is wrong, and pricing a queue that
+/// silently drifted from the real frequencies would corrupt every
+/// evaluation after it.
+///
+/// # Example
+///
+/// ```
+/// use evotc_codes::{
+///     huffman_weighted_length, huffman_weighted_length_delta, HuffmanDeltaState, HuffmanScratch,
+/// };
+///
+/// let mut base = HuffmanDeltaState::new();
+/// base.reset(&[5, 3, 2]);
+/// let mut scratch = HuffmanDeltaState::new();
+/// // 5,3,2 -> 5,3,4: same total as pricing [5, 3, 4] from scratch.
+/// let patched = huffman_weighted_length_delta(&base, &[(2, 4)], &mut scratch);
+/// assert_eq!(
+///     patched,
+///     huffman_weighted_length(&[5, 3, 4], &mut HuffmanScratch::new())
+/// );
+/// // The base state still prices the original frequencies.
+/// assert_eq!(base.leaves(), &[2, 3, 5]);
+/// ```
+pub fn huffman_weighted_length_delta(
+    base: &HuffmanDeltaState,
+    changes: &[(u64, u64)],
+    scratch: &mut HuffmanDeltaState,
+) -> u64 {
+    scratch.leaves.clear();
+    scratch.leaves.extend_from_slice(&base.leaves);
+    for &(old, new) in changes {
+        if old == new {
+            continue;
+        }
+        if old > 0 {
+            let at = scratch
+                .leaves
+                .binary_search(&old)
+                .unwrap_or_else(|_| panic!("old frequency {old} not in the leaf queue"));
+            scratch.leaves.remove(at);
+        }
+        if new > 0 {
+            let at = scratch.leaves.binary_search(&new).unwrap_or_else(|e| e);
+            scratch.leaves.insert(at, new);
+        }
+    }
+    let leaves = std::mem::take(&mut scratch.leaves);
+    let total = merge_total(&leaves, &mut scratch.merged);
+    scratch.leaves = leaves;
     total
 }
 
@@ -386,6 +506,58 @@ mod tests {
             );
             assert_eq!(huffman_weighted_length(&[0, 0, 9], &mut scratch), 9);
         }
+    }
+
+    #[test]
+    fn delta_pricing_matches_full_pricing() {
+        let mut full = HuffmanScratch::new();
+        let mut scratch = HuffmanDeltaState::new();
+        type Case = (&'static [u64], &'static [(u64, u64)], &'static [u64]);
+        let cases: [Case; 6] = [
+            // (base freqs, changes, patched freqs)
+            (&[5, 3, 2], &[(2, 4)], &[5, 3, 4]),
+            (&[5, 3, 2], &[(5, 0)], &[0, 3, 2]), // removal
+            (&[5, 3], &[(0, 9)], &[5, 3, 9]),    // insertion
+            (&[7, 7, 7], &[(7, 1), (7, 2)], &[1, 2, 7]), // duplicates
+            (&[4], &[(4, 0)], &[]),              // down to no symbols
+            (&[], &[(0, 6)], &[6]),              // up from none
+        ];
+        for (base_freqs, changes, patched) in cases {
+            let mut base = HuffmanDeltaState::new();
+            base.reset(base_freqs);
+            let before = base.leaves().to_vec();
+            let delta = huffman_weighted_length_delta(&base, changes, &mut scratch);
+            assert_eq!(
+                delta,
+                huffman_weighted_length(patched, &mut full),
+                "base {base_freqs:?} changes {changes:?}"
+            );
+            // The base state is untouched and still prices the original.
+            assert_eq!(base.leaves(), before);
+            assert_eq!(
+                base.weighted_length(),
+                huffman_weighted_length(base_freqs, &mut full)
+            );
+        }
+    }
+
+    #[test]
+    fn delta_state_reset_drops_zeros_and_sorts() {
+        let mut state = HuffmanDeltaState::new();
+        state.reset(&[0, 9, 0, 2, 5]);
+        assert_eq!(state.leaves(), &[2, 5, 9]);
+        assert_eq!(
+            state.weighted_length(),
+            huffman_weighted_length(&[9, 2, 5], &mut HuffmanScratch::new())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the leaf queue")]
+    fn delta_rejects_phantom_old_frequencies() {
+        let mut base = HuffmanDeltaState::new();
+        base.reset(&[5, 3]);
+        let _ = huffman_weighted_length_delta(&base, &[(4, 1)], &mut HuffmanDeltaState::new());
     }
 
     #[test]

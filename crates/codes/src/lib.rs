@@ -48,6 +48,7 @@ pub mod selective;
 pub use codeword::{Codeword, ParseCodewordError};
 pub use decode::{DecodeTree, Step, Walk};
 pub use huffman::{
-    canonical_code, huffman_code, huffman_lengths, huffman_weighted_length, HuffmanScratch,
+    canonical_code, huffman_code, huffman_lengths, huffman_weighted_length,
+    huffman_weighted_length_delta, HuffmanDeltaState, HuffmanScratch,
 };
 pub use prefix::{BuildPrefixCodeError, PrefixCode};

@@ -1,8 +1,10 @@
 //! Evolutionary matching-vector determination (paper, Section 3.1).
 
 use evotc_bits::{BlockHistogram, TestSet, TestSetString, Trit};
-use evotc_evo::{Ea, EaConfig, FitnessEval, GenerationStats};
+use evotc_evo::{Ea, EaConfig, FitnessEval, GenerationStats, Lineage};
 use rand::Rng;
+
+use crate::incremental::{encoded_size_incremental, encoded_size_rebuild, IncrementalOutcome};
 
 use crate::compressed::CompressedTestSet;
 use crate::encoding::{encode_with_mvs, encoded_size};
@@ -146,7 +148,7 @@ impl EaCompressor {
         let mut genes = Vec::with_capacity(self.k * self.l);
         for mv in ninec_matching_vectors(self.k) {
             for j in 0..self.k {
-                genes.push(mv.trit(j));
+                genes.push(mv.try_trit(j).expect("j < K by construction"));
             }
         }
         genes.resize(self.k * self.l, Trit::X);
@@ -174,7 +176,7 @@ impl TestCompressor for EaCompressor {
 /// malformed or cannot cover every block score [`MvFitness::INFEASIBLE`],
 /// which ranks strictly below every feasible compression rate.
 ///
-/// Two equivalent evaluation paths exist:
+/// Three equivalent evaluation paths exist:
 ///
 /// * [`MvFitness::evaluate`] — the legacy reference path (decode an
 ///   [`MvSet`], cover, build a Huffman code). Kept as the oracle the kernel
@@ -182,9 +184,15 @@ impl TestCompressor for EaCompressor {
 /// * [`MvFitness::evaluate_scratch`] — the allocation-free, bit-sliced
 ///   kernel (see [`crate::EvalScratch`]); what [`FitnessEval::evaluate_batch`]
 ///   uses with one scratch per batch chunk, i.e. per worker thread.
+/// * [`MvFitness::evaluate_cached`] — the incremental path (see
+///   [`crate::EvalCache`]): re-prices a single-MV edit from the parent's
+///   cached covering. What [`FitnessEval::evaluate_batch_with_lineage`] uses
+///   for engine children that carry provenance, with parent caches keyed by
+///   genome content so they survive the population reshuffling between
+///   generations.
 ///
-/// Both return bit-identical `f64` fitness for every genome — enforced by
-/// `tests/props_fitness_kernel.rs`.
+/// All paths return bit-identical `f64` fitness for every genome — enforced
+/// by `tests/props_fitness_kernel.rs` and `tests/props_incremental.rs`.
 #[derive(Debug)]
 pub struct MvFitness<'a> {
     k: usize,
@@ -199,11 +207,42 @@ pub struct MvFitness<'a> {
     /// results (the kernel fully re-initializes what it reads), so the pool
     /// is invisible to the determinism contract.
     scratch_pool: std::sync::Mutex<Vec<crate::EvalScratch>>,
+    /// Warmed-up lineage-evaluation states (parent caches + fallback
+    /// scratch), one checked out per
+    /// [`FitnessEval::evaluate_batch_with_lineage`] call. Like the scratch
+    /// pool, pure warm-up state: every score is bit-identical with or
+    /// without a cache hit.
+    lineage_pool: std::sync::Mutex<Vec<LineageState>>,
 }
 
+/// One worker's incremental-evaluation state: parent caches keyed by genome
+/// content (so a hit is exact, never a hash gamble, and caches stay valid
+/// across generations however the population reshuffles) plus the full
+/// kernel's scratch for fallbacks.
+#[derive(Debug, Default)]
+struct LineageState {
+    caches: Vec<ParentCache>,
+    scratch: crate::EvalScratch,
+    /// Monotone use counter driving least-recently-used eviction.
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct ParentCache {
+    /// The exact genome the cache was built from.
+    genome: Vec<Trit>,
+    cache: crate::EvalCache,
+    last_used: u64,
+}
+
+/// Cap on retained parent caches per worker state. Parents come from a
+/// population of `S` individuals (the paper's default `S = 10`); a few
+/// generations of churn fit comfortably, and eviction is LRU beyond that.
+const MAX_PARENT_CACHES: usize = 32;
+
 impl Clone for MvFitness<'_> {
-    /// Clones the evaluator configuration; the clone starts with an empty
-    /// scratch pool (buffers are warm-up state, not semantics).
+    /// Clones the evaluator configuration; the clone starts with empty
+    /// scratch/cache pools (buffers are warm-up state, not semantics).
     fn clone(&self) -> Self {
         MvFitness {
             k: self.k,
@@ -212,6 +251,7 @@ impl Clone for MvFitness<'_> {
             sliced: self.sliced.clone(),
             original_bits: self.original_bits,
             scratch_pool: std::sync::Mutex::new(Vec::new()),
+            lineage_pool: std::sync::Mutex::new(Vec::new()),
         }
     }
 }
@@ -238,6 +278,7 @@ impl<'a> MvFitness<'a> {
             sliced: evotc_bits::SlicedHistogram::from_histogram(histogram),
             original_bits,
             scratch_pool: std::sync::Mutex::new(Vec::new()),
+            lineage_pool: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -250,6 +291,110 @@ impl<'a> MvFitness<'a> {
         // division by zero); a K that disagrees with the histogram panics in
         // `Covering::cover`. Neither is a per-genome condition, so neither
         // may score INFEASIBLE.
+        self.assert_shape();
+        match crate::kernel::encoded_size_scratch(&self.sliced, genes, self.force_all_u, scratch) {
+            Some(size) => self.rate(size),
+            None => Self::INFEASIBLE,
+        }
+    }
+
+    /// Scores one genome through the incremental path, advancing `cache` to
+    /// hold it afterwards (chain semantics): with `edit = Some(range)` the
+    /// genome is priced as an edit of the genome `cache` currently holds —
+    /// positions outside the range must be unchanged — falling back to a
+    /// full rebuild when the edit is not incrementally priceable; with
+    /// `edit = None` (unknown provenance) the cache is rebuilt outright.
+    ///
+    /// Bit-identical to [`MvFitness::evaluate`] and
+    /// [`MvFitness::evaluate_scratch`] for every genome and edit chain —
+    /// enforced by `tests/props_incremental.rs`.
+    pub fn evaluate_cached(
+        &self,
+        genes: &[Trit],
+        edit: Option<&std::ops::Range<usize>>,
+        cache: &mut crate::EvalCache,
+    ) -> f64 {
+        self.assert_shape();
+        let size = match edit {
+            Some(range) => {
+                match encoded_size_incremental(
+                    &self.sliced,
+                    genes,
+                    self.force_all_u,
+                    range,
+                    true,
+                    cache,
+                ) {
+                    IncrementalOutcome::Size(size) => size,
+                    IncrementalOutcome::NeedsFull => {
+                        encoded_size_rebuild(&self.sliced, genes, self.force_all_u, cache)
+                    }
+                }
+            }
+            None => encoded_size_rebuild(&self.sliced, genes, self.force_all_u, cache),
+        };
+        size.map_or(Self::INFEASIBLE, |s| self.rate(s))
+    }
+
+    /// Scores one engine child against its parent's cached covering,
+    /// building (or LRU-recycling) the parent cache on first use. Read-only
+    /// probe: the parent cache stays on the parent, so any number of
+    /// siblings reuse it.
+    fn evaluate_lineage_child(
+        &self,
+        genes: &[Trit],
+        parent: &[Trit],
+        edit: &std::ops::Range<usize>,
+        state: &mut LineageState,
+    ) -> f64 {
+        // A parent the rebuild would reject (or whose length differs from
+        // the child's) cannot seed a cache; score the child standalone.
+        if parent.is_empty() || parent.len() % self.k != 0 || parent.len() != genes.len() {
+            return self.evaluate_scratch(genes, &mut state.scratch);
+        }
+        let slot = match state.caches.iter().position(|c| c.genome == parent) {
+            Some(hit) => hit,
+            None => {
+                let slot = if state.caches.len() < MAX_PARENT_CACHES {
+                    state.caches.push(ParentCache::default());
+                    state.caches.len() - 1
+                } else {
+                    // Evict the least recently used cache; its buffers are
+                    // recycled for the new parent.
+                    state
+                        .caches
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, c)| c.last_used)
+                        .map(|(i, _)| i)
+                        .expect("cache list is non-empty at capacity")
+                };
+                let entry = &mut state.caches[slot];
+                entry.genome.clear();
+                entry.genome.extend_from_slice(parent);
+                encoded_size_rebuild(&self.sliced, parent, self.force_all_u, &mut entry.cache);
+                slot
+            }
+        };
+        state.tick += 1;
+        state.caches[slot].last_used = state.tick;
+        match encoded_size_incremental(
+            &self.sliced,
+            genes,
+            self.force_all_u,
+            edit,
+            false,
+            &mut state.caches[slot].cache,
+        ) {
+            IncrementalOutcome::Size(size) => size.map_or(Self::INFEASIBLE, |s| self.rate(s)),
+            IncrementalOutcome::NeedsFull => self.evaluate_scratch(genes, &mut state.scratch),
+        }
+    }
+
+    /// The shape assertions shared by every kernel-backed path (see
+    /// [`MvFitness::evaluate_scratch`] for why they must panic rather than
+    /// score `INFEASIBLE`).
+    fn assert_shape(&self) {
         assert!(
             self.k > 0 && self.k <= evotc_bits::MAX_BLOCK_LEN,
             "block length K must be in 1..=64"
@@ -259,14 +404,10 @@ impl<'a> MvFitness<'a> {
             self.sliced.block_len(),
             "MV and histogram block lengths differ"
         );
-        match crate::kernel::encoded_size_scratch(&self.sliced, genes, self.force_all_u, scratch) {
-            Some(size) => self.rate(size),
-            None => Self::INFEASIBLE,
-        }
     }
 
     /// Compression rate, the EA's fitness (paper, Section 3.1). Shared by
-    /// both evaluation paths so they stay bit-identical by construction.
+    /// every evaluation path so they stay bit-identical by construction.
     #[inline]
     fn rate(&self, size: u64) -> f64 {
         100.0 * (self.original_bits - size as f64) / self.original_bits
@@ -304,6 +445,45 @@ impl FitnessEval<Trit> for MvFitness<'_> {
         }
         if let Ok(mut pool) = self.scratch_pool.lock() {
             pool.push(scratch);
+        }
+    }
+
+    /// The incremental path. Children carrying provenance are priced as an
+    /// edit of their parent's cached covering; the parent cache is built
+    /// once (full rebuild) and then probed read-only by every sibling —
+    /// and, being keyed by genome *content*, it keeps serving the same
+    /// individual across generations no matter how selection reorders the
+    /// population. Children without usable provenance take the full kernel.
+    ///
+    /// Scores are bit-identical to [`FitnessEval::evaluate_batch`]; the
+    /// cache only changes how much work a score costs.
+    fn evaluate_batch_with_lineage(
+        &self,
+        genomes: &[Vec<Trit>],
+        lineage: &[Option<Lineage>],
+        parents: &[&[Trit]],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(genomes.len(), lineage.len(), "lineage slice length");
+        let mut state = self
+            .lineage_pool
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default();
+        for ((genes, lin), slot) in genomes.iter().zip(lineage).zip(out.iter_mut()) {
+            *slot = match lin {
+                Some(lin) if lin.parent_idx < parents.len() => self.evaluate_lineage_child(
+                    genes,
+                    parents[lin.parent_idx],
+                    &lin.edit,
+                    &mut state,
+                ),
+                _ => self.evaluate_scratch(genes, &mut state.scratch),
+            };
+        }
+        if let Ok(mut pool) = self.lineage_pool.lock() {
+            pool.push(state);
         }
     }
 }

@@ -1,0 +1,764 @@
+//! Incremental fitness re-evaluation via parent→child provenance.
+//!
+//! The EA mutates one gene at a time, but the scratch kernel
+//! ([`crate::encoded_size_scratch`]) re-prices the whole individual — decode
+//! all `L` MVs, rescan the covering, rebuild the Huffman cost — on every
+//! evaluation. This module keeps the parent's work in an [`EvalCache`] and
+//! re-prices a single-chunk edit from deltas:
+//!
+//! 1. Only the touched MV is re-decoded; every other plane pair is reused.
+//! 2. The covering is *patched*, not rescanned. The cache stores, per
+//!    distinct block, which MV owns it; an edit can only move blocks **to**
+//!    the edited MV (stolen from owners later in covering order, found with
+//!    one bit-sliced mismatch pass over the [`SlicedHistogram`]'s conflict
+//!    planes) or **away from** it (orphans re-flowed to the first matching
+//!    MV by a short row-major scan). Blocks owned by MVs earlier in covering
+//!    order are untouched by construction.
+//! 3. The Huffman part is re-priced from a frequency delta
+//!    ([`evotc_codes::huffman_weighted_length_delta`]) against the parent's
+//!    sorted leaf queue instead of a fresh sort.
+//!
+//! Ownership is tracked by MV (genome index) and compared via the canonical
+//! [`covering_key`], so an edit that changes the MV's `N_U` — and therefore
+//! its *position* in covering order — is still a patch: the key comparison
+//! re-ranks the one moved MV without renumbering anything.
+//!
+//! The incremental path is **bit-identical** to the full kernel for every
+//! edit (enforced by `tests/props_incremental.rs` and the CI equivalence
+//! gate); it falls back (see [`IncrementalOutcome::NeedsFull`]) only when
+//! the cache is cold, shapes differ, or the edit touches more than one MV
+//! chunk. Evaluating a child against its parent's cache is a *read-only
+//! probe* by default, so one cached parent can price any number of
+//! speculative children; pass `commit = true` to advance the cache to the
+//! child (mutation chains).
+
+use std::ops::Range;
+
+use evotc_bits::{SlicedHistogram, Trit};
+use evotc_codes::{huffman_weighted_length_delta, HuffmanDeltaState};
+
+use crate::mvset::covering_key;
+
+/// Sentinel in the per-block owner table: the block matches no MV.
+const NO_MV: u32 = u32::MAX;
+
+/// A parent genome's fully evaluated covering state, reusable to price
+/// lightly edited children in time proportional to the edit.
+///
+/// Build it with [`encoded_size_rebuild`], then feed children to
+/// [`encoded_size_incremental`]. One cache holds one genome; buffers are
+/// retained across rebuilds, so recycling a cache for a different parent
+/// costs no allocations after warm-up.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::{BlockHistogram, SlicedHistogram, TestSet, TestSetString, Trit};
+/// use evotc_core::{
+///     encoded_size_incremental, encoded_size_rebuild, encoded_size_scratch, EvalCache,
+///     EvalScratch, IncrementalOutcome,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TestSet::parse(&["110100XX", "110000XX", "11010000"])?;
+/// let hist = BlockHistogram::from_string(&TestSetString::new(&set, 4));
+/// let sliced = SlicedHistogram::from_histogram(&hist);
+/// let parent: Vec<Trit> = evotc_bits::parse_trits("110U0000UUUU")?;
+///
+/// let mut cache = EvalCache::new();
+/// let full = encoded_size_rebuild(&sliced, &parent, false, &mut cache);
+///
+/// // Mutate one gene and re-price incrementally.
+/// let mut child = parent.clone();
+/// child[5] = Trit::One;
+/// let inc = encoded_size_incremental(&sliced, &child, false, &(5..6), false, &mut cache);
+/// let reference = encoded_size_scratch(&sliced, &child, false, &mut EvalScratch::new());
+/// assert_eq!(inc, IncrementalOutcome::Size(reference));
+/// // The probe left the cache on the parent: an empty edit returns its size.
+/// let cached = encoded_size_incremental(&sliced, &parent, false, &(0..0), false, &mut cache);
+/// assert_eq!(cached, IncrementalOutcome::Size(full));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvalCache {
+    /// Whether the cache holds a complete evaluation.
+    warm: bool,
+    /// Shape tag of the held evaluation: `(K, L, distinct blocks, words per
+    /// column, force_all_u)`. Incremental evaluation requires an exact match.
+    shape: (usize, usize, usize, usize, bool),
+    /// Specified-position plane per MV, genome order, post-`force_all_u`.
+    spec: Vec<u64>,
+    /// Value plane per MV, genome order, post-`force_all_u`.
+    value: Vec<u64>,
+    /// `N_U` per MV (redundant with `spec`, cached for the key compares).
+    nu: Vec<u32>,
+    /// Genome indices sorted by [`covering_key`] — covering order.
+    order: Vec<u32>,
+    /// Frequency of use per MV (genome index, **not** covering position —
+    /// the Huffman cost only needs the multiset, and genome indexing
+    /// survives order changes).
+    freq: Vec<u64>,
+    /// Owning MV (genome index) per distinct block, or [`NO_MV`].
+    owner: Vec<u32>,
+    /// Number of blocks owned by no MV (`> 0` ⇔ covering impossible).
+    uncovered: usize,
+    /// Total fill bits: `Σ freq[j] · N_U(j)`, maintained even while
+    /// infeasible so feasibility can flip back cheaply.
+    fill_bits: u64,
+    /// Sorted nonzero-frequency leaf queue for Huffman delta re-pricing.
+    huffman: HuffmanDeltaState,
+    /// The held genome's encoded size (`None` ⇔ covering impossible).
+    total: Option<u64>,
+    // --- per-call scratch, no meaning between calls ---
+    /// Mismatch bitset of the edited MV.
+    mismatch: Vec<u64>,
+    /// `(block, new owner)` reassignments of the current evaluation.
+    moves: Vec<(u32, u32)>,
+    /// `(MV, frequency delta)` of the current evaluation.
+    deltas: Vec<(u32, i64)>,
+    /// `(old, new)` frequency changes handed to the Huffman delta.
+    changes: Vec<(u64, u64)>,
+    /// Patched leaf queue produced by the Huffman delta.
+    huff_scratch: HuffmanDeltaState,
+}
+
+impl EvalCache {
+    /// Creates a cold cache; buffers size themselves on first rebuild.
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// Returns `true` if the cache holds a complete evaluation.
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// The held genome's encoded size (`None` ⇔ covering impossible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is cold.
+    pub fn encoded_size(&self) -> Option<u64> {
+        assert!(self.warm, "cache is cold");
+        self.total
+    }
+}
+
+/// Outcome of [`encoded_size_incremental`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementalOutcome {
+    /// The child was priced against the cache: its encoded size in bits,
+    /// `None` if its covering is impossible — exactly what
+    /// [`crate::encoded_size_scratch`] returns for the same genome.
+    Size(Option<u64>),
+    /// The edit cannot be applied incrementally (cold cache, shape mismatch,
+    /// or more than one edited MV chunk); run the full kernel instead.
+    NeedsFull,
+}
+
+/// Decodes one `K`-trit chunk into packed `(spec, value)` planes — the same
+/// branchless mapping the scratch kernel uses.
+#[inline]
+fn decode_chunk(chunk: &[Trit]) -> (u64, u64) {
+    let mut spec = 0u64;
+    let mut value = 0u64;
+    for (j, &t) in chunk.iter().enumerate() {
+        let idx = t.index() as u64;
+        value |= (idx & 1) << j;
+        spec |= ((idx >> 1) ^ 1) << j;
+    }
+    (spec, value)
+}
+
+/// Fully evaluates `genes` and fills `cache` with its covering state.
+///
+/// Returns the encoded size, **bit-identical** to
+/// [`crate::encoded_size_scratch`] over the same inputs (`None` ⇔ covering
+/// impossible; the cache stays warm either way, so feasibility can flip back
+/// on a later edit).
+///
+/// # Panics
+///
+/// Panics if `genes` is empty or not a multiple of the block length
+/// (mirroring the full kernel).
+pub fn encoded_size_rebuild(
+    sliced: &SlicedHistogram,
+    genes: &[Trit],
+    force_all_u: bool,
+    cache: &mut EvalCache,
+) -> Option<u64> {
+    let k = sliced.block_len();
+    assert!(
+        !genes.is_empty() && genes.len() % k == 0,
+        "genome length {} is not a positive multiple of K={k}",
+        genes.len()
+    );
+    let l = genes.len() / k;
+    let words = sliced.words_per_column();
+    let n = sliced.num_distinct();
+
+    cache.warm = false;
+    cache.shape = (k, l, n, words, force_all_u);
+    cache.spec.clear();
+    cache.value.clear();
+    cache.nu.clear();
+    for chunk in genes.chunks_exact(k) {
+        let (spec, value) = decode_chunk(chunk);
+        cache.spec.push(spec);
+        cache.value.push(value);
+    }
+    if force_all_u {
+        cache.spec[l - 1] = 0;
+        cache.value[l - 1] = 0;
+    }
+    cache.nu.extend(
+        cache
+            .spec
+            .iter()
+            .map(|s| (k - s.count_ones() as usize) as u32),
+    );
+
+    // Covering order: the one canonical key. Keys are unique (index
+    // tie-break), so the unstable sort is deterministic.
+    cache.order.clear();
+    cache.order.extend(0..l as u32);
+    let nu = &cache.nu;
+    cache
+        .order
+        .sort_unstable_by_key(|&j| covering_key(nu[j as usize] as usize, j as usize));
+
+    // First-match covering scan over the bit planes, recording the owner of
+    // every distinct block (the scratch kernel only needs frequencies; the
+    // incremental path needs to know whose blocks an edit can move).
+    cache.freq.clear();
+    cache.freq.resize(l, 0);
+    cache.owner.clear();
+    cache.owner.resize(n, NO_MV);
+    cache.mismatch.clear();
+    cache.mismatch.resize(words, 0);
+    let counts = sliced.counts();
+    let mut blocks_left = n;
+    let mut fill_bits = 0u64;
+    for &j in &cache.order {
+        if blocks_left == 0 {
+            break; // every block owned; the rest keep frequency 0
+        }
+        let j = j as usize;
+        cache.mismatch.iter_mut().for_each(|w| *w = 0);
+        sliced.accumulate_mismatch(cache.spec[j], cache.value[j], &mut cache.mismatch);
+        let mut freq = 0u64;
+        for (w, &mis) in cache.mismatch.iter().enumerate() {
+            let valid = if w == words - 1 {
+                sliced.last_word_mask()
+            } else {
+                u64::MAX
+            };
+            let mut matched = !mis & valid;
+            while matched != 0 {
+                let d = w * 64 + matched.trailing_zeros() as usize;
+                matched &= matched - 1;
+                if cache.owner[d] == NO_MV {
+                    cache.owner[d] = j as u32;
+                    freq += counts[d];
+                    blocks_left -= 1;
+                }
+            }
+        }
+        cache.freq[j] = freq;
+        fill_bits += freq * cache.nu[j] as u64;
+    }
+    cache.uncovered = blocks_left;
+    cache.fill_bits = fill_bits;
+    cache.huffman.reset(&cache.freq);
+    cache.total = if blocks_left == 0 {
+        Some(fill_bits + cache.huffman.weighted_length())
+    } else {
+        None
+    };
+    cache.warm = true;
+    cache.total
+}
+
+/// Prices `genes` — a copy of the cached genome except inside `edit` — by
+/// patching the cache's covering instead of rescanning it.
+///
+/// The contract on `edit` is the engine's lineage contract (see
+/// `evotc_evo::Lineage`): every position **outside** the range equals the
+/// cached genome's gene; positions inside may or may not differ. An empty
+/// range means an exact copy.
+///
+/// With `commit = false` the cache is left on the (parent) genome it held,
+/// so any number of children can be probed against it; with `commit = true`
+/// the cache advances to `genes` (chains of single-gene edits).
+///
+/// Returns [`IncrementalOutcome::NeedsFull`] — and leaves the cache
+/// untouched — when the edit is not incrementally priceable: cold cache,
+/// mismatched shape (block length, genome length, distinct-block count and
+/// word width, `force_all_u`), or an edit spanning more than one `K`-chunk
+/// whose content actually changed. Otherwise the returned size is
+/// **bit-identical** to [`crate::encoded_size_scratch`] over `genes`.
+///
+/// The shape tag cannot distinguish two *different* histograms with equal
+/// dimensions: passing a `sliced` other than the one the cache was rebuilt
+/// against is the caller's bug and silently prices garbage. Keep one cache
+/// per histogram, as [`MvFitness`](crate::MvFitness) does.
+pub fn encoded_size_incremental(
+    sliced: &SlicedHistogram,
+    genes: &[Trit],
+    force_all_u: bool,
+    edit: &Range<usize>,
+    commit: bool,
+    cache: &mut EvalCache,
+) -> IncrementalOutcome {
+    let k = sliced.block_len();
+    let words = sliced.words_per_column();
+    if !cache.warm
+        || cache.shape
+            != (
+                k,
+                genes.len() / k.max(1),
+                sliced.num_distinct(),
+                words,
+                force_all_u,
+            )
+        || genes.is_empty()
+        || genes.len() % k != 0
+        || edit.end > genes.len()
+        || edit.start > edit.end
+    {
+        return IncrementalOutcome::NeedsFull;
+    }
+    let l = genes.len() / k;
+    debug_assert!(genome_matches_cache_outside(cache, genes, k, edit));
+
+    // Which MV chunks did the edit actually change? (`force_all_u` pins the
+    // last chunk to all-`U` regardless of its genes, so edits there are
+    // inert.)
+    if edit.start == edit.end {
+        return IncrementalOutcome::Size(cache.total);
+    }
+    let chunk_lo = edit.start / k;
+    let chunk_hi = (edit.end - 1) / k;
+    let mut edited: Option<(usize, u64, u64)> = None;
+    for i in chunk_lo..=chunk_hi {
+        let (spec, value) = if force_all_u && i == l - 1 {
+            (0, 0)
+        } else {
+            decode_chunk(&genes[i * k..(i + 1) * k])
+        };
+        if (spec, value) == (cache.spec[i], cache.value[i]) {
+            continue;
+        }
+        if edited.is_some() {
+            return IncrementalOutcome::NeedsFull; // two changed MVs
+        }
+        edited = Some((i, spec, value));
+    }
+    let Some((i, nspec, nvalue)) = edited else {
+        return IncrementalOutcome::Size(cache.total); // edit was inert
+    };
+
+    let nnu = (k - nspec.count_ones() as usize) as u32;
+    let old_key = covering_key(cache.nu[i] as usize, i);
+    let new_key = covering_key(nnu as usize, i);
+
+    // New match set of the edited MV: one pass over the conflict planes.
+    cache.mismatch.iter_mut().for_each(|w| *w = 0);
+    sliced.accumulate_mismatch(nspec, nvalue, &mut cache.mismatch);
+
+    cache.moves.clear();
+    cache.deltas.clear();
+    let mut uncovered = cache.uncovered;
+    let counts = sliced.counts();
+
+    // Phase 1 — steal: a block not owned by i whose owner comes *after* the
+    // edited MV's new covering rank, and which the new MV matches, moves to
+    // i (first-match covering). Blocks owned earlier are untouchable by
+    // construction: their owners did not change.
+    for w in 0..words {
+        let valid = if w == words - 1 {
+            sliced.last_word_mask()
+        } else {
+            u64::MAX
+        };
+        let mut matched = !cache.mismatch[w] & valid;
+        while matched != 0 {
+            let d = w * 64 + matched.trailing_zeros() as usize;
+            matched &= matched - 1;
+            let a = cache.owner[d];
+            if a == i as u32 {
+                continue; // currently owned by i: phase 2 decides
+            }
+            let owner_later =
+                a == NO_MV || covering_key(cache.nu[a as usize] as usize, a as usize) > new_key;
+            if owner_later {
+                cache.moves.push((d as u32, i as u32));
+                add_delta(&mut cache.deltas, i as u32, counts[d] as i64);
+                if a == NO_MV {
+                    uncovered -= 1;
+                } else {
+                    add_delta(&mut cache.deltas, a, -(counts[d] as i64));
+                }
+            }
+        }
+    }
+
+    // Phase 2 — re-flow every block the old MV owned: its new owner is the
+    // first MV in the *new* covering order that matches it. MVs before the
+    // old rank are unchanged and already failed to match (that is what made
+    // i the owner), so the scan starts right after the old rank and weaves
+    // the edited MV in at its new key.
+    if cache.freq[i] > 0 {
+        let old_rank = cache
+            .order
+            .iter()
+            .position(|&j| j as usize == i)
+            .expect("cached MV is in the covering order");
+        for (d, &owner_d) in cache.owner.iter().enumerate() {
+            if owner_d != i as u32 {
+                continue;
+            }
+            let still_matched = (cache.mismatch[d / 64] >> (d % 64)) & 1 == 0;
+            let block = sliced.block(d);
+            let (bcare, bvalue) = (block.care_plane(), block.value_plane());
+            let mut new_owner = NO_MV;
+            let mut tried_i = false;
+            for &j in &cache.order[old_rank + 1..] {
+                let j = j as usize;
+                if !tried_i && covering_key(cache.nu[j] as usize, j) > new_key {
+                    tried_i = true;
+                    if still_matched {
+                        new_owner = i as u32;
+                        break;
+                    }
+                }
+                if cache.spec[j] & bcare & (cache.value[j] ^ bvalue) == 0 {
+                    new_owner = j as u32;
+                    break;
+                }
+            }
+            if !tried_i && new_owner == NO_MV && still_matched {
+                new_owner = i as u32; // new rank is past every remaining MV
+            }
+            if new_owner == i as u32 {
+                continue; // stays put
+            }
+            cache.moves.push((d as u32, new_owner));
+            add_delta(&mut cache.deltas, i as u32, -(counts[d] as i64));
+            if new_owner == NO_MV {
+                uncovered += 1;
+            } else {
+                add_delta(&mut cache.deltas, new_owner, counts[d] as i64);
+            }
+        }
+    }
+
+    // Re-price: fill bits and Huffman cost from the frequency deltas.
+    // fill' − fill = Σ_j Δ_j·N_U'(j) + freq(i)·(N_U'(i) − N_U(i)).
+    let mut fill = cache.fill_bits as i64;
+    fill += cache.freq[i] as i64 * (nnu as i64 - cache.nu[i] as i64);
+    cache.changes.clear();
+    for &(j, delta) in &cache.deltas {
+        if delta == 0 {
+            continue;
+        }
+        let j = j as usize;
+        let old = cache.freq[j];
+        let new = (old as i64 + delta) as u64;
+        let nu_after = if j == i { nnu } else { cache.nu[j] };
+        fill += delta * nu_after as i64;
+        cache.changes.push((old, new));
+    }
+    let huffman_bits =
+        huffman_weighted_length_delta(&cache.huffman, &cache.changes, &mut cache.huff_scratch);
+    let total = if uncovered == 0 {
+        Some(fill as u64 + huffman_bits)
+    } else {
+        None
+    };
+
+    if commit {
+        cache.spec[i] = nspec;
+        cache.value[i] = nvalue;
+        cache.nu[i] = nnu;
+        if new_key != old_key {
+            let old_rank = cache
+                .order
+                .iter()
+                .position(|&j| j as usize == i)
+                .expect("cached MV is in the covering order");
+            cache.order.remove(old_rank);
+            let nu = &cache.nu;
+            let at = cache
+                .order
+                .partition_point(|&j| covering_key(nu[j as usize] as usize, j as usize) < new_key);
+            cache.order.insert(at, i as u32);
+        }
+        for &(d, to) in &cache.moves {
+            cache.owner[d as usize] = to;
+        }
+        for &(j, delta) in &cache.deltas {
+            let slot = &mut cache.freq[j as usize];
+            *slot = (*slot as i64 + delta) as u64;
+        }
+        cache.fill_bits = fill as u64;
+        cache.uncovered = uncovered;
+        cache.huffman.adopt_leaves_from(&mut cache.huff_scratch);
+        cache.total = total;
+    }
+    IncrementalOutcome::Size(total)
+}
+
+/// Accumulates a frequency delta for one MV (tiny linear-probed list — a
+/// single edit touches a handful of MVs).
+#[inline]
+fn add_delta(deltas: &mut Vec<(u32, i64)>, j: u32, delta: i64) {
+    if let Some(entry) = deltas.iter_mut().find(|(jj, _)| *jj == j) {
+        entry.1 += delta;
+    } else {
+        deltas.push((j, delta));
+    }
+}
+
+/// Debug-build check of the lineage contract: outside the edited chunks the
+/// genome must decode to exactly the cached planes. A caller handing a
+/// genome with undeclared differences would silently get the wrong fitness;
+/// this makes it loud where tests run.
+#[cfg(debug_assertions)]
+fn genome_matches_cache_outside(
+    cache: &EvalCache,
+    genes: &[Trit],
+    k: usize,
+    edit: &Range<usize>,
+) -> bool {
+    let force_all_u = cache.shape.4;
+    let l = genes.len() / k;
+    let chunk_lo = edit.start / k;
+    let chunk_hi = if edit.is_empty() {
+        chunk_lo
+    } else {
+        (edit.end - 1) / k
+    };
+    for i in 0..l {
+        if !edit.is_empty() && (chunk_lo..=chunk_hi).contains(&i) {
+            continue;
+        }
+        let decoded = if force_all_u && i == l - 1 {
+            (0, 0)
+        } else {
+            decode_chunk(&genes[i * k..(i + 1) * k])
+        };
+        if decoded != (cache.spec[i], cache.value[i]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Release builds compile the `debug_assert!` call away to a constant, so
+/// the contract check costs nothing on the hot path.
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+fn genome_matches_cache_outside(
+    _cache: &EvalCache,
+    _genes: &[Trit],
+    _k: usize,
+    _edit: &Range<usize>,
+) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{encoded_size_scratch, EvalScratch};
+    use evotc_bits::{BlockHistogram, TestSet, TestSetString};
+
+    fn fixtures(rows: &[&str], k: usize) -> SlicedHistogram {
+        let set = TestSet::parse(rows).unwrap();
+        let hist = BlockHistogram::from_string(&TestSetString::new(&set, k));
+        SlicedHistogram::from_histogram(&hist)
+    }
+
+    fn genes(s: &str) -> Vec<Trit> {
+        evotc_bits::parse_trits(&s.replace(' ', "")).unwrap()
+    }
+
+    /// Applies every single-gene edit to `parent` and checks the incremental
+    /// price (probe and commit) against the full kernel.
+    fn exhaustive_single_gene_edits(sliced: &SlicedHistogram, parent: &[Trit], force: bool) {
+        let mut scratch = EvalScratch::new();
+        for pos in 0..parent.len() {
+            for g in 0..3u8 {
+                let mut cache = EvalCache::new();
+                encoded_size_rebuild(sliced, parent, force, &mut cache);
+                let mut child = parent.to_vec();
+                child[pos] = Trit::from_index(g);
+                let expect = encoded_size_scratch(sliced, &child, force, &mut scratch);
+                for commit in [false, true] {
+                    let got = encoded_size_incremental(
+                        sliced,
+                        &child,
+                        force,
+                        &(pos..pos + 1),
+                        commit,
+                        &mut cache,
+                    );
+                    assert_eq!(
+                        got,
+                        IncrementalOutcome::Size(expect),
+                        "pos {pos} gene {g} commit {commit} parent {parent:?}"
+                    );
+                }
+                // After the commit the cache prices the child as its own.
+                assert_eq!(cache.encoded_size(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn single_gene_edits_match_full_kernel() {
+        let sliced = fixtures(
+            &["110100XX", "110000XX", "11010000", "110X00XX", "11010011"],
+            8,
+        );
+        for parent in [
+            genes("110U00UU 00000000 UUUUUUUU"),
+            genes("11010000 110000UU UUUUUUUU"),
+            genes("110U00UU 110U00UU UUUUUUUU"), // duplicate MVs
+        ] {
+            exhaustive_single_gene_edits(&sliced, &parent, false);
+            exhaustive_single_gene_edits(&sliced, &parent, true);
+        }
+    }
+
+    #[test]
+    fn feasibility_flips_are_incremental() {
+        let sliced = fixtures(&["1111", "0000"], 4);
+        // Parent cannot cover 0000; flipping gene 4 to U widens the second
+        // MV until it can.
+        let parent = genes("1111 1110");
+        exhaustive_single_gene_edits(&sliced, &parent, false);
+        let mut cache = EvalCache::new();
+        assert_eq!(
+            encoded_size_rebuild(&sliced, &parent, false, &mut cache),
+            None
+        );
+        let mut child = parent.clone();
+        child[4] = Trit::X;
+        child[5] = Trit::X;
+        child[6] = Trit::X;
+        child[7] = Trit::X;
+        // A 4-gene edit inside one chunk: still a single-MV patch.
+        let got = encoded_size_incremental(&sliced, &child, false, &(4..8), true, &mut cache);
+        let expect = encoded_size_scratch(&sliced, &child, false, &mut EvalScratch::new());
+        assert!(expect.is_some());
+        assert_eq!(got, IncrementalOutcome::Size(expect));
+        // ...and back to infeasible.
+        let got = encoded_size_incremental(&sliced, &parent, false, &(4..8), true, &mut cache);
+        assert_eq!(got, IncrementalOutcome::Size(None));
+    }
+
+    #[test]
+    fn probes_leave_the_parent_cache_intact() {
+        let sliced = fixtures(&["110100XX", "110000XX", "11010000"], 8);
+        let parent = genes("110U00UU 11010000 UUUUUUUU");
+        let mut cache = EvalCache::new();
+        let parent_size = encoded_size_rebuild(&sliced, &parent, false, &mut cache);
+        let mut scratch = EvalScratch::new();
+        // Probe many children off the same cache; each must match the full
+        // kernel, and the parent must still price correctly afterwards.
+        for pos in 0..parent.len() {
+            let mut child = parent.clone();
+            child[pos] = Trit::from_index((pos % 3) as u8);
+            let expect = encoded_size_scratch(&sliced, &child, false, &mut scratch);
+            let got = encoded_size_incremental(
+                &sliced,
+                &child,
+                false,
+                &(pos..pos + 1),
+                false,
+                &mut cache,
+            );
+            assert_eq!(got, IncrementalOutcome::Size(expect), "pos {pos}");
+        }
+        assert_eq!(cache.encoded_size(), parent_size);
+        let again = encoded_size_incremental(&sliced, &parent, false, &(0..0), false, &mut cache);
+        assert_eq!(again, IncrementalOutcome::Size(parent_size));
+    }
+
+    #[test]
+    fn cold_cache_and_shape_mismatches_need_full() {
+        let sliced = fixtures(&["1010", "0101"], 4);
+        let g = genes("1010 UUUU");
+        let mut cache = EvalCache::new();
+        assert_eq!(
+            encoded_size_incremental(&sliced, &g, false, &(0..1), false, &mut cache),
+            IncrementalOutcome::NeedsFull
+        );
+        encoded_size_rebuild(&sliced, &g, false, &mut cache);
+        // Different genome length.
+        let longer = genes("1010 UUUU 1111");
+        assert_eq!(
+            encoded_size_incremental(&sliced, &longer, false, &(8..9), false, &mut cache),
+            IncrementalOutcome::NeedsFull
+        );
+        // Different force flag.
+        assert_eq!(
+            encoded_size_incremental(&sliced, &g, true, &(0..1), false, &mut cache),
+            IncrementalOutcome::NeedsFull
+        );
+        // Edit spanning two chunks that both changed.
+        let mut two = g.clone();
+        two[3] = Trit::X;
+        two[4] = Trit::One;
+        assert_eq!(
+            encoded_size_incremental(&sliced, &two, false, &(3..5), false, &mut cache),
+            IncrementalOutcome::NeedsFull
+        );
+    }
+
+    #[test]
+    fn force_all_u_makes_last_chunk_edits_inert() {
+        let sliced = fixtures(&["10101010", "01010101"], 8);
+        let parent = genes("10101010 00000000");
+        let mut cache = EvalCache::new();
+        let size = encoded_size_rebuild(&sliced, &parent, true, &mut cache);
+        let mut child = parent.clone();
+        child[12] = Trit::One; // inside the forced all-U chunk
+        let got = encoded_size_incremental(&sliced, &child, true, &(12..13), false, &mut cache);
+        assert_eq!(got, IncrementalOutcome::Size(size));
+    }
+
+    #[test]
+    fn rebuild_matches_scratch_kernel() {
+        let sliced = fixtures(
+            &["110100XX", "110000XX", "11010000", "110X00XX", "11010011"],
+            8,
+        );
+        let mut scratch = EvalScratch::new();
+        let mut cache = EvalCache::new();
+        for g in [
+            genes("110U00UU 00000000 UUUUUUUU"),
+            genes("11010000 110000UU UUUUUUUU"),
+            genes("UUUUUUUU UUUUUUUU UUUUUUUU"),
+            genes("11111111 00000000 11110000"),
+        ] {
+            for force in [false, true] {
+                assert_eq!(
+                    encoded_size_rebuild(&sliced, &g, force, &mut cache),
+                    encoded_size_scratch(&sliced, &g, force, &mut scratch),
+                    "genome {g:?} force {force}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a positive multiple")]
+    fn rebuild_rejects_ragged_genomes() {
+        let sliced = fixtures(&["1111"], 4);
+        let _ = encoded_size_rebuild(&sliced, &genes("111"), false, &mut EvalCache::new());
+    }
+}

@@ -244,8 +244,18 @@ pub fn encoded_size_scratch(
 /// Returns `true` if `(spec, value)` is already in the table; inserts it
 /// otherwise. Linear probing over a power-of-two table at most half full,
 /// with occupancy in a separate bitmask so the table resets with one memset.
+///
+/// The sizing contract is enforced, not assumed: a non-power-of-two table
+/// would probe a wrong (aliased) slot sequence, and a full table of
+/// non-matching entries would loop forever — both fail loudly instead
+/// (`debug_assert!` and a guaranteed-free-slot guard respectively).
 #[inline]
 fn probe_seen(spec: u64, value: u64, seen: &mut [(u64, u64)], used: &mut [u64]) -> bool {
+    debug_assert!(
+        seen.len().is_power_of_two(),
+        "probe table length {} is not a power of two",
+        seen.len()
+    );
     let mask = seen.len() - 1;
     // Cheap two-word mix (SplitMix64-style odd constants); collisions only
     // cost probes, never correctness — slots are compared exactly.
@@ -254,7 +264,7 @@ fn probe_seen(spec: u64, value: u64, seen: &mut [(u64, u64)], used: &mut [u64]) 
         .wrapping_add(value.wrapping_mul(0xBF58_476D_1CE4_E5B9))
         >> 32) as usize
         & mask;
-    loop {
+    for _ in 0..seen.len() {
         if used[h / 64] >> (h % 64) & 1 == 0 {
             used[h / 64] |= 1 << (h % 64);
             seen[h] = (spec, value);
@@ -265,6 +275,11 @@ fn probe_seen(spec: u64, value: u64, seen: &mut [(u64, u64)], used: &mut [u64]) 
         }
         h = (h + 1) & mask;
     }
+    panic!(
+        "probe table has no free slot for a fresh pair (len {}): \
+         the at-most-half-full sizing contract was violated",
+        seen.len()
+    );
 }
 
 #[cfg(test)]
@@ -381,5 +396,27 @@ mod tests {
     fn rejects_ragged_genomes() {
         let (_, sliced) = fixtures(&["1111"], 4);
         let _ = encoded_size_scratch(&sliced, &genes("111"), false, &mut EvalScratch::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "no free slot")]
+    fn undersized_probe_table_fails_loudly_instead_of_hanging() {
+        // A 2-slot table fed 3 distinct pairs must not spin forever hunting
+        // for a free slot that does not exist.
+        let mut seen = vec![(0u64, 0u64); 2];
+        let mut used = vec![0u64; 1];
+        for pair in 1..=3u64 {
+            let fresh = !probe_seen(pair, pair, &mut seen, &mut used);
+            assert!(fresh, "pair {pair} was never inserted before");
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a power of two")]
+    fn non_power_of_two_probe_table_is_rejected_in_debug() {
+        let mut seen = vec![(0u64, 0u64); 3];
+        let mut used = vec![0u64; 1];
+        let _ = probe_seen(1, 1, &mut seen, &mut used);
     }
 }

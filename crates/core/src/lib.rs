@@ -54,6 +54,7 @@ mod covering;
 mod ea_opt;
 mod encoding;
 mod error;
+mod incremental;
 mod kernel;
 pub mod multiscan;
 mod mv;
@@ -66,6 +67,9 @@ pub use covering::Covering;
 pub use ea_opt::{EaCompressor, EaCompressorBuilder, EaRunSummary, MvFitness};
 pub use encoding::{encode_with_code, encode_with_mvs, encoded_size};
 pub use error::CompressError;
+pub use incremental::{
+    encoded_size_incremental, encoded_size_rebuild, EvalCache, IncrementalOutcome,
+};
 pub use kernel::{encoded_size_scratch, EvalScratch};
 pub use mv::{MatchingVector, ParseMvError};
 pub use mvset::{covering_key, MvSet};

@@ -72,7 +72,7 @@ pub fn split_into_chains(set: &TestSet, m: usize) -> Vec<TestSet> {
     for pattern in set.iter() {
         let mut slices: Vec<Vec<evotc_bits::Trit>> = vec![Vec::new(); m];
         for j in 0..set.width() {
-            slices[j % m].push(pattern.trit(j));
+            slices[j % m].push(pattern.try_trit(j).expect("j < width by loop bound"));
         }
         for (chain, trits) in chains.iter_mut().zip(slices) {
             chain

@@ -105,12 +105,29 @@ impl MatchingVector {
         self.value
     }
 
+    /// Reads position `j`, or `None` for out-of-range positions; `Trit::X`
+    /// denotes `U`.
+    ///
+    /// The checked counterpart of [`MatchingVector::trit`], whose
+    /// release-mode fallback silently reads `U` past the length. Prefer
+    /// `try_trit` (usually with `.expect(...)`) everywhere outside the
+    /// fitness/encoding hot paths.
+    #[inline]
+    pub fn try_trit(&self, j: usize) -> Option<Trit> {
+        if j < self.len() {
+            Some(self.trit(j))
+        } else {
+            None
+        }
+    }
+
     /// Reads position `j` (0 = leftmost); `Trit::X` denotes `U`.
     ///
     /// # Panics
     ///
     /// Panics in debug builds if `j >= self.len()`; release builds take a
-    /// safe fallback and return [`Trit::X`].
+    /// safe fallback and return [`Trit::X`]. Callers off the fitness hot
+    /// path should use [`MatchingVector::try_trit`] instead.
     #[inline]
     pub fn trit(&self, j: usize) -> Trit {
         debug_assert!(j < self.len(), "position {j} out of range {}", self.len);
@@ -245,7 +262,8 @@ impl fmt::Display for MatchingVector {
     /// Renders with the paper's `U` spelling, e.g. `110U00`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for j in 0..self.len() {
-            write!(f, "{}", self.trit(j).to_char_mv())?;
+            let t = self.try_trit(j).expect("j < len by loop bound");
+            write!(f, "{}", t.to_char_mv())?;
         }
         Ok(())
     }
@@ -400,6 +418,15 @@ mod tests {
             out.push(InputBlock::from_trits(&trits).unwrap());
         }
         out
+    }
+
+    #[test]
+    fn try_trit_is_checked() {
+        let v = mv("1U0");
+        assert_eq!(v.try_trit(0), Some(Trit::One));
+        assert_eq!(v.try_trit(1), Some(Trit::X));
+        assert_eq!(v.try_trit(2), Some(Trit::Zero));
+        assert_eq!(v.try_trit(3), None);
     }
 
     #[test]

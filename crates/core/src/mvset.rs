@@ -122,7 +122,7 @@ impl MvSet {
     pub fn to_genes(&self) -> Vec<Trit> {
         self.vectors
             .iter()
-            .flat_map(|v| (0..self.k).map(move |j| v.trit(j)))
+            .flat_map(|v| (0..self.k).map(move |j| v.try_trit(j).expect("j < K invariant")))
             .collect()
     }
 

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::EaConfig;
-use crate::fitness::FitnessEval;
+use crate::fitness::{FitnessEval, Lineage};
 use crate::operators;
 use crate::parallel;
 use crate::stats::GenerationStats;
@@ -128,11 +128,13 @@ where
         let mut evaluations: u64 = 0;
 
         // Reusable buffers: `scores` is refilled by every batch evaluation,
-        // `children` holds one generation's genomes, and `pool` recycles the
-        // gene `Vec`s of discarded individuals so steady-state generations
-        // allocate nothing.
+        // `children` holds one generation's genomes with their provenance in
+        // `lineages`, and `pool` recycles the gene `Vec`s of discarded
+        // individuals so steady-state generations allocate almost nothing
+        // (only the per-generation parent-slice view below).
         let mut scores: Vec<f64> = Vec::new();
         let mut children: Vec<Vec<G>> = Vec::with_capacity(c + 1);
+        let mut lineages: Vec<Option<Lineage>> = Vec::with_capacity(c + 1);
         let mut pool: Vec<Vec<G>> = Vec::new();
 
         // Initial population: seeds first, then random individuals. Genomes
@@ -181,6 +183,7 @@ where
         {
             generation += 1;
             children.clear();
+            lineages.clear();
             while children.len() < c {
                 let roll: f64 = rng.gen();
                 let pa = rng.gen_range(0..s);
@@ -188,16 +191,26 @@ where
                     let pb = rng.gen_range(0..s);
                     let mut x = pool.pop().unwrap_or_default();
                     let mut y = pool.pop().unwrap_or_default();
-                    operators::crossover_into(
+                    let window = operators::crossover_into(
                         &population[pa].genes,
                         &population[pb].genes,
                         &mut rng,
                         &mut x,
                         &mut y,
                     );
+                    // Outside the swapped window each child equals the
+                    // parent it was copied from.
                     children.push(x);
+                    lineages.push(Some(Lineage {
+                        parent_idx: pa,
+                        edit: window.clone(),
+                    }));
                     if children.len() < c {
                         children.push(y);
+                        lineages.push(Some(Lineage {
+                            parent_idx: pb,
+                            edit: window,
+                        }));
                     } else {
                         pool.push(y);
                     }
@@ -205,31 +218,53 @@ where
                     < self.config.crossover_probability + self.config.mutation_probability
                 {
                     let mut child = pool.pop().unwrap_or_default();
-                    operators::mutate_into(
+                    let edit = operators::mutate_into(
                         &population[pa].genes,
                         &mut rng,
                         |r| (self.sample_gene)(r),
                         &mut child,
                     );
                     children.push(child);
+                    lineages.push(Some(Lineage {
+                        parent_idx: pa,
+                        edit,
+                    }));
                 } else if roll
                     < self.config.crossover_probability
                         + self.config.mutation_probability
                         + self.config.inversion_probability
                 {
                     let mut child = pool.pop().unwrap_or_default();
-                    operators::invert_into(&population[pa].genes, &mut rng, &mut child);
+                    let edit = operators::invert_into(&population[pa].genes, &mut rng, &mut child);
                     children.push(child);
+                    lineages.push(Some(Lineage {
+                        parent_idx: pa,
+                        edit,
+                    }));
                 } else {
-                    // Reproduction: copy a parent unchanged.
+                    // Reproduction: copy a parent unchanged. The empty edit
+                    // range tells the evaluator it is an exact copy.
                     let mut child = pool.pop().unwrap_or_default();
                     child.clear();
                     child.extend_from_slice(&population[pa].genes);
                     children.push(child);
+                    lineages.push(Some(Lineage {
+                        parent_idx: pa,
+                        edit: 0..0,
+                    }));
                 }
             }
             evaluations += children.len() as u64;
-            parallel::evaluate_into(&self.fitness, &children, threads, &mut scores);
+            let parent_genes: Vec<&[G]> = population.iter().map(|i| i.genes.as_slice()).collect();
+            parallel::evaluate_lineage_into(
+                &self.fitness,
+                &children,
+                &lineages,
+                &parent_genes,
+                threads,
+                &mut scores,
+            );
+            drop(parent_genes);
             population.extend(
                 children
                     .drain(..)
@@ -374,6 +409,49 @@ mod tests {
         let via_closure = run_one_max(7);
         assert_eq!(via_trait.best_genome, via_closure.best_genome);
         assert_eq!(via_trait.evaluations, via_closure.evaluations);
+    }
+
+    #[test]
+    fn lineage_names_a_parent_matching_outside_the_edit() {
+        // An evaluator that enforces the provenance contract on every child:
+        // the named parent exists and agrees with the child outside the edit
+        // window. Scoring stays one-max, so the run must reproduce the
+        // closure path's trajectory exactly.
+        struct Checking;
+        impl FitnessEval<bool> for Checking {
+            fn evaluate(&self, genes: &[bool]) -> f64 {
+                genes.iter().filter(|&&g| g).count() as f64
+            }
+            fn evaluate_batch_with_lineage(
+                &self,
+                genomes: &[Vec<bool>],
+                lineage: &[Option<Lineage>],
+                parents: &[&[bool]],
+                out: &mut [f64],
+            ) {
+                for ((genes, lin), slot) in genomes.iter().zip(lineage).zip(out.iter_mut()) {
+                    let lin = lin.as_ref().expect("engine children always have lineage");
+                    let parent = parents[lin.parent_idx];
+                    assert_eq!(genes.len(), parent.len(), "child/parent length");
+                    assert!(lin.edit.end <= genes.len(), "edit range out of bounds");
+                    for k in (0..genes.len()).filter(|k| !lin.edit.contains(k)) {
+                        assert_eq!(genes[k], parent[k], "child differs outside {:?}", lin.edit);
+                    }
+                    *slot = self.evaluate(genes);
+                }
+            }
+        }
+        let config = one_max_config(60, 11);
+        let checked = Ea::new(config.clone(), 24, |rng| rng.gen::<bool>(), Checking).run();
+        let plain = Ea::new(
+            config,
+            24,
+            |rng| rng.gen::<bool>(),
+            |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
+        )
+        .run();
+        assert_eq!(checked.best_genome, plain.best_genome);
+        assert_eq!(checked.evaluations, plain.evaluations);
     }
 
     #[test]

@@ -1,5 +1,31 @@
 //! Batch-oriented fitness evaluation.
 
+use crate::operators::GeneRange;
+
+/// Parent→child provenance of one genome in a batch: which parent it was
+/// derived from and which gene window the deriving operator may have edited.
+///
+/// The engine records a lineage for every child it breeds — crossover
+/// children point at the parent that contributed the genes *outside* the
+/// swapped window, mutation and inversion children at their single parent,
+/// and reproduction children carry an **empty** edit range (the child is a
+/// verbatim copy). The contract mirrors the operators' (see
+/// [`crate::operators`]): every position outside `edit` equals the parent's
+/// gene; positions inside may or may not differ.
+///
+/// Evaluators that can reuse a parent's partial results (see
+/// [`FitnessEval::evaluate_batch_with_lineage`]) use this to make a child's
+/// evaluation proportional to the edit instead of the genome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lineage {
+    /// Index of the parent in the `parents` slice handed to
+    /// [`FitnessEval::evaluate_batch_with_lineage`].
+    pub parent_idx: usize,
+    /// Gene window possibly differing from that parent (`start..end`,
+    /// half-open). Empty means the child is an exact copy.
+    pub edit: GeneRange,
+}
+
 /// Fitness of fixed-length genomes over gene type `G`; higher is better.
 ///
 /// The engine hands whole batches to [`FitnessEval::evaluate_batch`] — the
@@ -52,6 +78,32 @@ pub trait FitnessEval<G> {
             *slot = self.evaluate(genes);
         }
     }
+
+    /// Scores a batch of genomes that carry parent→child provenance:
+    /// `lineage[i]`, when present, names the parent genome in `parents` that
+    /// `genomes[i]` was derived from and the gene window the deriving
+    /// operator may have edited (see [`Lineage`]).
+    ///
+    /// The default implementation ignores the provenance and delegates to
+    /// [`FitnessEval::evaluate_batch`] — lineage is purely an optimization
+    /// hook. Overrides may reuse work done for a parent (cached coverings,
+    /// frequency vectors, …) to score a lightly edited child incrementally,
+    /// but the scores they produce must stay **bit-identical** to what the
+    /// plain batch path returns for the same genomes; lineage must never
+    /// change a result, only the work needed to reach it. Callers guarantee
+    /// `lineage.len() == genomes.len()`, `out.len() == genomes.len()`, and
+    /// that every `parent_idx` is in range of `parents`.
+    fn evaluate_batch_with_lineage(
+        &self,
+        genomes: &[Vec<G>],
+        lineage: &[Option<Lineage>],
+        parents: &[&[G]],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(genomes.len(), lineage.len(), "lineage slice length");
+        let _ = parents;
+        self.evaluate_batch(genomes, out);
+    }
 }
 
 /// Every plain fitness closure is a batch evaluator.
@@ -82,6 +134,27 @@ mod tests {
         let mut scores = vec![f64::NAN; genomes.len()];
         SumLen.evaluate_batch(&genomes, &mut scores);
         assert_eq!(scores, vec![3.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn default_lineage_hook_ignores_provenance() {
+        let genomes = vec![vec![1u8, 2], vec![1, 3]];
+        let parents: Vec<&[u8]> = vec![&[1, 2]];
+        let lineage = vec![
+            Some(Lineage {
+                parent_idx: 0,
+                edit: 0..0,
+            }),
+            Some(Lineage {
+                parent_idx: 0,
+                edit: 1..2,
+            }),
+        ];
+        let mut with = vec![f64::NAN; 2];
+        SumLen.evaluate_batch_with_lineage(&genomes, &lineage, &parents, &mut with);
+        let mut without = vec![f64::NAN; 2];
+        SumLen.evaluate_batch(&genomes, &mut without);
+        assert_eq!(with, without);
     }
 
     #[test]

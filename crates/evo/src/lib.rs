@@ -58,5 +58,6 @@ mod stats;
 
 pub use config::{EaConfig, EaConfigBuilder};
 pub use engine::{Ea, EaResult};
-pub use fitness::FitnessEval;
+pub use fitness::{FitnessEval, Lineage};
+pub use operators::GeneRange;
 pub use stats::{evals_per_sec, GenerationStats};

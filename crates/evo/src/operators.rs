@@ -9,8 +9,30 @@
 //! All operators are pure functions over gene slices, generic in the gene
 //! type, and draw randomness only from the supplied RNG — runs are fully
 //! reproducible from the seed.
+//!
+//! # Provenance
+//!
+//! The `*_into` forms return the [`GeneRange`] they may have edited: every
+//! position **outside** the returned range is guaranteed to equal the
+//! parent's gene (positions inside may or may not differ — e.g. mutation can
+//! redraw the old value). The engine records this range as
+//! [`Lineage`](crate::Lineage) so an incremental fitness evaluator can
+//! re-price only what changed.
+//!
+//! # Degenerate genomes
+//!
+//! Empty parents are well-defined **no-ops**: each operator returns an empty
+//! child (and the empty range `0..0`) without drawing from the RNG.
+//! Single-gene parents are equally well-defined — crossover and inversion
+//! can only produce windows that leave one gene in place or swap/reverse a
+//! single position, and mutation redraws the one gene. Nothing panics on
+//! either.
 
 use rand::Rng;
+
+/// Half-open range of gene positions an operator may have changed; see the
+/// [module docs](self) for the exact guarantee.
+pub type GeneRange = std::ops::Range<usize>;
 
 /// Two-point crossover: positions inside the randomly chosen window
 /// `[a, b)` are swapped between the parents, producing two children with
@@ -19,7 +41,7 @@ use rand::Rng;
 ///
 /// # Panics
 ///
-/// Panics if the parents have different lengths or are empty.
+/// Panics if the parents have different lengths.
 ///
 /// # Example
 ///
@@ -52,47 +74,54 @@ pub fn crossover<G: Copy, R: Rng + ?Sized>(
 /// allocating per child. Draws from the RNG in the same order as
 /// [`crossover`], so the two forms are interchangeable mid-run.
 ///
+/// Returns the swapped window: both children equal their respective parent
+/// outside it. Empty parents produce empty children without touching the
+/// RNG (see the [module docs](self)).
+///
 /// # Panics
 ///
-/// Panics if the parents have different lengths or are empty.
+/// Panics if the parents have different lengths.
 pub fn crossover_into<G: Copy, R: Rng + ?Sized>(
     parent_a: &[G],
     parent_b: &[G],
     rng: &mut R,
     child_a: &mut Vec<G>,
     child_b: &mut Vec<G>,
-) {
+) -> GeneRange {
     assert_eq!(parent_a.len(), parent_b.len(), "parent lengths differ");
-    assert!(!parent_a.is_empty(), "parents must not be empty");
+    child_a.clear();
+    child_a.extend_from_slice(parent_a);
+    child_b.clear();
+    child_b.extend_from_slice(parent_b);
     let n = parent_a.len();
+    if n == 0 {
+        return 0..0;
+    }
     let mut i = rng.gen_range(0..=n);
     let mut j = rng.gen_range(0..=n);
     if i > j {
         std::mem::swap(&mut i, &mut j);
     }
-    child_a.clear();
-    child_a.extend_from_slice(parent_a);
-    child_b.clear();
-    child_b.extend_from_slice(parent_b);
     for k in i..j {
         std::mem::swap(&mut child_a[k], &mut child_b[k]);
     }
+    i..j
 }
 
 /// Uniform crossover: each position is swapped independently with
 /// probability ½. Not used by the paper's defaults but provided for the
-/// operator-ablation experiments.
+/// operator-ablation experiments. Empty parents produce empty children
+/// without touching the RNG.
 ///
 /// # Panics
 ///
-/// Panics if the parents have different lengths or are empty.
+/// Panics if the parents have different lengths.
 pub fn uniform_crossover<G: Copy, R: Rng + ?Sized>(
     parent_a: &[G],
     parent_b: &[G],
     rng: &mut R,
 ) -> (Vec<G>, Vec<G>) {
     assert_eq!(parent_a.len(), parent_b.len(), "parent lengths differ");
-    assert!(!parent_a.is_empty(), "parents must not be empty");
     let mut child_a = parent_a.to_vec();
     let mut child_b = parent_b.to_vec();
     for k in 0..parent_a.len() {
@@ -108,11 +137,8 @@ pub fn uniform_crossover<G: Copy, R: Rng + ?Sized>(
 ///
 /// The fresh value may equal the old one — mutation is "replace by a random
 /// value", not "replace by a different value" — matching the paper's
-/// operator and keeping the gene distribution unbiased.
-///
-/// # Panics
-///
-/// Panics if the parent is empty.
+/// operator and keeping the gene distribution unbiased. An empty parent is a
+/// no-op (see the [module docs](self)).
 pub fn mutate<G: Copy, R: Rng + ?Sized>(
     parent: &[G],
     rng: &mut R,
@@ -126,28 +152,27 @@ pub fn mutate<G: Copy, R: Rng + ?Sized>(
 /// [`mutate`] writing the child into a reusable buffer (cleared first).
 /// Draws from the RNG in the same order as [`mutate`].
 ///
-/// # Panics
-///
-/// Panics if the parent is empty.
+/// Returns the one-gene window that was redrawn (`pos..pos + 1`), or the
+/// empty range for an empty parent — which consumes no randomness.
 pub fn mutate_into<G: Copy, R: Rng + ?Sized>(
     parent: &[G],
     rng: &mut R,
     mut sample_gene: impl FnMut(&mut R) -> G,
     child: &mut Vec<G>,
-) {
-    assert!(!parent.is_empty(), "parent must not be empty");
+) -> GeneRange {
     child.clear();
     child.extend_from_slice(parent);
+    if parent.is_empty() {
+        return 0..0;
+    }
     let pos = rng.gen_range(0..child.len());
     child[pos] = sample_gene(rng);
+    pos..pos + 1
 }
 
 /// Inversion: reverses the ordering of the genes between two random
-/// positions of a parent (paper, Section 3.1).
-///
-/// # Panics
-///
-/// Panics if the parent is empty.
+/// positions of a parent (paper, Section 3.1). An empty parent is a no-op
+/// (see the [module docs](self)).
 pub fn invert<G: Copy, R: Rng + ?Sized>(parent: &[G], rng: &mut R) -> Vec<G> {
     let mut child = Vec::new();
     invert_into(parent, rng, &mut child);
@@ -157,20 +182,31 @@ pub fn invert<G: Copy, R: Rng + ?Sized>(parent: &[G], rng: &mut R) -> Vec<G> {
 /// [`invert`] writing the child into a reusable buffer (cleared first).
 /// Draws from the RNG in the same order as [`invert`].
 ///
-/// # Panics
-///
-/// Panics if the parent is empty.
-pub fn invert_into<G: Copy, R: Rng + ?Sized>(parent: &[G], rng: &mut R, child: &mut Vec<G>) {
-    assert!(!parent.is_empty(), "parent must not be empty");
+/// Returns the reversed window, collapsed to an empty range when the window
+/// holds fewer than two genes (reversal changes nothing then). Empty parents
+/// consume no randomness.
+pub fn invert_into<G: Copy, R: Rng + ?Sized>(
+    parent: &[G],
+    rng: &mut R,
+    child: &mut Vec<G>,
+) -> GeneRange {
+    child.clear();
+    child.extend_from_slice(parent);
     let n = parent.len();
+    if n == 0 {
+        return 0..0;
+    }
     let mut i = rng.gen_range(0..=n);
     let mut j = rng.gen_range(0..=n);
     if i > j {
         std::mem::swap(&mut i, &mut j);
     }
-    child.clear();
-    child.extend_from_slice(parent);
     child[i..j].reverse();
+    if j - i < 2 {
+        i..i
+    } else {
+        i..j
+    }
 }
 
 #[cfg(test)]
@@ -262,5 +298,91 @@ mod tests {
     #[should_panic(expected = "lengths differ")]
     fn crossover_rejects_ragged_parents() {
         let _ = crossover(&[1, 2], &[1], &mut rng(0));
+    }
+
+    #[test]
+    fn edit_ranges_bound_every_difference() {
+        let a = [1, 2, 3, 4, 5, 6];
+        let b = [9, 8, 7, 6, 5, 4];
+        for seed in 0..100 {
+            let (mut ca, mut cb) = (Vec::new(), Vec::new());
+            let window = crossover_into(&a, &b, &mut rng(seed), &mut ca, &mut cb);
+            for k in 0..a.len() {
+                if !window.contains(&k) {
+                    assert_eq!(ca[k], a[k], "seed {seed} pos {k} outside {window:?}");
+                    assert_eq!(cb[k], b[k], "seed {seed} pos {k} outside {window:?}");
+                }
+            }
+            let mut child = Vec::new();
+            let edit = mutate_into(&a, &mut rng(seed), |r| r.gen_range(0..9), &mut child);
+            assert_eq!(edit.len(), 1);
+            for k in 0..a.len() {
+                if !edit.contains(&k) {
+                    assert_eq!(child[k], a[k]);
+                }
+            }
+            let edit = invert_into(&a, &mut rng(seed), &mut child);
+            for k in 0..a.len() {
+                if !edit.contains(&k) {
+                    assert_eq!(child[k], a[k]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_parents_are_no_ops_without_rng_draws() {
+        let empty: [u8; 0] = [];
+        let mut r = rng(5);
+        let before = r.gen::<u64>();
+        let mut r = rng(5);
+
+        let (mut ca, mut cb) = (vec![1u8], vec![2u8]);
+        assert_eq!(
+            crossover_into(&empty, &empty, &mut r, &mut ca, &mut cb),
+            0..0
+        );
+        assert!(ca.is_empty() && cb.is_empty());
+
+        let mut child = vec![3u8];
+        assert_eq!(
+            mutate_into(
+                &empty,
+                &mut r,
+                |_| unreachable!("no gene to redraw"),
+                &mut child
+            ),
+            0..0
+        );
+        assert!(child.is_empty());
+
+        assert_eq!(invert_into(&empty, &mut r, &mut child), 0..0);
+        assert!(child.is_empty());
+
+        let (ca, cb) = crossover(&empty, &empty, &mut r);
+        assert!(ca.is_empty() && cb.is_empty());
+        assert!(mutate(&empty, &mut r, |_: &mut StdRng| 0u8).is_empty());
+        assert!(invert(&empty, &mut r).is_empty());
+        let (ca, cb) = uniform_crossover(&empty, &empty, &mut r);
+        assert!(ca.is_empty() && cb.is_empty());
+
+        // None of the operators consumed randomness.
+        assert_eq!(r.gen::<u64>(), before);
+    }
+
+    #[test]
+    fn single_gene_parents_are_well_defined() {
+        for seed in 0..20 {
+            let parent = [7u8];
+            let (ca, cb) = crossover(&parent, &[9], &mut rng(seed));
+            assert!(ca == [7] && cb == [9] || ca == [9] && cb == [7]);
+            let child = mutate(&parent, &mut rng(seed), |r| r.gen_range(0..3u8));
+            assert_eq!(child.len(), 1);
+            assert_eq!(invert(&parent, &mut rng(seed)), [7]);
+            let mut buf = Vec::new();
+            // A one-gene window cannot change anything: the edit range is
+            // advertised as empty.
+            assert!(invert_into(&parent, &mut rng(seed), &mut buf).is_empty());
+        }
     }
 }

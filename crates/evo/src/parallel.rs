@@ -29,7 +29,7 @@
 //! assert_eq!(serial, threaded); // thread count never changes results
 //! ```
 
-use crate::fitness::FitnessEval;
+use crate::fitness::{FitnessEval, Lineage};
 
 /// Environment variable overriding the automatic thread count (used when a
 /// configuration asks for `threads = 0`). CI runs the test suite once
@@ -116,6 +116,51 @@ where
     }
 }
 
+/// Like [`evaluate_into`], but forwarding parent→child provenance to
+/// [`FitnessEval::evaluate_batch_with_lineage`] so lineage-aware evaluators
+/// can score lightly edited children incrementally.
+///
+/// `lineage[i]` describes how `genomes[i]` relates to `parents` (see
+/// [`Lineage`]); the lineage slice is chunked in lockstep with the genomes,
+/// while every worker sees the full `parents` slice. The determinism
+/// contract is unchanged: lineage is an optimization hint, never a semantic
+/// input, so results stay bit-identical for every thread count — and to
+/// [`evaluate_into`] itself.
+///
+/// # Panics
+///
+/// Panics if `lineage.len() != genomes.len()`.
+pub fn evaluate_lineage_into<G, E>(
+    eval: &E,
+    genomes: &[Vec<G>],
+    lineage: &[Option<Lineage>],
+    parents: &[&[G]],
+    threads: usize,
+    scores: &mut Vec<f64>,
+) where
+    G: Sync,
+    E: FitnessEval<G> + Sync,
+{
+    assert_eq!(genomes.len(), lineage.len(), "lineage slice length");
+    scores.clear();
+    scores.resize(genomes.len(), f64::NAN);
+    let workers = threads.max(1).min(genomes.len());
+    if workers <= 1 {
+        eval.evaluate_batch_with_lineage(genomes, lineage, parents, scores);
+    } else {
+        let chunk = genomes.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for ((slot, batch), lin) in scores
+                .chunks_mut(chunk)
+                .zip(genomes.chunks(chunk))
+                .zip(lineage.chunks(chunk))
+            {
+                scope.spawn(move || eval.evaluate_batch_with_lineage(batch, lin, parents, slot));
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +221,34 @@ mod tests {
         // Growing again after a smaller batch also works.
         evaluate_into(&one_max, &genomes(9), 3, &mut scores);
         assert_eq!(scores.len(), 9);
+    }
+
+    #[test]
+    fn lineage_evaluation_matches_plain_for_every_thread_count() {
+        let g = genomes(17);
+        let parents = genomes(3);
+        let parent_refs: Vec<&[bool]> = parents.iter().map(Vec::as_slice).collect();
+        let lineage: Vec<Option<Lineage>> = (0..g.len())
+            .map(|i| {
+                (i % 3 != 0).then(|| Lineage {
+                    parent_idx: i % parents.len(),
+                    edit: 0..i % 5,
+                })
+            })
+            .collect();
+        let plain = evaluate(&one_max, &g, 1);
+        let mut scores = Vec::new();
+        for threads in [1, 2, 4, 100] {
+            evaluate_lineage_into(&one_max, &g, &lineage, &parent_refs, threads, &mut scores);
+            assert_eq!(scores, plain, "t={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lineage slice length")]
+    fn lineage_length_mismatch_is_rejected() {
+        let mut scores = Vec::new();
+        evaluate_lineage_into(&one_max, &genomes(2), &[], &[], 1, &mut scores);
     }
 
     #[test]

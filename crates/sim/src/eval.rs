@@ -39,7 +39,7 @@ pub fn simulate_with_forced(
     );
     let mut values = vec![Trit::X; netlist.num_nodes()];
     for (j, &input) in netlist.inputs().iter().enumerate() {
-        values[input.index()] = pattern.trit(j);
+        values[input.index()] = pattern.try_trit(j).expect("width matches input count");
     }
     let mut fanin_buf: Vec<Trit> = Vec::with_capacity(8);
     for id in netlist.node_ids() {

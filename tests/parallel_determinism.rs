@@ -7,9 +7,9 @@
 //! and `EVOTC_TEST_THREADS=1`) so every other test enforces the same
 //! contract implicitly.
 
-use evotc::bits::TestSet;
-use evotc::core::EaCompressor;
-use evotc::evo::{parallel, Ea, EaConfig, EaResult};
+use evotc::bits::{BlockHistogram, TestSet, TestSetString, Trit};
+use evotc::core::{EaCompressor, MvFitness};
+use evotc::evo::{parallel, Ea, EaConfig, EaResult, FitnessEval};
 use evotc::workloads::synth::{generate, SyntheticSpec};
 use rand::Rng;
 
@@ -111,6 +111,67 @@ fn compressor_results_are_byte_identical_across_thread_counts() {
         );
         assert_eq!(summary.generations, ref_summary.generations);
         assert_eq!(summary.evaluations, ref_summary.evaluations);
+    }
+}
+
+#[test]
+fn lineage_cache_never_changes_the_ea_trajectory() {
+    // `MvFitness` wrapped so the lineage hook falls back to the plain batch
+    // path: running the engine with and without incremental evaluation must
+    // produce byte-identical results, at every thread count. The cache is a
+    // work-saving device, never a semantic one.
+    struct NoLineage<'a>(MvFitness<'a>);
+    impl FitnessEval<Trit> for NoLineage<'_> {
+        fn evaluate(&self, genes: &[Trit]) -> f64 {
+            self.0.evaluate(genes)
+        }
+        fn evaluate_batch(&self, genomes: &[Vec<Trit>], out: &mut [f64]) {
+            self.0.evaluate_batch(genomes, out);
+        }
+        // No `evaluate_batch_with_lineage` override: the trait default
+        // ignores provenance and delegates to `evaluate_batch`.
+    }
+
+    let set = workload();
+    let string = TestSetString::try_new(&set, 12).expect("K=12 fits the workload");
+    let histogram = BlockHistogram::from_string(&string);
+    let bits = string.payload_bits() as f64;
+    let config = |threads: usize| {
+        EaConfig::builder()
+            .population_size(10)
+            .children_per_generation(6)
+            .stagnation_limit(20)
+            .max_evaluations(600)
+            .seed(9)
+            .threads(threads)
+            .build()
+    };
+    let sample = |rng: &mut rand::rngs::StdRng| Trit::from_index(rng.gen_range(0..3u8));
+    let reference = Ea::new(
+        config(1),
+        12 * 16,
+        sample,
+        NoLineage(MvFitness::new(12, true, &histogram, bits)),
+    )
+    .run();
+    for threads in THREAD_COUNTS {
+        let incremental = Ea::new(
+            config(threads),
+            12 * 16,
+            sample,
+            MvFitness::new(12, true, &histogram, bits),
+        )
+        .run();
+        assert_eq!(
+            incremental.best_genome, reference.best_genome,
+            "t={threads}"
+        );
+        assert_eq!(
+            incremental.best_fitness.to_bits(),
+            reference.best_fitness.to_bits()
+        );
+        assert_eq!(incremental.generations, reference.generations);
+        assert_eq!(incremental.evaluations, reference.evaluations);
     }
 }
 

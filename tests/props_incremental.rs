@@ -1,0 +1,231 @@
+//! Property tests pinning the incremental fitness path to the full kernel:
+//! an arbitrary chain of single-gene mutations, evaluated incrementally
+//! against the evolving [`EvalCache`], must produce the **bit-identical**
+//! encoded size / fitness that `encoded_size_scratch` computes from scratch
+//! at every step — including edits that flip feasibility (covering
+//! becomes/ceases to be possible) and edits that create or remove duplicate
+//! MVs.
+
+use evotc::bits::{BlockHistogram, SlicedHistogram, TestPattern, TestSet, TestSetString, Trit};
+use evotc::core::{
+    encoded_size_incremental, encoded_size_rebuild, encoded_size_scratch, EvalCache, EvalScratch,
+    IncrementalOutcome, MvFitness,
+};
+use evotc::evo::{FitnessEval, Lineage};
+use proptest::prelude::*;
+
+fn arb_trits(len: usize) -> impl Strategy<Value = Vec<Trit>> {
+    proptest::collection::vec((0u8..3).prop_map(Trit::from_index), len..=len)
+}
+
+/// Specified-heavy rows: mostly 0/1, so small MV sets flip between feasible
+/// and infeasible as genes mutate (no all-`U` safety net).
+fn arb_dense_rows(width: usize) -> impl Strategy<Value = Vec<Vec<Trit>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<bool>(), width..=width)
+            .prop_map(|bs| bs.into_iter().map(Trit::from_bool).collect::<Vec<_>>()),
+        1..8,
+    )
+}
+
+/// A mutation chain: `(gene position, new gene)` pairs applied in order.
+fn arb_chain(genome_len: usize, steps: usize) -> impl Strategy<Value = Vec<(usize, Trit)>> {
+    proptest::collection::vec(
+        (0..genome_len, (0u8..3).prop_map(Trit::from_index)),
+        1..=steps,
+    )
+}
+
+fn histogram_for(rows: &[Vec<Trit>], k: usize) -> (BlockHistogram, f64) {
+    let patterns: TestSet = rows.iter().map(|t| TestPattern::from_trits(t)).collect();
+    let string = TestSetString::new(&patterns, k);
+    let hist = BlockHistogram::from_string(&string);
+    let bits = string.payload_bits() as f64;
+    (hist, bits)
+}
+
+/// Runs one chain through the committing incremental path and checks every
+/// step against the full kernel. Returns how many steps were feasible /
+/// infeasible so callers can sanity-check coverage.
+fn check_chain(
+    sliced: &SlicedHistogram,
+    genome: &mut [Trit],
+    chain: &[(usize, Trit)],
+    force_all_u: bool,
+) -> (usize, usize) {
+    let mut cache = EvalCache::new();
+    let mut scratch = EvalScratch::new();
+    let built = encoded_size_rebuild(sliced, genome, force_all_u, &mut cache);
+    assert_eq!(
+        built,
+        encoded_size_scratch(sliced, genome, force_all_u, &mut scratch),
+        "rebuild diverged on the chain's start genome"
+    );
+    let (mut feasible, mut infeasible) = (0, 0);
+    for &(pos, gene) in chain {
+        genome[pos] = gene;
+        let incremental = match encoded_size_incremental(
+            sliced,
+            genome,
+            force_all_u,
+            &(pos..pos + 1),
+            true,
+            &mut cache,
+        ) {
+            IncrementalOutcome::Size(size) => size,
+            IncrementalOutcome::NeedsFull => {
+                panic!("single-gene edit at {pos} unexpectedly needs the full kernel")
+            }
+        };
+        let full = encoded_size_scratch(sliced, genome, force_all_u, &mut scratch);
+        assert_eq!(incremental, full, "chain step at {pos} -> {gene:?}");
+        match full {
+            Some(_) => feasible += 1,
+            None => infeasible += 1,
+        }
+    }
+    (feasible, infeasible)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mutation chains over X-rich rows for paper-adjacent shapes, with and
+    /// without the forced all-`U` vector, committing each step.
+    #[test]
+    fn mutation_chains_match_full_kernel(
+        rows in proptest::collection::vec(arb_trits(12), 1..8),
+        start in arb_trits(48),
+        chain in arb_chain(48, 24),
+    ) {
+        for &(k, l) in &[(4usize, 12usize), (6, 8), (12, 4)] {
+            let (hist, _) = histogram_for(&rows, k);
+            let sliced = SlicedHistogram::from_histogram(&hist);
+            for force in [false, true] {
+                let mut genome = start[..k * l].to_vec();
+                check_chain(&sliced, &mut genome, &chain, force);
+            }
+        }
+    }
+
+    /// Chains over dense rows with tiny MV budgets: feasibility flips both
+    /// ways along the chain, and the incremental path must track it.
+    #[test]
+    fn feasibility_flipping_chains_match_full_kernel(
+        rows in arb_dense_rows(8),
+        start in arb_trits(8),
+        chain in arb_chain(8, 32),
+    ) {
+        let (hist, _) = histogram_for(&rows, 4);
+        let sliced = SlicedHistogram::from_histogram(&hist);
+        let mut genome = start.clone();
+        check_chain(&sliced, &mut genome, &chain, false);
+    }
+
+    /// Chains seeded with deliberate duplicate MVs (every chunk identical):
+    /// mutations break duplicates apart and re-create them; the sequential
+    /// first-match rule must price both transitions exactly.
+    #[test]
+    fn duplicate_mv_chains_match_full_kernel(
+        rows in proptest::collection::vec(arb_trits(12), 1..6),
+        chunk in arb_trits(6),
+        chain in arb_chain(24, 24),
+    ) {
+        let (hist, _) = histogram_for(&rows, 6);
+        let sliced = SlicedHistogram::from_histogram(&hist);
+        let mut genome: Vec<Trit> = std::iter::repeat(chunk.iter().copied())
+            .take(4)
+            .flatten()
+            .collect();
+        check_chain(&sliced, &mut genome, &chain, false);
+    }
+
+    /// The read-only probe path: many children priced against one parent
+    /// cache must match the full kernel, and the cache must still price the
+    /// parent afterwards. This is exactly how the engine's
+    /// `evaluate_batch_with_lineage` uses the cache.
+    #[test]
+    fn sibling_probes_match_full_kernel_and_preserve_the_parent(
+        rows in proptest::collection::vec(arb_trits(12), 1..8),
+        parent in arb_trits(24),
+        edits in arb_chain(24, 16),
+    ) {
+        let (hist, _) = histogram_for(&rows, 6);
+        let sliced = SlicedHistogram::from_histogram(&hist);
+        let mut cache = EvalCache::new();
+        let mut scratch = EvalScratch::new();
+        let parent_size = encoded_size_rebuild(&sliced, &parent, false, &mut cache);
+        for &(pos, gene) in &edits {
+            let mut child = parent.clone();
+            child[pos] = gene;
+            let probe = encoded_size_incremental(&sliced, &child, false, &(pos..pos + 1), false, &mut cache);
+            let full = encoded_size_scratch(&sliced, &child, false, &mut scratch);
+            prop_assert_eq!(probe, IncrementalOutcome::Size(full));
+        }
+        // The probes left the cache on the parent.
+        prop_assert_eq!(cache.encoded_size(), parent_size);
+        let parent_again =
+            encoded_size_incremental(&sliced, &parent, false, &(0..0), false, &mut cache);
+        prop_assert_eq!(parent_again, IncrementalOutcome::Size(parent_size));
+    }
+
+    /// `MvFitness` end to end: the lineage batch path must score children
+    /// bit-identically to the plain batch path, whatever mix of provenance
+    /// (true single-gene edits, exact copies, missing lineage) it is handed.
+    #[test]
+    fn mv_fitness_lineage_batch_matches_plain_batch(
+        rows in proptest::collection::vec(arb_trits(12), 1..8),
+        parent_genomes in proptest::collection::vec(arb_trits(24), 1..4),
+        edits in arb_chain(24, 12),
+    ) {
+        let (hist, bits) = histogram_for(&rows, 6);
+        let fitness = MvFitness::new(6, true, &hist, bits);
+        let parents: Vec<&[Trit]> = parent_genomes.iter().map(Vec::as_slice).collect();
+        let mut genomes = Vec::new();
+        let mut lineage = Vec::new();
+        for (n, &(pos, gene)) in edits.iter().enumerate() {
+            let parent_idx = n % parents.len();
+            let mut child = parent_genomes[parent_idx].clone();
+            match n % 3 {
+                0 => {
+                    child[pos] = gene;
+                    lineage.push(Some(Lineage { parent_idx, edit: pos..pos + 1 }));
+                }
+                1 => lineage.push(Some(Lineage { parent_idx, edit: 0..0 })), // copy
+                _ => {
+                    child[pos] = gene;
+                    lineage.push(None); // provenance lost -> full path
+                }
+            }
+            genomes.push(child);
+        }
+        let mut with = vec![f64::NAN; genomes.len()];
+        fitness.evaluate_batch_with_lineage(&genomes, &lineage, &parents, &mut with);
+        let mut without = vec![f64::NAN; genomes.len()];
+        fitness.evaluate_batch(&genomes, &mut without);
+        for (i, (a, b)) in with.iter().zip(&without).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "genome {}", i);
+        }
+    }
+
+    /// `MvFitness::evaluate_cached` chains agree with the single-genome
+    /// paths, including the rebuild fallback for unknown provenance.
+    #[test]
+    fn evaluate_cached_chains_match_evaluate(
+        rows in arb_dense_rows(8),
+        start in arb_trits(12),
+        chain in arb_chain(12, 16),
+    ) {
+        let (hist, bits) = histogram_for(&rows, 4);
+        let fitness = MvFitness::new(4, false, &hist, bits);
+        let mut cache = EvalCache::new();
+        let mut genome = start.clone();
+        let cold = fitness.evaluate_cached(&genome, None, &mut cache);
+        prop_assert_eq!(cold.to_bits(), fitness.evaluate(&genome).to_bits());
+        for &(pos, gene) in &chain {
+            genome[pos] = gene;
+            let inc = fitness.evaluate_cached(&genome, Some(&(pos..pos + 1)), &mut cache);
+            prop_assert_eq!(inc.to_bits(), fitness.evaluate(&genome).to_bits());
+        }
+    }
+}
