@@ -1,9 +1,24 @@
 //! Quick fitness-kernel perf smoke: measures evaluations/second of the
 //! legacy fitness path, the allocation-free bit-sliced kernel, and the
-//! incremental (cache-patching) path under a single-gene mutation-chain
-//! workload — all at the paper-default shape (K=12, L=64, shared
-//! `fitness_fixture` workload) — and writes `BENCH_fitness.json` so the repo
-//! carries a perf trajectory across PRs.
+//! incremental (cache-patching) path under mutation-chain, inversion-chain
+//! and crossover workloads — all at the paper-default shape (K=12, L=64,
+//! shared `fitness_fixture` workload) — plus the whole-run `evals/sec` of a
+//! real EA, and writes `BENCH_fitness.json` so the repo carries a perf
+//! trajectory across PRs.
+//!
+//! The incremental workloads cover the operator mix of the paper's EA in
+//! its steady state: single-gene mutation chains (one changed MV chunk per
+//! child), and multi-chunk child streams probed read-only against one
+//! cached *evolved* parent — exactly how the engine's shared parent cache
+//! prices a generation's children. The multi-chunk stream mixes crossover
+//! and inversion children 3:1 (the paper's 0.30/0.10 operator
+//! probabilities) with edit windows spanning 2–5 MV chunks; crossover
+//! partners are drawn from a converged population (the evolved individual a
+//! few point mutations apart), which is what selection actually breeds from
+//! after the first generations. Pure-crossover and pure-inversion streams
+//! are measured separately as well — inversion children genuinely rewrite
+//! every chunk their window touches, so they bound the patch path's worst
+//! case, while crossover children against converged parents bound its best.
 //!
 //! Runs in a few seconds ("quick mode"). In CI the correctness gate runs
 //! gating (`--check-only`) and the timed run is a separate non-gating step:
@@ -17,20 +32,26 @@
 //! Exits non-zero only if the paths disagree on any genome or chain step (a
 //! correctness failure, not a perf one).
 
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 use evotc_bench::fitness_fixture::{paper_histogram, random_genomes, BLOCK_LEN, NUM_MVS};
-use evotc_bits::Trit;
-use evotc_core::{EvalCache, EvalScratch, MvFitness};
-use evotc_evo::FitnessEval;
+use evotc_bits::{SlicedHistogram, Trit};
+use evotc_core::{
+    encoded_size_probe, encoded_size_rebuild, encoded_size_scratch, EvalCache, EvalScratch,
+    IncrementalOutcome, MvFitness, PatchScratch,
+};
+use evotc_evo::{Ea, EaConfig, FitnessEval};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const GENOMES: usize = 128;
-/// Steps per single-gene mutation chain (the incremental workload).
+/// Steps per chain workload (mutation, inversion, crossover alike).
 const CHAIN_LEN: usize = 256;
 /// Wall-clock budget per measured path; quick mode stays CI-friendly.
 const MEASURE: Duration = Duration::from_millis(1500);
+/// The fixture's genome length.
+const GENOME_LEN: usize = BLOCK_LEN * NUM_MVS;
 
 /// A deterministic single-gene mutation chain: the genomes the EA would see
 /// when each child is its predecessor with one redrawn gene.
@@ -44,6 +65,89 @@ fn mutation_chain(start: &[Trit], steps: usize, seed: u64) -> Vec<(usize, Vec<Tr
         chain.push((pos, genome.clone()));
     }
     chain
+}
+
+/// A random edit window spanning 2..=5 MV chunks (length `K+1 ..= 4K`
+/// genes guarantees at least two chunks are overlapped, aligned or not) —
+/// the multi-chunk shape the paper's crossover/inversion operators produce.
+fn multichunk_window(rng: &mut StdRng) -> Range<usize> {
+    let span = rng.gen_range(BLOCK_LEN + 1..=4 * BLOCK_LEN);
+    let start = rng.gen_range(0..=GENOME_LEN - span);
+    start..start + span
+}
+
+/// The operator of one multi-chunk stream child.
+#[derive(Clone, Copy, PartialEq)]
+enum MultiOp {
+    /// Swap the window's content in from a partner (paper p = 0.30).
+    Crossover,
+    /// Reverse the window in place (paper p = 0.10).
+    Inversion,
+}
+
+/// A deterministic stream of multi-chunk children of one fixed parent —
+/// the genomes the engine probes read-only against the cached parent in
+/// one steady-state generation. `ops` cycles over the operator pattern
+/// (e.g. 3 crossovers per inversion, the paper's 0.30/0.10 ratio).
+fn multichunk_children(
+    parent: &[Trit],
+    partners: &[Vec<Trit>],
+    ops: &[MultiOp],
+    steps: usize,
+    seed: u64,
+) -> Vec<(Range<usize>, Vec<Trit>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..steps)
+        .map(|t| {
+            let window = multichunk_window(&mut rng);
+            let mut child = parent.to_vec();
+            match ops[t % ops.len()] {
+                MultiOp::Crossover => {
+                    let partner = &partners[t % partners.len()];
+                    child[window.clone()].copy_from_slice(&partner[window.clone()]);
+                }
+                MultiOp::Inversion => child[window.clone()].reverse(),
+            }
+            (window, child)
+        })
+        .collect()
+}
+
+/// The steady-state fixture: an individual evolved on the workload (a
+/// short, deterministic EA run) plus a converged population around it —
+/// the evolved genome a few point mutations apart, which is what `(S+C)`
+/// truncation selection actually keeps after the first generations.
+fn evolved_parent_and_partners(
+    histogram: &evotc_bits::BlockHistogram,
+    payload_bits: f64,
+) -> (Vec<Trit>, Vec<Vec<Trit>>) {
+    let fitness = MvFitness::new(BLOCK_LEN, true, histogram, payload_bits);
+    let config = EaConfig::builder()
+        .stagnation_limit(usize::MAX)
+        .max_evaluations(4_000)
+        .seed(5)
+        .threads(1)
+        .build();
+    let evolved = Ea::new(
+        config,
+        GENOME_LEN,
+        |rng: &mut StdRng| Trit::from_index(rng.gen_range(0..3u8)),
+        fitness,
+    )
+    .run()
+    .best_genome;
+    let mut rng = StdRng::seed_from_u64(99);
+    let partners = (0..7)
+        .map(|_| {
+            let mut g = evolved.clone();
+            for _ in 0..6 {
+                let pos = rng.gen_range(0..g.len());
+                g[pos] = Trit::from_index(rng.gen_range(0..3u8));
+            }
+            g
+        })
+        .collect();
+    (evolved, partners)
 }
 
 /// Runs `eval_all` (which claims `per_pass` evaluations) repeatedly for the
@@ -60,11 +164,17 @@ fn throughput(per_pass: u64, mut eval_all: impl FnMut() -> f64) -> f64 {
     evals as f64 / start.elapsed().as_secs_f64()
 }
 
+fn fail(message: &str) -> ! {
+    eprintln!("FAIL: {message}");
+    std::process::exit(1);
+}
+
 fn main() {
     let check_only = std::env::args().any(|a| a == "--check-only");
     let (histogram, payload_bits) = paper_histogram();
     let fitness = MvFitness::new(BLOCK_LEN, true, &histogram, payload_bits);
-    let genomes = random_genomes(GENOMES, BLOCK_LEN * NUM_MVS, 42);
+    let sliced = SlicedHistogram::from_histogram(&histogram);
+    let genomes = random_genomes(GENOMES, GENOME_LEN, 42);
 
     // Correctness gate 1: bit-identical fitness, kernel vs legacy, on every
     // random genome.
@@ -73,8 +183,7 @@ fn main() {
         let legacy = fitness.evaluate(g);
         let kernel = fitness.evaluate_scratch(g, &mut scratch);
         if legacy.to_bits() != kernel.to_bits() {
-            eprintln!("FAIL: kernel {kernel} != legacy {legacy}");
-            std::process::exit(1);
+            fail(&format!("kernel {kernel} != legacy {legacy}"));
         }
     }
 
@@ -88,21 +197,56 @@ fn main() {
             .evaluate_scratch(&genomes[0], &mut scratch)
             .to_bits()
     {
-        eprintln!("FAIL: incremental rebuild diverged on the chain seed");
-        std::process::exit(1);
+        fail("incremental rebuild diverged on the chain seed");
     }
     for (step, (pos, genome)) in chain.iter().enumerate() {
         let incremental = fitness.evaluate_cached(genome, Some(&(*pos..pos + 1)), &mut cache);
         let full = fitness.evaluate_scratch(genome, &mut scratch);
         if incremental.to_bits() != full.to_bits() {
-            eprintln!("FAIL: incremental {incremental} != full {full} at chain step {step}");
-            std::process::exit(1);
+            fail(&format!(
+                "incremental {incremental} != full {full} at mutation-chain step {step}"
+            ));
+        }
+    }
+
+    // Correctness gate 3:  the multi-chunk probe path must match the full
+    // kernel bit-for-bit on every child of the steady-state streams —
+    // mixed crossover/inversion, pure crossover, and pure inversion —
+    // priced read-only against the cached evolved parent, exactly as the
+    // engine's shared parent cache prices a generation.
+    let (evolved, partners) = evolved_parent_and_partners(&histogram, payload_bits);
+    let mixed_ops = [
+        MultiOp::Crossover,
+        MultiOp::Crossover,
+        MultiOp::Crossover,
+        MultiOp::Inversion,
+    ];
+    let mixed = multichunk_children(&evolved, &partners, &mixed_ops, CHAIN_LEN, 11);
+    let crossover = multichunk_children(&evolved, &partners, &[MultiOp::Crossover], CHAIN_LEN, 13);
+    let inversion = multichunk_children(&evolved, &partners, &[MultiOp::Inversion], CHAIN_LEN, 17);
+    let mut parent_cache = EvalCache::new();
+    encoded_size_rebuild(&sliced, &evolved, true, &mut parent_cache);
+    let mut patch = PatchScratch::new();
+    for (name, stream) in [
+        ("mixed", &mixed),
+        ("crossover", &crossover),
+        ("inversion", &inversion),
+    ] {
+        for (step, (window, child)) in stream.iter().enumerate() {
+            let probe = encoded_size_probe(&sliced, child, true, window, &parent_cache, &mut patch);
+            let full = encoded_size_scratch(&sliced, child, true, &mut scratch);
+            if probe != IncrementalOutcome::Size(full) {
+                fail(&format!(
+                    "{name} probe {probe:?} != full {full:?} at child {step} (window {window:?})"
+                ));
+            }
         }
     }
     if check_only {
         println!(
             "fitness kernel == legacy on {GENOMES} genomes; incremental == full on a \
-             {CHAIN_LEN}-step mutation chain (K={BLOCK_LEN}, L={NUM_MVS})"
+             {CHAIN_LEN}-step mutation chain and on {CHAIN_LEN}-child multi-chunk \
+             crossover/inversion streams (K={BLOCK_LEN}, L={NUM_MVS})"
         );
         return;
     }
@@ -119,7 +263,7 @@ fn main() {
     });
     let speedup = kernel_eps / legacy_eps;
 
-    // The incremental workload: one full evaluation to seed the cache, then
+    // The mutation workload: one full evaluation to seed the cache, then
     // CHAIN_LEN single-gene children priced from deltas. The full-kernel
     // reference prices exactly the same genomes from scratch.
     let per_pass = (CHAIN_LEN + 1) as u64;
@@ -141,15 +285,97 @@ fn main() {
     });
     let incremental_speedup = incremental_eps / full_chain_eps;
 
-    println!("workload             : s953 (K={BLOCK_LEN}, L={NUM_MVS})");
-    println!("distinct blocks      : {}", histogram.num_distinct());
-    println!("legacy eval/s        : {legacy_eps:.0}");
-    println!("kernel eval/s        : {kernel_eps:.0}");
-    println!("speedup              : {speedup:.2}x");
-    println!("chain length         : {CHAIN_LEN}");
-    println!("full-chain eval/s    : {full_chain_eps:.0}");
-    println!("incremental eval/s   : {incremental_eps:.0}");
-    println!("incremental speedup  : {incremental_speedup:.2}x");
+    // The multi-chunk streams: one parent rebuild, then CHAIN_LEN children
+    // probed read-only off the cached parent — the shared-cache steady
+    // state. The full-kernel reference prices exactly the same children
+    // from scratch.
+    let measure_stream = |stream: &[(Range<usize>, Vec<Trit>)]| {
+        let mut scratch = EvalScratch::new();
+        let full_eps = throughput(per_pass, || {
+            let mut acc = encoded_size_scratch(&sliced, &evolved, true, &mut scratch)
+                .unwrap_or_default() as f64;
+            for (_, child) in stream {
+                acc += encoded_size_scratch(&sliced, child, true, &mut scratch).unwrap_or_default()
+                    as f64;
+            }
+            acc
+        });
+        let mut parent_cache = EvalCache::new();
+        let mut patch = PatchScratch::new();
+        let inc_eps = throughput(per_pass, || {
+            let mut acc = encoded_size_rebuild(&sliced, &evolved, true, &mut parent_cache)
+                .unwrap_or_default() as f64;
+            for (window, child) in stream {
+                if let IncrementalOutcome::Size(size) =
+                    encoded_size_probe(&sliced, child, true, window, &parent_cache, &mut patch)
+                {
+                    acc += size.unwrap_or_default() as f64;
+                }
+            }
+            acc
+        });
+        (full_eps, inc_eps, inc_eps / full_eps)
+    };
+    let (mixed_full_eps, mixed_inc_eps, multichunk_speedup) = measure_stream(&mixed);
+    let (cross_full_eps, cross_inc_eps, crossover_speedup) = measure_stream(&crossover);
+    let (inv_full_eps, inv_inc_eps, inversion_speedup) = measure_stream(&inversion);
+
+    // Whole-run throughput: a real EA over the same histogram, full
+    // operator mix, incremental path and shared parent cache on — against
+    // the identical run with the lineage hook disabled (plain batch, full
+    // kernel for every child). This is the number the chain microbenches
+    // exist to move.
+    struct NoLineage<'a>(MvFitness<'a>);
+    impl FitnessEval<Trit> for NoLineage<'_> {
+        fn evaluate(&self, genes: &[Trit]) -> f64 {
+            self.0.evaluate(genes)
+        }
+        fn evaluate_batch(&self, genomes: &[Vec<Trit>], out: &mut [f64]) {
+            self.0.evaluate_batch(genomes, out);
+        }
+        // No lineage override: children take the full kernel.
+    }
+    let ea_config = EaConfig::builder()
+        .population_size(10)
+        .children_per_generation(5)
+        .stagnation_limit(usize::MAX)
+        .max_evaluations(20_000)
+        .seed(3)
+        .threads(1)
+        .build();
+    let sample = |rng: &mut StdRng| Trit::from_index(rng.gen_range(0..3u8));
+    let result = Ea::new(ea_config.clone(), GENOME_LEN, sample, fitness.clone()).run();
+    let baseline = Ea::new(ea_config, GENOME_LEN, sample, NoLineage(fitness.clone())).run();
+    if result.best_fitness.to_bits() != baseline.best_fitness.to_bits() {
+        fail("lineage cache changed the EA result");
+    }
+    let ea_eps = result.evaluations_per_sec();
+    let ea_full_eps = baseline.evaluations_per_sec();
+    let ea_speedup = ea_eps / ea_full_eps;
+    let ea_cache = result.cache.unwrap_or_default();
+
+    println!("workload               : s953 (K={BLOCK_LEN}, L={NUM_MVS})");
+    println!("distinct blocks        : {}", histogram.num_distinct());
+    println!("legacy eval/s          : {legacy_eps:.0}");
+    println!("kernel eval/s          : {kernel_eps:.0}");
+    println!("speedup                : {speedup:.2}x");
+    println!("chain length           : {CHAIN_LEN}");
+    println!("full-chain eval/s      : {full_chain_eps:.0}");
+    println!("incremental eval/s     : {incremental_eps:.0}");
+    println!("incremental speedup    : {incremental_speedup:.2}x");
+    println!("multichunk full eval/s : {mixed_full_eps:.0}");
+    println!("multichunk eval/s      : {mixed_inc_eps:.0}");
+    println!("multichunk speedup     : {multichunk_speedup:.2}x");
+    println!("crossover full eval/s  : {cross_full_eps:.0}");
+    println!("crossover eval/s       : {cross_inc_eps:.0}");
+    println!("crossover speedup      : {crossover_speedup:.2}x");
+    println!("inversion full eval/s  : {inv_full_eps:.0}");
+    println!("inversion eval/s       : {inv_inc_eps:.0}");
+    println!("inversion speedup      : {inversion_speedup:.2}x");
+    println!("EA eval/s (cache on)   : {ea_eps:.0}");
+    println!("EA eval/s (cache off)  : {ea_full_eps:.0}");
+    println!("EA whole-run speedup   : {ea_speedup:.2}x");
+    println!("EA cache counters      : {ea_cache}");
 
     let json = format!(
         "{{\n  \"bench\": \"fitness_kernel\",\n  \"workload\": \"s953\",\n  \"k\": {k},\n  \
@@ -158,7 +384,21 @@ fn main() {
          \"speedup\": {speedup:.2},\n  \"chain_len\": {chain_len},\n  \
          \"full_chain_evals_per_sec\": {full_chain:.0},\n  \
          \"incremental_evals_per_sec\": {incremental:.0},\n  \
-         \"incremental_speedup\": {inc_speedup:.2}\n}}\n",
+         \"incremental_speedup\": {inc_speedup:.2},\n  \
+         \"multichunk_full_evals_per_sec\": {mixed_full:.0},\n  \
+         \"multichunk_evals_per_sec\": {mixed_inc:.0},\n  \
+         \"multichunk_speedup\": {mixed_speedup:.2},\n  \
+         \"crossover_full_evals_per_sec\": {cross_full:.0},\n  \
+         \"crossover_evals_per_sec\": {cross_inc:.0},\n  \
+         \"crossover_speedup\": {cross_speedup:.2},\n  \
+         \"inversion_full_evals_per_sec\": {inv_full:.0},\n  \
+         \"inversion_evals_per_sec\": {inv_inc:.0},\n  \
+         \"inversion_speedup\": {inv_speedup:.2},\n  \
+         \"ea_evals_per_sec\": {ea_eps:.0},\n  \
+         \"ea_full_evals_per_sec\": {ea_full_eps:.0},\n  \
+         \"ea_speedup\": {ea_speedup:.2},\n  \
+         \"ea_cache_hits\": {hits},\n  \"ea_cache_misses\": {misses},\n  \
+         \"ea_cache_fallbacks\": {fallbacks}\n}}\n",
         k = BLOCK_LEN,
         l = NUM_MVS,
         distinct = histogram.num_distinct(),
@@ -170,6 +410,21 @@ fn main() {
         full_chain = full_chain_eps,
         incremental = incremental_eps,
         inc_speedup = incremental_speedup,
+        mixed_full = mixed_full_eps,
+        mixed_inc = mixed_inc_eps,
+        mixed_speedup = multichunk_speedup,
+        cross_full = cross_full_eps,
+        cross_inc = cross_inc_eps,
+        cross_speedup = crossover_speedup,
+        inv_full = inv_full_eps,
+        inv_inc = inv_inc_eps,
+        inv_speedup = inversion_speedup,
+        ea_eps = ea_eps,
+        ea_full_eps = ea_full_eps,
+        ea_speedup = ea_speedup,
+        hits = ea_cache.hits,
+        misses = ea_cache.misses,
+        fallbacks = ea_cache.fallbacks,
     );
     let path = "BENCH_fitness.json";
     match std::fs::write(path, &json) {

@@ -51,6 +51,10 @@ pub struct SlicedHistogram {
     zeros: Vec<u64>,
     /// Multiplicity of each distinct block, in histogram order.
     counts: Vec<u64>,
+    /// Care plane of each distinct block (row-major), in histogram order.
+    bcare: Vec<u64>,
+    /// Value plane of each distinct block (row-major), in histogram order.
+    bvalue: Vec<u64>,
 }
 
 impl SlicedHistogram {
@@ -68,10 +72,14 @@ impl SlicedHistogram {
         let mut ones = vec![0u64; k * words];
         let mut zeros = vec![0u64; k * words];
         let mut counts = Vec::with_capacity(n);
+        let mut bcare = Vec::with_capacity(n);
+        let mut bvalue = Vec::with_capacity(n);
         for (d, &(block, count)) in histogram.iter().enumerate() {
             let (w, b) = (d / 64, d % 64);
             let care_plane = block.care_plane();
             let value_plane = block.value_plane();
+            bcare.push(care_plane);
+            bvalue.push(value_plane);
             for j in 0..k {
                 let care = (care_plane >> j) & 1;
                 let value = (value_plane >> j) & 1;
@@ -87,6 +95,8 @@ impl SlicedHistogram {
             ones,
             zeros,
             counts,
+            bcare,
+            bvalue,
         }
     }
 
@@ -172,6 +182,46 @@ impl SlicedHistogram {
                 *m |= c;
             }
         }
+    }
+
+    /// Batched form of [`SlicedHistogram::accumulate_mismatch`]: computes the
+    /// conflict bitset of several matching vectors in one call, writing the
+    /// mismatch plane of `planes[t]` into
+    /// `mismatch[t * words_per_column() .. (t + 1) * words_per_column()]`.
+    ///
+    /// The output slices are fully overwritten (no OR-accumulation across
+    /// calls, unlike the single-MV form), so callers need no clearing pass.
+    /// Incremental evaluators use this to resolve every MV chunk a
+    /// crossover/inversion window touched with one pass over the conflict
+    /// planes per chunk, keeping the column loads hot in cache between
+    /// consecutive chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `mismatch` is not exactly
+    /// `planes.len() * words_per_column()` words long.
+    pub fn accumulate_mismatch_batch(&self, planes: &[(u64, u64)], mismatch: &mut [u64]) {
+        debug_assert_eq!(
+            mismatch.len(),
+            planes.len() * self.words,
+            "batched mismatch buffer length"
+        );
+        for (&(spec, value), out) in planes.iter().zip(mismatch.chunks_exact_mut(self.words)) {
+            out.iter_mut().for_each(|w| *w = 0);
+            self.accumulate_mismatch(spec, value, out);
+        }
+    }
+
+    /// The row-major `(care, value)` planes of distinct block `d` — two
+    /// array loads, for hot paths that match individual blocks against MV
+    /// planes (the incremental evaluator's orphan re-flow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= num_distinct()` (slice bounds).
+    #[inline]
+    pub fn block_planes(&self, d: usize) -> (u64, u64) {
+        (self.bcare[d], self.bvalue[d])
     }
 
     /// Reconstructs distinct block `d` from the columns (for tests and
@@ -286,6 +336,24 @@ mod tests {
                 assert_eq!(via_columns, via_accumulate, "spec={spec:04b}");
             }
         }
+    }
+
+    #[test]
+    fn batched_mismatch_matches_repeated_single_calls() {
+        let (_, s) = sliced(&["1101", "1100", "0000", "1X01", "0X10"], 4);
+        let planes: Vec<(u64, u64)> = (0..16u64)
+            .flat_map(|spec| (0..16u64).map(move |value| (spec, value & spec)))
+            .collect();
+        let mut batched = vec![u64::MAX; planes.len() * s.words_per_column()];
+        s.accumulate_mismatch_batch(&planes, &mut batched);
+        for (t, &(spec, value)) in planes.iter().enumerate() {
+            let mut single = vec![0u64; s.words_per_column()];
+            s.accumulate_mismatch(spec, value, &mut single);
+            let w = s.words_per_column();
+            assert_eq!(&batched[t * w..(t + 1) * w], &single[..], "plane {t}");
+        }
+        // An empty batch is a no-op on an empty buffer.
+        s.accumulate_mismatch_batch(&[], &mut []);
     }
 
     #[test]

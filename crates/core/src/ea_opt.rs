@@ -1,10 +1,14 @@
 //! Evolutionary matching-vector determination (paper, Section 3.1).
 
 use evotc_bits::{BlockHistogram, TestSet, TestSetString, Trit};
-use evotc_evo::{Ea, EaConfig, FitnessEval, GenerationStats, Lineage};
+use evotc_evo::{CacheStats, Ea, EaConfig, FitnessEval, GenerationStats, Lineage};
 use rand::Rng;
+use std::sync::Arc;
 
-use crate::incremental::{encoded_size_incremental, encoded_size_rebuild, IncrementalOutcome};
+use crate::incremental::{
+    encoded_size_incremental, encoded_size_probe, encoded_size_rebuild, IncrementalOutcome,
+};
+use crate::shared_cache::{ParentEntry, SharedParentCache};
 
 use crate::compressed::CompressedTestSet;
 use crate::encoding::{encode_with_mvs, encoded_size};
@@ -134,6 +138,7 @@ impl EaCompressor {
             evaluations: result.evaluations,
             history: result.history,
             elapsed: result.elapsed,
+            cache: result.cache,
         };
         (mvs, summary)
     }
@@ -185,11 +190,21 @@ impl TestCompressor for EaCompressor {
 ///   kernel (see [`crate::EvalScratch`]); what [`FitnessEval::evaluate_batch`]
 ///   uses with one scratch per batch chunk, i.e. per worker thread.
 /// * [`MvFitness::evaluate_cached`] — the incremental path (see
-///   [`crate::EvalCache`]): re-prices a single-MV edit from the parent's
-///   cached covering. What [`FitnessEval::evaluate_batch_with_lineage`] uses
-///   for engine children that carry provenance, with parent caches keyed by
-///   genome content so they survive the population reshuffling between
-///   generations.
+///   [`crate::EvalCache`]): re-prices an arbitrary edit window from the
+///   parent's cached covering, one ownership patch per changed MV chunk.
+///   What [`FitnessEval::evaluate_batch_with_lineage`] uses for engine
+///   children that carry provenance, with parent caches held in one
+///   **shared** [`SharedParentCache`] — content-keyed, so they survive the
+///   population reshuffling between generations, and probed read-only
+///   ([`crate::encoded_size_probe`]) so every worker thread patches the
+///   same cached elite parent without per-thread copies. Crossover children
+///   are priced against whichever parent is cached: the outside-the-window
+///   parent through the recorded edit window, or the window-content donor
+///   through a whole-genome diff (see [`Lineage::second_parent`]).
+///
+/// Cache effectiveness is observable: hit/miss/fallback counters accumulate
+/// on the shared cache and surface through [`FitnessEval::cache_stats`] on
+/// [`GenerationStats`] and [`EaRunSummary`].
 ///
 /// All paths return bit-identical `f64` fitness for every genome — enforced
 /// by `tests/props_fitness_kernel.rs` and `tests/props_incremental.rs`.
@@ -207,42 +222,51 @@ pub struct MvFitness<'a> {
     /// results (the kernel fully re-initializes what it reads), so the pool
     /// is invisible to the determinism contract.
     scratch_pool: std::sync::Mutex<Vec<crate::EvalScratch>>,
-    /// Warmed-up lineage-evaluation states (parent caches + fallback
-    /// scratch), one checked out per
+    /// Warmed-up per-worker lineage states (patch scratch + fallback kernel
+    /// scratch + hot-entry slots), one checked out per
     /// [`FitnessEval::evaluate_batch_with_lineage`] call. Like the scratch
     /// pool, pure warm-up state: every score is bit-identical with or
     /// without a cache hit.
     lineage_pool: std::sync::Mutex<Vec<LineageState>>,
+    /// The cross-thread parent-cache store: one rebuild per distinct parent
+    /// serves every worker (see [`SharedParentCache`]). Bounded at
+    /// `SHARED_CACHE_SHARDS × SHARED_SHARD_CAPACITY` entries.
+    shared: SharedParentCache,
 }
 
-/// One worker's incremental-evaluation state: parent caches keyed by genome
-/// content (so a hit is exact, never a hash gamble, and caches stay valid
-/// across generations however the population reshuffles) plus the full
-/// kernel's scratch for fallbacks.
+/// One worker's incremental-evaluation state: the per-thread patch scratch
+/// the read-only probes write into, the full kernel's scratch for
+/// fallbacks, and a few *hot slots* pinning recently used shared entries so
+/// repeat children of the same (elite) parent skip even the shard's read
+/// lock.
 #[derive(Debug, Default)]
 struct LineageState {
-    caches: Vec<ParentCache>,
     scratch: crate::EvalScratch,
-    /// Monotone use counter driving least-recently-used eviction.
+    patch: crate::PatchScratch,
+    /// `(entry, last-use tick)` — content-checked before use, so a stale
+    /// (evicted) entry is still exactly the parent it claims to be.
+    hot: Vec<(Arc<ParentEntry>, u64)>,
+    /// Monotone use counter driving hot-slot replacement.
     tick: u64,
 }
 
-#[derive(Debug, Default)]
-struct ParentCache {
-    /// The exact genome the cache was built from.
-    genome: Vec<Trit>,
-    cache: crate::EvalCache,
-    last_used: u64,
-}
+/// Hot-slot count per worker state: enough for the handful of parents a
+/// worker's chunk of one generation draws children from.
+const MAX_HOT_SLOTS: usize = 8;
 
-/// Cap on retained parent caches per worker state. Parents come from a
-/// population of `S` individuals (the paper's default `S = 10`); a few
-/// generations of churn fit comfortably, and eviction is LRU beyond that.
-const MAX_PARENT_CACHES: usize = 32;
+/// Shard count of the shared parent cache. Lookups only lock one shard, so
+/// more shards mean less writer interference between worker threads.
+const SHARED_CACHE_SHARDS: usize = 8;
+
+/// Retained entries per shard. The population holds `S` individuals (the
+/// paper's default `S = 10`); `8 × 8 = 64` entries fit several generations
+/// of churn, and eviction discards the stalest generation beyond that.
+const SHARED_SHARD_CAPACITY: usize = 8;
 
 impl Clone for MvFitness<'_> {
     /// Clones the evaluator configuration; the clone starts with empty
-    /// scratch/cache pools (buffers are warm-up state, not semantics).
+    /// scratch pools and an empty shared cache (buffers and cached parents
+    /// are warm-up state, not semantics).
     fn clone(&self) -> Self {
         MvFitness {
             k: self.k,
@@ -252,6 +276,7 @@ impl Clone for MvFitness<'_> {
             original_bits: self.original_bits,
             scratch_pool: std::sync::Mutex::new(Vec::new()),
             lineage_pool: std::sync::Mutex::new(Vec::new()),
+            shared: SharedParentCache::new(SHARED_CACHE_SHARDS, SHARED_SHARD_CAPACITY),
         }
     }
 }
@@ -279,6 +304,7 @@ impl<'a> MvFitness<'a> {
             original_bits,
             scratch_pool: std::sync::Mutex::new(Vec::new()),
             lineage_pool: std::sync::Mutex::new(Vec::new()),
+            shared: SharedParentCache::new(SHARED_CACHE_SHARDS, SHARED_SHARD_CAPACITY),
         }
     }
 
@@ -336,58 +362,122 @@ impl<'a> MvFitness<'a> {
         size.map_or(Self::INFEASIBLE, |s| self.rate(s))
     }
 
-    /// Scores one engine child against its parent's cached covering,
-    /// building (or LRU-recycling) the parent cache on first use. Read-only
-    /// probe: the parent cache stays on the parent, so any number of
-    /// siblings reuse it.
+    /// Scores one engine child against a cached parent covering. Read-only
+    /// probe: the shared parent entry is immutable, so any number of
+    /// siblings — across every worker thread — reuse it concurrently.
+    ///
+    /// Parent preference: the primary parent (child equals it outside
+    /// `edit`) through the recorded window; failing that, a cached
+    /// crossover donor (child equals it *inside* the window) through a
+    /// whole-genome diff — the incremental engine re-patches only the
+    /// chunks that actually differ. Only when neither is cached is the
+    /// primary parent rebuilt (one full evaluation) and shared.
     fn evaluate_lineage_child(
         &self,
         genes: &[Trit],
         parent: &[Trit],
+        second: Option<&[Trit]>,
         edit: &std::ops::Range<usize>,
         state: &mut LineageState,
     ) -> f64 {
         // A parent the rebuild would reject (or whose length differs from
         // the child's) cannot seed a cache; score the child standalone.
         if parent.is_empty() || parent.len() % self.k != 0 || parent.len() != genes.len() {
+            self.shared.record_fallback();
             return self.evaluate_scratch(genes, &mut state.scratch);
         }
-        let slot = match state.caches.iter().position(|c| c.genome == parent) {
-            Some(hit) => hit,
-            None => {
-                let slot = if state.caches.len() < MAX_PARENT_CACHES {
-                    state.caches.push(ParentCache::default());
-                    state.caches.len() - 1
-                } else {
-                    // Evict the least recently used cache; its buffers are
-                    // recycled for the new parent.
-                    state
-                        .caches
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, c)| c.last_used)
-                        .map(|(i, _)| i)
-                        .expect("cache list is non-empty at capacity")
-                };
-                let entry = &mut state.caches[slot];
-                entry.genome.clear();
-                entry.genome.extend_from_slice(parent);
-                encoded_size_rebuild(&self.sliced, parent, self.force_all_u, &mut entry.cache);
-                slot
+        if let Some(entry) = self.lookup(parent, state) {
+            if let IncrementalOutcome::Size(size) = encoded_size_probe(
+                &self.sliced,
+                genes,
+                self.force_all_u,
+                edit,
+                entry.cache(),
+                &mut state.patch,
+            ) {
+                self.shared.record_hit();
+                return size.map_or(Self::INFEASIBLE, |s| self.rate(s));
             }
-        };
-        state.tick += 1;
-        state.caches[slot].last_used = state.tick;
-        match encoded_size_incremental(
+        }
+        // The crossover donor path: the child equals `second` inside the
+        // window and `parent` outside, so relative to a cached donor the
+        // edit is conservatively the whole genome — the probe diffs it
+        // chunk-wise and patches only real differences.
+        if let Some(donor) = second.filter(|donor| donor.len() == genes.len()) {
+            if let Some(entry) = self.lookup(donor, state) {
+                if let IncrementalOutcome::Size(size) = encoded_size_probe(
+                    &self.sliced,
+                    genes,
+                    self.force_all_u,
+                    &(0..genes.len()),
+                    entry.cache(),
+                    &mut state.patch,
+                ) {
+                    self.shared.record_hit();
+                    return size.map_or(Self::INFEASIBLE, |s| self.rate(s));
+                }
+            }
+        }
+        // Neither parent cached: build the primary parent once (outside any
+        // lock) and share it for every sibling and thread that follows.
+        self.shared.record_miss();
+        let mut cache = crate::EvalCache::new();
+        encoded_size_rebuild(&self.sliced, parent, self.force_all_u, &mut cache);
+        let entry = self.shared.insert(parent, cache);
+        let probe = encoded_size_probe(
             &self.sliced,
             genes,
             self.force_all_u,
             edit,
-            false,
-            &mut state.caches[slot].cache,
-        ) {
+            entry.cache(),
+            &mut state.patch,
+        );
+        Self::remember(state, entry);
+        match probe {
             IncrementalOutcome::Size(size) => size.map_or(Self::INFEASIBLE, |s| self.rate(s)),
-            IncrementalOutcome::NeedsFull => self.evaluate_scratch(genes, &mut state.scratch),
+            IncrementalOutcome::NeedsFull => {
+                self.shared.record_fallback();
+                self.evaluate_scratch(genes, &mut state.scratch)
+            }
+        }
+    }
+
+    /// Finds the shared entry for an exact genome: the worker's hot slots
+    /// first (no locking at all — entries are immutable and content-checked,
+    /// so even an evicted one is still exactly the parent it claims to be),
+    /// then the shared store (one shard read lock).
+    fn lookup(&self, genome: &[Trit], state: &mut LineageState) -> Option<Arc<ParentEntry>> {
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some((entry, last)) = state
+            .hot
+            .iter_mut()
+            .find(|(entry, _)| entry.genome() == genome)
+        {
+            *last = tick;
+            return Some(Arc::clone(entry));
+        }
+        let entry = self.shared.get(genome)?;
+        Self::remember(state, Arc::clone(&entry));
+        Some(entry)
+    }
+
+    /// Pins an entry in the worker's hot slots, replacing the least
+    /// recently used one at capacity.
+    fn remember(state: &mut LineageState, entry: Arc<ParentEntry>) {
+        state.tick += 1;
+        let slot = (entry, state.tick);
+        if state.hot.len() < MAX_HOT_SLOTS {
+            state.hot.push(slot);
+        } else {
+            let stalest = state
+                .hot
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(i, _)| i)
+                .expect("hot slots are non-empty at capacity");
+            state.hot[stalest] = slot;
         }
     }
 
@@ -449,14 +539,16 @@ impl FitnessEval<Trit> for MvFitness<'_> {
     }
 
     /// The incremental path. Children carrying provenance are priced as an
-    /// edit of their parent's cached covering; the parent cache is built
-    /// once (full rebuild) and then probed read-only by every sibling —
-    /// and, being keyed by genome *content*, it keeps serving the same
-    /// individual across generations no matter how selection reorders the
-    /// population. Children without usable provenance take the full kernel.
+    /// edit of a cached parent covering; a parent cache is built once (full
+    /// rebuild) into the **shared** store and then probed read-only by
+    /// every sibling on every worker thread — and, being keyed by genome
+    /// *content*, it keeps serving the same individual across generations
+    /// no matter how selection reorders the population. Children without
+    /// usable provenance take the full kernel.
     ///
     /// Scores are bit-identical to [`FitnessEval::evaluate_batch`]; the
-    /// cache only changes how much work a score costs.
+    /// cache only changes how much work a score costs (and the counters
+    /// reported by [`FitnessEval::cache_stats`]).
     fn evaluate_batch_with_lineage(
         &self,
         genomes: &[Vec<Trit>],
@@ -465,6 +557,7 @@ impl FitnessEval<Trit> for MvFitness<'_> {
         out: &mut [f64],
     ) {
         debug_assert_eq!(genomes.len(), lineage.len(), "lineage slice length");
+        self.shared.bump_generation();
         let mut state = self
             .lineage_pool
             .lock()
@@ -473,18 +566,32 @@ impl FitnessEval<Trit> for MvFitness<'_> {
             .unwrap_or_default();
         for ((genes, lin), slot) in genomes.iter().zip(lineage).zip(out.iter_mut()) {
             *slot = match lin {
-                Some(lin) if lin.parent_idx < parents.len() => self.evaluate_lineage_child(
-                    genes,
-                    parents[lin.parent_idx],
-                    &lin.edit,
-                    &mut state,
-                ),
-                _ => self.evaluate_scratch(genes, &mut state.scratch),
+                Some(lin) if lin.parent_idx < parents.len() => {
+                    let second = lin.second_parent.and_then(|i| parents.get(i).copied());
+                    self.evaluate_lineage_child(
+                        genes,
+                        parents[lin.parent_idx],
+                        second,
+                        &lin.edit,
+                        &mut state,
+                    )
+                }
+                _ => {
+                    self.shared.record_fallback();
+                    self.evaluate_scratch(genes, &mut state.scratch)
+                }
             };
         }
         if let Ok(mut pool) = self.lineage_pool.lock() {
             pool.push(state);
         }
+    }
+
+    /// Hit/miss/fallback counters of the shared parent cache — surfaced by
+    /// the engine on every [`GenerationStats`] (see
+    /// [`evotc_evo::CacheStats`]).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.shared.stats())
     }
 }
 
@@ -501,6 +608,11 @@ pub struct EaRunSummary {
     pub history: Vec<GenerationStats>,
     /// Wall-clock duration of the optimization.
     pub elapsed: std::time::Duration,
+    /// Final shared-parent-cache counters (hits / misses / full-kernel
+    /// fallbacks) of the incremental evaluation path. Observability only —
+    /// like [`EaRunSummary::elapsed`], excluded from the determinism
+    /// contract (concurrent workers can race to build the same parent).
+    pub cache: Option<CacheStats>,
 }
 
 impl EaRunSummary {
@@ -731,6 +843,22 @@ mod tests {
             .flat_map(|i| (0..8).map(move |j| mvs.vector(i).trit(j)))
             .collect();
         assert!((fitness.evaluate(&genes) - c.rate_percent()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_reports_cache_counters() {
+        let set = small_set();
+        let (_, summary) = quick(8, 4, 1).compress_with_summary(&set).unwrap();
+        let cache = summary.cache.expect("MvFitness reports cache stats");
+        assert!(
+            cache.hits > 0,
+            "steady-state children should hit the shared parent cache: {cache}"
+        );
+        assert!(cache.misses > 0, "first sightings build caches: {cache}");
+        // The last generation's snapshot equals the final summary (all
+        // workers have joined by the time either is read).
+        let last = summary.history.last().unwrap();
+        assert_eq!(last.cache, Some(cache));
     }
 
     #[test]

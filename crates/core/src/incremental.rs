@@ -1,36 +1,51 @@
 //! Incremental fitness re-evaluation via parent→child provenance.
 //!
-//! The EA mutates one gene at a time, but the scratch kernel
+//! The EA's operators edit a gene window, but the scratch kernel
 //! ([`crate::encoded_size_scratch`]) re-prices the whole individual — decode
 //! all `L` MVs, rescan the covering, rebuild the Huffman cost — on every
 //! evaluation. This module keeps the parent's work in an [`EvalCache`] and
-//! re-prices a single-chunk edit from deltas:
+//! re-prices an arbitrary edit window from deltas:
 //!
-//! 1. Only the touched MV is re-decoded; every other plane pair is reused.
-//! 2. The covering is *patched*, not rescanned. The cache stores, per
-//!    distinct block, which MV owns it; an edit can only move blocks **to**
-//!    the edited MV (stolen from owners later in covering order, found with
-//!    one bit-sliced mismatch pass over the [`SlicedHistogram`]'s conflict
-//!    planes) or **away from** it (orphans re-flowed to the first matching
-//!    MV by a short row-major scan). Blocks owned by MVs earlier in covering
-//!    order are untouched by construction.
-//! 3. The Huffman part is re-priced from a frequency delta
-//!    ([`evotc_codes::huffman_weighted_length_delta`]) against the parent's
-//!    sorted leaf queue instead of a fresh sort.
+//! 1. The edited window is decoded into the (sorted) set of MV chunks whose
+//!    planes actually changed; every unchanged plane pair is reused. A
+//!    point mutation changes at most one chunk; crossover and inversion
+//!    windows change several.
+//! 2. The covering is *patched*, not rescanned — once per changed chunk.
+//!    The cache stores the covering as per-MV **owned-block bitsets** (plus
+//!    a per-block owner table), so a single-MV edit is bitset algebra:
+//!    blocks move **to** the edited MV (the steal set is its new match set
+//!    — one pass over the [`SlicedHistogram`]'s conflict planes — masked by
+//!    the blocks of earlier-ranked owners, all word operations) or **away
+//!    from** it (orphan candidates are exactly its owned bits, re-flowed to
+//!    the first matching MV with the weave point found by one binary search
+//!    in the key-sorted covering order). Blocks owned by MVs earlier in
+//!    covering order are untouched by construction. Multi-chunk edits apply
+//!    this same single-MV ownership patch sequentially, chunk by chunk,
+//!    against one working copy of the parent's covering — each intermediate
+//!    state is the consistent covering of an intermediate genome, so the
+//!    single-MV invariants hold at every step.
+//! 3. The Huffman part is re-priced from **one** accumulated frequency
+//!    delta ([`evotc_codes::huffman_weighted_length_delta`]) against the
+//!    parent's sorted leaf queue — not one rebuild per chunk: per-MV
+//!    frequency changes are netted across all chunks first, and the delta
+//!    state patches its queue with a single batched merge.
 //!
 //! Ownership is tracked by MV (genome index) and compared via the canonical
-//! [`covering_key`], so an edit that changes the MV's `N_U` — and therefore
+//! [`covering_key`], so an edit that changes an MV's `N_U` — and therefore
 //! its *position* in covering order — is still a patch: the key comparison
-//! re-ranks the one moved MV without renumbering anything.
+//! re-ranks the moved MV without renumbering anything.
 //!
 //! The incremental path is **bit-identical** to the full kernel for every
 //! edit (enforced by `tests/props_incremental.rs` and the CI equivalence
 //! gate); it falls back (see [`IncrementalOutcome::NeedsFull`]) only when
-//! the cache is cold, shapes differ, or the edit touches more than one MV
-//! chunk. Evaluating a child against its parent's cache is a *read-only
-//! probe* by default, so one cached parent can price any number of
-//! speculative children; pass `commit = true` to advance the cache to the
-//! child (mutation chains).
+//! the cache is cold or shapes differ. Evaluating a child against its
+//! parent's cache is a *read-only probe* by default, so one cached parent
+//! can price any number of speculative children; pass `commit = true` to
+//! advance the cache to the child (mutation chains). For parents shared
+//! across worker threads, [`encoded_size_probe`] prices a child against a
+//! `&EvalCache` — the per-call scratch lives in a caller-owned
+//! [`PatchScratch`], so one immutable cached parent serves every thread
+//! concurrently (see [`crate::SharedParentCache`]).
 
 use std::ops::Range;
 
@@ -46,9 +61,10 @@ const NO_MV: u32 = u32::MAX;
 /// lightly edited children in time proportional to the edit.
 ///
 /// Build it with [`encoded_size_rebuild`], then feed children to
-/// [`encoded_size_incremental`]. One cache holds one genome; buffers are
-/// retained across rebuilds, so recycling a cache for a different parent
-/// costs no allocations after warm-up.
+/// [`encoded_size_incremental`] (or, sharing the cache read-only across
+/// threads, to [`encoded_size_probe`]). One cache holds one genome; buffers
+/// are retained across rebuilds, so recycling a cache for a different
+/// parent costs no allocations after warm-up.
 ///
 /// # Example
 ///
@@ -82,6 +98,18 @@ const NO_MV: u32 = u32::MAX;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct EvalCache {
+    /// The parent's covering state — read-only during probes.
+    state: CoverState,
+    /// Per-call scratch for the convenience `&mut EvalCache` entry points.
+    scratch: PatchScratch,
+}
+
+/// The immutable-between-edits half of an [`EvalCache`]: everything needed
+/// to describe one genome's fully evaluated covering. Probing a child never
+/// writes here, which is what makes a cached parent shareable across
+/// threads.
+#[derive(Debug, Clone, Default)]
+struct CoverState {
     /// Whether the cache holds a complete evaluation.
     warm: bool,
     /// Shape tag of the held evaluation: `(K, L, distinct blocks, words per
@@ -101,6 +129,20 @@ pub struct EvalCache {
     freq: Vec<u64>,
     /// Owning MV (genome index) per distinct block, or [`NO_MV`].
     owner: Vec<u32>,
+    /// Owned-block bitset per MV (`words` words per MV, MV-major): the
+    /// inverse of `owner`, kept so the ownership patch is word operations
+    /// instead of per-block scans.
+    owned: Vec<u64>,
+    /// Bitset of blocks owned by no MV (the uncovered set).
+    unowned: Vec<u64>,
+    /// MV-major transposition of the MV planes: for every block position
+    /// `p`, a bitmask over MVs (`ceil(L/64)` words) of those specifying `p`
+    /// with logic value 1. The orphan re-flow resolves "which MVs match
+    /// this block" with one OR per cared position instead of a scan over
+    /// the covering order.
+    mv_ones: Vec<u64>,
+    /// Same layout: MVs specifying `p` with logic value 0.
+    mv_zeros: Vec<u64>,
     /// Number of blocks owned by no MV (`> 0` ⇔ covering impossible).
     uncovered: usize,
     /// Total fill bits: `Σ freq[j] · N_U(j)`, maintained even while
@@ -110,17 +152,75 @@ pub struct EvalCache {
     huffman: HuffmanDeltaState,
     /// The held genome's encoded size (`None` ⇔ covering impossible).
     total: Option<u64>,
-    // --- per-call scratch, no meaning between calls ---
-    /// Mismatch bitset of the edited MV.
+}
+
+/// Per-call working memory of the incremental engine: mismatch planes,
+/// deferred move/delta lists, the multi-chunk working copy of the covering,
+/// and the Huffman patch queue. Contents carry no meaning between calls.
+///
+/// Every [`EvalCache`] embeds one (used by the `&mut EvalCache` entry
+/// points); threads probing a **shared** parent cache own one each and pass
+/// it to [`encoded_size_probe`]. Buffers grow to the largest shape seen and
+/// are reused, so steady-state probes allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PatchScratch {
+    /// Mismatch bitset of the edited MV (single-chunk path and rebuild).
     mismatch: Vec<u64>,
-    /// `(block, new owner)` reassignments of the current evaluation.
+    /// Changed chunks of the current edit: `(chunk, new spec, new value)`,
+    /// ascending chunk order.
+    edited: Vec<(u32, u64, u64)>,
+    /// `(spec, value)` planes of the changed chunks, for the batched
+    /// conflict-plane query.
+    planes: Vec<(u64, u64)>,
+    /// Per-chunk mismatch planes of the multi-chunk path, `words` words per
+    /// changed chunk.
+    multi_mismatch: Vec<u64>,
+    /// Steal set of the current chunk (blocks moving to the edited MV).
+    steal: Vec<u64>,
+    /// Union buffer for the later-owners mask of the steal set.
+    union_buf: Vec<u64>,
+    /// Pre-steal snapshot of the edited MV's owned bits (the orphan
+    /// re-flow candidates of the multi-chunk path).
+    own_snap: Vec<u64>,
+    /// `(block, new owner)` reassignments of a single-chunk evaluation.
     moves: Vec<(u32, u32)>,
-    /// `(MV, frequency delta)` of the current evaluation.
+    /// `(MV, frequency delta)` of a single-chunk evaluation.
     deltas: Vec<(u32, i64)>,
     /// `(old, new)` frequency changes handed to the Huffman delta.
     changes: Vec<(u64, u64)>,
     /// Patched leaf queue produced by the Huffman delta.
     huff_scratch: HuffmanDeltaState,
+    /// Multi-chunk working copies of the covering state. Committing a
+    /// multi-chunk edit swaps these into the state wholesale.
+    w_spec: Vec<u64>,
+    w_value: Vec<u64>,
+    w_nu: Vec<u32>,
+    w_order: Vec<u32>,
+    w_freq: Vec<u64>,
+    w_owner: Vec<u32>,
+    w_owned: Vec<u64>,
+    w_unowned: Vec<u64>,
+    w_mv_ones: Vec<u64>,
+    w_mv_zeros: Vec<u64>,
+    /// Conflict mask over MVs of the orphan being re-flowed (`ceil(L/64)`
+    /// words).
+    mvmask: Vec<u64>,
+    /// `(MV, original frequency)` — first-touch log of the multi-chunk
+    /// path, netting per-MV frequency changes across chunks into the single
+    /// accumulated Huffman delta.
+    touched: Vec<(u32, u64)>,
+    /// Epoch stamp per MV: `touch_epoch[j] == epoch` ⇔ MV `j` is already in
+    /// `touched` this evaluation — an `O(1)` first-touch test.
+    touch_epoch: Vec<u64>,
+    /// Current evaluation's epoch (monotone; never reset).
+    epoch: u64,
+}
+
+impl PatchScratch {
+    /// Creates empty scratch buffers; they size themselves on first use.
+    pub fn new() -> Self {
+        PatchScratch::default()
+    }
 }
 
 impl EvalCache {
@@ -131,7 +231,7 @@ impl EvalCache {
 
     /// Returns `true` if the cache holds a complete evaluation.
     pub fn is_warm(&self) -> bool {
-        self.warm
+        self.state.warm
     }
 
     /// The held genome's encoded size (`None` ⇔ covering impossible).
@@ -140,20 +240,20 @@ impl EvalCache {
     ///
     /// Panics if the cache is cold.
     pub fn encoded_size(&self) -> Option<u64> {
-        assert!(self.warm, "cache is cold");
-        self.total
+        assert!(self.state.warm, "cache is cold");
+        self.state.total
     }
 }
 
-/// Outcome of [`encoded_size_incremental`].
+/// Outcome of [`encoded_size_incremental`] / [`encoded_size_probe`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IncrementalOutcome {
     /// The child was priced against the cache: its encoded size in bits,
     /// `None` if its covering is impossible — exactly what
     /// [`crate::encoded_size_scratch`] returns for the same genome.
     Size(Option<u64>),
-    /// The edit cannot be applied incrementally (cold cache, shape mismatch,
-    /// or more than one edited MV chunk); run the full kernel instead.
+    /// The edit cannot be applied incrementally (cold cache or shape
+    /// mismatch); run the full kernel instead.
     NeedsFull,
 }
 
@@ -197,87 +297,118 @@ pub fn encoded_size_rebuild(
     let l = genes.len() / k;
     let words = sliced.words_per_column();
     let n = sliced.num_distinct();
+    let state = &mut cache.state;
+    let scratch = &mut cache.scratch;
 
-    cache.warm = false;
-    cache.shape = (k, l, n, words, force_all_u);
-    cache.spec.clear();
-    cache.value.clear();
-    cache.nu.clear();
+    state.warm = false;
+    state.shape = (k, l, n, words, force_all_u);
+    state.spec.clear();
+    state.value.clear();
+    state.nu.clear();
     for chunk in genes.chunks_exact(k) {
         let (spec, value) = decode_chunk(chunk);
-        cache.spec.push(spec);
-        cache.value.push(value);
+        state.spec.push(spec);
+        state.value.push(value);
     }
     if force_all_u {
-        cache.spec[l - 1] = 0;
-        cache.value[l - 1] = 0;
+        state.spec[l - 1] = 0;
+        state.value[l - 1] = 0;
     }
-    cache.nu.extend(
-        cache
+    state.nu.extend(
+        state
             .spec
             .iter()
             .map(|s| (k - s.count_ones() as usize) as u32),
     );
+    let wl = l.div_ceil(64);
+    state.mv_ones.clear();
+    state.mv_ones.resize(k * wl, 0);
+    state.mv_zeros.clear();
+    state.mv_zeros.resize(k * wl, 0);
+    for j in 0..l {
+        let (jw, jbit) = (j / 64, 1u64 << (j % 64));
+        let mut remaining = state.spec[j];
+        while remaining != 0 {
+            let p = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            if (state.value[j] >> p) & 1 == 1 {
+                state.mv_ones[p * wl + jw] |= jbit;
+            } else {
+                state.mv_zeros[p * wl + jw] |= jbit;
+            }
+        }
+    }
 
     // Covering order: the one canonical key. Keys are unique (index
     // tie-break), so the unstable sort is deterministic.
-    cache.order.clear();
-    cache.order.extend(0..l as u32);
-    let nu = &cache.nu;
-    cache
+    state.order.clear();
+    state.order.extend(0..l as u32);
+    let nu = &state.nu;
+    state
         .order
         .sort_unstable_by_key(|&j| covering_key(nu[j as usize] as usize, j as usize));
 
     // First-match covering scan over the bit planes, recording the owner of
-    // every distinct block (the scratch kernel only needs frequencies; the
-    // incremental path needs to know whose blocks an edit can move).
-    cache.freq.clear();
-    cache.freq.resize(l, 0);
-    cache.owner.clear();
-    cache.owner.resize(n, NO_MV);
-    cache.mismatch.clear();
-    cache.mismatch.resize(words, 0);
+    // every distinct block — as a per-block table *and* as per-MV bitsets
+    // (the scratch kernel only needs frequencies; the incremental path
+    // needs to know whose blocks an edit can move, in both directions).
+    state.freq.clear();
+    state.freq.resize(l, 0);
+    state.owner.clear();
+    state.owner.resize(n, NO_MV);
+    state.owned.clear();
+    state.owned.resize(l * words, 0);
+    state.unowned.clear();
+    state.unowned.resize(words, 0);
+    for (w, slot) in state.unowned.iter_mut().enumerate() {
+        *slot = if w == words - 1 {
+            sliced.last_word_mask()
+        } else {
+            u64::MAX
+        };
+    }
+    scratch.mismatch.clear();
+    scratch.mismatch.resize(words, 0);
     let counts = sliced.counts();
     let mut blocks_left = n;
     let mut fill_bits = 0u64;
-    for &j in &cache.order {
+    for &j in &state.order {
         if blocks_left == 0 {
             break; // every block owned; the rest keep frequency 0
         }
         let j = j as usize;
-        cache.mismatch.iter_mut().for_each(|w| *w = 0);
-        sliced.accumulate_mismatch(cache.spec[j], cache.value[j], &mut cache.mismatch);
+        scratch.mismatch.iter_mut().for_each(|w| *w = 0);
+        sliced.accumulate_mismatch(state.spec[j], state.value[j], &mut scratch.mismatch);
         let mut freq = 0u64;
-        for (w, &mis) in cache.mismatch.iter().enumerate() {
-            let valid = if w == words - 1 {
-                sliced.last_word_mask()
-            } else {
-                u64::MAX
-            };
-            let mut matched = !mis & valid;
-            while matched != 0 {
-                let d = w * 64 + matched.trailing_zeros() as usize;
-                matched &= matched - 1;
-                if cache.owner[d] == NO_MV {
-                    cache.owner[d] = j as u32;
-                    freq += counts[d];
-                    blocks_left -= 1;
-                }
+        for (w, &mis) in scratch.mismatch.iter().enumerate() {
+            let taken = state.unowned[w] & !mis;
+            if taken == 0 {
+                continue;
+            }
+            state.unowned[w] &= mis;
+            state.owned[j * words + w] |= taken;
+            let mut bits = taken;
+            while bits != 0 {
+                let d = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                state.owner[d] = j as u32;
+                freq += counts[d];
+                blocks_left -= 1;
             }
         }
-        cache.freq[j] = freq;
-        fill_bits += freq * cache.nu[j] as u64;
+        state.freq[j] = freq;
+        fill_bits += freq * state.nu[j] as u64;
     }
-    cache.uncovered = blocks_left;
-    cache.fill_bits = fill_bits;
-    cache.huffman.reset(&cache.freq);
-    cache.total = if blocks_left == 0 {
-        Some(fill_bits + cache.huffman.weighted_length())
+    state.uncovered = blocks_left;
+    state.fill_bits = fill_bits;
+    state.huffman.reset(&state.freq);
+    state.total = if blocks_left == 0 {
+        Some(fill_bits + state.huffman.weighted_length())
     } else {
         None
     };
-    cache.warm = true;
-    cache.total
+    state.warm = true;
+    state.total
 }
 
 /// Prices `genes` — a copy of the cached genome except inside `edit` — by
@@ -286,17 +417,20 @@ pub fn encoded_size_rebuild(
 /// The contract on `edit` is the engine's lineage contract (see
 /// `evotc_evo::Lineage`): every position **outside** the range equals the
 /// cached genome's gene; positions inside may or may not differ. An empty
-/// range means an exact copy.
+/// range means an exact copy. Any window is priceable — a point mutation, a
+/// multi-chunk inversion window, or the whole genome (`0..genes.len()`,
+/// used when the only cached parent is a crossover child's window-content
+/// donor); the cost is proportional to the number of MV chunks whose
+/// planes actually changed.
 ///
 /// With `commit = false` the cache is left on the (parent) genome it held,
 /// so any number of children can be probed against it; with `commit = true`
-/// the cache advances to `genes` (chains of single-gene edits).
+/// the cache advances to `genes` (chains of edits).
 ///
 /// Returns [`IncrementalOutcome::NeedsFull`] — and leaves the cache
-/// untouched — when the edit is not incrementally priceable: cold cache,
+/// untouched — when the edit is not incrementally priceable: cold cache or
 /// mismatched shape (block length, genome length, distinct-block count and
-/// word width, `force_all_u`), or an edit spanning more than one `K`-chunk
-/// whose content actually changed. Otherwise the returned size is
+/// word width, `force_all_u`). Otherwise the returned size is
 /// **bit-identical** to [`crate::encoded_size_scratch`] over `genes`.
 ///
 /// The shape tag cannot distinguish two *different* histograms with equal
@@ -311,203 +445,817 @@ pub fn encoded_size_incremental(
     commit: bool,
     cache: &mut EvalCache,
 ) -> IncrementalOutcome {
+    let EvalCache { state, scratch } = cache;
+    if !shapes_match(sliced, genes, force_all_u, edit, state) {
+        return IncrementalOutcome::NeedsFull;
+    }
+    debug_assert!(genome_matches_cache_outside(
+        state,
+        genes,
+        sliced.block_len(),
+        edit
+    ));
+    if edit.start == edit.end {
+        return IncrementalOutcome::Size(state.total);
+    }
+    detect_changed_chunks(sliced, genes, force_all_u, edit, state, scratch);
+    match scratch.edited.len() {
+        0 => IncrementalOutcome::Size(state.total), // edit was inert
+        1 => {
+            let (i, nspec, nvalue) = scratch.edited[0];
+            let patch = probe_single(sliced, state, scratch, i as usize, nspec, nvalue);
+            if commit {
+                commit_single(state, scratch, &patch);
+            }
+            IncrementalOutcome::Size(patch.total)
+        }
+        _ => {
+            let patch = probe_multi(sliced, state, scratch);
+            if commit {
+                commit_multi(state, scratch, &patch);
+            }
+            IncrementalOutcome::Size(patch.total)
+        }
+    }
+}
+
+/// Read-only form of [`encoded_size_incremental`]: prices a child against a
+/// **shared** parent cache without ever writing to it, keeping the per-call
+/// working memory in a caller-owned [`PatchScratch`].
+///
+/// This is the entry point for cross-thread cache sharing (see
+/// [`crate::SharedParentCache`]): any number of worker threads can probe
+/// the same `&EvalCache` concurrently, each with its own scratch. Results
+/// are bit-identical to [`encoded_size_incremental`] with `commit = false`
+/// over the same inputs.
+///
+/// # Example
+///
+/// ```
+/// use evotc_bits::{BlockHistogram, SlicedHistogram, TestSet, TestSetString, Trit};
+/// use evotc_core::{
+///     encoded_size_probe, encoded_size_rebuild, encoded_size_scratch, EvalCache, EvalScratch,
+///     IncrementalOutcome, PatchScratch,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TestSet::parse(&["110100XX", "110000XX", "11010000"])?;
+/// let hist = BlockHistogram::from_string(&TestSetString::new(&set, 4));
+/// let sliced = SlicedHistogram::from_histogram(&hist);
+/// let parent: Vec<Trit> = evotc_bits::parse_trits("110U0000UUUU")?;
+/// let mut cache = EvalCache::new();
+/// encoded_size_rebuild(&sliced, &parent, false, &mut cache);
+///
+/// // An inversion window spanning two MV chunks, probed via `&EvalCache`.
+/// let mut child = parent.clone();
+/// child[2..7].reverse();
+/// let mut scratch = PatchScratch::new();
+/// let probe = encoded_size_probe(&sliced, &child, false, &(2..7), &cache, &mut scratch);
+/// let full = encoded_size_scratch(&sliced, &child, false, &mut EvalScratch::new());
+/// assert_eq!(probe, IncrementalOutcome::Size(full));
+/// # Ok(())
+/// # }
+/// ```
+pub fn encoded_size_probe(
+    sliced: &SlicedHistogram,
+    genes: &[Trit],
+    force_all_u: bool,
+    edit: &Range<usize>,
+    cache: &EvalCache,
+    scratch: &mut PatchScratch,
+) -> IncrementalOutcome {
+    let state = &cache.state;
+    if !shapes_match(sliced, genes, force_all_u, edit, state) {
+        return IncrementalOutcome::NeedsFull;
+    }
+    debug_assert!(genome_matches_cache_outside(
+        state,
+        genes,
+        sliced.block_len(),
+        edit
+    ));
+    if edit.start == edit.end {
+        return IncrementalOutcome::Size(state.total);
+    }
+    detect_changed_chunks(sliced, genes, force_all_u, edit, state, scratch);
+    match scratch.edited.len() {
+        0 => IncrementalOutcome::Size(state.total),
+        1 => {
+            let (i, nspec, nvalue) = scratch.edited[0];
+            let patch = probe_single(sliced, state, scratch, i as usize, nspec, nvalue);
+            IncrementalOutcome::Size(patch.total)
+        }
+        _ => IncrementalOutcome::Size(probe_multi(sliced, state, scratch).total),
+    }
+}
+
+/// The warm/shape/edit validity gate shared by both entry points.
+fn shapes_match(
+    sliced: &SlicedHistogram,
+    genes: &[Trit],
+    force_all_u: bool,
+    edit: &Range<usize>,
+    state: &CoverState,
+) -> bool {
     let k = sliced.block_len();
-    let words = sliced.words_per_column();
-    if !cache.warm
-        || cache.shape
-            != (
+    state.warm
+        && !genes.is_empty()
+        && genes.len() % k == 0
+        && state.shape
+            == (
                 k,
                 genes.len() / k.max(1),
                 sliced.num_distinct(),
-                words,
+                sliced.words_per_column(),
                 force_all_u,
             )
-        || genes.is_empty()
-        || genes.len() % k != 0
-        || edit.end > genes.len()
-        || edit.start > edit.end
-    {
-        return IncrementalOutcome::NeedsFull;
-    }
-    let l = genes.len() / k;
-    debug_assert!(genome_matches_cache_outside(cache, genes, k, edit));
+        && edit.end <= genes.len()
+        && edit.start <= edit.end
+}
 
-    // Which MV chunks did the edit actually change? (`force_all_u` pins the
-    // last chunk to all-`U` regardless of its genes, so edits there are
-    // inert.)
-    if edit.start == edit.end {
-        return IncrementalOutcome::Size(cache.total);
-    }
+/// Decodes the chunks the edit window overlaps and records those whose
+/// planes actually changed into `scratch.edited` (ascending chunk order).
+/// `force_all_u` pins the last chunk to all-`U` regardless of its genes, so
+/// edits there are inert.
+fn detect_changed_chunks(
+    sliced: &SlicedHistogram,
+    genes: &[Trit],
+    force_all_u: bool,
+    edit: &Range<usize>,
+    state: &CoverState,
+    scratch: &mut PatchScratch,
+) {
+    let k = sliced.block_len();
+    let l = genes.len() / k;
     let chunk_lo = edit.start / k;
     let chunk_hi = (edit.end - 1) / k;
-    let mut edited: Option<(usize, u64, u64)> = None;
+    scratch.edited.clear();
     for i in chunk_lo..=chunk_hi {
         let (spec, value) = if force_all_u && i == l - 1 {
             (0, 0)
         } else {
             decode_chunk(&genes[i * k..(i + 1) * k])
         };
-        if (spec, value) == (cache.spec[i], cache.value[i]) {
-            continue;
+        if (spec, value) != (state.spec[i], state.value[i]) {
+            scratch.edited.push((i as u32, spec, value));
         }
-        if edited.is_some() {
-            return IncrementalOutcome::NeedsFull; // two changed MVs
-        }
-        edited = Some((i, spec, value));
     }
-    let Some((i, nspec, nvalue)) = edited else {
-        return IncrementalOutcome::Size(cache.total); // edit was inert
+}
+
+/// Rank of the MV whose (unique) covering key is `key` in the key-sorted
+/// `order` — a binary search instead of a linear position scan.
+#[inline]
+fn rank_of(order: &[u32], nu: &[u32], key: u64) -> usize {
+    order.partition_point(|&j| covering_key(nu[j as usize] as usize, j as usize) < key)
+}
+
+/// Picks the new owner of an orphaned block of the edited MV `i`: the
+/// minimum-covering-key MV (other than `i`) whose planes match the block,
+/// competing against `i` at `new_key` when the edited MV's new planes still
+/// match. The matching set comes from one OR over the MV-major planes per
+/// cared block position — no covering-order scan; MVs ranked before `i`'s
+/// old position never match an orphan (that is what made `i` the owner), so
+/// the min-key pick over the few matchers *is* first-match covering.
+#[allow(clippy::too_many_arguments)]
+fn reflow_owner(
+    bcare: u64,
+    bvalue: u64,
+    mv_ones: &[u64],
+    mv_zeros: &[u64],
+    wl: usize,
+    l: usize,
+    nu: &[u32],
+    i: usize,
+    new_key: u64,
+    still_matched: bool,
+    mvmask: &mut Vec<u64>,
+) -> u32 {
+    mvmask.clear();
+    mvmask.resize(wl, 0);
+    let mut remaining = bcare;
+    while remaining != 0 {
+        let p = remaining.trailing_zeros() as usize;
+        remaining &= remaining - 1;
+        // MVs conflicting at p: those specifying the opposite value.
+        let col = if (bvalue >> p) & 1 == 1 {
+            &mv_zeros[p * wl..(p + 1) * wl]
+        } else {
+            &mv_ones[p * wl..(p + 1) * wl]
+        };
+        for (m, &c) in mvmask.iter_mut().zip(col) {
+            *m |= c;
+        }
+    }
+    let (mut best, mut best_key) = if still_matched {
+        (i as u32, new_key)
+    } else {
+        (NO_MV, u64::MAX)
     };
+    for (w, &m) in mvmask.iter().enumerate() {
+        let rem = l - w * 64;
+        let valid = if rem >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        };
+        let mut bits = !m & valid;
+        if w == i / 64 {
+            bits &= !(1u64 << (i % 64));
+        }
+        while bits != 0 {
+            let j = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let key = covering_key(nu[j] as usize, j);
+            if key < best_key {
+                best_key = key;
+                best = j as u32;
+            }
+        }
+    }
+    best
+}
 
-    let nnu = (k - nspec.count_ones() as usize) as u32;
-    let old_key = covering_key(cache.nu[i] as usize, i);
-    let new_key = covering_key(nnu as usize, i);
+/// Updates the MV-major planes for MV `i` switching from `(old_spec,
+/// old_value)` to `(new_spec, new_value)` — `O(K)` word updates.
+#[allow(clippy::too_many_arguments)]
+fn update_mv_columns(
+    mv_ones: &mut [u64],
+    mv_zeros: &mut [u64],
+    wl: usize,
+    i: usize,
+    old_spec: u64,
+    old_value: u64,
+    new_spec: u64,
+    new_value: u64,
+) {
+    let (jw, jbit) = (i / 64, 1u64 << (i % 64));
+    let mut remaining = old_spec;
+    while remaining != 0 {
+        let p = remaining.trailing_zeros() as usize;
+        remaining &= remaining - 1;
+        if (old_value >> p) & 1 == 1 {
+            mv_ones[p * wl + jw] &= !jbit;
+        } else {
+            mv_zeros[p * wl + jw] &= !jbit;
+        }
+    }
+    let mut remaining = new_spec;
+    while remaining != 0 {
+        let p = remaining.trailing_zeros() as usize;
+        remaining &= remaining - 1;
+        if (new_value >> p) & 1 == 1 {
+            mv_ones[p * wl + jw] |= jbit;
+        } else {
+            mv_zeros[p * wl + jw] |= jbit;
+        }
+    }
+}
 
-    // New match set of the edited MV: one pass over the conflict planes.
-    cache.mismatch.iter_mut().for_each(|w| *w = 0);
-    sliced.accumulate_mismatch(nspec, nvalue, &mut cache.mismatch);
-
-    cache.moves.clear();
-    cache.deltas.clear();
-    let mut uncovered = cache.uncovered;
-    let counts = sliced.counts();
-
-    // Phase 1 — steal: a block not owned by i whose owner comes *after* the
-    // edited MV's new covering rank, and which the new MV matches, moves to
-    // i (first-match covering). Blocks owned earlier are untouchable by
-    // construction: their owners did not change.
-    for w in 0..words {
+/// Computes the steal set of an edited MV into `steal`: the blocks its new
+/// planes match (`mismatch` is the new planes' conflict set) that are
+/// currently owned by an MV ranked *after* `new_key`, or by none. Pure
+/// bitset algebra — the match set is masked by the owned bits of the
+/// earlier-ranked MVs, walking whichever side of the covering order is
+/// shorter; the edited MV's own blocks are excluded (the orphan re-flow
+/// decides those).
+#[allow(clippy::too_many_arguments)]
+fn steal_candidates(
+    sliced: &SlicedHistogram,
+    order: &[u32],
+    nu: &[u32],
+    owned: &[u64],
+    unowned: &[u64],
+    i: usize,
+    new_key: u64,
+    mismatch: &[u64],
+    steal: &mut Vec<u64>,
+    union_buf: &mut Vec<u64>,
+) {
+    let words = sliced.words_per_column();
+    steal.clear();
+    steal.extend(mismatch.iter().enumerate().map(|(w, &mis)| {
         let valid = if w == words - 1 {
             sliced.last_word_mask()
         } else {
             u64::MAX
         };
-        let mut matched = !cache.mismatch[w] & valid;
-        while matched != 0 {
-            let d = w * 64 + matched.trailing_zeros() as usize;
-            matched &= matched - 1;
-            let a = cache.owner[d];
-            if a == i as u32 {
-                continue; // currently owned by i: phase 2 decides
+        !mis & valid
+    }));
+    let pos = rank_of(order, nu, new_key);
+    if pos <= order.len() / 2 {
+        // Few earlier MVs: mask their owned blocks out directly.
+        for &j in &order[..pos] {
+            let j = j as usize;
+            for (s, &o) in steal.iter_mut().zip(&owned[j * words..(j + 1) * words]) {
+                *s &= !o;
             }
-            let owner_later =
-                a == NO_MV || covering_key(cache.nu[a as usize] as usize, a as usize) > new_key;
-            if owner_later {
-                cache.moves.push((d as u32, i as u32));
-                add_delta(&mut cache.deltas, i as u32, counts[d] as i64);
-                if a == NO_MV {
-                    uncovered -= 1;
-                } else {
-                    add_delta(&mut cache.deltas, a, -(counts[d] as i64));
-                }
+        }
+    } else {
+        // Few later MVs: keep only their blocks, plus the unowned ones.
+        union_buf.clear();
+        union_buf.extend_from_slice(unowned);
+        for &j in &order[pos..] {
+            let j = j as usize;
+            for (u, &o) in union_buf.iter_mut().zip(&owned[j * words..(j + 1) * words]) {
+                *u |= o;
+            }
+        }
+        for (s, &u) in steal.iter_mut().zip(union_buf.iter()) {
+            *s &= u;
+        }
+    }
+    // The edited MV's current blocks are the re-flow's business either way
+    // (it sits on one of the two sides above under its *old* key; this
+    // final mask is what takes its blocks out regardless of which).
+    for (s, &o) in steal.iter_mut().zip(&owned[i * words..(i + 1) * words]) {
+        *s &= !o;
+    }
+}
+
+/// Everything [`commit_single`] needs to advance the state to the child,
+/// produced by the read-only [`probe_single`] pass (the block moves and
+/// frequency deltas themselves are deferred in the scratch).
+struct SinglePatch {
+    i: usize,
+    nspec: u64,
+    nvalue: u64,
+    nnu: u32,
+    old_key: u64,
+    new_key: u64,
+    fill: u64,
+    uncovered: usize,
+    total: Option<u64>,
+}
+
+/// Prices a single changed chunk against the state without writing to it:
+/// the deferred patch (steal set, orphan re-flow, Huffman delta), kept as
+/// the fast path because it avoids the working-copy memcpys of the
+/// multi-chunk path.
+fn probe_single(
+    sliced: &SlicedHistogram,
+    state: &CoverState,
+    scratch: &mut PatchScratch,
+    i: usize,
+    nspec: u64,
+    nvalue: u64,
+) -> SinglePatch {
+    let k = sliced.block_len();
+    let words = sliced.words_per_column();
+    let counts = sliced.counts();
+
+    let nnu = (k - nspec.count_ones() as usize) as u32;
+    let old_key = covering_key(state.nu[i] as usize, i);
+    let new_key = covering_key(nnu as usize, i);
+
+    // New match set of the edited MV: one pass over the conflict planes.
+    scratch.mismatch.clear();
+    scratch.mismatch.resize(words, 0);
+    sliced.accumulate_mismatch(nspec, nvalue, &mut scratch.mismatch);
+
+    scratch.moves.clear();
+    scratch.deltas.clear();
+    let mut uncovered = state.uncovered;
+
+    // Phase 1 — steal: blocks the new MV matches whose owner comes *after*
+    // its new covering rank (or that no MV owns) move to i (first-match
+    // covering). Blocks owned earlier are untouchable by construction:
+    // their owners did not change. The steal set is bitset algebra over the
+    // per-MV owned planes; only actual steals are visited.
+    steal_candidates(
+        sliced,
+        &state.order,
+        &state.nu,
+        &state.owned,
+        &state.unowned,
+        i,
+        new_key,
+        &scratch.mismatch,
+        &mut scratch.steal,
+        &mut scratch.union_buf,
+    );
+    for (w, &st) in scratch.steal.iter().enumerate() {
+        let mut bits = st;
+        while bits != 0 {
+            let d = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let a = state.owner[d];
+            scratch.moves.push((d as u32, i as u32));
+            add_delta(&mut scratch.deltas, i as u32, counts[d] as i64);
+            if a == NO_MV {
+                uncovered -= 1;
+            } else {
+                add_delta(&mut scratch.deltas, a, -(counts[d] as i64));
             }
         }
     }
 
-    // Phase 2 — re-flow every block the old MV owned: its new owner is the
-    // first MV in the *new* covering order that matches it. MVs before the
-    // old rank are unchanged and already failed to match (that is what made
-    // i the owner), so the scan starts right after the old rank and weaves
-    // the edited MV in at its new key.
-    if cache.freq[i] > 0 {
-        let old_rank = cache
-            .order
-            .iter()
-            .position(|&j| j as usize == i)
-            .expect("cached MV is in the covering order");
-        for (d, &owner_d) in cache.owner.iter().enumerate() {
-            if owner_d != i as u32 {
-                continue;
-            }
-            let still_matched = (cache.mismatch[d / 64] >> (d % 64)) & 1 == 0;
-            let block = sliced.block(d);
-            let (bcare, bvalue) = (block.care_plane(), block.value_plane());
-            let mut new_owner = NO_MV;
-            let mut tried_i = false;
-            for &j in &cache.order[old_rank + 1..] {
-                let j = j as usize;
-                if !tried_i && covering_key(cache.nu[j] as usize, j) > new_key {
-                    tried_i = true;
-                    if still_matched {
-                        new_owner = i as u32;
-                        break;
-                    }
+    // Phase 2 — re-flow every block the old MV owned (its owned bitset,
+    // directly): the new owner is the first MV in the *new* covering order
+    // that matches it. MVs before the old rank are unchanged and already
+    // failed to match (that is what made i the owner), so the scan covers
+    // only the MVs after the old rank, with the edited MV woven in at its
+    // new key. The old rank and the weave point are binary searches in the
+    // key-sorted order, done once per edit, not once per block — and a
+    // block that still matches with no MV ranked in between stays put with
+    // no scan at all.
+    if state.freq[i] > 0 {
+        let l = state.shape.1;
+        let wl = l.div_ceil(64);
+        // O(1) stay test: every competing matcher has a key above the old
+        // rank's successor (MVs before the old rank never match an orphan),
+        // so when the new key still precedes that successor, a block the
+        // new planes match cannot move.
+        let old_rank = rank_of(&state.order, &state.nu, old_key);
+        debug_assert_eq!(state.order[old_rank] as usize, i);
+        let stays_fast = match state.order.get(old_rank + 1) {
+            Some(&j) => new_key < covering_key(state.nu[j as usize] as usize, j as usize),
+            None => true,
+        };
+        for (w, &ow) in state.owned[i * words..(i + 1) * words].iter().enumerate() {
+            let mut cand = ow;
+            while cand != 0 {
+                let d = w * 64 + cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let still_matched = (scratch.mismatch[w] >> (d % 64)) & 1 == 0;
+                if still_matched && stays_fast {
+                    continue; // no competitor can rank before i's new key
                 }
-                if cache.spec[j] & bcare & (cache.value[j] ^ bvalue) == 0 {
-                    new_owner = j as u32;
-                    break;
+                let (bcare, bvalue) = sliced.block_planes(d);
+                let new_owner = reflow_owner(
+                    bcare,
+                    bvalue,
+                    &state.mv_ones,
+                    &state.mv_zeros,
+                    wl,
+                    l,
+                    &state.nu,
+                    i,
+                    new_key,
+                    still_matched,
+                    &mut scratch.mvmask,
+                );
+                if new_owner == i as u32 {
+                    continue; // stays put
                 }
-            }
-            if !tried_i && new_owner == NO_MV && still_matched {
-                new_owner = i as u32; // new rank is past every remaining MV
-            }
-            if new_owner == i as u32 {
-                continue; // stays put
-            }
-            cache.moves.push((d as u32, new_owner));
-            add_delta(&mut cache.deltas, i as u32, -(counts[d] as i64));
-            if new_owner == NO_MV {
-                uncovered += 1;
-            } else {
-                add_delta(&mut cache.deltas, new_owner, counts[d] as i64);
+                scratch.moves.push((d as u32, new_owner));
+                add_delta(&mut scratch.deltas, i as u32, -(counts[d] as i64));
+                if new_owner == NO_MV {
+                    uncovered += 1;
+                } else {
+                    add_delta(&mut scratch.deltas, new_owner, counts[d] as i64);
+                }
             }
         }
     }
 
     // Re-price: fill bits and Huffman cost from the frequency deltas.
     // fill' − fill = Σ_j Δ_j·N_U'(j) + freq(i)·(N_U'(i) − N_U(i)).
-    let mut fill = cache.fill_bits as i64;
-    fill += cache.freq[i] as i64 * (nnu as i64 - cache.nu[i] as i64);
-    cache.changes.clear();
-    for &(j, delta) in &cache.deltas {
+    let mut fill = state.fill_bits as i64;
+    fill += state.freq[i] as i64 * (nnu as i64 - state.nu[i] as i64);
+    scratch.changes.clear();
+    for &(j, delta) in &scratch.deltas {
         if delta == 0 {
             continue;
         }
         let j = j as usize;
-        let old = cache.freq[j];
+        let old = state.freq[j];
         let new = (old as i64 + delta) as u64;
-        let nu_after = if j == i { nnu } else { cache.nu[j] };
+        let nu_after = if j == i { nnu } else { state.nu[j] };
         fill += delta * nu_after as i64;
-        cache.changes.push((old, new));
+        scratch.changes.push((old, new));
     }
     let huffman_bits =
-        huffman_weighted_length_delta(&cache.huffman, &cache.changes, &mut cache.huff_scratch);
+        huffman_weighted_length_delta(&state.huffman, &scratch.changes, &mut scratch.huff_scratch);
     let total = if uncovered == 0 {
         Some(fill as u64 + huffman_bits)
     } else {
         None
     };
-
-    if commit {
-        cache.spec[i] = nspec;
-        cache.value[i] = nvalue;
-        cache.nu[i] = nnu;
-        if new_key != old_key {
-            let old_rank = cache
-                .order
-                .iter()
-                .position(|&j| j as usize == i)
-                .expect("cached MV is in the covering order");
-            cache.order.remove(old_rank);
-            let nu = &cache.nu;
-            let at = cache
-                .order
-                .partition_point(|&j| covering_key(nu[j as usize] as usize, j as usize) < new_key);
-            cache.order.insert(at, i as u32);
-        }
-        for &(d, to) in &cache.moves {
-            cache.owner[d as usize] = to;
-        }
-        for &(j, delta) in &cache.deltas {
-            let slot = &mut cache.freq[j as usize];
-            *slot = (*slot as i64 + delta) as u64;
-        }
-        cache.fill_bits = fill as u64;
-        cache.uncovered = uncovered;
-        cache.huffman.adopt_leaves_from(&mut cache.huff_scratch);
-        cache.total = total;
+    SinglePatch {
+        i,
+        nspec,
+        nvalue,
+        nnu,
+        old_key,
+        new_key,
+        fill: fill as u64,
+        uncovered,
+        total,
     }
-    IncrementalOutcome::Size(total)
+}
+
+/// Advances the state to the child priced by [`probe_single`], applying the
+/// deferred moves and deltas (mutation-chain semantics).
+fn commit_single(state: &mut CoverState, scratch: &mut PatchScratch, patch: &SinglePatch) {
+    let i = patch.i;
+    let words = state.shape.3;
+    for &(d, to) in &scratch.moves {
+        let d = d as usize;
+        let (w, bit) = (d / 64, 1u64 << (d % 64));
+        let from = state.owner[d];
+        if from == NO_MV {
+            state.unowned[w] &= !bit;
+        } else {
+            state.owned[from as usize * words + w] &= !bit;
+        }
+        if to == NO_MV {
+            state.unowned[w] |= bit;
+        } else {
+            state.owned[to as usize * words + w] |= bit;
+        }
+        state.owner[d] = to;
+    }
+    let wl = state.shape.1.div_ceil(64);
+    update_mv_columns(
+        &mut state.mv_ones,
+        &mut state.mv_zeros,
+        wl,
+        i,
+        state.spec[i],
+        state.value[i],
+        patch.nspec,
+        patch.nvalue,
+    );
+    state.spec[i] = patch.nspec;
+    state.value[i] = patch.nvalue;
+    state.nu[i] = patch.nnu;
+    if patch.new_key != patch.old_key {
+        let old_rank = state
+            .order
+            .iter()
+            .position(|&j| j as usize == i)
+            .expect("cached MV is in the covering order");
+        state.order.remove(old_rank);
+        let nu = &state.nu;
+        let at = state.order.partition_point(|&j| {
+            covering_key(nu[j as usize] as usize, j as usize) < patch.new_key
+        });
+        state.order.insert(at, i as u32);
+    }
+    for &(j, delta) in &scratch.deltas {
+        let slot = &mut state.freq[j as usize];
+        *slot = (*slot as i64 + delta) as u64;
+    }
+    state.fill_bits = patch.fill;
+    state.uncovered = patch.uncovered;
+    state.huffman.adopt_leaves_from(&mut scratch.huff_scratch);
+    state.total = patch.total;
+}
+
+/// Result of the multi-chunk working-copy patch; the patched covering
+/// itself lives in the scratch's `w_*` buffers until committed.
+struct MultiPatch {
+    fill: u64,
+    uncovered: usize,
+    total: Option<u64>,
+}
+
+/// Prices a multi-chunk edit (`scratch.edited`, two or more entries)
+/// against the state without writing to it: copies the covering into the
+/// scratch's working buffers, applies the single-MV ownership patch once
+/// per changed chunk — each intermediate working state is the consistent
+/// covering of an intermediate genome, so the per-chunk invariants hold —
+/// and re-prices the Huffman cost through one netted frequency delta.
+fn probe_multi(
+    sliced: &SlicedHistogram,
+    state: &CoverState,
+    scratch: &mut PatchScratch,
+) -> MultiPatch {
+    let k = sliced.block_len();
+    let words = sliced.words_per_column();
+    let counts = sliced.counts();
+    let PatchScratch {
+        edited,
+        planes,
+        multi_mismatch,
+        steal,
+        union_buf,
+        own_snap,
+        changes,
+        huff_scratch,
+        w_spec,
+        w_value,
+        w_nu,
+        w_order,
+        w_freq,
+        w_owner,
+        w_owned,
+        w_unowned,
+        w_mv_ones,
+        w_mv_zeros,
+        mvmask,
+        touched,
+        touch_epoch,
+        epoch,
+        ..
+    } = scratch;
+
+    // Working copy of the covering: a handful of memcpys, paid once per
+    // child instead of a full rescan.
+    w_spec.clear();
+    w_spec.extend_from_slice(&state.spec);
+    w_value.clear();
+    w_value.extend_from_slice(&state.value);
+    w_nu.clear();
+    w_nu.extend_from_slice(&state.nu);
+    w_order.clear();
+    w_order.extend_from_slice(&state.order);
+    w_freq.clear();
+    w_freq.extend_from_slice(&state.freq);
+    w_owner.clear();
+    w_owner.extend_from_slice(&state.owner);
+    w_owned.clear();
+    w_owned.extend_from_slice(&state.owned);
+    w_unowned.clear();
+    w_unowned.extend_from_slice(&state.unowned);
+    w_mv_ones.clear();
+    w_mv_ones.extend_from_slice(&state.mv_ones);
+    w_mv_zeros.clear();
+    w_mv_zeros.extend_from_slice(&state.mv_zeros);
+    touched.clear();
+    if touch_epoch.len() != state.freq.len() {
+        touch_epoch.clear();
+        touch_epoch.resize(state.freq.len(), 0);
+    }
+    *epoch += 1;
+    let epoch = *epoch;
+
+    // All changed chunks' match sets in one batched conflict-plane pass.
+    planes.clear();
+    planes.extend(edited.iter().map(|&(_, spec, value)| (spec, value)));
+    multi_mismatch.clear();
+    multi_mismatch.resize(planes.len() * words, 0);
+    sliced.accumulate_mismatch_batch(planes, multi_mismatch);
+
+    let l = state.shape.1;
+    let wl = l.div_ceil(64);
+    let mut fill = state.fill_bits as i64;
+    let mut uncovered = state.uncovered;
+
+    for (t, &(ci, nspec, nvalue)) in edited.iter().enumerate() {
+        let i = ci as usize;
+        let mismatch = &multi_mismatch[t * words..(t + 1) * words];
+        let nnu = (k - nspec.count_ones() as usize) as u32;
+        let old_nu = w_nu[i];
+        let old_key = covering_key(old_nu as usize, i);
+        let new_key = covering_key(nnu as usize, i);
+        let freq_before = w_freq[i];
+
+        // The blocks i already owns are re-priced at the new N_U up front;
+        // every later freq change against i then uses nnu.
+        fill += freq_before as i64 * (nnu as i64 - old_nu as i64);
+
+        // The orphan re-flow candidates are i's owned bits *before* the
+        // steal pass adds to them (a just-stolen block provably stays: its
+        // former owner's key exceeded `new_key`, so no MV before the weave
+        // point matches it).
+        own_snap.clear();
+        own_snap.extend_from_slice(&w_owned[i * words..(i + 1) * words]);
+
+        // Phase 1 — steal (eager: ownership and frequencies are applied to
+        // the working copy immediately, with first-touch originals logged
+        // for the netted Huffman delta).
+        steal_candidates(
+            sliced, w_order, w_nu, w_owned, w_unowned, i, new_key, mismatch, steal, union_buf,
+        );
+        for (w, &st) in steal.iter().enumerate() {
+            let mut bits = st;
+            while bits != 0 {
+                let d = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let bit = 1u64 << (d % 64);
+                let a = w_owner[d];
+                touch(touched, touch_epoch, epoch, w_freq, ci);
+                w_owner[d] = ci;
+                w_owned[i * words + w] |= bit;
+                w_freq[i] += counts[d];
+                fill += counts[d] as i64 * nnu as i64;
+                if a == NO_MV {
+                    w_unowned[w] &= !bit;
+                    uncovered -= 1;
+                } else {
+                    touch(touched, touch_epoch, epoch, w_freq, a);
+                    w_owned[a as usize * words + w] &= !bit;
+                    w_freq[a as usize] -= counts[d];
+                    fill -= counts[d] as i64 * w_nu[a as usize] as i64;
+                }
+            }
+        }
+
+        // Phase 2 — re-flow the blocks i owned before the steal pass; same
+        // min-key matcher pick as the single-chunk path, against the
+        // working copy's MV-major planes.
+        let old_rank = rank_of(w_order, w_nu, old_key);
+        debug_assert_eq!(w_order[old_rank] as usize, i);
+        if freq_before > 0 {
+            // O(1) stay test, as in the single-chunk path.
+            let stays_fast = match w_order.get(old_rank + 1) {
+                Some(&j) => new_key < covering_key(w_nu[j as usize] as usize, j as usize),
+                None => true,
+            };
+            for (w, &ow) in own_snap.iter().enumerate() {
+                let mut cand = ow;
+                while cand != 0 {
+                    let d = w * 64 + cand.trailing_zeros() as usize;
+                    cand &= cand - 1;
+                    let still_matched = (mismatch[w] >> (d % 64)) & 1 == 0;
+                    if still_matched && stays_fast {
+                        continue; // no competitor can rank before i's new key
+                    }
+                    let (bcare, bvalue) = sliced.block_planes(d);
+                    let new_owner = reflow_owner(
+                        bcare,
+                        bvalue,
+                        w_mv_ones,
+                        w_mv_zeros,
+                        wl,
+                        l,
+                        w_nu,
+                        i,
+                        new_key,
+                        still_matched,
+                        mvmask,
+                    );
+                    if new_owner == ci {
+                        continue; // stays put
+                    }
+                    let bit = 1u64 << (d % 64);
+                    touch(touched, touch_epoch, epoch, w_freq, ci);
+                    w_owner[d] = new_owner;
+                    w_owned[i * words + w] &= !bit;
+                    w_freq[i] -= counts[d];
+                    fill -= counts[d] as i64 * nnu as i64;
+                    if new_owner == NO_MV {
+                        w_unowned[w] |= bit;
+                        uncovered += 1;
+                    } else {
+                        touch(touched, touch_epoch, epoch, w_freq, new_owner);
+                        w_owned[new_owner as usize * words + w] |= bit;
+                        w_freq[new_owner as usize] += counts[d];
+                        fill += counts[d] as i64 * w_nu[new_owner as usize] as i64;
+                    }
+                }
+            }
+        }
+
+        // Commit this chunk's planes and covering rank to the working copy;
+        // the next chunk patches against a fully consistent state.
+        update_mv_columns(
+            w_mv_ones, w_mv_zeros, wl, i, w_spec[i], w_value[i], nspec, nvalue,
+        );
+        w_spec[i] = nspec;
+        w_value[i] = nvalue;
+        w_nu[i] = nnu;
+        if new_key != old_key {
+            w_order.remove(old_rank);
+            let nu = &*w_nu;
+            let at = w_order
+                .partition_point(|&j| covering_key(nu[j as usize] as usize, j as usize) < new_key);
+            w_order.insert(at, ci);
+        }
+    }
+
+    // One netted Huffman delta for the whole window: per-MV changes are
+    // first-touch originals vs final working frequencies, so an MV bounced
+    // through several chunks contributes one change (or none).
+    changes.clear();
+    for &(j, orig) in touched.iter() {
+        let cur = w_freq[j as usize];
+        if orig != cur {
+            changes.push((orig, cur));
+        }
+    }
+    let huffman_bits = huffman_weighted_length_delta(&state.huffman, changes, huff_scratch);
+    let total = if uncovered == 0 {
+        Some(fill as u64 + huffman_bits)
+    } else {
+        None
+    };
+    MultiPatch {
+        fill: fill as u64,
+        uncovered,
+        total,
+    }
+}
+
+/// Advances the state to the child priced by [`probe_multi`]: the patched
+/// working buffers are swapped in wholesale (`O(1)` per array; the state's
+/// old buffers become next call's working storage).
+fn commit_multi(state: &mut CoverState, scratch: &mut PatchScratch, patch: &MultiPatch) {
+    std::mem::swap(&mut state.spec, &mut scratch.w_spec);
+    std::mem::swap(&mut state.value, &mut scratch.w_value);
+    std::mem::swap(&mut state.nu, &mut scratch.w_nu);
+    std::mem::swap(&mut state.order, &mut scratch.w_order);
+    std::mem::swap(&mut state.freq, &mut scratch.w_freq);
+    std::mem::swap(&mut state.owner, &mut scratch.w_owner);
+    std::mem::swap(&mut state.owned, &mut scratch.w_owned);
+    std::mem::swap(&mut state.unowned, &mut scratch.w_unowned);
+    std::mem::swap(&mut state.mv_ones, &mut scratch.w_mv_ones);
+    std::mem::swap(&mut state.mv_zeros, &mut scratch.w_mv_zeros);
+    state.fill_bits = patch.fill;
+    state.uncovered = patch.uncovered;
+    state.huffman.adopt_leaves_from(&mut scratch.huff_scratch);
+    state.total = patch.total;
 }
 
 /// Accumulates a frequency delta for one MV (tiny linear-probed list — a
@@ -521,18 +1269,30 @@ fn add_delta(deltas: &mut Vec<(u32, i64)>, j: u32, delta: i64) {
     }
 }
 
+/// Records MV `j`'s frequency before its first modification of this
+/// evaluation (idempotent — later touches are no-ops, detected in `O(1)`
+/// by the per-MV epoch stamp), feeding the netted Huffman delta.
+#[inline]
+fn touch(touched: &mut Vec<(u32, u64)>, touch_epoch: &mut [u64], epoch: u64, freq: &[u64], j: u32) {
+    let slot = &mut touch_epoch[j as usize];
+    if *slot != epoch {
+        *slot = epoch;
+        touched.push((j, freq[j as usize]));
+    }
+}
+
 /// Debug-build check of the lineage contract: outside the edited chunks the
 /// genome must decode to exactly the cached planes. A caller handing a
 /// genome with undeclared differences would silently get the wrong fitness;
 /// this makes it loud where tests run.
 #[cfg(debug_assertions)]
 fn genome_matches_cache_outside(
-    cache: &EvalCache,
+    state: &CoverState,
     genes: &[Trit],
     k: usize,
     edit: &Range<usize>,
 ) -> bool {
-    let force_all_u = cache.shape.4;
+    let force_all_u = state.shape.4;
     let l = genes.len() / k;
     let chunk_lo = edit.start / k;
     let chunk_hi = if edit.is_empty() {
@@ -549,7 +1309,7 @@ fn genome_matches_cache_outside(
         } else {
             decode_chunk(&genes[i * k..(i + 1) * k])
         };
-        if decoded != (cache.spec[i], cache.value[i]) {
+        if decoded != (state.spec[i], state.value[i]) {
             return false;
         }
     }
@@ -561,7 +1321,7 @@ fn genome_matches_cache_outside(
 #[cfg(not(debug_assertions))]
 #[inline(always)]
 fn genome_matches_cache_outside(
-    _cache: &EvalCache,
+    _state: &CoverState,
     _genes: &[Trit],
     _k: usize,
     _edit: &Range<usize>,
@@ -633,6 +1393,64 @@ mod tests {
         }
     }
 
+    /// Applies every `width`-gene window rewrite to `parent` and checks the
+    /// incremental price (probe, shared probe, and commit) against the full
+    /// kernel. Windows straddle chunk boundaries by construction whenever
+    /// `width > 1` and the genome has several chunks.
+    fn exhaustive_window_edits(
+        sliced: &SlicedHistogram,
+        parent: &[Trit],
+        width: usize,
+        force: bool,
+    ) {
+        let mut scratch = EvalScratch::new();
+        let mut probe_scratch = PatchScratch::new();
+        for start in 0..=parent.len() - width {
+            let mut cache = EvalCache::new();
+            encoded_size_rebuild(sliced, parent, force, &mut cache);
+            let mut child = parent.to_vec();
+            for (offset, slot) in child[start..start + width].iter_mut().enumerate() {
+                *slot = Trit::from_index(((start + 2 * offset) % 3) as u8);
+            }
+            let edit = start..start + width;
+            let expect = encoded_size_scratch(sliced, &child, force, &mut scratch);
+            let shared =
+                encoded_size_probe(sliced, &child, force, &edit, &cache, &mut probe_scratch);
+            assert_eq!(
+                shared,
+                IncrementalOutcome::Size(expect),
+                "shared probe start {start} width {width}"
+            );
+            for commit in [false, true] {
+                let got =
+                    encoded_size_incremental(sliced, &child, force, &edit, commit, &mut cache);
+                assert_eq!(
+                    got,
+                    IncrementalOutcome::Size(expect),
+                    "start {start} width {width} commit {commit}"
+                );
+            }
+            assert_eq!(cache.encoded_size(), expect);
+        }
+    }
+
+    #[test]
+    fn multi_chunk_window_edits_match_full_kernel() {
+        let sliced = fixtures(
+            &["110100XX", "110000XX", "11010000", "110X00XX", "11010011"],
+            8,
+        );
+        for parent in [
+            genes("110U00UU 00000000 11010011 UUUUUUUU"),
+            genes("110U00UU 110U00UU 110U00UU UUUUUUUU"), // duplicate MVs
+        ] {
+            for width in [7, 12, 19, parent.len()] {
+                exhaustive_window_edits(&sliced, &parent, width, false);
+                exhaustive_window_edits(&sliced, &parent, width, true);
+            }
+        }
+    }
+
     #[test]
     fn feasibility_flips_are_incremental() {
         let sliced = fixtures(&["1111", "0000"], 4);
@@ -661,6 +1479,27 @@ mod tests {
     }
 
     #[test]
+    fn multi_chunk_feasibility_flips_are_incremental() {
+        let sliced = fixtures(&["1111", "0000", "1100"], 4);
+        // No MV matches 0000 or 1100: infeasible until a whole-genome edit
+        // widens two chunks at once.
+        let parent = genes("1111 1110 0011");
+        let mut cache = EvalCache::new();
+        assert_eq!(
+            encoded_size_rebuild(&sliced, &parent, false, &mut cache),
+            None
+        );
+        let child = genes("1111 UUUU 110U");
+        let expect = encoded_size_scratch(&sliced, &child, false, &mut EvalScratch::new());
+        assert!(expect.is_some());
+        let got = encoded_size_incremental(&sliced, &child, false, &(4..12), true, &mut cache);
+        assert_eq!(got, IncrementalOutcome::Size(expect));
+        // ...and back to infeasible through the same multi-chunk path.
+        let got = encoded_size_incremental(&sliced, &parent, false, &(4..12), true, &mut cache);
+        assert_eq!(got, IncrementalOutcome::Size(None));
+    }
+
+    #[test]
     fn probes_leave_the_parent_cache_intact() {
         let sliced = fixtures(&["110100XX", "110000XX", "11010000"], 8);
         let parent = genes("110U00UU 11010000 UUUUUUUU");
@@ -683,6 +1522,21 @@ mod tests {
             );
             assert_eq!(got, IncrementalOutcome::Size(expect), "pos {pos}");
         }
+        // Multi-chunk probes are equally read-only.
+        for start in 0..parent.len() - 10 {
+            let mut child = parent.clone();
+            child[start..start + 10].reverse();
+            let expect = encoded_size_scratch(&sliced, &child, false, &mut scratch);
+            let got = encoded_size_incremental(
+                &sliced,
+                &child,
+                false,
+                &(start..start + 10),
+                false,
+                &mut cache,
+            );
+            assert_eq!(got, IncrementalOutcome::Size(expect), "window at {start}");
+        }
         assert_eq!(cache.encoded_size(), parent_size);
         let again = encoded_size_incremental(&sliced, &parent, false, &(0..0), false, &mut cache);
         assert_eq!(again, IncrementalOutcome::Size(parent_size));
@@ -697,6 +1551,17 @@ mod tests {
             encoded_size_incremental(&sliced, &g, false, &(0..1), false, &mut cache),
             IncrementalOutcome::NeedsFull
         );
+        assert_eq!(
+            encoded_size_probe(
+                &sliced,
+                &g,
+                false,
+                &(0..1),
+                &cache,
+                &mut PatchScratch::new()
+            ),
+            IncrementalOutcome::NeedsFull
+        );
         encoded_size_rebuild(&sliced, &g, false, &mut cache);
         // Different genome length.
         let longer = genes("1010 UUUU 1111");
@@ -709,13 +1574,15 @@ mod tests {
             encoded_size_incremental(&sliced, &g, true, &(0..1), false, &mut cache),
             IncrementalOutcome::NeedsFull
         );
-        // Edit spanning two chunks that both changed.
+        // An edit spanning two changed chunks is *not* a fallback anymore:
+        // the multi-chunk patch prices it.
         let mut two = g.clone();
         two[3] = Trit::X;
         two[4] = Trit::One;
+        let expect = encoded_size_scratch(&sliced, &two, false, &mut EvalScratch::new());
         assert_eq!(
             encoded_size_incremental(&sliced, &two, false, &(3..5), false, &mut cache),
-            IncrementalOutcome::NeedsFull
+            IncrementalOutcome::Size(expect)
         );
     }
 

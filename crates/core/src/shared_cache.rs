@@ -1,0 +1,370 @@
+//! A sharded, read-mostly parent-cache shared across worker threads.
+//!
+//! PR 4's incremental path kept one LRU list of [`EvalCache`]s *per worker
+//! state*, so a hot elite parent — bred against by most of a generation's
+//! children — was rebuilt and stored once per thread. This module hoists
+//! the caches into one [`SharedParentCache`] owned by the evaluator (which
+//! every worker already borrows): a parent is rebuilt **once**, its entry
+//! is immutable from then on, and every thread prices children against it
+//! through the read-only [`crate::encoded_size_probe`] with a per-thread
+//! [`crate::PatchScratch`].
+//!
+//! # Design
+//!
+//! * **Content-keyed.** Entries are keyed by the exact genome, so a hit is
+//!   never a hash gamble and entries stay valid across generations however
+//!   selection reshuffles the population. Genomes hash (FNV-1a) to a shard;
+//!   lookups take that shard's read lock only — concurrent readers never
+//!   block each other, and writes (first sighting of a parent) are rare by
+//!   construction in the EA's steady state. Callers that hold on to a
+//!   returned [`Arc<ParentEntry>`] (see `MvFitness`'s per-worker hot slots)
+//!   price repeat children of the same parent with **no** locking at all —
+//!   an entry is immutable and remains valid even after eviction.
+//! * **Bounded.** Each shard holds at most `shard_capacity` entries; beyond
+//!   that the entry with the oldest *use stamp* is evicted. The stamp is a
+//!   generation counter bumped once per evaluation batch
+//!   ([`SharedParentCache::bump_generation`]), so eviction discards parents
+//!   that stopped breeding, and a long run's footprint stays flat at
+//!   `shards × shard_capacity` entries no matter how many individuals it
+//!   churns through (enforced by tests).
+//! * **Observable, never semantic.** Hit/miss/fallback counters feed
+//!   [`evotc_evo::CacheStats`] on the engine's per-generation stats. Under
+//!   concurrent evaluation two workers can race to build the same parent —
+//!   both count a miss, both build bit-identical entries, and the insert
+//!   keeps one — so the counters are approximate under parallelism while
+//!   scores remain exactly deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use evotc_bits::Trit;
+use evotc_evo::CacheStats;
+
+use crate::incremental::EvalCache;
+
+/// One cached parent: the exact genome and its fully evaluated covering
+/// state. Immutable after construction — the shared cache never mutates an
+/// entry, it only inserts and evicts whole entries.
+#[derive(Debug)]
+pub struct ParentEntry {
+    genome: Vec<Trit>,
+    cache: EvalCache,
+    /// Generation stamp of the last lookup that returned this entry.
+    last_used: AtomicU64,
+}
+
+impl ParentEntry {
+    /// The exact genome this entry was built from.
+    pub fn genome(&self) -> &[Trit] {
+        &self.genome
+    }
+
+    /// The parent's covering state, for [`crate::encoded_size_probe`].
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+}
+
+/// A bounded, sharded, content-keyed store of parent [`EvalCache`]s shared
+/// by every fitness worker thread. See the [module docs](self).
+#[derive(Debug)]
+pub struct SharedParentCache {
+    shards: Box<[RwLock<Vec<Arc<ParentEntry>>>]>,
+    shard_capacity: usize,
+    /// Generation stamp driving eviction; bumped per evaluation batch.
+    stamp: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl SharedParentCache {
+    /// Creates a cache of `shards` independent shards holding at most
+    /// `shard_capacity` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is zero.
+    pub fn new(shards: usize, shard_capacity: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        assert!(shard_capacity > 0, "shard capacity must be positive");
+        SharedParentCache {
+            shards: (0..shards).map(|_| RwLock::new(Vec::new())).collect(),
+            shard_capacity,
+            stamp: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Hard bound on retained entries: `shards × shard_capacity`. A run's
+    /// cache footprint can never exceed it, plus up to a hot-slot's worth
+    /// of evicted entries pinned per worker state (those `Arc`s live in the
+    /// evaluator's worker pool until LRU-displaced) — still a constant,
+    /// never proportional to the individuals a run churns through.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shard_capacity
+    }
+
+    /// Number of entries currently retained, over all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().map(|shard| shard.len()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Returns `true` if no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Advances the generation stamp. The evaluator calls this once per
+    /// lineage batch, so eviction ranks parents by the last *generation*
+    /// that bred from them rather than by raw lookup order.
+    pub fn bump_generation(&self) {
+        self.stamp.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks up the entry for an exact genome, stamping it as used. Read
+    /// lock only; `None` means no thread has built this parent yet (or it
+    /// was evicted).
+    pub fn get(&self, genome: &[Trit]) -> Option<Arc<ParentEntry>> {
+        let shard = &self.shards[self.shard_of(genome)];
+        let guard = shard.read().ok()?;
+        let entry = guard.iter().find(|e| e.genome == genome)?;
+        entry
+            .last_used
+            .store(self.stamp.load(Ordering::Relaxed), Ordering::Relaxed);
+        Some(Arc::clone(entry))
+    }
+
+    /// Inserts a freshly built parent cache, evicting the stalest entry if
+    /// the shard is full, and returns the retained entry.
+    ///
+    /// If another thread inserted the same genome in the meantime the
+    /// existing entry wins and `cache` is dropped — both are bit-identical
+    /// by the incremental engine's equivalence guarantee, so which build
+    /// survives is unobservable. Callers should build `cache` *before*
+    /// calling (outside any lock).
+    pub fn insert(&self, genome: &[Trit], cache: EvalCache) -> Arc<ParentEntry> {
+        let stamp = self.stamp.load(Ordering::Relaxed);
+        let entry = Arc::new(ParentEntry {
+            genome: genome.to_vec(),
+            cache,
+            last_used: AtomicU64::new(stamp),
+        });
+        let shard = &self.shards[self.shard_of(genome)];
+        let mut guard = match shard.write() {
+            Ok(guard) => guard,
+            // A poisoned shard (a panicking worker) degrades to not
+            // caching; the entry still serves this caller.
+            Err(_) => return entry,
+        };
+        if let Some(existing) = guard.iter().find(|e| e.genome == genome) {
+            existing.last_used.store(stamp, Ordering::Relaxed);
+            return Arc::clone(existing);
+        }
+        if guard.len() >= self.shard_capacity {
+            let stalest = guard
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("full shard is non-empty");
+            guard.swap_remove(stalest);
+        }
+        guard.push(Arc::clone(&entry));
+        entry
+    }
+
+    /// Counts a child priced off a cached parent.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a parent cache built from scratch.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a child that fell back to the full kernel.
+    pub fn record_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the cumulative counters (approximate under concurrent
+    /// evaluation; see the [module docs](self)).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// FNV-1a over the genome's trit indices, reduced to a shard index.
+    fn shard_of(&self, genome: &[Trit]) -> usize {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &t in genome {
+            hash ^= t.index() as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::encoded_size_rebuild;
+    use evotc_bits::{BlockHistogram, SlicedHistogram, TestSet, TestSetString};
+
+    fn sliced() -> SlicedHistogram {
+        let set = TestSet::parse(&["1010", "0101", "1111"]).unwrap();
+        let hist = BlockHistogram::from_string(&TestSetString::new(&set, 4));
+        SlicedHistogram::from_histogram(&hist)
+    }
+
+    /// A deterministic family of distinct 8-gene genomes.
+    fn genome(n: usize) -> Vec<Trit> {
+        (0..8)
+            .map(|j| Trit::from_index(((n >> j) % 3) as u8))
+            .collect()
+    }
+
+    fn built(sliced: &SlicedHistogram, genes: &[Trit]) -> EvalCache {
+        let mut cache = EvalCache::new();
+        encoded_size_rebuild(sliced, genes, false, &mut cache);
+        cache
+    }
+
+    #[test]
+    fn get_after_insert_returns_the_same_entry() {
+        let sliced = sliced();
+        let shared = SharedParentCache::new(4, 4);
+        let g = genome(1);
+        assert!(shared.get(&g).is_none());
+        let inserted = shared.insert(&g, built(&sliced, &g));
+        let found = shared.get(&g).expect("entry is retained");
+        assert!(Arc::ptr_eq(&inserted, &found));
+        assert_eq!(found.genome(), &g[..]);
+        assert!(found.cache().is_warm());
+    }
+
+    #[test]
+    fn double_insert_keeps_one_entry() {
+        let sliced = sliced();
+        let shared = SharedParentCache::new(2, 4);
+        let g = genome(2);
+        let a = shared.insert(&g, built(&sliced, &g));
+        let b = shared.insert(&g, built(&sliced, &g));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn footprint_stays_flat_over_a_long_run() {
+        // The memory-hygiene bound: hundreds of distinct parents churn
+        // through, the retained entry count never exceeds the capacity.
+        let sliced = sliced();
+        let shared = SharedParentCache::new(4, 2);
+        assert_eq!(shared.capacity(), 8);
+        for generation in 0..100 {
+            shared.bump_generation();
+            for c in 0..4 {
+                let g = genome(3 * generation + c + 1);
+                if shared.get(&g).is_none() {
+                    shared.insert(&g, built(&sliced, &g));
+                }
+            }
+            assert!(
+                shared.len() <= shared.capacity(),
+                "generation {generation}: {} entries > capacity {}",
+                shared.len(),
+                shared.capacity()
+            );
+        }
+        assert!(!shared.is_empty());
+    }
+
+    #[test]
+    fn eviction_discards_the_stalest_generation_first() {
+        let sliced = sliced();
+        // One shard, capacity 2: the entry untouched for the most
+        // generations is evicted.
+        let shared = SharedParentCache::new(1, 2);
+        let (old, hot, new) = (genome(11), genome(22), genome(33));
+        shared.insert(&old, built(&sliced, &old));
+        shared.insert(&hot, built(&sliced, &hot));
+        shared.bump_generation();
+        let _ = shared.get(&hot).expect("hot entry present"); // re-stamped
+        shared.bump_generation();
+        shared.insert(&new, built(&sliced, &new)); // evicts `old`
+        assert!(shared.get(&old).is_none(), "stale entry should be evicted");
+        assert!(shared.get(&hot).is_some());
+        assert!(shared.get(&new).is_some());
+    }
+
+    #[test]
+    fn evicted_entries_stay_usable_through_held_arcs() {
+        let sliced = sliced();
+        let shared = SharedParentCache::new(1, 1);
+        let g = genome(5);
+        let held = shared.insert(&g, built(&sliced, &g));
+        let other = genome(6);
+        shared.insert(&other, built(&sliced, &other)); // evicts `g`
+        assert!(shared.get(&g).is_none());
+        // The held Arc is still a perfectly valid (immutable) parent cache.
+        assert!(held.cache().is_warm());
+        assert_eq!(held.genome(), &g[..]);
+    }
+
+    #[test]
+    fn counters_accumulate_into_stats() {
+        let shared = SharedParentCache::new(1, 1);
+        shared.record_hit();
+        shared.record_hit();
+        shared.record_miss();
+        shared.record_fallback();
+        let stats = shared.stats();
+        assert_eq!((stats.hits, stats.misses, stats.fallbacks), (2, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_get_and_insert_stay_bounded() {
+        let sliced = sliced();
+        let shared = SharedParentCache::new(4, 2);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let shared = &shared;
+                let sliced = &sliced;
+                scope.spawn(move || {
+                    for n in 0..50 {
+                        let g = genome(t * 7 + n);
+                        let entry = match shared.get(&g) {
+                            Some(entry) => entry,
+                            None => shared.insert(&g, built(sliced, &g)),
+                        };
+                        assert_eq!(entry.genome(), &g[..]);
+                        assert!(entry.cache().is_warm());
+                    }
+                });
+            }
+        });
+        assert!(shared.len() <= shared.capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_are_rejected() {
+        let _ = SharedParentCache::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = SharedParentCache::new(1, 0);
+    }
+}

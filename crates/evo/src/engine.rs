@@ -54,6 +54,10 @@ pub struct EaResult<G> {
     /// Wall-clock duration of the run (not part of the determinism
     /// contract).
     pub elapsed: Duration,
+    /// Final evaluation-cache counters, when the fitness evaluator keeps a
+    /// lineage cache (see [`FitnessEval::cache_stats`]). Observability only
+    /// — like [`EaResult::elapsed`], not part of the determinism contract.
+    pub cache: Option<crate::CacheStats>,
 }
 
 impl<G> EaResult<G> {
@@ -158,6 +162,7 @@ where
         sort_by_fitness(&mut population);
 
         let mut history = Vec::new();
+        let fitness = &self.fitness;
         let record = |population: &[Individual<G>], generation: u64, evaluations: u64| {
             let best = population.first().map_or(f64::NEG_INFINITY, |i| i.fitness);
             let mean = population.iter().map(|i| i.fitness).sum::<f64>() / population.len() as f64;
@@ -167,6 +172,7 @@ where
                 mean_fitness: mean,
                 evaluations,
                 elapsed: start.elapsed(),
+                cache: fitness.cache_stats(),
             }
         };
         let initial = record(&population, 0, evaluations);
@@ -198,19 +204,25 @@ where
                         &mut x,
                         &mut y,
                     );
-                    // Outside the swapped window each child equals the
-                    // parent it was copied from.
+                    // Per-child edit contract: both children record the
+                    // *same* swapped window, and that is correct for each —
+                    // child `x` equals `pa` outside the window and `pb`
+                    // inside it (child `y` is the mirror image), so the
+                    // window bounds every position where a child can differ
+                    // from its primary parent. The genes that *actually*
+                    // changed are only those where the parents disagree
+                    // inside the window; lineage deliberately does not
+                    // narrow to them — evaluators diff at their own patch
+                    // granularity (e.g. per MV chunk), which subsumes any
+                    // per-child trimming here. The window-content donor is
+                    // recorded as the second parent so an evaluator holding
+                    // only *its* partial results can still price the child
+                    // (see `Lineage::second_parent`).
                     children.push(x);
-                    lineages.push(Some(Lineage {
-                        parent_idx: pa,
-                        edit: window.clone(),
-                    }));
+                    lineages.push(Some(Lineage::crossover(pa, window.clone(), pb)));
                     if children.len() < c {
                         children.push(y);
-                        lineages.push(Some(Lineage {
-                            parent_idx: pb,
-                            edit: window,
-                        }));
+                        lineages.push(Some(Lineage::crossover(pb, window, pa)));
                     } else {
                         pool.push(y);
                     }
@@ -225,10 +237,7 @@ where
                         &mut child,
                     );
                     children.push(child);
-                    lineages.push(Some(Lineage {
-                        parent_idx: pa,
-                        edit,
-                    }));
+                    lineages.push(Some(Lineage::new(pa, edit)));
                 } else if roll
                     < self.config.crossover_probability
                         + self.config.mutation_probability
@@ -237,10 +246,7 @@ where
                     let mut child = pool.pop().unwrap_or_default();
                     let edit = operators::invert_into(&population[pa].genes, &mut rng, &mut child);
                     children.push(child);
-                    lineages.push(Some(Lineage {
-                        parent_idx: pa,
-                        edit,
-                    }));
+                    lineages.push(Some(Lineage::new(pa, edit)));
                 } else {
                     // Reproduction: copy a parent unchanged. The empty edit
                     // range tells the evaluator it is an exact copy.
@@ -248,10 +254,7 @@ where
                     child.clear();
                     child.extend_from_slice(&population[pa].genes);
                     children.push(child);
-                    lineages.push(Some(Lineage {
-                        parent_idx: pa,
-                        edit: 0..0,
-                    }));
+                    lineages.push(Some(Lineage::new(pa, 0..0)));
                 }
             }
             evaluations += children.len() as u64;
@@ -295,6 +298,7 @@ where
             evaluations,
             history,
             elapsed: start.elapsed(),
+            cache: self.fitness.cache_stats(),
         }
     }
 }
@@ -436,6 +440,14 @@ mod tests {
                     assert!(lin.edit.end <= genes.len(), "edit range out of bounds");
                     for k in (0..genes.len()).filter(|k| !lin.edit.contains(k)) {
                         assert_eq!(genes[k], parent[k], "child differs outside {:?}", lin.edit);
+                    }
+                    // Crossover children name the window-content donor and
+                    // must equal it at every position *inside* the window.
+                    if let Some(second) = lin.second_parent {
+                        let donor = parents[second];
+                        for k in lin.edit.clone() {
+                            assert_eq!(genes[k], donor[k], "child differs from donor inside");
+                        }
                     }
                     *slot = self.evaluate(genes);
                 }

@@ -1,29 +1,65 @@
 //! Batch-oriented fitness evaluation.
 
 use crate::operators::GeneRange;
+use crate::stats::CacheStats;
 
 /// Parent→child provenance of one genome in a batch: which parent it was
 /// derived from and which gene window the deriving operator may have edited.
 ///
 /// The engine records a lineage for every child it breeds — crossover
 /// children point at the parent that contributed the genes *outside* the
-/// swapped window, mutation and inversion children at their single parent,
-/// and reproduction children carry an **empty** edit range (the child is a
-/// verbatim copy). The contract mirrors the operators' (see
-/// [`crate::operators`]): every position outside `edit` equals the parent's
-/// gene; positions inside may or may not differ.
+/// swapped window (with the window's *content donor* recorded as
+/// [`Lineage::second_parent`]), mutation and inversion children at their
+/// single parent, and reproduction children carry an **empty** edit range
+/// (the child is a verbatim copy). The contract mirrors the operators' (see
+/// [`crate::operators`]): every position outside `edit` equals the primary
+/// parent's gene; positions inside may or may not differ.
+///
+/// Relative to the **second** parent the contract is the mirror image: the
+/// child equals it at every position *inside* `edit` and may differ
+/// anywhere outside. An evaluator holding only the second parent's partial
+/// results can therefore still price the child — the edit window relative
+/// to that parent is the window's complement (conservatively, the whole
+/// genome, diffed at whatever granularity the evaluator patches at).
 ///
 /// Evaluators that can reuse a parent's partial results (see
 /// [`FitnessEval::evaluate_batch_with_lineage`]) use this to make a child's
 /// evaluation proportional to the edit instead of the genome.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lineage {
-    /// Index of the parent in the `parents` slice handed to
-    /// [`FitnessEval::evaluate_batch_with_lineage`].
+    /// Index of the primary parent in the `parents` slice handed to
+    /// [`FitnessEval::evaluate_batch_with_lineage`] — the parent the child
+    /// equals outside [`Lineage::edit`].
     pub parent_idx: usize,
     /// Gene window possibly differing from that parent (`start..end`,
     /// half-open). Empty means the child is an exact copy.
     pub edit: GeneRange,
+    /// For crossover children, the index of the other parent — the one that
+    /// contributed the genes **inside** [`Lineage::edit`]. `None` for
+    /// single-parent operators (mutation, inversion, reproduction).
+    pub second_parent: Option<usize>,
+}
+
+impl Lineage {
+    /// Provenance of a single-parent child: equals `parents[parent_idx]`
+    /// outside `edit`.
+    pub fn new(parent_idx: usize, edit: GeneRange) -> Self {
+        Lineage {
+            parent_idx,
+            edit,
+            second_parent: None,
+        }
+    }
+
+    /// Provenance of a crossover child: equals `parents[parent_idx]`
+    /// outside `edit` and `parents[second_parent]` inside it.
+    pub fn crossover(parent_idx: usize, edit: GeneRange, second_parent: usize) -> Self {
+        Lineage {
+            parent_idx,
+            edit,
+            second_parent: Some(second_parent),
+        }
+    }
 }
 
 /// Fitness of fixed-length genomes over gene type `G`; higher is better.
@@ -104,6 +140,18 @@ pub trait FitnessEval<G> {
         let _ = parents;
         self.evaluate_batch(genomes, out);
     }
+
+    /// Cumulative evaluation-cache counters, when this evaluator keeps a
+    /// lineage cache (see [`CacheStats`]). The engine snapshots this after
+    /// every generation into [`crate::GenerationStats::cache`], so cache
+    /// effectiveness is observable per run, not just in micro-benchmarks.
+    ///
+    /// The default (evaluators without a cache) reports `None`. Counters
+    /// must be monotone non-decreasing and must never influence scores —
+    /// they are observability, like wall-clock time.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 /// Every plain fitness closure is a batch evaluator.
@@ -141,14 +189,8 @@ mod tests {
         let genomes = vec![vec![1u8, 2], vec![1, 3]];
         let parents: Vec<&[u8]> = vec![&[1, 2]];
         let lineage = vec![
-            Some(Lineage {
-                parent_idx: 0,
-                edit: 0..0,
-            }),
-            Some(Lineage {
-                parent_idx: 0,
-                edit: 1..2,
-            }),
+            Some(Lineage::new(0, 0..0)),
+            Some(Lineage::crossover(0, 1..2, 0)),
         ];
         let mut with = vec![f64::NAN; 2];
         SumLen.evaluate_batch_with_lineage(&genomes, &lineage, &parents, &mut with);

@@ -60,4 +60,4 @@ pub use config::{EaConfig, EaConfigBuilder};
 pub use engine::{Ea, EaResult};
 pub use fitness::{FitnessEval, Lineage};
 pub use operators::GeneRange;
-pub use stats::{evals_per_sec, GenerationStats};
+pub use stats::{evals_per_sec, CacheStats, GenerationStats};

@@ -229,12 +229,7 @@ mod tests {
         let parents = genomes(3);
         let parent_refs: Vec<&[bool]> = parents.iter().map(Vec::as_slice).collect();
         let lineage: Vec<Option<Lineage>> = (0..g.len())
-            .map(|i| {
-                (i % 3 != 0).then(|| Lineage {
-                    parent_idx: i % parents.len(),
-                    edit: 0..i % 5,
-                })
-            })
+            .map(|i| (i % 3 != 0).then(|| Lineage::new(i % parents.len(), 0..i % 5)))
             .collect();
         let plain = evaluate(&one_max, &g, 1);
         let mut scores = Vec::new();

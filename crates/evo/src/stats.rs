@@ -3,6 +3,51 @@
 use std::fmt;
 use std::time::Duration;
 
+/// Cumulative evaluation-cache counters of a lineage-aware fitness
+/// evaluator (see [`crate::FitnessEval::cache_stats`]).
+///
+/// Counters are observability, not semantics: scores are bit-identical
+/// whether or not a cache hit happened, and under concurrent evaluation the
+/// exact hit/miss split may vary run to run (two workers can race to build
+/// the same parent cache). Like [`GenerationStats::elapsed`], exclude these
+/// from trajectory comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Children priced against an already-cached parent (incremental path).
+    pub hits: u64,
+    /// Parent caches built from a full evaluation (first sighting).
+    pub misses: u64,
+    /// Children that fell back to the full kernel (unusable lineage or a
+    /// `NeedsFull` answer from the incremental engine).
+    pub fallbacks: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lineage evaluations served from a cached parent, in
+    /// `0.0..=1.0`; `0.0` before any evaluation happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses / {} fallbacks ({:.0}% hit rate)",
+            self.hits,
+            self.misses,
+            self.fallbacks,
+            100.0 * self.hit_rate()
+        )
+    }
+}
+
 /// Fitness statistics of one generation.
 ///
 /// Collected by [`crate::Ea::run`]; useful for convergence plots, for the
@@ -21,6 +66,11 @@ pub struct GenerationStats {
     /// Wall-clock time since the run started. The only non-deterministic
     /// field: exclude it when comparing trajectories across runs.
     pub elapsed: Duration,
+    /// Cumulative evaluation-cache counters, when the fitness evaluator
+    /// reports them (see [`crate::FitnessEval::cache_stats`]); `None` for
+    /// evaluators without a cache. Observability only — exclude from
+    /// trajectory comparisons, like [`GenerationStats::elapsed`].
+    pub cache: Option<CacheStats>,
 }
 
 /// Fitness-evaluation throughput: `evaluations / elapsed` in evaluations
@@ -68,7 +118,21 @@ mod tests {
             mean_fitness: 0.25,
             evaluations,
             elapsed,
+            cache: None,
         }
+    }
+
+    #[test]
+    fn cache_stats_report_hit_rate_and_display() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            fallbacks: 0,
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        let s = stats.to_string();
+        assert!(s.contains("3 hits") && s.contains("75% hit rate"), "{s}");
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -176,6 +176,65 @@ fn lineage_cache_never_changes_the_ea_trajectory() {
 }
 
 #[test]
+fn shared_cache_trajectory_is_identical_for_any_thread_count() {
+    // The shared parent cache is probed concurrently by every worker thread
+    // (`MvFitness` holds one `SharedParentCache`; workers race on lookups
+    // and inserts). Whatever the interleaving — and whoever wins a race to
+    // build a parent entry — the *trajectory* must be byte-identical for
+    // every thread count and across repeated runs: the cache changes how
+    // much a score costs, never the score. (Cache hit/miss counters are the
+    // one explicitly non-deterministic observable, like wall-clock.)
+    let set = workload();
+    let string = TestSetString::try_new(&set, 12).expect("K=12 fits the workload");
+    let histogram = BlockHistogram::from_string(&string);
+    let bits = string.payload_bits() as f64;
+    let run = |threads: usize| {
+        let config = EaConfig::builder()
+            .population_size(10)
+            .children_per_generation(6)
+            .stagnation_limit(20)
+            .max_evaluations(600)
+            .seed(17)
+            .threads(threads)
+            .build();
+        Ea::new(
+            config,
+            12 * 16,
+            |rng: &mut rand::rngs::StdRng| Trit::from_index(rng.gen_range(0..3u8)),
+            MvFitness::new(12, true, &histogram, bits),
+        )
+        .run()
+    };
+    let reference = run(1);
+    // The run reports cache counters, and the steady state actually hits.
+    let stats = reference.cache.expect("MvFitness reports cache stats");
+    assert!(
+        stats.hits > 0,
+        "no shared-cache hits in a whole run: {stats}"
+    );
+    for threads in THREAD_COUNTS {
+        for repeat in 0..2 {
+            let other = run(threads);
+            assert_eq!(
+                other.best_genome, reference.best_genome,
+                "t={threads} repeat={repeat}"
+            );
+            assert_eq!(
+                other.best_fitness.to_bits(),
+                reference.best_fitness.to_bits()
+            );
+            assert_eq!(other.generations, reference.generations);
+            assert_eq!(other.evaluations, reference.evaluations);
+            for (a, b) in other.history.iter().zip(&reference.history) {
+                assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+                assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
+                assert_eq!(a.evaluations, b.evaluations);
+            }
+        }
+    }
+}
+
+#[test]
 fn explicit_threads_beat_the_env_override() {
     // `resolve_threads` takes an explicit count literally; only `0` (auto)
     // consults EVOTC_TEST_THREADS. Explicitly-threaded runs therefore stay

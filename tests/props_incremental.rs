@@ -1,17 +1,20 @@
 //! Property tests pinning the incremental fitness path to the full kernel:
-//! an arbitrary chain of single-gene mutations, evaluated incrementally
-//! against the evolving [`EvalCache`], must produce the **bit-identical**
-//! encoded size / fitness that `encoded_size_scratch` computes from scratch
-//! at every step — including edits that flip feasibility (covering
-//! becomes/ceases to be possible) and edits that create or remove duplicate
-//! MVs.
+//! an arbitrary chain of edits — single-gene mutations, multi-chunk
+//! inversion windows straddling chunk boundaries, crossover children priced
+//! against either parent's cache — evaluated incrementally against the
+//! [`EvalCache`], must produce the **bit-identical** encoded size / fitness
+//! that `encoded_size_scratch` computes from scratch at every step —
+//! including edits that flip feasibility (covering becomes/ceases to be
+//! possible) and edits that create or remove duplicate MVs. The shared
+//! read-only probe ([`encoded_size_probe`]) and the concurrent shared-cache
+//! path of `MvFitness` are pinned to the same oracle.
 
 use evotc::bits::{BlockHistogram, SlicedHistogram, TestPattern, TestSet, TestSetString, Trit};
 use evotc::core::{
-    encoded_size_incremental, encoded_size_rebuild, encoded_size_scratch, EvalCache, EvalScratch,
-    IncrementalOutcome, MvFitness,
+    encoded_size_incremental, encoded_size_probe, encoded_size_rebuild, encoded_size_scratch,
+    EvalCache, EvalScratch, IncrementalOutcome, MvFitness, PatchScratch,
 };
-use evotc::evo::{FitnessEval, Lineage};
+use evotc::evo::{parallel, FitnessEval, Lineage};
 use proptest::prelude::*;
 
 fn arb_trits(len: usize) -> impl Strategy<Value = Vec<Trit>> {
@@ -189,9 +192,9 @@ proptest! {
             match n % 3 {
                 0 => {
                     child[pos] = gene;
-                    lineage.push(Some(Lineage { parent_idx, edit: pos..pos + 1 }));
+                    lineage.push(Some(Lineage::new(parent_idx, pos..pos + 1)));
                 }
-                1 => lineage.push(Some(Lineage { parent_idx, edit: 0..0 })), // copy
+                1 => lineage.push(Some(Lineage::new(parent_idx, 0..0))), // copy
                 _ => {
                     child[pos] = gene;
                     lineage.push(None); // provenance lost -> full path
@@ -205,6 +208,145 @@ proptest! {
         fitness.evaluate_batch(&genomes, &mut without);
         for (i, (a, b)) in with.iter().zip(&without).enumerate() {
             prop_assert_eq!(a.to_bits(), b.to_bits(), "genome {}", i);
+        }
+    }
+
+    /// Multi-chunk inversion chains: windows straddling chunk boundaries,
+    /// committed step by step, must price bit-identically to the full
+    /// kernel — and the read-only shared probe must agree at every step.
+    #[test]
+    fn inversion_chains_straddling_chunks_match_full_kernel(
+        rows in proptest::collection::vec(arb_trits(12), 1..8),
+        start in arb_trits(36),
+        windows in proptest::collection::vec((0..36usize, 2..20usize), 1..16),
+    ) {
+        for &(k, l) in &[(6usize, 6usize), (12, 3)] {
+            let (hist, _) = histogram_for(&rows, k);
+            let sliced = SlicedHistogram::from_histogram(&hist);
+            for force in [false, true] {
+                let mut genome = start[..k * l].to_vec();
+                let mut cache = EvalCache::new();
+                let mut scratch = EvalScratch::new();
+                let mut probe_scratch = PatchScratch::new();
+                encoded_size_rebuild(&sliced, &genome, force, &mut cache);
+                for &(at, span) in &windows {
+                    let lo = at.min(genome.len() - 1);
+                    let hi = (lo + span).min(genome.len());
+                    genome[lo..hi].reverse();
+                    let edit = lo..hi;
+                    let expect = encoded_size_scratch(&sliced, &genome, force, &mut scratch);
+                    let probe = encoded_size_probe(
+                        &sliced, &genome, force, &edit, &cache, &mut probe_scratch,
+                    );
+                    prop_assert_eq!(probe, IncrementalOutcome::Size(expect), "probe {:?}", &edit);
+                    let commit = encoded_size_incremental(
+                        &sliced, &genome, force, &edit, true, &mut cache,
+                    );
+                    prop_assert_eq!(commit, IncrementalOutcome::Size(expect), "commit {:?}", &edit);
+                }
+            }
+        }
+    }
+
+    /// Crossover children priced via the parent-diff path: against the
+    /// outside parent through the swapped window, and against the
+    /// window-content donor through a whole-genome diff — both must match
+    /// the full kernel, and `MvFitness`'s lineage batch (which picks
+    /// whichever parent is cached) must match the plain batch.
+    #[test]
+    fn crossover_children_priced_by_parent_diff_match_plain_batch(
+        rows in proptest::collection::vec(arb_trits(12), 1..8),
+        parent_a in arb_trits(24),
+        parent_b in arb_trits(24),
+        windows in proptest::collection::vec((0..24usize, 1..24usize), 1..10),
+    ) {
+        let (hist, bits) = histogram_for(&rows, 6);
+        let sliced = SlicedHistogram::from_histogram(&hist);
+        let mut cache_a = EvalCache::new();
+        let mut cache_b = EvalCache::new();
+        encoded_size_rebuild(&sliced, &parent_a, true, &mut cache_a);
+        encoded_size_rebuild(&sliced, &parent_b, true, &mut cache_b);
+        let mut scratch = EvalScratch::new();
+        let mut probe_scratch = PatchScratch::new();
+        let mut genomes = Vec::new();
+        let mut lineage = Vec::new();
+        for &(at, span) in &windows {
+            let lo = at.min(parent_a.len() - 1);
+            let hi = (lo + span).min(parent_a.len());
+            let mut child = parent_a.clone();
+            child[lo..hi].copy_from_slice(&parent_b[lo..hi]);
+            let expect = encoded_size_scratch(&sliced, &child, true, &mut scratch);
+            // Outside parent: the swapped window is the edit.
+            let via_a = encoded_size_probe(
+                &sliced, &child, true, &(lo..hi), &cache_a, &mut probe_scratch,
+            );
+            prop_assert_eq!(via_a, IncrementalOutcome::Size(expect), "via parent A {}..{}", lo, hi);
+            // Donor parent: the edit is conservatively the whole genome;
+            // the probe diffs it chunk-wise.
+            let via_b = encoded_size_probe(
+                &sliced, &child, true, &(0..child.len()), &cache_b, &mut probe_scratch,
+            );
+            prop_assert_eq!(via_b, IncrementalOutcome::Size(expect), "via parent B {}..{}", lo, hi);
+            lineage.push(Some(Lineage::crossover(0, lo..hi, 1)));
+            genomes.push(child);
+        }
+        let fitness = MvFitness::new(6, true, &hist, bits);
+        let parents: Vec<&[Trit]> = vec![&parent_a, &parent_b];
+        let mut with = vec![f64::NAN; genomes.len()];
+        fitness.evaluate_batch_with_lineage(&genomes, &lineage, &parents, &mut with);
+        let mut without = vec![f64::NAN; genomes.len()];
+        fitness.evaluate_batch(&genomes, &mut without);
+        for (i, (a, b)) in with.iter().zip(&without).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "genome {}", i);
+        }
+    }
+
+    /// Concurrent probes against the shared parent cache: the same lineage
+    /// batch evaluated on 1 and 4 worker threads (all sharing one
+    /// `MvFitness`, i.e. one shared cache) must match the plain batch
+    /// bit-for-bit. CI additionally runs the whole suite under
+    /// `EVOTC_TEST_THREADS=4`, so the auto-threaded engine tests exercise
+    /// the same concurrency.
+    #[test]
+    fn shared_cache_concurrent_probes_match_plain_batch(
+        rows in proptest::collection::vec(arb_trits(12), 1..6),
+        parent_genomes in proptest::collection::vec(arb_trits(24), 2..4),
+        edits in arb_chain(24, 24),
+    ) {
+        let (hist, bits) = histogram_for(&rows, 6);
+        let fitness = MvFitness::new(6, true, &hist, bits);
+        let parents: Vec<&[Trit]> = parent_genomes.iter().map(Vec::as_slice).collect();
+        let mut genomes = Vec::new();
+        let mut lineage = Vec::new();
+        for (n, &(pos, gene)) in edits.iter().enumerate() {
+            let parent_idx = n % parents.len();
+            let mut child = parent_genomes[parent_idx].clone();
+            match n % 3 {
+                0 => {
+                    child[pos] = gene;
+                    lineage.push(Some(Lineage::new(parent_idx, pos..pos + 1)));
+                }
+                1 => {
+                    // A multi-chunk window child of two parents.
+                    let donor = (parent_idx + 1) % parents.len();
+                    let hi = (pos + 13).min(child.len());
+                    child[pos..hi].copy_from_slice(&parent_genomes[donor][pos..hi]);
+                    lineage.push(Some(Lineage::crossover(parent_idx, pos..hi, donor)));
+                }
+                _ => lineage.push(Some(Lineage::new(parent_idx, 0..0))), // copy
+            }
+            genomes.push(child);
+        }
+        let mut plain = vec![f64::NAN; genomes.len()];
+        fitness.evaluate_batch(&genomes, &mut plain);
+        let mut scores = Vec::new();
+        for threads in [1, 4] {
+            parallel::evaluate_lineage_into(
+                &fitness, &genomes, &lineage, &parents, threads, &mut scores,
+            );
+            for (i, (a, b)) in scores.iter().zip(&plain).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "genome {} threads {}", i, threads);
+            }
         }
     }
 
