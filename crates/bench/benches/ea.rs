@@ -1,7 +1,7 @@
 //! Criterion benchmarks of the evolutionary engine itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use evotc_evo::{operators, Ea, EaConfig};
+use evotc_evo::{operators, EaBuilder, EaConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,12 +28,12 @@ fn bench_generations(c: &mut Criterion) {
                 .max_generations(100)
                 .seed(1)
                 .build();
-            Ea::new(
-                config,
+            EaBuilder::new(
                 64,
                 |rng| rng.gen::<bool>(),
                 |g: &[bool]| g.iter().filter(|&&x| x).count() as f64,
             )
+            .config(config)
             .run()
         })
     });

@@ -41,7 +41,7 @@ use evotc_core::{
     encoded_size_probe, encoded_size_rebuild, encoded_size_scratch, EvalCache, EvalScratch,
     IncrementalOutcome, MvFitness, PatchScratch,
 };
-use evotc_evo::{Ea, EaConfig, FitnessEval};
+use evotc_evo::{EaBuilder, EaConfig, FitnessEval};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -128,12 +128,12 @@ fn evolved_parent_and_partners(
         .seed(5)
         .threads(1)
         .build();
-    let evolved = Ea::new(
-        config,
+    let evolved = EaBuilder::new(
         GENOME_LEN,
         |rng: &mut StdRng| Trit::from_index(rng.gen_range(0..3u8)),
         fitness,
     )
+    .config(config)
     .run()
     .best_genome;
     let mut rng = StdRng::seed_from_u64(99);
@@ -242,11 +242,45 @@ fn main() {
             }
         }
     }
+    // Correctness gate 4: an island-topology run must be byte-identical for
+    // every thread count at a fixed seed — the engine's determinism contract
+    // extended from fitness batches to whole runs.
+    let island_run = |threads: usize| {
+        let config = EaConfig::builder()
+            .stagnation_limit(usize::MAX)
+            .max_evaluations(3_000)
+            .islands(4, 5, 2)
+            .seed(3)
+            .threads(threads)
+            .build();
+        EaBuilder::new(
+            GENOME_LEN,
+            |rng: &mut StdRng| Trit::from_index(rng.gen_range(0..3u8)),
+            MvFitness::new(BLOCK_LEN, true, &histogram, payload_bits),
+        )
+        .config(config)
+        .run()
+    };
+    let island_ref = island_run(1);
+    for threads in [2, 4] {
+        let other = island_run(threads);
+        if other.best_genome != island_ref.best_genome
+            || other.best_fitness.to_bits() != island_ref.best_fitness.to_bits()
+            || other.generations != island_ref.generations
+            || other.evaluations != island_ref.evaluations
+        {
+            fail(&format!(
+                "island run diverged between threads=1 and threads={threads}"
+            ));
+        }
+    }
+
     if check_only {
         println!(
             "fitness kernel == legacy on {GENOMES} genomes; incremental == full on a \
              {CHAIN_LEN}-step mutation chain and on {CHAIN_LEN}-child multi-chunk \
-             crossover/inversion streams (K={BLOCK_LEN}, L={NUM_MVS})"
+             crossover/inversion streams; island runs thread-invariant \
+             (K={BLOCK_LEN}, L={NUM_MVS})"
         );
         return;
     }
@@ -344,8 +378,31 @@ fn main() {
         .threads(1)
         .build();
     let sample = |rng: &mut StdRng| Trit::from_index(rng.gen_range(0..3u8));
-    let result = Ea::new(ea_config.clone(), GENOME_LEN, sample, fitness.clone()).run();
-    let baseline = Ea::new(ea_config, GENOME_LEN, sample, NoLineage(fitness.clone())).run();
+    // Whole-run timings are single ~50 ms runs, so a noisy shared runner
+    // can distort any one of them badly; each run is repeated and the best
+    // throughput kept (the usual min-time estimator — the runs are
+    // deterministic, so they only differ by scheduler interference).
+    const EA_RUNS: usize = 5;
+    let best_of = |run: &dyn Fn() -> evotc_evo::EaResult<Trit>| {
+        let mut best = run();
+        for _ in 1..EA_RUNS {
+            let next = run();
+            if next.evaluations_per_sec() > best.evaluations_per_sec() {
+                best = next;
+            }
+        }
+        best
+    };
+    let result = best_of(&|| {
+        EaBuilder::new(GENOME_LEN, sample, fitness.clone())
+            .config(ea_config.clone())
+            .run()
+    });
+    let baseline = best_of(&|| {
+        EaBuilder::new(GENOME_LEN, sample, NoLineage(fitness.clone()))
+            .config(ea_config.clone())
+            .run()
+    });
     if result.best_fitness.to_bits() != baseline.best_fitness.to_bits() {
         fail("lineage cache changed the EA result");
     }
@@ -353,6 +410,27 @@ fn main() {
     let ea_full_eps = baseline.evaluations_per_sec();
     let ea_speedup = ea_eps / ea_full_eps;
     let ea_cache = result.cache.unwrap_or_default();
+
+    // Island-model throughput: the same budget split over per-thread
+    // subpopulations (auto thread count), ring migration every 10
+    // generations — the whole-run scaling mode. Per-island breeding and
+    // evaluation are serial within an island, so the scaling comes from
+    // islands running concurrently.
+    let island_config = EaConfig::builder()
+        .population_size(10)
+        .children_per_generation(5)
+        .stagnation_limit(usize::MAX)
+        .max_evaluations(20_000)
+        .islands(4, 10, 2)
+        .seed(3)
+        .build();
+    let island = best_of(&|| {
+        EaBuilder::new(GENOME_LEN, sample, fitness.clone())
+            .config(island_config.clone())
+            .run()
+    });
+    let ea_island_eps = island.evaluations_per_sec();
+    let ea_island_scaling = ea_island_eps / ea_eps;
 
     println!("workload               : s953 (K={BLOCK_LEN}, L={NUM_MVS})");
     println!("distinct blocks        : {}", histogram.num_distinct());
@@ -376,6 +454,8 @@ fn main() {
     println!("EA eval/s (cache off)  : {ea_full_eps:.0}");
     println!("EA whole-run speedup   : {ea_speedup:.2}x");
     println!("EA cache counters      : {ea_cache}");
+    println!("EA island eval/s       : {ea_island_eps:.0}");
+    println!("EA island scaling      : {ea_island_scaling:.2}x");
 
     let json = format!(
         "{{\n  \"bench\": \"fitness_kernel\",\n  \"workload\": \"s953\",\n  \"k\": {k},\n  \
@@ -397,6 +477,8 @@ fn main() {
          \"ea_evals_per_sec\": {ea_eps:.0},\n  \
          \"ea_full_evals_per_sec\": {ea_full_eps:.0},\n  \
          \"ea_speedup\": {ea_speedup:.2},\n  \
+         \"ea_island_evals_per_sec\": {ea_island_eps:.0},\n  \
+         \"ea_island_scaling\": {ea_island_scaling:.2},\n  \
          \"ea_cache_hits\": {hits},\n  \"ea_cache_misses\": {misses},\n  \
          \"ea_cache_fallbacks\": {fallbacks}\n}}\n",
         k = BLOCK_LEN,

@@ -1,14 +1,14 @@
 //! Evolutionary matching-vector determination (paper, Section 3.1).
 
 use evotc_bits::{BlockHistogram, TestSet, TestSetString, Trit};
-use evotc_evo::{CacheStats, Ea, EaConfig, FitnessEval, GenerationStats, Lineage};
+use evotc_evo::{CacheStats, EaBuilder, EaConfig, FitnessEval, GenerationStats, Lineage, Topology};
 use rand::Rng;
 use std::sync::Arc;
 
 use crate::incremental::{
-    encoded_size_incremental, encoded_size_probe, encoded_size_rebuild, IncrementalOutcome,
+    encoded_size_incremental, encoded_size_probe_bounded, encoded_size_rebuild, IncrementalOutcome,
 };
-use crate::shared_cache::{ParentEntry, SharedParentCache};
+use crate::shared_cache::{content_hash, ParentEntry, SharedParentCache};
 
 use crate::compressed::CompressedTestSet;
 use crate::encoding::{encode_with_mvs, encoded_size};
@@ -120,14 +120,14 @@ impl EaCompressor {
         // One immutable evaluator borrows the histogram; every worker thread
         // shares it instead of re-borrowing mutable closure state.
         let fitness = MvFitness::new(self.k, self.force_all_u, histogram, original_bits);
-        let mut ea = Ea::new(
-            self.config.clone(),
+        let mut ea = EaBuilder::new(
             self.k * self.l,
             |rng| Trit::from_index(rng.gen_range(0..3u8)),
             fitness,
-        );
+        )
+        .config(self.config.clone());
         if self.seed_ninec {
-            ea.seed_population([self.ninec_genome()]);
+            ea = ea.seed_population([self.ninec_genome()]);
         }
         let result = ea.run();
         let mvs = MvSet::from_genes(self.k, &result.best_genome, self.force_all_u)
@@ -248,6 +248,11 @@ struct LineageState {
     hot: Vec<(Arc<ParentEntry>, u64)>,
     /// Monotone use counter driving hot-slot replacement.
     tick: u64,
+    /// Per-batch lookup memo, indexed by parent position: `None` = not yet
+    /// looked up, `Some(result)` = the settled outcome. Parent slices are
+    /// immutable for the whole batch, so one hash + content check per
+    /// *distinct* parent serves every child that breeds from it.
+    memo: Vec<Option<Option<Arc<ParentEntry>>>>,
 }
 
 /// Hot-slot count per worker state: enough for the handful of parents a
@@ -375,19 +380,23 @@ impl<'a> MvFitness<'a> {
     fn evaluate_lineage_child(
         &self,
         genes: &[Trit],
-        parent: &[Trit],
-        second: Option<&[Trit]>,
+        parents: &[&[Trit]],
+        parent_idx: usize,
+        second_idx: Option<usize>,
         edit: &std::ops::Range<usize>,
         state: &mut LineageState,
     ) -> f64 {
+        let parent = parents[parent_idx];
         // A parent the rebuild would reject (or whose length differs from
         // the child's) cannot seed a cache; score the child standalone.
         if parent.is_empty() || parent.len() % self.k != 0 || parent.len() != genes.len() {
             self.shared.record_fallback();
             return self.evaluate_scratch(genes, &mut state.scratch);
         }
-        if let Some(entry) = self.lookup(parent, state) {
-            if let IncrementalOutcome::Size(size) = encoded_size_probe(
+        let primary = self.lookup_memo(parents, parent_idx, state);
+        let primary_cached = primary.is_some();
+        if let Some(entry) = primary {
+            if let IncrementalOutcome::Size(size) = encoded_size_probe_bounded(
                 &self.sliced,
                 genes,
                 self.force_all_u,
@@ -402,10 +411,11 @@ impl<'a> MvFitness<'a> {
         // The crossover donor path: the child equals `second` inside the
         // window and `parent` outside, so relative to a cached donor the
         // edit is conservatively the whole genome — the probe diffs it
-        // chunk-wise and patches only real differences.
-        if let Some(donor) = second.filter(|donor| donor.len() == genes.len()) {
-            if let Some(entry) = self.lookup(donor, state) {
-                if let IncrementalOutcome::Size(size) = encoded_size_probe(
+        // chunk-wise and patches only real differences (which is why it can
+        // pass the cost gate even when the primary's window did not).
+        if let Some(donor_idx) = second_idx.filter(|&i| parents[i].len() == genes.len()) {
+            if let Some(entry) = self.lookup_memo(parents, donor_idx, state) {
+                if let IncrementalOutcome::Size(size) = encoded_size_probe_bounded(
                     &self.sliced,
                     genes,
                     self.force_all_u,
@@ -418,13 +428,23 @@ impl<'a> MvFitness<'a> {
                 }
             }
         }
+        // The primary parent is cached but its patch was judged more
+        // expensive than a rescan (the cost gate): run the full kernel
+        // directly — rebuilding the parent again would only repeat work.
+        if primary_cached {
+            self.shared.record_fallback();
+            return self.evaluate_scratch(genes, &mut state.scratch);
+        }
         // Neither parent cached: build the primary parent once (outside any
         // lock) and share it for every sibling and thread that follows.
         self.shared.record_miss();
         let mut cache = crate::EvalCache::new();
         encoded_size_rebuild(&self.sliced, parent, self.force_all_u, &mut cache);
         let entry = self.shared.insert(parent, cache);
-        let probe = encoded_size_probe(
+        if let Some(slot) = state.memo.get_mut(parent_idx) {
+            *slot = Some(Some(Arc::clone(&entry)));
+        }
+        let probe = encoded_size_probe_bounded(
             &self.sliced,
             genes,
             self.force_all_u,
@@ -445,19 +465,41 @@ impl<'a> MvFitness<'a> {
     /// Finds the shared entry for an exact genome: the worker's hot slots
     /// first (no locking at all — entries are immutable and content-checked,
     /// so even an evicted one is still exactly the parent it claims to be),
-    /// then the shared store (one shard read lock).
+    /// then the shared store (one shard read lock). The genome's content
+    /// hash is computed once here and prefilters both tiers, so non-matching
+    /// candidates cost one `u64` compare instead of a genome compare.
+    /// [`MvFitness::lookup`] through the per-batch memo: one hash + content
+    /// check per distinct parent index, every sibling after that reuses the
+    /// settled `Arc` (or the settled miss) for free.
+    fn lookup_memo(
+        &self,
+        parents: &[&[Trit]],
+        idx: usize,
+        state: &mut LineageState,
+    ) -> Option<Arc<ParentEntry>> {
+        if let Some(Some(settled)) = state.memo.get(idx) {
+            return settled.clone();
+        }
+        let result = self.lookup(parents[idx], state);
+        if let Some(slot) = state.memo.get_mut(idx) {
+            *slot = Some(result.clone());
+        }
+        result
+    }
+
     fn lookup(&self, genome: &[Trit], state: &mut LineageState) -> Option<Arc<ParentEntry>> {
         state.tick += 1;
         let tick = state.tick;
+        let hash = content_hash(genome);
         if let Some((entry, last)) = state
             .hot
             .iter_mut()
-            .find(|(entry, _)| entry.genome() == genome)
+            .find(|(entry, _)| entry.matches(hash, genome))
         {
             *last = tick;
             return Some(Arc::clone(entry));
         }
-        let entry = self.shared.get(genome)?;
+        let entry = self.shared.get_hashed(hash, genome)?;
         Self::remember(state, Arc::clone(&entry));
         Some(entry)
     }
@@ -564,13 +606,16 @@ impl FitnessEval<Trit> for MvFitness<'_> {
             .ok()
             .and_then(|mut pool| pool.pop())
             .unwrap_or_default();
+        state.memo.clear();
+        state.memo.resize(parents.len(), None);
         for ((genes, lin), slot) in genomes.iter().zip(lineage).zip(out.iter_mut()) {
             *slot = match lin {
                 Some(lin) if lin.parent_idx < parents.len() => {
-                    let second = lin.second_parent.and_then(|i| parents.get(i).copied());
+                    let second = lin.second_parent.filter(|&i| i < parents.len());
                     self.evaluate_lineage_child(
                         genes,
-                        parents[lin.parent_idx],
+                        parents,
+                        lin.parent_idx,
                         second,
                         &lin.edit,
                         &mut state,
@@ -667,6 +712,25 @@ impl EaCompressorBuilder {
         self
     }
 
+    /// Sets the population structure (see [`Topology`]): panmictic (the
+    /// default) or an island model. Island runs, like panmictic ones, are
+    /// bit-identical for every thread count at a fixed seed.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.config.topology = topology;
+        self
+    }
+
+    /// Shorthand for an island topology: `count` islands migrating their
+    /// `migrants` rank-best individuals along a ring every `interval`
+    /// generations.
+    pub fn islands(self, count: usize, interval: u64, migrants: usize) -> Self {
+        self.topology(Topology::Islands {
+            count,
+            interval,
+            migrants,
+        })
+    }
+
     /// Controls whether one MV is forced to all-`U` (default `true`,
     /// as in the paper's experiments).
     pub fn force_all_u(mut self, yes: bool) -> Self {
@@ -710,6 +774,7 @@ impl EaCompressorBuilder {
             .max_generations(self.config.max_generations)
             .seed(self.config.seed)
             .threads(self.config.threads)
+            .topology(self.config.topology)
             .build();
         let _ = config;
         EaCompressor {
@@ -874,5 +939,44 @@ mod tests {
     #[should_panic(expected = "L >= 9")]
     fn seeding_requires_enough_mvs() {
         let _ = EaCompressor::builder(8, 4).seed_ninec(true).build();
+    }
+
+    #[test]
+    fn island_compression_is_thread_invariant_and_lossless() {
+        let set = small_set();
+        let compress = |threads: usize| {
+            EaCompressor::builder(8, 4)
+                .seed(2)
+                .stagnation_limit(25)
+                .islands(3, 4, 1)
+                .threads(threads)
+                .build()
+                .compress(&set)
+                .unwrap()
+        };
+        let reference = compress(1);
+        let restored = reference.decompress().unwrap();
+        assert!(set.is_refined_by(&restored));
+        for threads in [2, 4] {
+            let other = compress(threads);
+            assert_eq!(
+                other.compressed_bits, reference.compressed_bits,
+                "t={threads}"
+            );
+            assert_eq!(other.mv_set(), reference.mv_set());
+        }
+    }
+
+    #[test]
+    fn topology_survives_the_builder_round_trip() {
+        let compressor = EaCompressor::builder(8, 4).islands(4, 10, 2).build();
+        assert_eq!(
+            compressor.config().topology,
+            Topology::Islands {
+                count: 4,
+                interval: 10,
+                migrants: 2
+            }
+        );
     }
 }

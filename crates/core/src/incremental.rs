@@ -115,6 +115,11 @@ struct CoverState {
     /// Shape tag of the held evaluation: `(K, L, distinct blocks, words per
     /// column, force_all_u)`. Incremental evaluation requires an exact match.
     shape: (usize, usize, usize, usize, bool),
+    /// The exact genome the planes were decoded from — kept in sync by
+    /// rebuild and every commit, so chunk detection can skip trit-identical
+    /// chunks with one byte compare instead of decoding them (an average
+    /// crossover window spans dozens of chunks of which only a few differ).
+    genes: Vec<Trit>,
     /// Specified-position plane per MV, genome order, post-`force_all_u`.
     spec: Vec<u64>,
     /// Value plane per MV, genome order, post-`force_all_u`.
@@ -302,6 +307,8 @@ pub fn encoded_size_rebuild(
 
     state.warm = false;
     state.shape = (k, l, n, words, force_all_u);
+    state.genes.clear();
+    state.genes.extend_from_slice(genes);
     state.spec.clear();
     state.value.clear();
     state.nu.clear();
@@ -459,13 +466,22 @@ pub fn encoded_size_incremental(
         return IncrementalOutcome::Size(state.total);
     }
     detect_changed_chunks(sliced, genes, force_all_u, edit, state, scratch);
+    // Adopting the child includes adopting its genes: outside `edit` they
+    // equal the cached genome by the lineage contract, so syncing the
+    // window keeps `state.genes` exact for the next detection fast path.
     match scratch.edited.len() {
-        0 => IncrementalOutcome::Size(state.total), // edit was inert
+        0 => {
+            if commit {
+                state.genes[edit.clone()].copy_from_slice(&genes[edit.clone()]);
+            }
+            IncrementalOutcome::Size(state.total) // edit was inert
+        }
         1 => {
             let (i, nspec, nvalue) = scratch.edited[0];
             let patch = probe_single(sliced, state, scratch, i as usize, nspec, nvalue);
             if commit {
                 commit_single(state, scratch, &patch);
+                state.genes[edit.clone()].copy_from_slice(&genes[edit.clone()]);
             }
             IncrementalOutcome::Size(patch.total)
         }
@@ -473,6 +489,7 @@ pub fn encoded_size_incremental(
             let patch = probe_multi(sliced, state, scratch);
             if commit {
                 commit_multi(state, scratch, &patch);
+                state.genes[edit.clone()].copy_from_slice(&genes[edit.clone()]);
             }
             IncrementalOutcome::Size(patch.total)
         }
@@ -549,6 +566,118 @@ pub fn encoded_size_probe(
     }
 }
 
+/// [`encoded_size_probe`] with a **cost gate** on the multi-chunk path:
+/// when the estimated ownership-patch work exceeds the estimated cost of a
+/// full rescan, the probe answers [`IncrementalOutcome::NeedsFull`] up
+/// front instead of paying patch overhead for no savings.
+///
+/// The estimate comes from the parent's owned-bitset popcounts: patching a
+/// chunk re-flows every block the edited MV owned, and each orphan costs a
+/// mask OR over `K` MV-major columns plus matcher key evaluations — for an
+/// inversion-scrambled parent whose edited MVs own a large share of the
+/// blocks, that approaches (or exceeds) the `L·(K+2)·words` word-ops of the
+/// full kernel. Whenever this gate answers `Size`, the result is
+/// bit-identical to [`encoded_size_probe`] (it runs the identical patch);
+/// the gate only converts *slow* incremental answers into `NeedsFull`, so
+/// callers fall back to the full kernel exactly when that is the cheaper
+/// path. Empty and single-chunk edits are never gated.
+pub fn encoded_size_probe_bounded(
+    sliced: &SlicedHistogram,
+    genes: &[Trit],
+    force_all_u: bool,
+    edit: &Range<usize>,
+    cache: &EvalCache,
+    scratch: &mut PatchScratch,
+) -> IncrementalOutcome {
+    let state = &cache.state;
+    if !shapes_match(sliced, genes, force_all_u, edit, state) {
+        return IncrementalOutcome::NeedsFull;
+    }
+    debug_assert!(genome_matches_cache_outside(
+        state,
+        genes,
+        sliced.block_len(),
+        edit
+    ));
+    if edit.start == edit.end {
+        return IncrementalOutcome::Size(state.total);
+    }
+    // Budgeted chunk detection: the same window walk as the unbounded
+    // probe, but the patch-cost estimate accumulates as changed chunks are
+    // found, and the walk stops the moment a multi-chunk patch is already
+    // estimated costlier than a full rescan — the rest of the window (for
+    // an inversion child, possibly dozens of chunks) never gets decoded
+    // just to confirm a foregone answer.
+    let k = sliced.block_len();
+    let l = genes.len() / k;
+    let chunk_lo = edit.start / k;
+    let chunk_hi = (edit.end - 1) / k;
+    let bound = full_rescan_cost(state);
+    let mut cost = patch_copy_cost(state);
+    scratch.edited.clear();
+    for i in chunk_lo..=chunk_hi {
+        if trits_equal(&genes[i * k..(i + 1) * k], &state.genes[i * k..(i + 1) * k]) {
+            continue; // identical trits decode to identical planes
+        }
+        let (spec, value) = if force_all_u && i == l - 1 {
+            (0, 0)
+        } else {
+            decode_chunk(&genes[i * k..(i + 1) * k])
+        };
+        if (spec, value) != (state.spec[i], state.value[i]) {
+            scratch.edited.push((i as u32, spec, value));
+            cost += chunk_patch_cost(state, i);
+            if scratch.edited.len() >= 2 && cost > bound {
+                return IncrementalOutcome::NeedsFull;
+            }
+        }
+    }
+    match scratch.edited.len() {
+        0 => IncrementalOutcome::Size(state.total),
+        1 => {
+            let (i, nspec, nvalue) = scratch.edited[0];
+            let patch = probe_single(sliced, state, scratch, i as usize, nspec, nvalue);
+            IncrementalOutcome::Size(patch.total)
+        }
+        _ => IncrementalOutcome::Size(probe_multi(sliced, state, scratch).total),
+    }
+}
+
+/// Estimated cost of the full kernel over the cached shape: every MV
+/// filters every block column, `L · (K + 2) · words` word operations. The
+/// unit calibrates the patch-cost estimates below: one full-kernel word op.
+fn full_rescan_cost(state: &CoverState) -> u64 {
+    let (k, l, _, words, _) = state.shape;
+    (l * (k + 2) * words) as u64
+}
+
+/// Estimated cost of the working-copy memcpys a multi-chunk patch pays
+/// once per probe, in [`full_rescan_cost`] units.
+fn patch_copy_cost(state: &CoverState) -> u64 {
+    let (k, l, _, words, _) = state.shape;
+    let wl = l.div_ceil(64);
+    (l * words + 2 * k * wl + 5 * l + words) as u64
+}
+
+/// Estimated cost of patching one changed chunk, in [`full_rescan_cost`]
+/// units: the mismatch/steal plane work plus — the dominant term — one
+/// orphan re-flow per block the edited MV currently owns. Each orphan costs
+/// a mask OR over `K` MV-major columns, matcher key evaluations, and a
+/// rank lookup; measured against the bit-sliced full kernel's word ops that
+/// comes to roughly `8 · (K · ceil(L/64) + 8)` units per orphan (the probe
+/// runs ~0.8 µs per changed chunk on the paper shape where the full rescan
+/// runs ~4.4 µs, so the break-even sits near four changed chunks).
+fn chunk_patch_cost(state: &CoverState, chunk: usize) -> u64 {
+    let (k, l, _, words, _) = state.shape;
+    let wl = l.div_ceil(64);
+    let per_orphan = 8 * (k * wl + 8) as u64;
+    let owned: u64 = state.owned[chunk * words..(chunk + 1) * words]
+        .iter()
+        .map(|w| w.count_ones() as u64)
+        .sum();
+    ((k + 4) * words) as u64 + owned * per_orphan
+}
+
 /// The warm/shape/edit validity gate shared by both entry points.
 fn shapes_match(
     sliced: &SlicedHistogram,
@@ -591,6 +720,9 @@ fn detect_changed_chunks(
     let chunk_hi = (edit.end - 1) / k;
     scratch.edited.clear();
     for i in chunk_lo..=chunk_hi {
+        if trits_equal(&genes[i * k..(i + 1) * k], &state.genes[i * k..(i + 1) * k]) {
+            continue; // identical trits decode to identical planes
+        }
         let (spec, value) = if force_all_u && i == l - 1 {
             (0, 0)
         } else {
@@ -600,6 +732,17 @@ fn detect_changed_chunks(
             scratch.edited.push((i as u32, spec, value));
         }
     }
+}
+
+/// Branchless trit-slice equality (an OR-reduction of index XORs — the
+/// chunk either matches fully or detection decodes it anyway, so the early
+/// exit of the derived slice compare buys nothing here).
+#[inline]
+fn trits_equal(a: &[Trit], b: &[Trit]) -> bool {
+    a.iter()
+        .zip(b)
+        .fold(0u8, |diff, (x, y)| diff | (x.index() ^ y.index()))
+        == 0
 }
 
 /// Rank of the MV whose (unique) covering key is `key` in the key-sorted
@@ -1449,6 +1592,118 @@ mod tests {
                 exhaustive_window_edits(&sliced, &parent, width, true);
             }
         }
+    }
+
+    /// The cost gate is allowed to answer `NeedsFull`, but whenever it
+    /// answers `Size` the value must be the full kernel's — over every
+    /// window edit of several widths, including whole-genome rewrites.
+    #[test]
+    fn bounded_probe_sizes_match_full_kernel() {
+        let sliced = fixtures(
+            &["110100XX", "110000XX", "11010000", "110X00XX", "11010011"],
+            8,
+        );
+        let mut scratch = EvalScratch::new();
+        let mut probe_scratch = PatchScratch::new();
+        for parent in [
+            genes("110U00UU 00000000 11010011 UUUUUUUU"),
+            genes("110U00UU 110U00UU 110U00UU UUUUUUUU"),
+        ] {
+            for force in [false, true] {
+                let mut cache = EvalCache::new();
+                encoded_size_rebuild(&sliced, &parent, force, &mut cache);
+                for width in [1, 9, 17, parent.len()] {
+                    for start in 0..=parent.len() - width {
+                        let mut child = parent.clone();
+                        for (offset, slot) in child[start..start + width].iter_mut().enumerate() {
+                            *slot = Trit::from_index(((start + 2 * offset) % 3) as u8);
+                        }
+                        let edit = start..start + width;
+                        let expect = encoded_size_scratch(&sliced, &child, force, &mut scratch);
+                        match encoded_size_probe_bounded(
+                            &sliced,
+                            &child,
+                            force,
+                            &edit,
+                            &cache,
+                            &mut probe_scratch,
+                        ) {
+                            IncrementalOutcome::Size(got) => {
+                                assert_eq!(got, expect, "start {start} width {width} force {force}")
+                            }
+                            IncrementalOutcome::NeedsFull => {
+                                // Legal: the gate judged the patch more
+                                // expensive than a rescan. Only possible on
+                                // multi-chunk edits.
+                                assert!(width > 1, "single-chunk edits are never gated");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Empty and single-chunk edits bypass the gate entirely: bit-identical
+    /// behavior to the plain probe, `Size` always.
+    #[test]
+    fn bounded_probe_never_gates_cheap_edits() {
+        let sliced = fixtures(&["110100XX", "110000XX", "11010000"], 8);
+        let parent = genes("110U00UU 00000000 UUUUUUUU");
+        let mut cache = EvalCache::new();
+        encoded_size_rebuild(&sliced, &parent, false, &mut cache);
+        let mut probe_scratch = PatchScratch::new();
+        // Empty edit: the cached size.
+        assert_eq!(
+            encoded_size_probe_bounded(
+                &sliced,
+                &parent,
+                false,
+                &(3..3),
+                &cache,
+                &mut probe_scratch
+            ),
+            IncrementalOutcome::Size(cache.encoded_size()),
+        );
+        // Every single-gene edit stays within one chunk and must be priced.
+        let mut scratch = EvalScratch::new();
+        for pos in 0..parent.len() {
+            let mut child = parent.clone();
+            child[pos] = Trit::from_index(((pos + 1) % 3) as u8);
+            let expect = encoded_size_scratch(&sliced, &child, false, &mut scratch);
+            let bounded = encoded_size_probe_bounded(
+                &sliced,
+                &child,
+                false,
+                &(pos..pos + 1),
+                &cache,
+                &mut probe_scratch,
+            );
+            assert_eq!(bounded, IncrementalOutcome::Size(expect), "pos {pos}");
+            let plain = encoded_size_probe(
+                &sliced,
+                &child,
+                false,
+                &(pos..pos + 1),
+                &cache,
+                &mut probe_scratch,
+            );
+            assert_eq!(bounded, plain, "pos {pos}");
+        }
+    }
+
+    /// A cold cache gives `NeedsFull` from the bounded probe too (shape
+    /// gate ahead of the cost gate).
+    #[test]
+    fn bounded_probe_rejects_cold_cache() {
+        let sliced = fixtures(&["110100XX", "110000XX"], 8);
+        let child = genes("110U00UU UUUUUUUU");
+        let cache = EvalCache::new();
+        let mut probe_scratch = PatchScratch::new();
+        assert_eq!(
+            encoded_size_probe_bounded(&sliced, &child, false, &(0..4), &cache, &mut probe_scratch),
+            IncrementalOutcome::NeedsFull,
+        );
     }
 
     #[test]

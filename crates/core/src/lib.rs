@@ -69,14 +69,14 @@ pub use ea_opt::{EaCompressor, EaCompressorBuilder, EaRunSummary, MvFitness};
 pub use encoding::{encode_with_code, encode_with_mvs, encoded_size};
 pub use error::CompressError;
 pub use incremental::{
-    encoded_size_incremental, encoded_size_probe, encoded_size_rebuild, EvalCache,
-    IncrementalOutcome, PatchScratch,
+    encoded_size_incremental, encoded_size_probe, encoded_size_probe_bounded, encoded_size_rebuild,
+    EvalCache, IncrementalOutcome, PatchScratch,
 };
 pub use kernel::{encoded_size_scratch, EvalScratch};
 pub use mv::{MatchingVector, ParseMvError};
 pub use mvset::{covering_key, MvSet};
 pub use ninec::{ninec_codewords, ninec_matching_vectors, NineCCompressor, NineCHuffmanCompressor};
-pub use shared_cache::{ParentEntry, SharedParentCache};
+pub use shared_cache::{content_hash, ParentEntry, SharedParentCache};
 
 use evotc_bits::TestSet;
 

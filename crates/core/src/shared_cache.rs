@@ -11,12 +11,16 @@
 //!
 //! # Design
 //!
-//! * **Content-keyed.** Entries are keyed by the exact genome, so a hit is
-//!   never a hash gamble and entries stay valid across generations however
-//!   selection reshuffles the population. Genomes hash (FNV-1a) to a shard;
-//!   lookups take that shard's read lock only — concurrent readers never
-//!   block each other, and writes (first sighting of a parent) are rare by
-//!   construction in the EA's steady state. Callers that hold on to a
+//! * **Content-keyed, hash-prefiltered.** Entries are keyed by the exact
+//!   genome, so a hit is never a hash gamble and entries stay valid across
+//!   generations however selection reshuffles the population. Each entry
+//!   additionally stores its genome's [`content_hash`] (FNV-1a), which
+//!   doubles as the shard index: probes compare one `u64` (plus the length)
+//!   per candidate and touch the genome itself only for the entry actually
+//!   returned, so a lookup no longer walks full-genome compares on the hot
+//!   path. Lookups take one shard's read lock only — concurrent readers
+//!   never block each other, and writes (first sighting of a parent) are
+//!   rare by construction in the EA's steady state. Callers that hold on to a
 //!   returned [`Arc<ParentEntry>`] (see `MvFitness`'s per-worker hot slots)
 //!   price repeat children of the same parent with **no** locking at all —
 //!   an entry is immutable and remains valid even after eviction.
@@ -48,6 +52,9 @@ use crate::incremental::EvalCache;
 #[derive(Debug)]
 pub struct ParentEntry {
     genome: Vec<Trit>,
+    /// [`content_hash`] of `genome`, precomputed so probes prefilter on one
+    /// `u64` compare instead of a full-genome compare.
+    hash: u64,
     cache: EvalCache,
     /// Generation stamp of the last lookup that returned this entry.
     last_used: AtomicU64,
@@ -59,10 +66,69 @@ impl ParentEntry {
         &self.genome
     }
 
+    /// The precomputed [`content_hash`] of [`ParentEntry::genome`]. Callers
+    /// keeping their own entry indexes (e.g. per-worker hot slots) prefilter
+    /// on it the same way the shared store does.
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+
     /// The parent's covering state, for [`crate::encoded_size_probe`].
     pub fn cache(&self) -> &EvalCache {
         &self.cache
     }
+
+    /// `true` exactly when this entry was built from `genome`: hash-and-
+    /// length prefilter first (one `u64` and one `usize` compare — what
+    /// every non-matching candidate stops at), full content compare only on
+    /// a prefilter match, so a hit is still never a hash gamble.
+    pub fn matches(&self, hash: u64, genome: &[Trit]) -> bool {
+        self.hash == hash && same_genome(&self.genome, genome)
+    }
+}
+
+/// Exact genome equality over the trit *indices*, as a branchless
+/// OR-reduction of byte XORs. On a true hit every element matches, so the
+/// early exit of the derived `[Trit]` slice compare buys nothing — while
+/// the reduction form vectorizes. This sits on the hot path of every cache
+/// hit.
+fn same_genome(a: &[Trit], b: &[Trit]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .fold(0u8, |diff, (x, y)| diff | (x.index() ^ y.index()))
+            == 0
+}
+
+/// Content fingerprint of a genome: the content key of the shared cache.
+/// Both the shard index and the per-entry prefilter derive from it, so
+/// callers compute it once per lookup ([`SharedParentCache::get_hashed`])
+/// and reuse it across hot-slot scans and shard probes.
+///
+/// Two independent FNV-1a lanes over 8-trit *words* rather than single
+/// trits: packing eight indices into one `u64` per mix makes the dependent
+/// multiply chain an eighth as long, and striping alternate words across
+/// two lanes halves it again (the lanes' multiplies overlap in the
+/// pipeline). This matters because the EA hashes a parent genome on every
+/// cache lookup. The function is an in-process key (entries store the hash
+/// they were inserted under), never persisted, so its exact value is an
+/// internal detail.
+pub fn content_hash(genome: &[Trit]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut even = 0xcbf2_9ce4_8422_2325u64 ^ genome.len() as u64;
+    let mut odd = 0x9e37_79b9_7f4a_7c15u64;
+    let mut pairs = genome.chunks_exact(16);
+    for pair in &mut pairs {
+        let (a, b) = pair.split_at(8);
+        let wa = a.iter().fold(0u64, |w, &t| (w << 8) | t.index() as u64);
+        let wb = b.iter().fold(0u64, |w, &t| (w << 8) | t.index() as u64);
+        even = (even ^ wa).wrapping_mul(PRIME);
+        odd = (odd ^ wb).wrapping_mul(PRIME);
+    }
+    for &t in pairs.remainder() {
+        even = (even ^ t.index() as u64).wrapping_mul(PRIME);
+    }
+    (even ^ odd.rotate_left(29)).wrapping_mul(PRIME)
 }
 
 /// A bounded, sharded, content-keyed store of parent [`EvalCache`]s shared
@@ -131,9 +197,20 @@ impl SharedParentCache {
     /// lock only; `None` means no thread has built this parent yet (or it
     /// was evicted).
     pub fn get(&self, genome: &[Trit]) -> Option<Arc<ParentEntry>> {
-        let shard = &self.shards[self.shard_of(genome)];
+        self.get_hashed(content_hash(genome), genome)
+    }
+
+    /// [`SharedParentCache::get`] with the genome's [`content_hash`]
+    /// precomputed by the caller — the hot-path form: candidates are
+    /// rejected on the hash prefilter (see [`ParentEntry::matches`]) and the
+    /// full-genome compare runs only for the entry that is then returned.
+    ///
+    /// `hash` **must** equal `content_hash(genome)`; a mismatched pair
+    /// probes the wrong shard and simply misses.
+    pub fn get_hashed(&self, hash: u64, genome: &[Trit]) -> Option<Arc<ParentEntry>> {
+        let shard = &self.shards[self.shard_of(hash)];
         let guard = shard.read().ok()?;
-        let entry = guard.iter().find(|e| e.genome == genome)?;
+        let entry = guard.iter().find(|e| e.matches(hash, genome))?;
         entry
             .last_used
             .store(self.stamp.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -150,19 +227,21 @@ impl SharedParentCache {
     /// calling (outside any lock).
     pub fn insert(&self, genome: &[Trit], cache: EvalCache) -> Arc<ParentEntry> {
         let stamp = self.stamp.load(Ordering::Relaxed);
+        let hash = content_hash(genome);
         let entry = Arc::new(ParentEntry {
             genome: genome.to_vec(),
+            hash,
             cache,
             last_used: AtomicU64::new(stamp),
         });
-        let shard = &self.shards[self.shard_of(genome)];
+        let shard = &self.shards[self.shard_of(hash)];
         let mut guard = match shard.write() {
             Ok(guard) => guard,
             // A poisoned shard (a panicking worker) degrades to not
             // caching; the entry still serves this caller.
             Err(_) => return entry,
         };
-        if let Some(existing) = guard.iter().find(|e| e.genome == genome) {
+        if let Some(existing) = guard.iter().find(|e| e.matches(hash, genome)) {
             existing.last_used.store(stamp, Ordering::Relaxed);
             return Arc::clone(existing);
         }
@@ -204,13 +283,8 @@ impl SharedParentCache {
         }
     }
 
-    /// FNV-1a over the genome's trit indices, reduced to a shard index.
-    fn shard_of(&self, genome: &[Trit]) -> usize {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for &t in genome {
-            hash ^= t.index() as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
+    /// Reduces a [`content_hash`] to a shard index.
+    fn shard_of(&self, hash: u64) -> usize {
         (hash % self.shards.len() as u64) as usize
     }
 }
@@ -354,6 +428,39 @@ mod tests {
             }
         });
         assert!(shared.len() <= shared.capacity());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        let g = genome(9);
+        assert_eq!(content_hash(&g), content_hash(&g.clone()));
+        // The deterministic genome family is pairwise distinct; FNV-1a must
+        // separate all of them (collisions would only cost a compare, but
+        // for 8-trit inputs there should be none).
+        let hashes: Vec<u64> = (0..64).map(|n| content_hash(&genome(n))).collect();
+        let mut unique = hashes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), hashes.len());
+    }
+
+    #[test]
+    fn entries_expose_their_hash_and_match_by_prefilter() {
+        let sliced = sliced();
+        let shared = SharedParentCache::new(4, 4);
+        let g = genome(7);
+        let hash = content_hash(&g);
+        let entry = shared.insert(&g, built(&sliced, &g));
+        assert_eq!(entry.content_hash(), hash);
+        assert!(entry.matches(hash, &g));
+        assert!(!entry.matches(hash.wrapping_add(1), &g));
+        assert!(!entry.matches(hash, &genome(8)));
+        // The precomputed-hash lookup is the plain lookup.
+        let found = shared.get_hashed(hash, &g).expect("entry is retained");
+        assert!(Arc::ptr_eq(&entry, &found));
+        assert!(shared
+            .get_hashed(content_hash(&genome(8)), &genome(8))
+            .is_none());
     }
 
     #[test]

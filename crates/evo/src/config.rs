@@ -2,6 +2,51 @@
 
 use std::fmt;
 
+/// Population structure of a run.
+///
+/// The default, [`Topology::Panmictic`], is the paper's setup: one
+/// population of `S` individuals breeding `C` children per generation.
+/// [`Topology::Islands`] splits the same budget into `count` independent
+/// subpopulations (each of size `S`, breeding `C` children per generation)
+/// that exchange their best individuals along a ring every `interval`
+/// generations — the classic island model, which scales the (S + C)
+/// strategy across cores while keeping runs bit-identical for every thread
+/// count (each island owns a seeded RNG stream derived from the run seed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Topology {
+    /// One panmictic population (the paper's setup).
+    #[default]
+    Panmictic,
+    /// `count` subpopulations with deterministic ring migration.
+    Islands {
+        /// Number of islands. `1` degenerates to an isolated population
+        /// (no migration partner), which is allowed.
+        count: usize,
+        /// Generations between migrations (an *epoch*). Termination
+        /// conditions are checked at epoch boundaries, so a run can
+        /// overshoot its stagnation limit or evaluation budget by up to
+        /// one epoch per island.
+        interval: u64,
+        /// Migrants per island per migration, chosen by rank (the island's
+        /// best). They replace the destination island's worst. `0` makes
+        /// the islands fully independent.
+        migrants: usize,
+    },
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Panmictic => write!(f, "panmictic"),
+            Topology::Islands {
+                count,
+                interval,
+                migrants,
+            } => write!(f, "islands({count}x, M={interval}, m={migrants})"),
+        }
+    }
+}
+
 /// Configuration of the evolutionary algorithm.
 ///
 /// The defaults are the paper's experimental settings (Section 4): population
@@ -46,6 +91,12 @@ pub struct EaConfig {
     /// bit-identical for every value: the thread count is a throughput knob,
     /// never a semantic one.
     pub threads: usize,
+    /// Population structure: one panmictic population (the default) or an
+    /// island model with deterministic ring migration. Like `threads`,
+    /// changing the thread count never changes an island run's results —
+    /// but the topology itself is semantic (island runs differ from
+    /// panmictic runs with the same seed).
+    pub topology: Topology,
 }
 
 impl Default for EaConfig {
@@ -61,6 +112,7 @@ impl Default for EaConfig {
             max_generations: u64::MAX,
             seed: 0,
             threads: 0,
+            topology: Topology::Panmictic,
         }
     }
 }
@@ -102,6 +154,19 @@ impl EaConfig {
             self.stagnation_limit > 0,
             "stagnation limit must be positive"
         );
+        if let Topology::Islands {
+            count,
+            interval,
+            migrants,
+        } = self.topology
+        {
+            assert!(count > 0, "at least one island is required");
+            assert!(interval > 0, "migration interval must be positive");
+            assert!(
+                migrants <= self.population_size,
+                "migrants per island cannot exceed the population size"
+            );
+        }
     }
 }
 
@@ -109,7 +174,7 @@ impl fmt::Display for EaConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "S={} C={} px={:.2} pm={:.2} pi={:.2} stagnation={} seed={} threads={}",
+            "S={} C={} px={:.2} pm={:.2} pi={:.2} stagnation={} seed={} threads={} topology={}",
             self.population_size,
             self.children_per_generation,
             self.crossover_probability,
@@ -121,7 +186,8 @@ impl fmt::Display for EaConfig {
                 "auto".to_string()
             } else {
                 self.threads.to_string()
-            }
+            },
+            self.topology
         )
     }
 }
@@ -193,6 +259,23 @@ impl EaConfigBuilder {
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
         self
+    }
+
+    /// Sets the population structure (see [`Topology`]).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.config.topology = topology;
+        self
+    }
+
+    /// Shorthand for [`Topology::Islands`]: `count` islands migrating
+    /// `migrants` rank-best individuals along a ring every `interval`
+    /// generations.
+    pub fn islands(self, count: usize, interval: u64, migrants: usize) -> Self {
+        self.topology(Topology::Islands {
+            count,
+            interval,
+            migrants,
+        })
     }
 
     /// Finishes the builder.
@@ -270,5 +353,44 @@ mod tests {
         assert_eq!(c.threads, 4);
         assert!(c.to_string().contains("threads=4"));
         assert_eq!(EaConfig::default().threads, 0);
+    }
+
+    #[test]
+    fn topology_defaults_to_panmictic_and_round_trips() {
+        assert_eq!(EaConfig::default().topology, Topology::Panmictic);
+        assert!(EaConfig::default()
+            .to_string()
+            .contains("topology=panmictic"));
+        let c = EaConfig::builder().islands(4, 10, 2).build();
+        assert_eq!(
+            c.topology,
+            Topology::Islands {
+                count: 4,
+                interval: 10,
+                migrants: 2
+            }
+        );
+        assert!(c.to_string().contains("islands(4x, M=10, m=2)"), "{c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one island")]
+    fn rejects_zero_islands() {
+        let _ = EaConfig::builder().islands(0, 10, 1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn rejects_zero_migration_interval() {
+        let _ = EaConfig::builder().islands(2, 0, 1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the population size")]
+    fn rejects_more_migrants_than_population() {
+        let _ = EaConfig::builder()
+            .population_size(4)
+            .islands(2, 5, 5)
+            .build();
     }
 }

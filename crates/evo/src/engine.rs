@@ -1,17 +1,18 @@
-//! The (S + C) evolutionary engine.
+//! The (S + C) evolutionary engine: panmictic and island-model runners.
 
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::EaConfig;
+use crate::config::{EaConfig, Topology};
 use crate::fitness::{FitnessEval, Lineage};
 use crate::operators;
 use crate::parallel;
-use crate::stats::GenerationStats;
+use crate::stats::{GenerationEvent, GenerationStats};
 
-/// An evolutionary algorithm over fixed-length genomes of gene type `G`.
+/// Composable builder for an evolutionary run over fixed-length genomes of
+/// gene type `G`.
 ///
 /// `sample_gene` draws a random gene (used for the initial population and by
 /// the mutation operator); `fitness` is any [`FitnessEval`] — a plain
@@ -20,15 +21,65 @@ use crate::stats::GenerationStats;
 /// feasible one — exactly how the paper handles individuals for which
 /// covering is impossible (Section 3.1).
 ///
-/// Fitness is evaluated batch-wise: the engine collects each generation's
-/// children and scores the whole batch at once, on up to
-/// [`EaConfig::threads`] worker threads (see [`crate::parallel`]). Results
-/// are bit-identical for every thread count.
+/// Breeding emits each generation's children and their [`Lineage`] into a
+/// pooled per-population batch (no per-child allocation in the steady
+/// state), and the whole batch is scored at once — on up to
+/// [`EaConfig::threads`] worker threads for a panmictic run, or one island
+/// per worker for an island run (see [`Topology`]). Results are
+/// bit-identical for every thread count.
 ///
-/// See the [crate-level documentation](crate) for a complete example.
-pub struct Ea<G, SampleGene, F>
+/// # Example
+///
+/// ```
+/// use evotc_evo::{EaBuilder, EaConfig};
+///
+/// // Maximize the number of `true` genes (one-max).
+/// let config = EaConfig::builder()
+///     .population_size(8)
+///     .children_per_generation(4)
+///     .stagnation_limit(50)
+///     .seed(1)
+///     .build();
+/// let result = EaBuilder::new(32, |rng| rand::Rng::gen::<bool>(rng), |genes: &[bool]| {
+///     genes.iter().filter(|&&g| g).count() as f64
+/// })
+/// .config(config)
+/// .run();
+/// assert!(result.best_fitness >= 30.0);
+/// ```
+///
+/// # Island model
+///
+/// An island topology evolves `count` subpopulations concurrently, each on
+/// its own deterministic RNG stream derived from the run seed, and migrates
+/// the rank-best `migrants` of every island to its ring successor every
+/// `interval` generations. Same seed + same topology ⇒ byte-identical
+/// results at *any* thread count:
+///
+/// ```
+/// use evotc_evo::{EaBuilder, EaConfig, GenerationEvent};
+///
+/// let config = EaConfig::builder()
+///     .islands(4, 5, 2) // 4 islands, migrate 2 by rank every 5 generations
+///     .stagnation_limit(20)
+///     .seed(1)
+///     .build();
+/// let mut merged_seen = 0;
+/// let result = EaBuilder::new(32, |rng| rand::Rng::gen::<bool>(rng), |genes: &[bool]| {
+///     genes.iter().filter(|&&g| g).count() as f64
+/// })
+/// .config(config)
+/// .run_with_observer(|event| {
+///     if let GenerationEvent::Merged(_) = event {
+///         merged_seen += 1;
+///     }
+/// });
+/// assert_eq!(merged_seen as usize, result.history.len());
+/// assert!(result.best_fitness >= 30.0);
+/// ```
+pub struct EaBuilder<G, SampleGene, F>
 where
-    SampleGene: FnMut(&mut StdRng) -> G,
+    SampleGene: Fn(&mut StdRng) -> G,
     F: FitnessEval<G>,
 {
     config: EaConfig,
@@ -47,9 +98,11 @@ pub struct EaResult<G> {
     pub best_fitness: f64,
     /// Number of generations executed (excluding the initial population).
     pub generations: u64,
-    /// Total number of fitness evaluations.
+    /// Total number of fitness evaluations (summed over islands).
     pub evaluations: u64,
-    /// Statistics per generation (index 0 is the initial population).
+    /// Merged statistics per generation (index 0 is the initial
+    /// population). For island runs, per-island views are only available
+    /// through the observer (see [`GenerationEvent`]).
     pub history: Vec<GenerationStats>,
     /// Wall-clock duration of the run (not part of the determinism
     /// contract).
@@ -73,22 +126,60 @@ struct Individual<G> {
     fitness: f64,
 }
 
-impl<G, SampleGene, F> Ea<G, SampleGene, F>
+/// One generation's brood, bred into pooled buffers: `genomes`, `lineages`
+/// and `scores` are parallel arrays refilled each generation, and retired
+/// gene buffers return to `pool`, so steady-state breeding allocates
+/// nothing.
+struct ChildBatch<G> {
+    genomes: Vec<Vec<G>>,
+    lineages: Vec<Option<Lineage>>,
+    scores: Vec<f64>,
+    pool: Vec<Vec<G>>,
+}
+
+impl<G> Default for ChildBatch<G> {
+    fn default() -> Self {
+        ChildBatch {
+            genomes: Vec::new(),
+            lineages: Vec::new(),
+            scores: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+}
+
+/// One subpopulation's complete evolutionary state. A panmictic run is one
+/// of these on the calling thread; an island run owns `count` of them,
+/// distributed over worker threads epoch by epoch. Everything an island
+/// touches during an epoch lives here, which is what makes island
+/// parallelism deterministic by construction.
+struct IslandState<G> {
+    rng: StdRng,
+    population: Vec<Individual<G>>,
+    batch: ChildBatch<G>,
+    /// This island's own cumulative evaluation count.
+    evaluations: u64,
+    /// Per-generation statistics of the epoch in flight (drained by the
+    /// merge step between epochs).
+    epoch_log: Vec<GenerationStats>,
+}
+
+impl<G, SampleGene, F> EaBuilder<G, SampleGene, F>
 where
     G: Copy + Send + Sync,
-    SampleGene: FnMut(&mut StdRng) -> G,
+    SampleGene: Fn(&mut StdRng) -> G + Sync,
     F: FitnessEval<G> + Sync,
 {
-    /// Creates an engine for genomes of length `genome_len`.
+    /// Starts a run description for genomes of length `genome_len` with the
+    /// default [`EaConfig`] (the paper's settings).
     ///
     /// # Panics
     ///
-    /// Panics if `genome_len` is zero or the configuration is invalid.
-    pub fn new(config: EaConfig, genome_len: usize, sample_gene: SampleGene, fitness: F) -> Self {
+    /// Panics if `genome_len` is zero.
+    pub fn new(genome_len: usize, sample_gene: SampleGene, fitness: F) -> Self {
         assert!(genome_len > 0, "genome length must be positive");
-        config.validate();
-        Ea {
-            config,
+        EaBuilder {
+            config: EaConfig::default(),
             genome_len,
             sample_gene,
             fitness,
@@ -96,17 +187,24 @@ where
         }
     }
 
+    /// Replaces the run configuration (population sizes, operator
+    /// probabilities, termination, seed, threads, topology).
+    pub fn config(mut self, config: EaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// Injects genomes into the initial population (e.g. the 9C matching-
     /// vector set, which the paper suggests seeding to rule out losses
     /// against the baseline on circuits like s838).
     ///
     /// At most `population_size` seeds are used; the rest of the initial
-    /// population stays random.
+    /// population stays random. Island runs place the seeds on island 0.
     ///
     /// # Panics
     ///
     /// Panics if a seed genome has the wrong length.
-    pub fn seed_population<I>(&mut self, genomes: I) -> &mut Self
+    pub fn seed_population<I>(mut self, genomes: I) -> Self
     where
         I: IntoIterator<Item = Vec<G>>,
     {
@@ -118,189 +216,507 @@ where
     }
 
     /// Runs the algorithm to termination and returns the best individual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`EaConfig`]).
     pub fn run(self) -> EaResult<G> {
         self.run_with_observer(|_| {})
     }
 
-    /// Runs the algorithm, invoking `observer` after every generation.
-    pub fn run_with_observer(mut self, mut observer: impl FnMut(&GenerationStats)) -> EaResult<G> {
+    /// Runs the algorithm, invoking `observer` with per-generation
+    /// [`GenerationEvent`]s: merged statistics for every generation, plus —
+    /// on island topologies — one per-island event per generation, emitted
+    /// before the merged one. Island runs deliver events in batches at
+    /// epoch boundaries (generations are merged after all islands finish
+    /// the epoch), always in deterministic island-then-generation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`EaConfig`]).
+    pub fn run_with_observer(self, observer: impl FnMut(&GenerationEvent<'_>)) -> EaResult<G> {
+        self.config.validate();
+        match self.config.topology {
+            Topology::Panmictic => self.run_panmictic(observer),
+            Topology::Islands {
+                count,
+                interval,
+                migrants,
+            } => self.run_islands(observer, count, interval, migrants),
+        }
+    }
+
+    /// The paper's single-population loop, preserved bit for bit from the
+    /// pre-island engine: one RNG stream, termination checked every
+    /// generation.
+    fn run_panmictic(self, mut observer: impl FnMut(&GenerationEvent<'_>)) -> EaResult<G> {
         let start = Instant::now();
         let threads = parallel::resolve_threads(self.config.threads);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let s = self.config.population_size;
-        let c = self.config.children_per_generation;
-        let mut evaluations: u64 = 0;
+        let EaBuilder {
+            config,
+            genome_len,
+            sample_gene,
+            fitness,
+            mut seeds,
+        } = self;
+        let s = config.population_size;
 
-        // Reusable buffers: `scores` is refilled by every batch evaluation,
-        // `children` holds one generation's genomes with their provenance in
-        // `lineages`, and `pool` recycles the gene `Vec`s of discarded
-        // individuals so steady-state generations allocate almost nothing
-        // (only the per-generation parent-slice view below).
-        let mut scores: Vec<f64> = Vec::new();
-        let mut children: Vec<Vec<G>> = Vec::with_capacity(c + 1);
-        let mut lineages: Vec<Option<Lineage>> = Vec::with_capacity(c + 1);
-        let mut pool: Vec<Vec<G>> = Vec::new();
-
-        // Initial population: seeds first, then random individuals. Genomes
-        // are collected up front and scored as one batch; the RNG is only
-        // touched on this thread, so its stream is independent of `threads`.
-        let mut genomes: Vec<Vec<G>> = self.seeds.drain(..).take(s).collect();
-        while genomes.len() < s {
-            genomes.push(
-                (0..self.genome_len)
-                    .map(|_| (self.sample_gene)(&mut rng))
-                    .collect(),
-            );
-        }
-        parallel::evaluate_into(&self.fitness, &genomes, threads, &mut scores);
-        let mut population: Vec<Individual<G>> = genomes
-            .into_iter()
-            .zip(scores.iter().copied())
-            .map(|(genes, fitness)| Individual { genes, fitness })
-            .collect();
-        evaluations += population.len() as u64;
-        sort_by_fitness(&mut population);
+        let mut island = init_island(
+            StdRng::seed_from_u64(config.seed),
+            genome_len,
+            s,
+            &mut seeds,
+            &sample_gene,
+            &fitness,
+            threads,
+        );
 
         let mut history = Vec::new();
-        let fitness = &self.fitness;
-        let record = |population: &[Individual<G>], generation: u64, evaluations: u64| {
-            let best = population.first().map_or(f64::NEG_INFINITY, |i| i.fitness);
-            let mean = population.iter().map(|i| i.fitness).sum::<f64>() / population.len() as f64;
-            GenerationStats {
-                generation,
-                best_fitness: best,
-                mean_fitness: mean,
-                evaluations,
-                elapsed: start.elapsed(),
-                cache: fitness.cache_stats(),
-            }
+        let record = |island: &IslandState<G>, generation: u64| {
+            let mut stats = population_stats(&island.population, generation, island.evaluations);
+            stats.elapsed = start.elapsed();
+            stats.cache = fitness.cache_stats();
+            stats
         };
-        let initial = record(&population, 0, evaluations);
-        observer(&initial);
+        let initial = record(&island, 0);
+        observer(&GenerationEvent::Merged(&initial));
         history.push(initial);
 
-        let mut best_so_far = population[0].fitness;
+        let mut best_so_far = island.population[0].fitness;
         let mut stagnant: usize = 0;
         let mut generation: u64 = 0;
 
-        while stagnant < self.config.stagnation_limit
-            && evaluations < self.config.max_evaluations
-            && generation < self.config.max_generations
+        while stagnant < config.stagnation_limit
+            && island.evaluations < config.max_evaluations
+            && generation < config.max_generations
         {
             generation += 1;
-            children.clear();
-            lineages.clear();
-            while children.len() < c {
-                let roll: f64 = rng.gen();
-                let pa = rng.gen_range(0..s);
-                if roll < self.config.crossover_probability {
-                    let pb = rng.gen_range(0..s);
-                    let mut x = pool.pop().unwrap_or_default();
-                    let mut y = pool.pop().unwrap_or_default();
-                    let window = operators::crossover_into(
-                        &population[pa].genes,
-                        &population[pb].genes,
-                        &mut rng,
-                        &mut x,
-                        &mut y,
-                    );
-                    // Per-child edit contract: both children record the
-                    // *same* swapped window, and that is correct for each —
-                    // child `x` equals `pa` outside the window and `pb`
-                    // inside it (child `y` is the mirror image), so the
-                    // window bounds every position where a child can differ
-                    // from its primary parent. The genes that *actually*
-                    // changed are only those where the parents disagree
-                    // inside the window; lineage deliberately does not
-                    // narrow to them — evaluators diff at their own patch
-                    // granularity (e.g. per MV chunk), which subsumes any
-                    // per-child trimming here. The window-content donor is
-                    // recorded as the second parent so an evaluator holding
-                    // only *its* partial results can still price the child
-                    // (see `Lineage::second_parent`).
-                    children.push(x);
-                    lineages.push(Some(Lineage::crossover(pa, window.clone(), pb)));
-                    if children.len() < c {
-                        children.push(y);
-                        lineages.push(Some(Lineage::crossover(pb, window, pa)));
-                    } else {
-                        pool.push(y);
-                    }
-                } else if roll
-                    < self.config.crossover_probability + self.config.mutation_probability
-                {
-                    let mut child = pool.pop().unwrap_or_default();
-                    let edit = operators::mutate_into(
-                        &population[pa].genes,
-                        &mut rng,
-                        |r| (self.sample_gene)(r),
-                        &mut child,
-                    );
-                    children.push(child);
-                    lineages.push(Some(Lineage::new(pa, edit)));
-                } else if roll
-                    < self.config.crossover_probability
-                        + self.config.mutation_probability
-                        + self.config.inversion_probability
-                {
-                    let mut child = pool.pop().unwrap_or_default();
-                    let edit = operators::invert_into(&population[pa].genes, &mut rng, &mut child);
-                    children.push(child);
-                    lineages.push(Some(Lineage::new(pa, edit)));
-                } else {
-                    // Reproduction: copy a parent unchanged. The empty edit
-                    // range tells the evaluator it is an exact copy.
-                    let mut child = pool.pop().unwrap_or_default();
-                    child.clear();
-                    child.extend_from_slice(&population[pa].genes);
-                    children.push(child);
-                    lineages.push(Some(Lineage::new(pa, 0..0)));
-                }
-            }
-            evaluations += children.len() as u64;
-            let parent_genes: Vec<&[G]> = population.iter().map(|i| i.genes.as_slice()).collect();
-            parallel::evaluate_lineage_into(
-                &self.fitness,
-                &children,
-                &lineages,
-                &parent_genes,
-                threads,
-                &mut scores,
-            );
-            drop(parent_genes);
-            population.extend(
-                children
-                    .drain(..)
-                    .zip(scores.iter().copied())
-                    .map(|(genes, fitness)| Individual { genes, fitness }),
-            );
-            // (S + C) truncation selection: keep the best S; losers donate
-            // their gene buffers back to the pool.
-            sort_by_fitness(&mut population);
-            pool.extend(population.drain(s..).map(|individual| individual.genes));
+            step(&config, &sample_gene, &fitness, threads, &mut island);
 
-            if population[0].fitness > best_so_far {
-                best_so_far = population[0].fitness;
+            if island.population[0].fitness > best_so_far {
+                best_so_far = island.population[0].fitness;
                 stagnant = 0;
             } else {
                 stagnant += 1;
             }
-            let stats = record(&population, generation, evaluations);
-            observer(&stats);
+            let stats = record(&island, generation);
+            observer(&GenerationEvent::Merged(&stats));
             history.push(stats);
         }
 
-        let best = &population[0];
+        let best = &island.population[0];
         EaResult {
             best_genome: best.genes.clone(),
             best_fitness: best.fitness,
             generations: generation,
-            evaluations,
+            evaluations: island.evaluations,
             history,
             elapsed: start.elapsed(),
-            cache: self.fitness.cache_stats(),
+            cache: fitness.cache_stats(),
         }
     }
+
+    /// The island-model loop: `count` subpopulations evolve in lockstep
+    /// epochs of `interval` generations, then the rank-best `migrants` of
+    /// each island replace the worst of its ring successor. Each island
+    /// owns an RNG stream derived from the run seed, so the trajectory is a
+    /// pure function of (seed, topology, config) — worker threads only
+    /// decide which islands run concurrently, never what they compute.
+    ///
+    /// Termination (stagnation of the merged best, the evaluation budget,
+    /// the generation cap) is checked at epoch boundaries; a run can
+    /// overshoot the stagnation limit or the budget by up to one epoch.
+    fn run_islands(
+        self,
+        mut observer: impl FnMut(&GenerationEvent<'_>),
+        count: usize,
+        interval: u64,
+        migrants: usize,
+    ) -> EaResult<G> {
+        let start = Instant::now();
+        let workers = parallel::resolve_threads(self.config.threads).min(count);
+        let EaBuilder {
+            config,
+            genome_len,
+            sample_gene,
+            fitness,
+            mut seeds,
+        } = self;
+        let s = config.population_size;
+
+        // Deterministic initialization: each island's RNG (and therefore
+        // its random initial population) comes from its own derived seed,
+        // computed here in island order. Seeds go to island 0.
+        let mut islands: Vec<IslandState<G>> = (0..count)
+            .map(|i| {
+                let rng = StdRng::seed_from_u64(island_seed(config.seed, i as u64));
+                let mut island_seeds = if i == 0 {
+                    std::mem::take(&mut seeds)
+                } else {
+                    Vec::new()
+                };
+                init_island(
+                    rng,
+                    genome_len,
+                    s,
+                    &mut island_seeds,
+                    &sample_gene,
+                    &fitness,
+                    1,
+                )
+            })
+            .collect();
+
+        let mut history: Vec<GenerationStats> = Vec::new();
+        let merge = |islands: &mut [IslandState<G>],
+                     observer: &mut dyn FnMut(&GenerationEvent<'_>),
+                     history: &mut Vec<GenerationStats>| {
+            // All islands logged the same number of generations this epoch.
+            let logged = islands[0].epoch_log.len();
+            for g in 0..logged {
+                let mut evaluations = 0;
+                let mut mean_sum = 0.0;
+                let mut best = f64::NEG_INFINITY;
+                let generation = islands[0].epoch_log[g].generation;
+                for (i, island) in islands.iter().enumerate() {
+                    let stats = &island.epoch_log[g];
+                    debug_assert_eq!(stats.generation, generation);
+                    observer(&GenerationEvent::Island { island: i, stats });
+                    evaluations += stats.evaluations;
+                    mean_sum += stats.mean_fitness;
+                    best = best.max(stats.best_fitness);
+                }
+                let merged = GenerationStats {
+                    generation,
+                    best_fitness: best,
+                    mean_fitness: mean_sum / islands.len() as f64,
+                    evaluations,
+                    elapsed: start.elapsed(),
+                    cache: fitness.cache_stats(),
+                };
+                observer(&GenerationEvent::Merged(&merged));
+                history.push(merged);
+            }
+            for island in islands.iter_mut() {
+                island.epoch_log.clear();
+            }
+        };
+
+        // Initial populations (generation 0).
+        for island in islands.iter_mut() {
+            let stats = population_stats(&island.population, 0, island.evaluations);
+            island.epoch_log.push(GenerationStats {
+                elapsed: start.elapsed(),
+                ..stats
+            });
+        }
+        merge(&mut islands, &mut observer, &mut history);
+
+        let mut best_so_far = history[0].best_fitness;
+        let mut stagnant: usize = 0;
+        let mut generation: u64 = 0;
+        let mut total_evals: u64 = history[0].evaluations;
+
+        while stagnant < config.stagnation_limit
+            && total_evals < config.max_evaluations
+            && generation < config.max_generations
+        {
+            let epoch_gens = interval.min(config.max_generations - generation);
+            for_each_island(&mut islands, workers, |island| {
+                for g in 0..epoch_gens {
+                    step(&config, &sample_gene, &fitness, 1, island);
+                    let stats = population_stats(
+                        &island.population,
+                        generation + g + 1,
+                        island.evaluations,
+                    );
+                    island.epoch_log.push(GenerationStats {
+                        elapsed: start.elapsed(),
+                        ..stats
+                    });
+                }
+            });
+            let merged_from = history.len();
+            merge(&mut islands, &mut observer, &mut history);
+            for merged in &history[merged_from..] {
+                if merged.best_fitness > best_so_far {
+                    best_so_far = merged.best_fitness;
+                    stagnant = 0;
+                } else {
+                    stagnant += 1;
+                }
+            }
+            generation += epoch_gens;
+            total_evals = islands.iter().map(|i| i.evaluations).sum();
+
+            // Migrate only between epochs: a run that terminates here (cap,
+            // budget, or stagnation) never performs a trailing exchange, so
+            // an interval beyond the generation cap really means "never".
+            let continuing = stagnant < config.stagnation_limit
+                && total_evals < config.max_evaluations
+                && generation < config.max_generations;
+            if continuing {
+                migrate(&mut islands, migrants);
+            }
+        }
+
+        // Best individual across islands; island order breaks exact ties,
+        // so the pick is deterministic.
+        let best_island = (1..islands.len()).fold(0, |best, i| {
+            if islands[i].population[0].fitness > islands[best].population[0].fitness {
+                i
+            } else {
+                best
+            }
+        });
+        let best = &islands[best_island].population[0];
+        EaResult {
+            best_genome: best.genes.clone(),
+            best_fitness: best.fitness,
+            generations: generation,
+            evaluations: total_evals,
+            history,
+            elapsed: start.elapsed(),
+            cache: fitness.cache_stats(),
+        }
+    }
+}
+
+/// Derives island `i`'s RNG seed from the run seed: a splitmix64-style
+/// mix, so islands get decorrelated streams and island 0 does not alias
+/// the panmictic stream of the same seed.
+fn island_seed(seed: u64, island: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(island.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds and scores one initial population: injected seeds first, then
+/// random individuals drawn from the island's own RNG.
+fn init_island<G, SampleGene, F>(
+    mut rng: StdRng,
+    genome_len: usize,
+    s: usize,
+    seeds: &mut Vec<Vec<G>>,
+    sample_gene: &SampleGene,
+    fitness: &F,
+    threads: usize,
+) -> IslandState<G>
+where
+    G: Copy + Send + Sync,
+    SampleGene: Fn(&mut StdRng) -> G,
+    F: FitnessEval<G> + Sync,
+{
+    let mut batch = ChildBatch::default();
+    let mut genomes: Vec<Vec<G>> = seeds.drain(..).take(s).collect();
+    while genomes.len() < s {
+        genomes.push((0..genome_len).map(|_| sample_gene(&mut rng)).collect());
+    }
+    parallel::evaluate_into(fitness, &genomes, threads, &mut batch.scores);
+    let mut population: Vec<Individual<G>> = genomes
+        .into_iter()
+        .zip(batch.scores.iter().copied())
+        .map(|(genes, fitness)| Individual { genes, fitness })
+        .collect();
+    let evaluations = population.len() as u64;
+    sort_by_fitness(&mut population);
+    IslandState {
+        rng,
+        population,
+        batch,
+        evaluations,
+        epoch_log: Vec::new(),
+    }
+}
+
+/// Snapshot of a population's post-selection statistics (wall-clock and
+/// cache fields left at their defaults; callers fill them in).
+fn population_stats<G>(
+    population: &[Individual<G>],
+    generation: u64,
+    evaluations: u64,
+) -> GenerationStats {
+    let best = population.first().map_or(f64::NEG_INFINITY, |i| i.fitness);
+    let mean = population.iter().map(|i| i.fitness).sum::<f64>() / population.len() as f64;
+    GenerationStats {
+        generation,
+        best_fitness: best,
+        mean_fitness: mean,
+        evaluations,
+        elapsed: Duration::ZERO,
+        cache: None,
+    }
+}
+
+/// One (S + C) generation: breed `C` children with their lineage into the
+/// island's pooled batch, score the batch, then truncation-select the best
+/// `S`. Losers donate their gene buffers back to the pool.
+fn step<G, SampleGene, F>(
+    config: &EaConfig,
+    sample_gene: &SampleGene,
+    fitness: &F,
+    threads: usize,
+    island: &mut IslandState<G>,
+) where
+    G: Copy + Send + Sync,
+    SampleGene: Fn(&mut StdRng) -> G,
+    F: FitnessEval<G> + Sync,
+{
+    let s = config.population_size;
+    let c = config.children_per_generation;
+    let IslandState {
+        rng,
+        population,
+        batch,
+        evaluations,
+        ..
+    } = island;
+    let ChildBatch {
+        genomes: children,
+        lineages,
+        scores,
+        pool,
+    } = batch;
+
+    children.clear();
+    lineages.clear();
+    while children.len() < c {
+        let roll: f64 = rng.gen();
+        let pa = rng.gen_range(0..s);
+        if roll < config.crossover_probability {
+            let pb = rng.gen_range(0..s);
+            let mut x = pool.pop().unwrap_or_default();
+            let mut y = pool.pop().unwrap_or_default();
+            let window = operators::crossover_into(
+                &population[pa].genes,
+                &population[pb].genes,
+                rng,
+                &mut x,
+                &mut y,
+            );
+            // Per-child edit contract: both children record the *same*
+            // swapped window, and that is correct for each — child `x`
+            // equals `pa` outside the window and `pb` inside it (child `y`
+            // is the mirror image), so the window bounds every position
+            // where a child can differ from its primary parent. The genes
+            // that *actually* changed are only those where the parents
+            // disagree inside the window; lineage deliberately does not
+            // narrow to them — evaluators diff at their own patch
+            // granularity (e.g. per MV chunk), which subsumes any
+            // per-child trimming here. The window-content donor is
+            // recorded as the second parent so an evaluator holding only
+            // *its* partial results can still price the child (see
+            // [`Lineage::second_parent`]).
+            children.push(x);
+            lineages.push(Some(Lineage::crossover(pa, window.clone(), pb)));
+            if children.len() < c {
+                children.push(y);
+                lineages.push(Some(Lineage::crossover(pb, window, pa)));
+            } else {
+                pool.push(y);
+            }
+        } else if roll < config.crossover_probability + config.mutation_probability {
+            let mut child = pool.pop().unwrap_or_default();
+            let edit =
+                operators::mutate_into(&population[pa].genes, rng, |r| sample_gene(r), &mut child);
+            children.push(child);
+            lineages.push(Some(Lineage::new(pa, edit)));
+        } else if roll
+            < config.crossover_probability
+                + config.mutation_probability
+                + config.inversion_probability
+        {
+            let mut child = pool.pop().unwrap_or_default();
+            let edit = operators::invert_into(&population[pa].genes, rng, &mut child);
+            children.push(child);
+            lineages.push(Some(Lineage::new(pa, edit)));
+        } else {
+            // Reproduction: copy a parent unchanged. The empty edit range
+            // tells the evaluator it is an exact copy.
+            let mut child = pool.pop().unwrap_or_default();
+            child.clear();
+            child.extend_from_slice(&population[pa].genes);
+            children.push(child);
+            lineages.push(Some(Lineage::new(pa, 0..0)));
+        }
+    }
+    *evaluations += children.len() as u64;
+    let parent_genes: Vec<&[G]> = population.iter().map(|i| i.genes.as_slice()).collect();
+    parallel::evaluate_lineage_into(fitness, children, lineages, &parent_genes, threads, scores);
+    drop(parent_genes);
+    population.extend(
+        children
+            .drain(..)
+            .zip(scores.iter().copied())
+            .map(|(genes, fitness)| Individual { genes, fitness }),
+    );
+    sort_by_fitness(population);
+    pool.extend(population.drain(s..).map(|individual| individual.genes));
+}
+
+/// Ring migration: the rank-best `migrants` of island `i` (post-selection,
+/// so exactly its current elite) replace the worst `migrants` of island
+/// `i + 1` (mod `count`). Emigrants are snapshotted before any island is
+/// modified — migration is simultaneous, not sequential — and they carry
+/// their fitness (fitness is a pure function of the genome), so migration
+/// costs no evaluations. No-op for a single island or `migrants == 0`.
+fn migrate<G: Copy>(islands: &mut [IslandState<G>], migrants: usize) {
+    let count = islands.len();
+    if count < 2 || migrants == 0 {
+        return;
+    }
+    let s = islands[0].population.len();
+    let m = migrants.min(s);
+    let outbound: Vec<Vec<(Vec<G>, f64)>> = islands
+        .iter()
+        .map(|island| {
+            island.population[..m]
+                .iter()
+                .map(|ind| (ind.genes.clone(), ind.fitness))
+                .collect()
+        })
+        .collect();
+    for (dst, island) in islands.iter_mut().enumerate() {
+        let src = (dst + count - 1) % count;
+        for (slot, (genes, fit)) in island.population[s - m..].iter_mut().zip(&outbound[src]) {
+            slot.genes.clear();
+            slot.genes.extend_from_slice(genes);
+            slot.fitness = *fit;
+        }
+        sort_by_fitness(&mut island.population);
+    }
+}
+
+/// Runs `f` once per island, distributing contiguous island chunks over at
+/// most `workers` scoped threads. Each island is touched by exactly one
+/// thread and owns all of its state, so the result is independent of the
+/// worker count — the same argument [`parallel::evaluate_into`] makes for
+/// fitness batches, lifted to whole subpopulations.
+fn for_each_island<G, FN>(islands: &mut [IslandState<G>], workers: usize, f: FN)
+where
+    G: Send,
+    FN: Fn(&mut IslandState<G>) + Sync,
+{
+    if workers <= 1 || islands.len() <= 1 {
+        for island in islands.iter_mut() {
+            f(island);
+        }
+        return;
+    }
+    let per = islands.len().div_ceil(workers.max(1));
+    std::thread::scope(|scope| {
+        for chunk in islands.chunks_mut(per) {
+            let f = &f;
+            scope.spawn(move || {
+                for island in chunk.iter_mut() {
+                    f(island);
+                }
+            });
+        }
+    });
 }
 
 fn sort_by_fitness<G>(population: &mut [Individual<G>]) {
@@ -326,14 +742,14 @@ mod tests {
             .build()
     }
 
+    fn one_max(genes: &[bool]) -> f64 {
+        genes.iter().filter(|&&g| g).count() as f64
+    }
+
     fn run_one_max(seed: u64) -> EaResult<bool> {
-        let ea = Ea::new(
-            one_max_config(100, seed),
-            24,
-            |rng| rng.gen::<bool>(),
-            |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
-        );
-        ea.run()
+        EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(one_max_config(100, seed))
+            .run()
     }
 
     #[test]
@@ -379,13 +795,9 @@ mod tests {
                 .seed(9)
                 .threads(threads)
                 .build();
-            Ea::new(
-                config,
-                24,
-                |rng| rng.gen::<bool>(),
-                |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
-            )
-            .run()
+            EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+                .config(config)
+                .run()
         };
         let reference = run(1);
         for threads in [2, 3, 8] {
@@ -409,7 +821,9 @@ mod tests {
             }
         }
         let config = one_max_config(100, 7);
-        let via_trait = Ea::new(config.clone(), 24, |rng| rng.gen::<bool>(), Counting).run();
+        let via_trait = EaBuilder::new(24, |rng| rng.gen::<bool>(), Counting)
+            .config(config)
+            .run();
         let via_closure = run_one_max(7);
         assert_eq!(via_trait.best_genome, via_closure.best_genome);
         assert_eq!(via_trait.evaluations, via_closure.evaluations);
@@ -454,14 +868,12 @@ mod tests {
             }
         }
         let config = one_max_config(60, 11);
-        let checked = Ea::new(config.clone(), 24, |rng| rng.gen::<bool>(), Checking).run();
-        let plain = Ea::new(
-            config,
-            24,
-            |rng| rng.gen::<bool>(),
-            |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
-        )
-        .run();
+        let checked = EaBuilder::new(24, |rng| rng.gen::<bool>(), Checking)
+            .config(config.clone())
+            .run();
+        let plain = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(config)
+            .run();
         assert_eq!(checked.best_genome, plain.best_genome);
         assert_eq!(checked.evaluations, plain.evaluations);
     }
@@ -495,32 +907,28 @@ mod tests {
             .max_evaluations(100)
             .seed(0)
             .build();
-        let ea = Ea::new(config, 8, |rng| rng.gen::<bool>(), |_: &[bool]| 0.0);
-        let result = ea.run();
+        let result = EaBuilder::new(8, |rng| rng.gen::<bool>(), |_: &[bool]| 0.0)
+            .config(config)
+            .run();
         // Budget may be exceeded by at most one generation's children.
         assert!(result.evaluations <= 105, "{} evals", result.evaluations);
     }
 
     #[test]
     fn stagnation_terminates_constant_fitness() {
-        let config = one_max_config(5, 0);
-        let ea = Ea::new(config, 8, |rng| rng.gen::<bool>(), |_: &[bool]| 1.0);
-        let result = ea.run();
+        let result = EaBuilder::new(8, |rng| rng.gen::<bool>(), |_: &[bool]| 1.0)
+            .config(one_max_config(5, 0))
+            .run();
         assert_eq!(result.generations, 5);
     }
 
     #[test]
     fn seeding_injects_known_solution() {
         let perfect = vec![true; 24];
-        let config = one_max_config(3, 0);
-        let mut ea = Ea::new(
-            config,
-            24,
-            |rng| rng.gen::<bool>(),
-            |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
-        );
-        ea.seed_population([perfect.clone()]);
-        let result = ea.run();
+        let result = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(one_max_config(3, 0))
+            .seed_population([perfect.clone()])
+            .run();
         assert_eq!(result.best_genome, perfect);
         assert_eq!(result.best_fitness, 24.0);
     }
@@ -528,13 +936,12 @@ mod tests {
     #[test]
     fn observer_sees_every_generation() {
         let mut seen = 0u64;
-        let ea = Ea::new(
-            one_max_config(4, 0),
-            8,
-            |rng| rng.gen::<bool>(),
-            |_: &[bool]| 0.0,
-        );
-        let result = ea.run_with_observer(|_| seen += 1);
+        let result = EaBuilder::new(8, |rng| rng.gen::<bool>(), |_: &[bool]| 0.0)
+            .config(one_max_config(4, 0))
+            .run_with_observer(|event| {
+                assert!(matches!(event, GenerationEvent::Merged(_)));
+                seen += 1;
+            });
         assert_eq!(seen as usize, result.history.len());
         assert_eq!(result.history.len() as u64, result.generations + 1);
     }
@@ -544,9 +951,7 @@ mod tests {
         // Fitness: -inf unless all genes true (simulating "covering
         // impossible" marking), otherwise 1.0. With an all-true seed the
         // population keeps the feasible individual on top.
-        let config = one_max_config(3, 1);
-        let mut ea = Ea::new(
-            config,
+        let result = EaBuilder::new(
             4,
             |rng| rng.gen::<bool>(),
             |genes: &[bool]| {
@@ -556,9 +961,217 @@ mod tests {
                     f64::MIN
                 }
             },
-        );
-        ea.seed_population([vec![true; 4]]);
-        let result = ea.run();
+        )
+        .config(one_max_config(3, 1))
+        .seed_population([vec![true; 4]])
+        .run();
         assert_eq!(result.best_fitness, 1.0);
+    }
+
+    // ---- island topology ----
+
+    fn island_config(count: usize, interval: u64, migrants: usize, seed: u64) -> EaConfig {
+        EaConfig::builder()
+            .population_size(8)
+            .children_per_generation(6)
+            .stagnation_limit(25)
+            .islands(count, interval, migrants)
+            .seed(seed)
+            .build()
+    }
+
+    fn run_islands_one_max(config: EaConfig) -> EaResult<bool> {
+        EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(config)
+            .run()
+    }
+
+    #[test]
+    fn islands_solve_one_max() {
+        let result = run_islands_one_max(island_config(4, 5, 2, 1));
+        assert!(
+            result.best_fitness >= 22.0,
+            "island one-max only reached {}",
+            result.best_fitness
+        );
+    }
+
+    #[test]
+    fn islands_are_bit_identical_for_any_thread_count() {
+        let run = |threads: usize| {
+            let config = EaConfig::builder()
+                .population_size(8)
+                .children_per_generation(6)
+                .stagnation_limit(15)
+                .islands(4, 3, 2)
+                .seed(5)
+                .threads(threads)
+                .build();
+            run_islands_one_max(config)
+        };
+        let reference = run(1);
+        for threads in [2, 3, 4, 8] {
+            let other = run(threads);
+            assert_eq!(other.best_genome, reference.best_genome, "t={threads}");
+            assert_eq!(
+                other.best_fitness.to_bits(),
+                reference.best_fitness.to_bits()
+            );
+            assert_eq!(other.generations, reference.generations);
+            assert_eq!(other.evaluations, reference.evaluations);
+            assert_eq!(other.history.len(), reference.history.len());
+            for (a, b) in other.history.iter().zip(&reference.history) {
+                assert_eq!(a.generation, b.generation);
+                assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+                assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
+                assert_eq!(a.evaluations, b.evaluations);
+            }
+        }
+    }
+
+    #[test]
+    fn island_events_cover_every_island_every_generation() {
+        let count = 3;
+        let mut island_events = Vec::new();
+        let mut merged = Vec::new();
+        let result = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(island_config(count, 4, 1, 2))
+            .run_with_observer(|event| match event {
+                GenerationEvent::Island { island, stats } => {
+                    island_events.push((*island, stats.generation));
+                    assert!(
+                        stats.cache.is_none(),
+                        "island events carry no cache snapshot"
+                    );
+                }
+                GenerationEvent::Merged(stats) => merged.push(stats.generation),
+            });
+        // Per generation: one event per island (in island order), then the
+        // merged event.
+        assert_eq!(merged.len(), result.history.len());
+        assert_eq!(island_events.len(), merged.len() * count);
+        for (slot, &(island, generation)) in island_events.iter().enumerate() {
+            assert_eq!(island, slot % count, "island order within a generation");
+            assert_eq!(generation, merged[slot / count], "generation interleave");
+        }
+    }
+
+    #[test]
+    fn merged_evaluations_sum_over_islands() {
+        let count = 3;
+        let mut per_island_evals = vec![0u64; count];
+        let mut merged_evals = 0;
+        let result = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(island_config(count, 4, 1, 3))
+            .run_with_observer(|event| match event {
+                GenerationEvent::Island { island, stats } => {
+                    per_island_evals[*island] = stats.evaluations;
+                }
+                GenerationEvent::Merged(stats) => merged_evals = stats.evaluations,
+            });
+        assert_eq!(merged_evals, per_island_evals.iter().sum::<u64>());
+        assert_eq!(result.evaluations, merged_evals);
+    }
+
+    #[test]
+    fn single_island_runs_without_migration() {
+        // count = 1 must be well-defined: no migration partner, the island
+        // just evolves alone in epochs.
+        let result = run_islands_one_max(island_config(1, 5, 2, 4));
+        assert!(result.best_fitness >= 20.0);
+        let repeat = run_islands_one_max(island_config(1, 5, 2, 4));
+        assert_eq!(result.best_genome, repeat.best_genome);
+        assert_eq!(result.evaluations, repeat.evaluations);
+    }
+
+    #[test]
+    fn interval_beyond_generation_cap_never_migrates() {
+        // With max_generations < interval the single truncated epoch ends
+        // the run before any migration: identical to migrants = 0.
+        let run = |migrants: usize| {
+            let config = EaConfig::builder()
+                .population_size(6)
+                .children_per_generation(4)
+                .stagnation_limit(1_000)
+                .max_generations(7)
+                .islands(3, 100, migrants)
+                .seed(6)
+                .build();
+            run_islands_one_max(config)
+        };
+        let with = run(3);
+        let without = run(0);
+        assert_eq!(with.best_genome, without.best_genome);
+        assert_eq!(with.evaluations, without.evaluations);
+        assert_eq!(with.generations, 7);
+        let trajectories = |r: &EaResult<bool>| {
+            r.history
+                .iter()
+                .map(|s| (s.generation, s.best_fitness.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(trajectories(&with), trajectories(&without));
+    }
+
+    #[test]
+    fn migration_propagates_a_seeded_elite() {
+        // Fitness rewards a specific planted pattern so strongly that only
+        // the seeded individual (on island 0) and its descendants score
+        // high; with migration every generation the elite must reach every
+        // island, driving the merged mean far above the no-migration run.
+        let target = [true, false, true, true, false, true, false, false];
+        let fitness =
+            move |genes: &[bool]| genes.iter().zip(&target).filter(|(g, t)| g == t).count() as f64;
+        let run = |migrants: usize| {
+            let config = EaConfig::builder()
+                .population_size(6)
+                .children_per_generation(4)
+                .stagnation_limit(1_000)
+                .max_generations(12)
+                .islands(4, 1, migrants)
+                .seed(0)
+                .build();
+            EaBuilder::new(8, |rng| rng.gen::<bool>(), fitness)
+                .config(config)
+                .seed_population([target.to_vec()])
+                .run()
+        };
+        let migrating = run(2);
+        // The seed is perfect; with migration the last generation's merged
+        // mean approaches perfection as copies colonize every island.
+        assert_eq!(migrating.best_fitness, 8.0);
+        let final_mean = migrating.history.last().unwrap().mean_fitness;
+        assert!(
+            final_mean >= 7.0,
+            "elite failed to colonize the ring: mean {final_mean}"
+        );
+    }
+
+    #[test]
+    fn epoch_termination_overshoots_at_most_one_epoch() {
+        let config = EaConfig::builder()
+            .population_size(4)
+            .children_per_generation(4)
+            .stagnation_limit(1_000_000)
+            .max_evaluations(100)
+            .islands(2, 5, 1)
+            .seed(0)
+            .build();
+        let result = EaBuilder::new(8, |rng| rng.gen::<bool>(), |_: &[bool]| 0.0)
+            .config(config)
+            .run();
+        // Budget + one epoch of children on both islands: 100 + 2*5*4.
+        assert!(result.evaluations <= 140, "{} evals", result.evaluations);
+    }
+
+    #[test]
+    fn island_seed_streams_are_decorrelated() {
+        let seeds: Vec<u64> = (0..8).map(|i| island_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "island seeds collide: {seeds:?}");
+        // And distinct run seeds move every island stream.
+        assert_ne!(island_seed(1, 0), island_seed(2, 0));
     }
 }

@@ -24,13 +24,16 @@
 //!
 //! Fitness is evaluated in batches (the initial population, then each
 //! generation's children), optionally across scoped worker threads — see
-//! [`parallel`] and the `threads` knob on [`EaConfig`]. Thread count never
-//! changes results: runs are bit-identical for any value of the knob.
+//! [`parallel`] and the `threads` knob on [`EaConfig`]. Runs can also be
+//! structured as an island model — per-thread subpopulations with
+//! deterministic ring migration — via [`Topology`]. Thread count never
+//! changes results: runs are bit-identical for any value of the knob, with
+//! either topology.
 //!
 //! # Example
 //!
 //! ```
-//! use evotc_evo::{Ea, EaConfig};
+//! use evotc_evo::{EaBuilder, EaConfig};
 //!
 //! // Maximize the number of `true` genes (one-max).
 //! let config = EaConfig::builder()
@@ -39,12 +42,20 @@
 //!     .stagnation_limit(50)
 //!     .seed(1)
 //!     .build();
-//! let ea = Ea::new(config, 32, |rng| rand::Rng::gen::<bool>(rng), |genes: &[bool]| {
+//! let result = EaBuilder::new(32, |rng| rand::Rng::gen::<bool>(rng), |genes: &[bool]| {
 //!     genes.iter().filter(|&&g| g).count() as f64
-//! });
-//! let result = ea.run();
+//! })
+//! .config(config)
+//! .run();
 //! assert!(result.best_fitness >= 30.0);
 //! ```
+//!
+//! For an island run, swap the config for
+//! `EaConfig::builder().islands(4, 10, 2).build()` — 4 islands migrating
+//! their 2 rank-best individuals along a ring every 10 generations — and
+//! observe per-island progress through
+//! [`EaBuilder::run_with_observer`](EaBuilder::run_with_observer) and
+//! [`GenerationEvent`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,8 +67,8 @@ pub mod operators;
 pub mod parallel;
 mod stats;
 
-pub use config::{EaConfig, EaConfigBuilder};
-pub use engine::{Ea, EaResult};
+pub use config::{EaConfig, EaConfigBuilder, Topology};
+pub use engine::{EaBuilder, EaResult};
 pub use fitness::{FitnessEval, Lineage};
 pub use operators::GeneRange;
-pub use stats::{evals_per_sec, CacheStats, GenerationStats};
+pub use stats::{evals_per_sec, CacheStats, GenerationEvent, GenerationStats};

@@ -9,7 +9,7 @@
 
 use evotc::bits::{BlockHistogram, TestSet, TestSetString, Trit};
 use evotc::core::{EaCompressor, MvFitness};
-use evotc::evo::{parallel, Ea, EaConfig, EaResult, FitnessEval};
+use evotc::evo::{parallel, EaBuilder, EaConfig, EaResult, FitnessEval};
 use evotc::workloads::synth::{generate, SyntheticSpec};
 use rand::Rng;
 
@@ -23,12 +23,12 @@ fn engine_run(threads: usize, seed: u64) -> EaResult<bool> {
         .seed(seed)
         .threads(threads)
         .build();
-    Ea::new(
-        config,
+    EaBuilder::new(
         48,
         |rng| rng.gen::<bool>(),
         |genes: &[bool]| genes.iter().filter(|&&g| g).count() as f64,
     )
+    .config(config)
     .run()
 }
 
@@ -147,21 +147,18 @@ fn lineage_cache_never_changes_the_ea_trajectory() {
             .build()
     };
     let sample = |rng: &mut rand::rngs::StdRng| Trit::from_index(rng.gen_range(0..3u8));
-    let reference = Ea::new(
-        config(1),
+    let reference = EaBuilder::new(
         12 * 16,
         sample,
         NoLineage(MvFitness::new(12, true, &histogram, bits)),
     )
+    .config(config(1))
     .run();
     for threads in THREAD_COUNTS {
-        let incremental = Ea::new(
-            config(threads),
-            12 * 16,
-            sample,
-            MvFitness::new(12, true, &histogram, bits),
-        )
-        .run();
+        let incremental =
+            EaBuilder::new(12 * 16, sample, MvFitness::new(12, true, &histogram, bits))
+                .config(config(threads))
+                .run();
         assert_eq!(
             incremental.best_genome, reference.best_genome,
             "t={threads}"
@@ -197,12 +194,12 @@ fn shared_cache_trajectory_is_identical_for_any_thread_count() {
             .seed(17)
             .threads(threads)
             .build();
-        Ea::new(
-            config,
+        EaBuilder::new(
             12 * 16,
             |rng: &mut rand::rngs::StdRng| Trit::from_index(rng.gen_range(0..3u8)),
             MvFitness::new(12, true, &histogram, bits),
         )
+        .config(config)
         .run()
     };
     let reference = run(1);

@@ -9,7 +9,7 @@ use evotc::bits::{BlockHistogram, TestSet, TestSetString, Trit};
 use evotc::codes::huffman_code;
 use evotc::core::{EaCompressor, NineCCompressor, NineCHuffmanCompressor, TestCompressor};
 use evotc::decoder::DecoderFsm;
-use evotc::evo::{parallel, Ea, EaConfig, FitnessEval};
+use evotc::evo::{parallel, EaBuilder, EaConfig, FitnessEval};
 use evotc::netlist::{iscas, parse_bench};
 
 fn small_set() -> TestSet {
@@ -87,9 +87,10 @@ fn facade_evo_engine_resolves() {
         .stagnation_limit(30)
         .seed(5)
         .build();
-    let result = Ea::new(config, 16, rand::Rng::gen::<bool>, |genes: &[bool]| {
+    let result = EaBuilder::new(16, rand::Rng::gen::<bool>, |genes: &[bool]| {
         genes.iter().filter(|&&g| g).count() as f64
     })
+    .config(config)
     .run();
     assert!(result.best_fitness >= 12.0, "one-max barely optimized");
     assert!(result.evaluations_per_sec() >= 0.0);
