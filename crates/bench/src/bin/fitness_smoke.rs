@@ -3,8 +3,13 @@
 //! incremental (cache-patching) path under mutation-chain, inversion-chain
 //! and crossover workloads — all at the paper-default shape (K=12, L=64,
 //! shared `fitness_fixture` workload) — plus the whole-run `evals/sec` of a
-//! real EA, and writes `BENCH_fitness.json` so the repo carries a perf
-//! trajectory across PRs.
+//! real EA and the multi-objective vector path
+//! (`multiobjective_evals_per_sec`), and writes `BENCH_fitness.json` so the
+//! repo carries a perf trajectory across PRs. The correctness gates cover
+//! the objective vector too: kernel side-channel objectives vs the
+//! covering oracle on every genome, and the incrementally patched
+//! transition count vs the full recompute on every chain step and
+//! multi-chunk child.
 //!
 //! The incremental workloads cover the operator mix of the paper's EA in
 //! its steady state: single-gene mutation chains (one changed MV chunk per
@@ -177,13 +182,20 @@ fn main() {
     let genomes = random_genomes(GENOMES, GENOME_LEN, 42);
 
     // Correctness gate 1: bit-identical fitness, kernel vs legacy, on every
-    // random genome.
+    // random genome — and the full objective vector (encoded bits, scan
+    // transitions, decoder gate equivalents) must match between the
+    // kernel's side-channels and the covering-based oracle.
     let mut scratch = EvalScratch::new();
     for g in &genomes {
-        let legacy = fitness.evaluate(g);
-        let kernel = fitness.evaluate_scratch(g, &mut scratch);
+        let (legacy, oracle_objectives) = fitness.evaluate_oracle(g);
+        let (kernel, kernel_objectives) = fitness.evaluate_with_objectives(g, &mut scratch);
         if legacy.to_bits() != kernel.to_bits() {
             fail(&format!("kernel {kernel} != legacy {legacy}"));
+        }
+        if oracle_objectives != kernel_objectives {
+            fail(&format!(
+                "kernel objectives {kernel_objectives:?} != oracle {oracle_objectives:?}"
+            ));
         }
     }
 
@@ -205,6 +217,17 @@ fn main() {
         if incremental.to_bits() != full.to_bits() {
             fail(&format!(
                 "incremental {incremental} != full {full} at mutation-chain step {step}"
+            ));
+        }
+        // The incrementally patched transition objective must equal the
+        // full recompute exactly, at every step of the chain.
+        if full != MvFitness::INFEASIBLE
+            && cache.scan_transitions() != scratch.last_scan_transitions()
+        {
+            fail(&format!(
+                "incremental transitions {} != full {} at mutation-chain step {step}",
+                cache.scan_transitions(),
+                scratch.last_scan_transitions()
             ));
         }
     }
@@ -238,6 +261,19 @@ fn main() {
             if probe != IncrementalOutcome::Size(full) {
                 fail(&format!(
                     "{name} probe {probe:?} != full {full:?} at child {step} (window {window:?})"
+                ));
+            }
+            if full.is_some()
+                && (patch.last_scan_transitions() != scratch.last_scan_transitions()
+                    || patch.last_used_mvs() != scratch.last_used_mvs())
+            {
+                fail(&format!(
+                    "{name} patched objectives (t={}, used={}) != full (t={}, used={}) \
+                     at child {step}",
+                    patch.last_scan_transitions(),
+                    patch.last_used_mvs(),
+                    scratch.last_scan_transitions(),
+                    scratch.last_used_mvs()
                 ));
             }
         }
@@ -277,9 +313,10 @@ fn main() {
 
     if check_only {
         println!(
-            "fitness kernel == legacy on {GENOMES} genomes; incremental == full on a \
-             {CHAIN_LEN}-step mutation chain and on {CHAIN_LEN}-child multi-chunk \
-             crossover/inversion streams; island runs thread-invariant \
+            "fitness kernel == legacy on {GENOMES} genomes (objective vectors \
+             included); incremental == full on a {CHAIN_LEN}-step mutation chain \
+             and on {CHAIN_LEN}-child multi-chunk crossover/inversion streams, \
+             transition objective included; island runs thread-invariant \
              (K={BLOCK_LEN}, L={NUM_MVS})"
         );
         return;
@@ -296,6 +333,19 @@ fn main() {
             .sum()
     });
     let speedup = kernel_eps / legacy_eps;
+
+    // The multi-objective surface: same kernel pass, but returning the full
+    // (encoded bits, transitions, area) vector. The transition and used-MV
+    // side-channels ride the covering scan and area is a closed form, so
+    // this should track `kernel_evals_per_sec` closely; the ratio makes the
+    // overhead of the vector path visible across PRs.
+    let multiobjective_eps = throughput(GENOMES as u64, || {
+        genomes
+            .iter()
+            .map(|g| fitness.evaluate_with_objectives(g, &mut scratch).0)
+            .sum()
+    });
+    let multiobjective_overhead = kernel_eps / multiobjective_eps;
 
     // The mutation workload: one full evaluation to seed the cache, then
     // CHAIN_LEN single-gene children priced from deltas. The full-kernel
@@ -437,6 +487,8 @@ fn main() {
     println!("legacy eval/s          : {legacy_eps:.0}");
     println!("kernel eval/s          : {kernel_eps:.0}");
     println!("speedup                : {speedup:.2}x");
+    println!("multiobjective eval/s  : {multiobjective_eps:.0}");
+    println!("multiobjective ovhd    : {multiobjective_overhead:.2}x");
     println!("chain length           : {CHAIN_LEN}");
     println!("full-chain eval/s      : {full_chain_eps:.0}");
     println!("incremental eval/s     : {incremental_eps:.0}");
@@ -461,7 +513,10 @@ fn main() {
         "{{\n  \"bench\": \"fitness_kernel\",\n  \"workload\": \"s953\",\n  \"k\": {k},\n  \
          \"l\": {l},\n  \"distinct_blocks\": {distinct},\n  \"genomes\": {genomes},\n  \
          \"legacy_evals_per_sec\": {legacy:.0},\n  \"kernel_evals_per_sec\": {kernel:.0},\n  \
-         \"speedup\": {speedup:.2},\n  \"chain_len\": {chain_len},\n  \
+         \"speedup\": {speedup:.2},\n  \
+         \"multiobjective_evals_per_sec\": {multiobjective:.0},\n  \
+         \"multiobjective_overhead\": {multiobjective_overhead:.2},\n  \
+         \"chain_len\": {chain_len},\n  \
          \"full_chain_evals_per_sec\": {full_chain:.0},\n  \
          \"incremental_evals_per_sec\": {incremental:.0},\n  \
          \"incremental_speedup\": {inc_speedup:.2},\n  \
@@ -488,6 +543,8 @@ fn main() {
         legacy = legacy_eps,
         kernel = kernel_eps,
         speedup = speedup,
+        multiobjective = multiobjective_eps,
+        multiobjective_overhead = multiobjective_overhead,
         chain_len = CHAIN_LEN,
         full_chain = full_chain_eps,
         incremental = incremental_eps,

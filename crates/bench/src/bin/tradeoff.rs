@@ -1,0 +1,132 @@
+//! The multi-objective trade-off table: per circuit, the compression /
+//! scan-power / decoder-area front of one lexicographic EA run.
+//!
+//! Each run ranks individuals lexicographically on the minimized objective
+//! vector `(encoded_bits, scan_transitions, decoder_gate_equivalents)` and
+//! collects the nondominated archive of everything it evaluated (see
+//! `evotc_evo::ParetoArchive`). The table reports, per circuit, the best
+//! compression point (the front's head) and the lowest-scan-power point,
+//! with each point's full vector — making the compression-vs-power slack
+//! the paper's single-objective EA leaves behind directly visible.
+//!
+//! Usage: `cargo run -p evotc_bench --bin tradeoff --release [-- --full] [--threads N] [circuit…]`
+
+use evotc_bench::{circuit_filter, RunProfile};
+use evotc_bits::{BlockHistogram, TestSetString, Trit};
+use evotc_core::{CombineMode, MvFitness};
+use evotc_evo::{EaBuilder, EaConfig, ParetoPoint};
+use evotc_workloads::tables::TABLE1;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// EA shape for the trade-off runs: the paper's block length with a
+/// mid-size MV budget so quick mode stays interactive.
+const K: usize = 12;
+const L: usize = 32;
+/// Reported front bound (the archive keeps the exact front internally).
+const FRONT_CAPACITY: usize = 32;
+
+struct TradeoffRow {
+    circuit: String,
+    bits: usize,
+    /// Uncompressed payload bits at block length `K` — the rate denominator.
+    payload_bits: f64,
+    front: Vec<ParetoPoint<Trit>>,
+}
+
+/// Compression rate (%) of an encoded-bits objective value.
+fn rate(bits: f64, encoded: f64) -> f64 {
+    100.0 * (bits - encoded) / bits
+}
+
+fn run_circuit(
+    circuit: &str,
+    histogram: &BlockHistogram,
+    bits: f64,
+    profile: &RunProfile,
+) -> Vec<ParetoPoint<Trit>> {
+    let fitness = MvFitness::new(K, true, histogram, bits).combine_mode(CombineMode::Lexicographic);
+    let config = EaConfig::builder()
+        .stagnation_limit(profile.stagnation_limit)
+        .max_evaluations(profile.max_evaluations)
+        .seed(1)
+        .threads(profile.threads)
+        .lexicographic()
+        .pareto_archive(FRONT_CAPACITY)
+        .build();
+    let result = EaBuilder::new(
+        K * L,
+        |rng: &mut StdRng| Trit::from_index(rng.gen_range(0..3u8)),
+        fitness,
+    )
+    .config(config)
+    .run();
+    assert!(
+        !result.pareto_front.is_empty(),
+        "{circuit}: a feasible run must archive at least one point"
+    );
+    result.pareto_front
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = RunProfile::from_args(args.iter().cloned());
+    let filter = circuit_filter(&args);
+
+    let selected: Vec<_> = TABLE1
+        .iter()
+        .filter(|row| filter.is_empty() || filter.iter().any(|f| *f == row.circuit))
+        .collect();
+    let threads = evotc_evo::parallel::resolve_threads(profile.threads);
+    let sets = evotc_workloads::stuck_at_workloads(&selected, 1, profile.size_limit, threads);
+
+    let mut rows = Vec::new();
+    for (row, set) in selected.iter().zip(&sets) {
+        eprintln!("running {} ({} bits)…", row.circuit, set.total_bits());
+        let string = TestSetString::try_new(set, K).expect("K=12 fits every Table 1 workload");
+        let bits = string.payload_bits() as f64;
+        let histogram = BlockHistogram::from_string(&string);
+        rows.push(TradeoffRow {
+            circuit: row.circuit.to_string(),
+            bits: set.total_bits(),
+            payload_bits: bits,
+            front: run_circuit(row.circuit, &histogram, bits, &profile),
+        });
+    }
+
+    println!("# Compression / scan-power / decoder-area trade-off (K={K}, L={L})\n");
+    println!(
+        "| circuit | bits | front | best rate % | transitions | area GE | \
+         low-power rate % | transitions | area GE |"
+    );
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for row in &rows {
+        // The front is sorted by encoded bits first, so its head is the
+        // best-compression point; the power extreme minimizes transitions.
+        let best = &row.front[0];
+        let low_power = row
+            .front
+            .iter()
+            .min_by(|a, b| a.objectives.values()[1].total_cmp(&b.objectives.values()[1]))
+            .expect("front is non-empty");
+        let [b0, b1, b2] = best.objectives.values();
+        let [p0, p1, p2] = low_power.objectives.values();
+        println!(
+            "| {} | {} | {} | {:.1} | {:.0} | {:.0} | {:.1} | {:.0} | {:.0} |",
+            row.circuit,
+            row.bits,
+            row.front.len(),
+            rate(row.payload_bits, b0),
+            b1,
+            b2,
+            rate(row.payload_bits, p0),
+            p1,
+            p2,
+        );
+    }
+    println!(
+        "\nAll runs: lexicographic ranking (compression, then scan power, then \
+         decoder area), archive bound {FRONT_CAPACITY}, seed 1. Deterministic \
+         for any `--threads` value."
+    );
+}

@@ -12,6 +12,7 @@
 //! | `operators` | Ablation B — EA parameter sensitivity |
 //! | `seeding`   | Ablation C — 9C-seeded initial population |
 //! | `baselines` | Baseline F — run-length / Golomb / FDR / selective Huffman |
+//! | `tradeoff`  | Multi-objective compression / scan-power / decoder-area fronts |
 //!
 //! Every binary accepts `--full` for paper-scale runs; the default *quick*
 //! profile caps test-set sizes and EA budgets so the whole table finishes

@@ -1,0 +1,105 @@
+//! Closed-form decoder-area model.
+//!
+//! The on-chip decoder of a code-based scheme is a prefix-code FSM walking
+//! the encoded stream, an MV table holding the used symbols, a fill counter
+//! and an output shift register. Its first-order area is a pure function of
+//! the block length `K`, the number of *used* symbols (those with a
+//! codeword) and the FSM state count — which for the optimal (Huffman)
+//! codes the EA emits is itself determined by the used-symbol count.
+//!
+//! This module hosts that arithmetic so two consumers cannot drift apart:
+//! `evotc_decoder::HardwareCost` feeds it the state count of a *real*
+//! decode tree (valid for arbitrary prefix codes), while the fitness kernel
+//! in `evotc_core` — which never materializes codewords — uses
+//! [`huffman_fsm_states`] to price the decoder-area objective of a genome
+//! from its used-MV count alone.
+
+/// First-order decoder area, broken down the way a synthesis report would
+/// be. Produced by [`decoder_area`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderArea {
+    /// FSM states of the code walker.
+    pub fsm_states: usize,
+    /// Bits of MV table storage (two bits per position: `0`, `1` or `U`).
+    pub table_bits: usize,
+    /// State/counter/shift flip-flops.
+    pub flip_flops: usize,
+    /// Gate-equivalent estimate (4 NAND per flip-flop, 1 per table bit, 2
+    /// per FSM state).
+    pub gate_equivalents: usize,
+}
+
+/// FSM state count of the decode tree of an *optimal* prefix code over
+/// `used_symbols` leaves: a Huffman tree over `n ≥ 2` leaves is a full
+/// binary tree with exactly `n − 1` internal nodes; a single used symbol is
+/// clamped to a one-bit codeword (the stream must stay self-delimiting), so
+/// its tree has one internal node — the root; no symbols, no tree.
+///
+/// `evotc_decoder` asserts this closed form against the node count of the
+/// real [`DecodeTree`](crate::DecodeTree) for Huffman codes.
+pub fn huffman_fsm_states(used_symbols: usize) -> usize {
+    match used_symbols {
+        0 | 1 => used_symbols,
+        n => n - 1,
+    }
+}
+
+/// The shared area arithmetic: MV table of `used_symbols · block_len · 2`
+/// bits, `⌈log₂(fsm_states + 1)⌉` state bits, a `⌈log₂(block_len + 1)⌉`-bit
+/// fill counter, a `block_len`-bit shift register, and the classic
+/// 4-NAND-per-flip-flop / 1-NAND-per-table-bit gate rule of thumb. Coarse,
+/// but it ranks decoder configurations the same way a synthesis run would.
+pub fn decoder_area(block_len: usize, used_symbols: usize, fsm_states: usize) -> DecoderArea {
+    let table_bits = used_symbols * block_len * 2;
+    let state_bits = usize::BITS as usize - fsm_states.leading_zeros() as usize;
+    let counter_bits = usize::BITS as usize - block_len.leading_zeros() as usize;
+    let flip_flops = state_bits + counter_bits + block_len;
+    let gate_equivalents = flip_flops * 4 + table_bits + fsm_states * 2;
+    DecoderArea {
+        fsm_states,
+        table_bits,
+        flip_flops,
+        gate_equivalents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huffman_state_counts_match_the_real_trees() {
+        // n used symbols -> Huffman tree with n - 1 internal nodes (n >= 2);
+        // the degenerate single-symbol code clamps to "0" whose tree is one
+        // internal root.
+        for used in 1..12usize {
+            let freqs: Vec<u64> = (1..=used as u64).map(|f| f * f + 1).collect();
+            let code = crate::huffman_code(&freqs);
+            assert_eq!(
+                code.decode_tree().num_internal_nodes(),
+                huffman_fsm_states(used),
+                "used = {used}"
+            );
+        }
+        assert_eq!(huffman_fsm_states(0), 0);
+    }
+
+    #[test]
+    fn area_grows_with_table_and_block_size() {
+        let small = decoder_area(8, 4, huffman_fsm_states(4));
+        let wider = decoder_area(8, 9, huffman_fsm_states(9));
+        let longer = decoder_area(16, 4, huffman_fsm_states(4));
+        assert!(wider.gate_equivalents > small.gate_equivalents);
+        assert!(longer.gate_equivalents > small.gate_equivalents);
+        assert_eq!(small.table_bits, 4 * 8 * 2);
+    }
+
+    #[test]
+    fn no_symbols_means_no_table_or_states() {
+        let empty = decoder_area(12, 0, huffman_fsm_states(0));
+        assert_eq!(empty.fsm_states, 0);
+        assert_eq!(empty.table_bits, 0);
+        // The counter and shift register remain — they are sized by K.
+        assert!(empty.flip_flops > 0);
+    }
+}

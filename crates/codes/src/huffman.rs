@@ -250,6 +250,13 @@ fn merge_total(leaves: &[u64], merged: &mut Vec<u64>) -> u64 {
 pub struct HuffmanDeltaState {
     /// Nonzero frequencies, sorted ascending.
     leaves: Vec<u64>,
+    /// Cached `Σ fᵢ·lᵢ` of `leaves` — maintained eagerly by [`reset`] and
+    /// [`adopt_leaves_from`], so an all-no-op delta can be priced without
+    /// re-running the merge.
+    ///
+    /// [`reset`]: HuffmanDeltaState::reset
+    /// [`adopt_leaves_from`]: HuffmanDeltaState::adopt_leaves_from
+    total: u64,
     /// Merge-weight FIFO (scratch for the two-queue merge).
     merged: Vec<u64>,
     /// Sorted removals of the current batched patch (scratch).
@@ -264,11 +271,13 @@ impl HuffmanDeltaState {
         HuffmanDeltaState::default()
     }
 
-    /// Rebuilds the leaf queue from a frequency vector, dropping zeros.
+    /// Rebuilds the leaf queue from a frequency vector, dropping zeros, and
+    /// recomputes the cached weighted length.
     pub fn reset(&mut self, freqs: &[u64]) {
         self.leaves.clear();
         self.leaves.extend(freqs.iter().copied().filter(|&f| f > 0));
         self.leaves.sort_unstable();
+        self.total = merge_total(&self.leaves, &mut self.merged);
     }
 
     /// The sorted nonzero frequencies currently held.
@@ -277,20 +286,22 @@ impl HuffmanDeltaState {
     }
 
     /// Total codeword bits of an optimal prefix code for the held
-    /// frequencies — [`huffman_weighted_length`] without the sort.
-    pub fn weighted_length(&mut self) -> u64 {
-        let leaves = std::mem::take(&mut self.leaves);
-        let total = merge_total(&leaves, &mut self.merged);
-        self.leaves = leaves;
-        total
+    /// frequencies — [`huffman_weighted_length`] without the sort (cached,
+    /// so this is free).
+    pub fn weighted_length(&self) -> u64 {
+        self.total
     }
 
     /// Replaces this state's leaf queue with `patched`'s, swapping buffers
     /// so neither side allocates — how a cached base state adopts the queue
     /// a committed [`huffman_weighted_length_delta`] evaluation produced in
-    /// its scratch. `patched`'s queue is the base's old queue afterwards.
-    pub fn adopt_leaves_from(&mut self, patched: &mut HuffmanDeltaState) {
+    /// its scratch. `total` must be that evaluation's result (the weighted
+    /// length of the adopted queue); it refreshes the cache that keeps
+    /// no-op deltas free. `patched`'s queue is the base's old queue
+    /// afterwards.
+    pub fn adopt_leaves_from(&mut self, patched: &mut HuffmanDeltaState, total: u64) {
         std::mem::swap(&mut self.leaves, &mut patched.leaves);
+        self.total = total;
     }
 }
 
@@ -338,6 +349,18 @@ pub fn huffman_weighted_length_delta(
     scratch: &mut HuffmanDeltaState,
 ) -> u64 {
     let effective = changes.iter().filter(|(old, new)| old != new).count();
+    if effective == 0 {
+        // An all-no-op netted delta (every `old == new`, e.g. a crossover
+        // window whose frequency changes cancel out): the patched queue IS
+        // the base queue, already priced. Skip the patch machinery and the
+        // merge entirely — the queue is only mirrored into `scratch` so a
+        // later `adopt_leaves_from` still hands the base a valid copy.
+        // No-op pairs are never validated against the queue, so phantom
+        // `(x, x)` entries cannot panic here regardless of how many there
+        // are.
+        scratch.leaves.clone_from(&base.leaves);
+        return base.weighted_length();
+    }
     if effective > BATCH_PATCH_THRESHOLD {
         patch_leaves_batched(base, changes, scratch);
     } else {
@@ -645,12 +668,43 @@ mod tests {
         state.reset(&[5, 3, 2, 7, 7, 11, 1]);
         for change in &changes {
             let mut one = HuffmanDeltaState::new();
-            huffman_weighted_length_delta(&state, std::slice::from_ref(change), &mut one);
-            state.adopt_leaves_from(&mut one);
+            let total =
+                huffman_weighted_length_delta(&state, std::slice::from_ref(change), &mut one);
+            state.adopt_leaves_from(&mut one, total);
         }
         assert_eq!(state.weighted_length(), batched);
         // The base is untouched either way.
         assert_eq!(base.leaves(), &[1, 2, 3, 5, 7, 7, 11]);
+    }
+
+    #[test]
+    fn all_noop_delta_early_returns_without_patching() {
+        // Regression: an all-zero netted delta (every old == new) must be
+        // priced straight from the base's cached total — no patch, no merge
+        // — while still mirroring the queue into the scratch so a commit's
+        // `adopt_leaves_from` stays valid.
+        let mut full = HuffmanScratch::new();
+        let mut base = HuffmanDeltaState::new();
+        base.reset(&[5, 3, 2, 7]);
+        let mut scratch = HuffmanDeltaState::new();
+        // Phantom (x, x) pairs — values absent from the queue — are legal
+        // no-ops and must not panic, even with enough of them to exceed the
+        // batched-path threshold were they counted as effective.
+        let noop = [(5u64, 5u64), (100, 100), (0, 0), (42, 42), (7, 7)];
+        assert!(noop.len() > super::BATCH_PATCH_THRESHOLD);
+        let total = huffman_weighted_length_delta(&base, &noop, &mut scratch);
+        assert_eq!(total, huffman_weighted_length(&[5, 3, 2, 7], &mut full));
+        assert_eq!(base.leaves(), &[2, 3, 5, 7]);
+        // The scratch holds an adoptable copy of the (unchanged) queue.
+        let leaves_before = base.leaves().to_vec();
+        base.adopt_leaves_from(&mut scratch, total);
+        assert_eq!(base.leaves(), leaves_before);
+        assert_eq!(base.weighted_length(), total);
+        // The empty change list takes the same early return.
+        assert_eq!(
+            huffman_weighted_length_delta(&base, &[], &mut scratch),
+            total
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod area;
 mod codeword;
 mod decode;
 pub mod fdr;
@@ -45,6 +46,7 @@ mod prefix;
 pub mod runlength;
 pub mod selective;
 
+pub use area::{decoder_area, huffman_fsm_states, DecoderArea};
 pub use codeword::{Codeword, ParseCodewordError};
 pub use decode::{DecodeTree, Step, Walk};
 pub use huffman::{

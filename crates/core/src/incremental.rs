@@ -52,6 +52,7 @@ use std::ops::Range;
 use evotc_bits::{SlicedHistogram, Trit};
 use evotc_codes::{huffman_weighted_length_delta, HuffmanDeltaState};
 
+use crate::kernel::block_transitions;
 use crate::mvset::covering_key;
 
 /// Sentinel in the per-block owner table: the block matches no MV.
@@ -153,6 +154,11 @@ struct CoverState {
     /// Total fill bits: `Σ freq[j] · N_U(j)`, maintained even while
     /// infeasible so feasibility can flip back cheaply.
     fill_bits: u64,
+    /// Scan-in transition count of the held genome (the power objective;
+    /// see [`crate::EvalScratch::last_scan_transitions`] for the model).
+    /// Maintained — like `fill_bits` — even while infeasible; uncovered
+    /// blocks contribute zero.
+    scan_transitions: u64,
     /// Sorted nonzero-frequency leaf queue for Huffman delta re-pricing.
     huffman: HuffmanDeltaState,
     /// The held genome's encoded size (`None` ⇔ covering impossible).
@@ -219,12 +225,35 @@ pub struct PatchScratch {
     touch_epoch: Vec<u64>,
     /// Current evaluation's epoch (monotone; never reset).
     epoch: u64,
+    /// Transition count of the child priced by the last probe (see
+    /// [`PatchScratch::last_scan_transitions`]).
+    last_transitions: u64,
+    /// Used-MV count of the child priced by the last probe.
+    last_used: usize,
 }
 
 impl PatchScratch {
     /// Creates empty scratch buffers; they size themselves on first use.
     pub fn new() -> Self {
         PatchScratch::default()
+    }
+
+    /// Scan-in transition count of the child priced by the last probe that
+    /// answered [`IncrementalOutcome::Size`] through this scratch — the same
+    /// model as [`crate::EvalScratch::last_scan_transitions`], bit-identical
+    /// to what the full kernel reports for the same genome. Meaningless
+    /// after a [`IncrementalOutcome::NeedsFull`] answer.
+    #[inline]
+    pub fn last_scan_transitions(&self) -> u64 {
+        self.last_transitions
+    }
+
+    /// Number of MVs with nonzero frequency in the child priced by the last
+    /// [`IncrementalOutcome::Size`] answer through this scratch — the
+    /// used-symbol count that sizes the decoder.
+    #[inline]
+    pub fn last_used_mvs(&self) -> usize {
+        self.last_used
     }
 }
 
@@ -247,6 +276,29 @@ impl EvalCache {
     pub fn encoded_size(&self) -> Option<u64> {
         assert!(self.state.warm, "cache is cold");
         self.state.total
+    }
+
+    /// The held genome's scan-in transition count (the power objective; see
+    /// [`crate::EvalScratch::last_scan_transitions`] for the model). Only
+    /// meaningful while [`EvalCache::encoded_size`] is `Some`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is cold.
+    pub fn scan_transitions(&self) -> u64 {
+        assert!(self.state.warm, "cache is cold");
+        self.state.scan_transitions
+    }
+
+    /// Number of MVs with nonzero frequency in the held genome — the
+    /// used-symbol count that sizes the decoder's MV table and FSM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is cold.
+    pub fn used_mvs(&self) -> usize {
+        assert!(self.state.warm, "cache is cold");
+        self.state.huffman.leaves().len()
     }
 }
 
@@ -379,6 +431,7 @@ pub fn encoded_size_rebuild(
     let counts = sliced.counts();
     let mut blocks_left = n;
     let mut fill_bits = 0u64;
+    let mut transitions = 0u64;
     for &j in &state.order {
         if blocks_left == 0 {
             break; // every block owned; the rest keep frequency 0
@@ -401,6 +454,8 @@ pub fn encoded_size_rebuild(
                 state.owner[d] = j as u32;
                 freq += counts[d];
                 blocks_left -= 1;
+                let (_, bv) = sliced.block_planes(d);
+                transitions += counts[d] * block_transitions(state.value[j] | bv, k);
             }
         }
         state.freq[j] = freq;
@@ -408,6 +463,7 @@ pub fn encoded_size_rebuild(
     }
     state.uncovered = blocks_left;
     state.fill_bits = fill_bits;
+    state.scan_transitions = transitions;
     state.huffman.reset(&state.freq);
     state.total = if blocks_left == 0 {
         Some(fill_bits + state.huffman.weighted_length())
@@ -463,6 +519,7 @@ pub fn encoded_size_incremental(
         edit
     ));
     if edit.start == edit.end {
+        record_parent_objectives(state, scratch);
         return IncrementalOutcome::Size(state.total);
     }
     detect_changed_chunks(sliced, genes, force_all_u, edit, state, scratch);
@@ -474,6 +531,7 @@ pub fn encoded_size_incremental(
             if commit {
                 state.genes[edit.clone()].copy_from_slice(&genes[edit.clone()]);
             }
+            record_parent_objectives(state, scratch);
             IncrementalOutcome::Size(state.total) // edit was inert
         }
         1 => {
@@ -552,11 +610,15 @@ pub fn encoded_size_probe(
         edit
     ));
     if edit.start == edit.end {
+        record_parent_objectives(state, scratch);
         return IncrementalOutcome::Size(state.total);
     }
     detect_changed_chunks(sliced, genes, force_all_u, edit, state, scratch);
     match scratch.edited.len() {
-        0 => IncrementalOutcome::Size(state.total),
+        0 => {
+            record_parent_objectives(state, scratch);
+            IncrementalOutcome::Size(state.total)
+        }
         1 => {
             let (i, nspec, nvalue) = scratch.edited[0];
             let patch = probe_single(sliced, state, scratch, i as usize, nspec, nvalue);
@@ -564,6 +626,13 @@ pub fn encoded_size_probe(
         }
         _ => IncrementalOutcome::Size(probe_multi(sliced, state, scratch).total),
     }
+}
+
+/// The child equals the cached parent: its side-channel objectives are the
+/// parent's own.
+fn record_parent_objectives(state: &CoverState, scratch: &mut PatchScratch) {
+    scratch.last_transitions = state.scan_transitions;
+    scratch.last_used = state.huffman.leaves().len();
 }
 
 /// [`encoded_size_probe`] with a **cost gate** on the multi-chunk path:
@@ -600,6 +669,7 @@ pub fn encoded_size_probe_bounded(
         edit
     ));
     if edit.start == edit.end {
+        record_parent_objectives(state, scratch);
         return IncrementalOutcome::Size(state.total);
     }
     // Budgeted chunk detection: the same window walk as the unbounded
@@ -633,7 +703,10 @@ pub fn encoded_size_probe_bounded(
         }
     }
     match scratch.edited.len() {
-        0 => IncrementalOutcome::Size(state.total),
+        0 => {
+            record_parent_objectives(state, scratch);
+            IncrementalOutcome::Size(state.total)
+        }
         1 => {
             let (i, nspec, nvalue) = scratch.edited[0];
             let patch = probe_single(sliced, state, scratch, i as usize, nspec, nvalue);
@@ -926,7 +999,9 @@ struct SinglePatch {
     old_key: u64,
     new_key: u64,
     fill: u64,
+    transitions: u64,
     uncovered: usize,
+    huffman_bits: u64,
     total: Option<u64>,
 }
 
@@ -958,6 +1033,12 @@ fn probe_single(
     scratch.moves.clear();
     scratch.deltas.clear();
     let mut uncovered = state.uncovered;
+    // Transition deltas ride along with the ownership moves: every block
+    // that changes owner (or stays with an owner whose value plane changed)
+    // re-prices its decoded word. Signed accumulator: intermediate sums can
+    // dip below the final value.
+    let mut trans = state.scan_transitions as i64;
+    let value_changed = nvalue != state.value[i];
 
     // Phase 1 — steal: blocks the new MV matches whose owner comes *after*
     // its new covering rank (or that no MV owns) move to i (first-match
@@ -984,10 +1065,13 @@ fn probe_single(
             let a = state.owner[d];
             scratch.moves.push((d as u32, i as u32));
             add_delta(&mut scratch.deltas, i as u32, counts[d] as i64);
+            let (_, bv) = sliced.block_planes(d);
+            trans += (counts[d] * block_transitions(nvalue | bv, k)) as i64;
             if a == NO_MV {
                 uncovered -= 1;
             } else {
                 add_delta(&mut scratch.deltas, a, -(counts[d] as i64));
+                trans -= (counts[d] * block_transitions(state.value[a as usize] | bv, k)) as i64;
             }
         }
     }
@@ -1020,7 +1104,18 @@ fn probe_single(
                 let d = w * 64 + cand.trailing_zeros() as usize;
                 cand &= cand - 1;
                 let still_matched = (scratch.mismatch[w] >> (d % 64)) & 1 == 0;
+                // A block staying with `i` still re-prices its transitions
+                // when the edit changed `i`'s value plane — its decoded
+                // word changed even though ownership did not.
+                let stay_delta = |bvalue: u64| {
+                    (counts[d] * block_transitions(nvalue | bvalue, k)) as i64
+                        - (counts[d] * block_transitions(state.value[i] | bvalue, k)) as i64
+                };
                 if still_matched && stays_fast {
+                    if value_changed {
+                        let (_, bv) = sliced.block_planes(d);
+                        trans += stay_delta(bv);
+                    }
                     continue; // no competitor can rank before i's new key
                 }
                 let (bcare, bvalue) = sliced.block_planes(d);
@@ -1038,14 +1133,21 @@ fn probe_single(
                     &mut scratch.mvmask,
                 );
                 if new_owner == i as u32 {
+                    if value_changed {
+                        trans += stay_delta(bvalue);
+                    }
                     continue; // stays put
                 }
                 scratch.moves.push((d as u32, new_owner));
                 add_delta(&mut scratch.deltas, i as u32, -(counts[d] as i64));
+                trans -= (counts[d] * block_transitions(state.value[i] | bvalue, k)) as i64;
                 if new_owner == NO_MV {
                     uncovered += 1;
                 } else {
                     add_delta(&mut scratch.deltas, new_owner, counts[d] as i64);
+                    trans += (counts[d]
+                        * block_transitions(state.value[new_owner as usize] | bvalue, k))
+                        as i64;
                 }
             }
         }
@@ -1074,6 +1176,8 @@ fn probe_single(
     } else {
         None
     };
+    scratch.last_transitions = trans as u64;
+    scratch.last_used = scratch.huff_scratch.leaves().len();
     SinglePatch {
         i,
         nspec,
@@ -1082,7 +1186,9 @@ fn probe_single(
         old_key,
         new_key,
         fill: fill as u64,
+        transitions: trans as u64,
         uncovered,
+        huffman_bits,
         total,
     }
 }
@@ -1140,8 +1246,11 @@ fn commit_single(state: &mut CoverState, scratch: &mut PatchScratch, patch: &Sin
         *slot = (*slot as i64 + delta) as u64;
     }
     state.fill_bits = patch.fill;
+    state.scan_transitions = patch.transitions;
     state.uncovered = patch.uncovered;
-    state.huffman.adopt_leaves_from(&mut scratch.huff_scratch);
+    state
+        .huffman
+        .adopt_leaves_from(&mut scratch.huff_scratch, patch.huffman_bits);
     state.total = patch.total;
 }
 
@@ -1149,7 +1258,9 @@ fn commit_single(state: &mut CoverState, scratch: &mut PatchScratch, patch: &Sin
 /// itself lives in the scratch's `w_*` buffers until committed.
 struct MultiPatch {
     fill: u64,
+    transitions: u64,
     uncovered: usize,
+    huffman_bits: u64,
     total: Option<u64>,
 }
 
@@ -1190,6 +1301,8 @@ fn probe_multi(
         touched,
         touch_epoch,
         epoch,
+        last_transitions,
+        last_used,
         ..
     } = scratch;
 
@@ -1233,6 +1346,7 @@ fn probe_multi(
     let l = state.shape.1;
     let wl = l.div_ceil(64);
     let mut fill = state.fill_bits as i64;
+    let mut trans = state.scan_transitions as i64;
     let mut uncovered = state.uncovered;
 
     for (t, &(ci, nspec, nvalue)) in edited.iter().enumerate() {
@@ -1243,6 +1357,7 @@ fn probe_multi(
         let old_key = covering_key(old_nu as usize, i);
         let new_key = covering_key(nnu as usize, i);
         let freq_before = w_freq[i];
+        let value_changed = nvalue != w_value[i];
 
         // The blocks i already owns are re-priced at the new N_U up front;
         // every later freq change against i then uses nnu.
@@ -1273,6 +1388,8 @@ fn probe_multi(
                 w_owned[i * words + w] |= bit;
                 w_freq[i] += counts[d];
                 fill += counts[d] as i64 * nnu as i64;
+                let (_, bv) = sliced.block_planes(d);
+                trans += (counts[d] * block_transitions(nvalue | bv, k)) as i64;
                 if a == NO_MV {
                     w_unowned[w] &= !bit;
                     uncovered -= 1;
@@ -1281,6 +1398,7 @@ fn probe_multi(
                     w_owned[a as usize * words + w] &= !bit;
                     w_freq[a as usize] -= counts[d];
                     fill -= counts[d] as i64 * w_nu[a as usize] as i64;
+                    trans -= (counts[d] * block_transitions(w_value[a as usize] | bv, k)) as i64;
                 }
             }
         }
@@ -1302,7 +1420,17 @@ fn probe_multi(
                     let d = w * 64 + cand.trailing_zeros() as usize;
                     cand &= cand - 1;
                     let still_matched = (mismatch[w] >> (d % 64)) & 1 == 0;
+                    // Same stay re-pricing as the single-chunk path, against
+                    // the working copy's value planes.
+                    let stay_delta = |bvalue: u64| {
+                        (counts[d] * block_transitions(nvalue | bvalue, k)) as i64
+                            - (counts[d] * block_transitions(w_value[i] | bvalue, k)) as i64
+                    };
                     if still_matched && stays_fast {
+                        if value_changed {
+                            let (_, bv) = sliced.block_planes(d);
+                            trans += stay_delta(bv);
+                        }
                         continue; // no competitor can rank before i's new key
                     }
                     let (bcare, bvalue) = sliced.block_planes(d);
@@ -1320,6 +1448,9 @@ fn probe_multi(
                         mvmask,
                     );
                     if new_owner == ci {
+                        if value_changed {
+                            trans += stay_delta(bvalue);
+                        }
                         continue; // stays put
                     }
                     let bit = 1u64 << (d % 64);
@@ -1328,6 +1459,7 @@ fn probe_multi(
                     w_owned[i * words + w] &= !bit;
                     w_freq[i] -= counts[d];
                     fill -= counts[d] as i64 * nnu as i64;
+                    trans -= (counts[d] * block_transitions(w_value[i] | bvalue, k)) as i64;
                     if new_owner == NO_MV {
                         w_unowned[w] |= bit;
                         uncovered += 1;
@@ -1336,6 +1468,9 @@ fn probe_multi(
                         w_owned[new_owner as usize * words + w] |= bit;
                         w_freq[new_owner as usize] += counts[d];
                         fill += counts[d] as i64 * w_nu[new_owner as usize] as i64;
+                        trans += (counts[d]
+                            * block_transitions(w_value[new_owner as usize] | bvalue, k))
+                            as i64;
                     }
                 }
             }
@@ -1374,9 +1509,13 @@ fn probe_multi(
     } else {
         None
     };
+    *last_transitions = trans as u64;
+    *last_used = huff_scratch.leaves().len();
     MultiPatch {
         fill: fill as u64,
+        transitions: trans as u64,
         uncovered,
+        huffman_bits,
         total,
     }
 }
@@ -1396,8 +1535,11 @@ fn commit_multi(state: &mut CoverState, scratch: &mut PatchScratch, patch: &Mult
     std::mem::swap(&mut state.mv_ones, &mut scratch.w_mv_ones);
     std::mem::swap(&mut state.mv_zeros, &mut scratch.w_mv_zeros);
     state.fill_bits = patch.fill;
+    state.scan_transitions = patch.transitions;
     state.uncovered = patch.uncovered;
-    state.huffman.adopt_leaves_from(&mut scratch.huff_scratch);
+    state
+        .huffman
+        .adopt_leaves_from(&mut scratch.huff_scratch, patch.huffman_bits);
     state.total = patch.total;
 }
 
@@ -1499,6 +1641,8 @@ mod tests {
                 let mut child = parent.to_vec();
                 child[pos] = Trit::from_index(g);
                 let expect = encoded_size_scratch(sliced, &child, force, &mut scratch);
+                let expect_trans = scratch.last_scan_transitions();
+                let expect_used = scratch.last_used_mvs();
                 for commit in [false, true] {
                     let got = encoded_size_incremental(
                         sliced,
@@ -1514,8 +1658,11 @@ mod tests {
                         "pos {pos} gene {g} commit {commit} parent {parent:?}"
                     );
                 }
-                // After the commit the cache prices the child as its own.
+                // After the commit the cache prices the child as its own —
+                // size, transition count and used-MV count alike.
                 assert_eq!(cache.encoded_size(), expect);
+                assert_eq!(cache.scan_transitions(), expect_trans, "pos {pos} gene {g}");
+                assert_eq!(cache.used_mvs(), expect_used, "pos {pos} gene {g}");
             }
         }
     }
@@ -1557,12 +1704,24 @@ mod tests {
             }
             let edit = start..start + width;
             let expect = encoded_size_scratch(sliced, &child, force, &mut scratch);
+            let expect_trans = scratch.last_scan_transitions();
+            let expect_used = scratch.last_used_mvs();
             let shared =
                 encoded_size_probe(sliced, &child, force, &edit, &cache, &mut probe_scratch);
             assert_eq!(
                 shared,
                 IncrementalOutcome::Size(expect),
                 "shared probe start {start} width {width}"
+            );
+            assert_eq!(
+                probe_scratch.last_scan_transitions(),
+                expect_trans,
+                "probe transitions start {start} width {width}"
+            );
+            assert_eq!(
+                probe_scratch.last_used_mvs(),
+                expect_used,
+                "probe used start {start} width {width}"
             );
             for commit in [false, true] {
                 let got =
@@ -1574,6 +1733,12 @@ mod tests {
                 );
             }
             assert_eq!(cache.encoded_size(), expect);
+            assert_eq!(
+                cache.scan_transitions(),
+                expect_trans,
+                "committed transitions start {start} width {width}"
+            );
+            assert_eq!(cache.used_mvs(), expect_used);
         }
     }
 

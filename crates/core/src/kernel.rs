@@ -78,6 +78,11 @@ pub struct EvalScratch {
     mismatch: Vec<u64>,
     /// Buffers for the length-only Huffman cost.
     huffman: HuffmanScratch,
+    /// Scan-in transition count of the last evaluation (see
+    /// [`EvalScratch::last_scan_transitions`]).
+    scan_transitions: u64,
+    /// Number of MVs with nonzero frequency in the last evaluation.
+    used_mvs: usize,
 }
 
 impl EvalScratch {
@@ -85,6 +90,37 @@ impl EvalScratch {
     pub fn new() -> Self {
         EvalScratch::default()
     }
+
+    /// Scan-in transition count of the last [`encoded_size_scratch`] call:
+    /// the number of adjacent bit flips inside each decoded block (the word
+    /// the decoder shifts into the scan chain), summed over all blocks with
+    /// multiplicity. A block owned by MV `i` decodes to
+    /// `value_plane(i) | block_value(d)` — MV values at specified positions,
+    /// the transmitted fill bits elsewhere. Only meaningful when that call
+    /// returned `Some`; block order is not modelled (the histogram has
+    /// none), so inter-block boundary flips are not counted.
+    #[inline]
+    pub fn last_scan_transitions(&self) -> u64 {
+        self.scan_transitions
+    }
+
+    /// Number of MVs that covered at least one block in the last
+    /// [`encoded_size_scratch`] call — the used-symbol count that sizes the
+    /// decoder's MV table and FSM. Only meaningful when that call returned
+    /// `Some`.
+    #[inline]
+    pub fn last_used_mvs(&self) -> usize {
+        self.used_mvs
+    }
+}
+
+/// Transitions of one decoded block: adjacent-bit XOR, masked to the `K-1`
+/// in-block bit boundaries, popcounted. `K = 64` still works (`mask` keeps
+/// bits `0..63`); `K ≤ 1` has no adjacent pair and counts zero.
+#[inline]
+pub(crate) fn block_transitions(x: u64, k: usize) -> u64 {
+    let mask = if k <= 1 { 0 } else { (1u64 << (k - 1)) - 1 };
+    ((x ^ (x >> 1)) & mask).count_ones() as u64
 }
 
 /// Computes the compressed size, in bits, of the MV set encoded by `genes`
@@ -200,6 +236,8 @@ pub fn encoded_size_scratch(
     let counts = sliced.counts();
     let mut blocks_left = sliced.num_distinct();
     let mut fill_bits = 0u64;
+    scratch.scan_transitions = 0;
+    scratch.used_mvs = 0;
     for (pos, &i) in scratch.order.iter().enumerate() {
         let i = i as usize;
         if blocks_left == 0 {
@@ -225,12 +263,21 @@ pub fn encoded_size_scratch(
                 while matched != 0 {
                     let b = matched.trailing_zeros() as usize;
                     matched &= matched - 1;
-                    freq += counts[w * 64 + b];
+                    let d = w * 64 + b;
+                    freq += counts[d];
                     blocks_left -= 1;
+                    // The decoded scan-in word of block `d`: MV values at
+                    // specified positions (value ⊆ spec by construction),
+                    // the block's transmitted fill bits at the MV's `U`s.
+                    let (_, bv) = sliced.block_planes(d);
+                    scratch.scan_transitions += counts[d] * block_transitions(value | bv, k);
                 }
             }
         }
         scratch.freqs[pos] = freq;
+        if freq > 0 {
+            scratch.used_mvs += 1;
+        }
         fill_bits += freq * num_u(spec) as u64;
     }
     if blocks_left > 0 {

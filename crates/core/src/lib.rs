@@ -65,7 +65,7 @@ pub mod subsume;
 
 pub use compressed::CompressedTestSet;
 pub use covering::Covering;
-pub use ea_opt::{EaCompressor, EaCompressorBuilder, EaRunSummary, MvFitness};
+pub use ea_opt::{CombineMode, EaCompressor, EaCompressorBuilder, EaRunSummary, MvFitness};
 pub use encoding::{encode_with_code, encode_with_mvs, encoded_size};
 pub use error::CompressError;
 pub use incremental::{

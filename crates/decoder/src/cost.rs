@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use evotc_codes::PrefixCode;
+use evotc_codes::{decoder_area, PrefixCode};
 use evotc_core::MvSet;
 
 /// A first-order hardware cost estimate of a matching-vector decoder.
@@ -34,21 +34,20 @@ impl HardwareCost {
     pub fn estimate(mvs: &MvSet, code: &PrefixCode) -> Self {
         assert_eq!(code.len(), mvs.len(), "code/MV table size mismatch");
         let k = mvs.block_len();
-        let used: Vec<usize> = (0..code.len())
+        // Only used MVs (those with a codeword) are stored in the table.
+        let used = (0..code.len())
             .filter(|&i| !code.codeword(i).is_empty() || code.len() == 1)
-            .collect();
+            .count();
+        // The state count comes from the *real* decode tree — valid for
+        // arbitrary prefix codes (9C's fixed codewords included), not just
+        // the optimal ones the closed form in `evotc_codes` assumes.
         let fsm_states = code.decode_tree().num_internal_nodes();
-        // Two bits per MV position (0/1/U), only used MVs are stored.
-        let table_bits = used.len() * k * 2;
-        let state_bits = usize::BITS as usize - fsm_states.leading_zeros() as usize;
-        let counter_bits = usize::BITS as usize - k.leading_zeros() as usize;
-        let flip_flops = state_bits + counter_bits + k;
-        let gate_equivalents = flip_flops * 4 + table_bits + fsm_states * 2;
+        let area = decoder_area(k, used, fsm_states);
         HardwareCost {
-            fsm_states,
-            table_bits,
-            flip_flops,
-            gate_equivalents,
+            fsm_states: area.fsm_states,
+            table_bits: area.table_bits,
+            flip_flops: area.flip_flops,
+            gate_equivalents: area.gate_equivalents,
         }
     }
 }
@@ -107,5 +106,23 @@ mod tests {
     fn display_is_informative() {
         let s = ninec_cost(8).to_string();
         assert!(s.contains("FSM states") && s.contains("gate equivalents"));
+    }
+
+    #[test]
+    fn huffman_codes_match_the_closed_form_area() {
+        // For the optimal codes the EA emits, the fitness kernel prices the
+        // decoder-area objective from the used-MV count alone
+        // (`huffman_fsm_states`); the full estimate over the real decode
+        // tree must agree with that closed form.
+        let mvs = MvSet::parse(
+            8,
+            &["11110000", "00001111", "1111UUUU", "UUUU0000", "10101010"],
+        )
+        .unwrap();
+        let code = evotc_codes::huffman_code(&[50, 20, 10, 8, 6]);
+        let cost = HardwareCost::estimate(&mvs, &code);
+        let closed = evotc_codes::decoder_area(8, 5, evotc_codes::huffman_fsm_states(5));
+        assert_eq!(cost.fsm_states, closed.fsm_states);
+        assert_eq!(cost.gate_equivalents, closed.gate_equivalents);
     }
 }

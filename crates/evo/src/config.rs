@@ -47,6 +47,34 @@ impl fmt::Display for Topology {
     }
 }
 
+/// How truncation selection ranks individuals.
+///
+/// The default, [`Ranking::Fitness`], is the paper's single-objective
+/// ordering: descending scalar fitness, elders ahead of equally ranked
+/// children. [`Ranking::Lexicographic`] orders by the minimized objective
+/// vector instead (see [`crate::Objectives::lex_cmp`]) — most significant
+/// component first — which for the test-compression evaluator means
+/// "compression first, then scan power, then decoder area". Evaluators
+/// that report no objective vector fall back to the scalar embedding
+/// [`crate::Objectives::from_fitness`], under which both rankings coincide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Ranking {
+    /// Descending scalar fitness (the paper's ordering).
+    #[default]
+    Fitness,
+    /// Ascending lexicographic order of the objective vector.
+    Lexicographic,
+}
+
+impl fmt::Display for Ranking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ranking::Fitness => write!(f, "fitness"),
+            Ranking::Lexicographic => write!(f, "lexicographic"),
+        }
+    }
+}
+
 /// Configuration of the evolutionary algorithm.
 ///
 /// The defaults are the paper's experimental settings (Section 4): population
@@ -97,6 +125,17 @@ pub struct EaConfig {
     /// but the topology itself is semantic (island runs differ from
     /// panmictic runs with the same seed).
     pub topology: Topology,
+    /// How selection ranks individuals (see [`Ranking`]). The default
+    /// scalar ranking preserves the paper's trajectories bit for bit;
+    /// lexicographic ranking is semantic, like the topology.
+    pub ranking: Ranking,
+    /// Reporting bound of the run's Pareto archive: `0` (the default)
+    /// disables the archive entirely; any positive value collects the
+    /// nondominated front of every evaluated genome and reports its
+    /// lexicographically best `pareto_capacity` points on
+    /// `EaResult::pareto_front`. The archive is observational — enabling
+    /// it never changes which individuals are selected.
+    pub pareto_capacity: usize,
 }
 
 impl Default for EaConfig {
@@ -113,6 +152,8 @@ impl Default for EaConfig {
             seed: 0,
             threads: 0,
             topology: Topology::Panmictic,
+            ranking: Ranking::Fitness,
+            pareto_capacity: 0,
         }
     }
 }
@@ -174,7 +215,7 @@ impl fmt::Display for EaConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "S={} C={} px={:.2} pm={:.2} pi={:.2} stagnation={} seed={} threads={} topology={}",
+            "S={} C={} px={:.2} pm={:.2} pi={:.2} stagnation={} seed={} threads={} topology={} ranking={} pareto={}",
             self.population_size,
             self.children_per_generation,
             self.crossover_probability,
@@ -187,7 +228,13 @@ impl fmt::Display for EaConfig {
             } else {
                 self.threads.to_string()
             },
-            self.topology
+            self.topology,
+            self.ranking,
+            if self.pareto_capacity == 0 {
+                "off".to_string()
+            } else {
+                self.pareto_capacity.to_string()
+            }
         )
     }
 }
@@ -276,6 +323,25 @@ impl EaConfigBuilder {
             interval,
             migrants,
         })
+    }
+
+    /// Sets the selection ranking (see [`Ranking`]).
+    pub fn ranking(mut self, ranking: Ranking) -> Self {
+        self.config.ranking = ranking;
+        self
+    }
+
+    /// Shorthand for [`Ranking::Lexicographic`]: rank individuals by their
+    /// objective vector, most significant component first.
+    pub fn lexicographic(self) -> Self {
+        self.ranking(Ranking::Lexicographic)
+    }
+
+    /// Enables the run's Pareto archive, reporting its best `capacity`
+    /// points on `EaResult::pareto_front` (`0` disables it, the default).
+    pub fn pareto_archive(mut self, capacity: usize) -> Self {
+        self.config.pareto_capacity = capacity;
+        self
     }
 
     /// Finishes the builder.
@@ -371,6 +437,23 @@ mod tests {
             }
         );
         assert!(c.to_string().contains("islands(4x, M=10, m=2)"), "{c}");
+    }
+
+    #[test]
+    fn ranking_defaults_to_fitness_and_round_trips() {
+        let c = EaConfig::default();
+        assert_eq!(c.ranking, Ranking::Fitness);
+        assert_eq!(c.pareto_capacity, 0);
+        assert!(c.to_string().contains("ranking=fitness"));
+        assert!(c.to_string().contains("pareto=off"));
+        let lex = EaConfig::builder()
+            .lexicographic()
+            .pareto_archive(16)
+            .build();
+        assert_eq!(lex.ranking, Ranking::Lexicographic);
+        assert_eq!(lex.pareto_capacity, 16);
+        assert!(lex.to_string().contains("ranking=lexicographic"), "{lex}");
+        assert!(lex.to_string().contains("pareto=16"), "{lex}");
     }
 
     #[test]

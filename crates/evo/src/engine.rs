@@ -1,12 +1,14 @@
 //! The (S + C) evolutionary engine: panmictic and island-model runners.
 
+use std::cmp::Ordering;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{EaConfig, Topology};
+use crate::config::{EaConfig, Ranking, Topology};
 use crate::fitness::{FitnessEval, Lineage};
+use crate::objective::{Objectives, ParetoArchive, ParetoPoint};
 use crate::operators;
 use crate::parallel;
 use crate::stats::{GenerationEvent, GenerationStats};
@@ -111,6 +113,12 @@ pub struct EaResult<G> {
     /// lineage cache (see [`FitnessEval::cache_stats`]). Observability only
     /// — like [`EaResult::elapsed`], not part of the determinism contract.
     pub cache: Option<crate::CacheStats>,
+    /// The run's nondominated front over every evaluated genome, sorted by
+    /// [`Objectives::lex_cmp`] and bounded by [`EaConfig::pareto_capacity`]
+    /// (island runs merge their per-island archives in island order). Empty
+    /// unless `pareto_capacity > 0`. Fully deterministic: same seed and
+    /// config ⇒ byte-identical front at any thread count.
+    pub pareto_front: Vec<ParetoPoint<G>>,
 }
 
 impl<G> EaResult<G> {
@@ -124,6 +132,7 @@ impl<G> EaResult<G> {
 struct Individual<G> {
     genes: Vec<G>,
     fitness: f64,
+    objectives: Objectives,
 }
 
 /// One generation's brood, bred into pooled buffers: `genomes`, `lineages`
@@ -134,6 +143,7 @@ struct ChildBatch<G> {
     genomes: Vec<Vec<G>>,
     lineages: Vec<Option<Lineage>>,
     scores: Vec<f64>,
+    objectives: Vec<Objectives>,
     pool: Vec<Vec<G>>,
 }
 
@@ -143,6 +153,7 @@ impl<G> Default for ChildBatch<G> {
             genomes: Vec::new(),
             lineages: Vec::new(),
             scores: Vec::new(),
+            objectives: Vec::new(),
             pool: Vec::new(),
         }
     }
@@ -162,6 +173,10 @@ struct IslandState<G> {
     /// Per-generation statistics of the epoch in flight (drained by the
     /// merge step between epochs).
     epoch_log: Vec<GenerationStats>,
+    /// The island's own nondominated archive over everything it evaluated;
+    /// `None` when the run has no Pareto mode. Purely observational — it
+    /// never feeds back into breeding or selection.
+    archive: Option<ParetoArchive<G>>,
 }
 
 impl<G, SampleGene, F> EaBuilder<G, SampleGene, F>
@@ -259,12 +274,11 @@ where
             fitness,
             mut seeds,
         } = self;
-        let s = config.population_size;
 
         let mut island = init_island(
+            &config,
             StdRng::seed_from_u64(config.seed),
             genome_len,
-            s,
             &mut seeds,
             &sample_gene,
             &fitness,
@@ -304,6 +318,11 @@ where
             history.push(stats);
         }
 
+        let pareto_front = island
+            .archive
+            .as_ref()
+            .map(|a| a.reported().to_vec())
+            .unwrap_or_default();
         let best = &island.population[0];
         EaResult {
             best_genome: best.genes.clone(),
@@ -313,6 +332,7 @@ where
             history,
             elapsed: start.elapsed(),
             cache: fitness.cache_stats(),
+            pareto_front,
         }
     }
 
@@ -342,7 +362,6 @@ where
             fitness,
             mut seeds,
         } = self;
-        let s = config.population_size;
 
         // Deterministic initialization: each island's RNG (and therefore
         // its random initial population) comes from its own derived seed,
@@ -356,9 +375,9 @@ where
                     Vec::new()
                 };
                 init_island(
+                    &config,
                     rng,
                     genome_len,
-                    s,
                     &mut island_seeds,
                     &sample_gene,
                     &fitness,
@@ -456,19 +475,44 @@ where
                 && total_evals < config.max_evaluations
                 && generation < config.max_generations;
             if continuing {
-                migrate(&mut islands, migrants);
+                migrate(&mut islands, migrants, config.ranking);
             }
         }
 
-        // Best individual across islands; island order breaks exact ties,
-        // so the pick is deterministic.
+        // Best individual across islands, by the run's ranking; island
+        // order breaks exact ties, so the pick is deterministic.
         let best_island = (1..islands.len()).fold(0, |best, i| {
-            if islands[i].population[0].fitness > islands[best].population[0].fitness {
+            let better = match config.ranking {
+                Ranking::Fitness => {
+                    islands[i].population[0].fitness > islands[best].population[0].fitness
+                }
+                Ranking::Lexicographic => {
+                    islands[i].population[0]
+                        .objectives
+                        .lex_cmp(&islands[best].population[0].objectives)
+                        == Ordering::Less
+                }
+            };
+            if better {
                 i
             } else {
                 best
             }
         });
+        // The run's front: per-island archives merged in island order (the
+        // merge re-runs nondomination, so the result is the exact front of
+        // the union and independent of which island found a point first).
+        let pareto_front = if config.pareto_capacity > 0 {
+            let mut merged = ParetoArchive::new(config.pareto_capacity);
+            for island in &islands {
+                if let Some(archive) = &island.archive {
+                    merged.merge_from(archive);
+                }
+            }
+            merged.reported().to_vec()
+        } else {
+            Vec::new()
+        };
         let best = &islands[best_island].population[0];
         EaResult {
             best_genome: best.genes.clone(),
@@ -478,6 +522,7 @@ where
             history,
             elapsed: start.elapsed(),
             cache: fitness.cache_stats(),
+            pareto_front,
         }
     }
 }
@@ -494,12 +539,20 @@ fn island_seed(seed: u64, island: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Whether a run has to collect objective vectors from the evaluator:
+/// selection ranks on them, or the Pareto archive records them. Scalar runs
+/// skip the objective path entirely, which is what keeps their trajectories
+/// byte-identical to the pre-multi-objective engine.
+fn needs_objectives(config: &EaConfig) -> bool {
+    config.ranking == Ranking::Lexicographic || config.pareto_capacity > 0
+}
+
 /// Builds and scores one initial population: injected seeds first, then
 /// random individuals drawn from the island's own RNG.
 fn init_island<G, SampleGene, F>(
+    config: &EaConfig,
     mut rng: StdRng,
     genome_len: usize,
-    s: usize,
     seeds: &mut Vec<Vec<G>>,
     sample_gene: &SampleGene,
     fitness: &F,
@@ -510,25 +563,56 @@ where
     SampleGene: Fn(&mut StdRng) -> G,
     F: FitnessEval<G> + Sync,
 {
+    let s = config.population_size;
     let mut batch = ChildBatch::default();
     let mut genomes: Vec<Vec<G>> = seeds.drain(..).take(s).collect();
     while genomes.len() < s {
         genomes.push((0..genome_len).map(|_| sample_gene(&mut rng)).collect());
     }
-    parallel::evaluate_into(fitness, &genomes, threads, &mut batch.scores);
+    if needs_objectives(config) {
+        let no_lineage: Vec<Option<Lineage>> = vec![None; genomes.len()];
+        parallel::evaluate_objectives_into(
+            fitness,
+            &genomes,
+            &no_lineage,
+            &[],
+            threads,
+            &mut batch.scores,
+            &mut batch.objectives,
+        );
+    } else {
+        parallel::evaluate_into(fitness, &genomes, threads, &mut batch.scores);
+        batch.objectives.clear();
+        batch
+            .objectives
+            .extend(batch.scores.iter().map(|&s| Objectives::from_fitness(s)));
+    }
     let mut population: Vec<Individual<G>> = genomes
         .into_iter()
         .zip(batch.scores.iter().copied())
-        .map(|(genes, fitness)| Individual { genes, fitness })
+        .zip(batch.objectives.iter().copied())
+        .map(|((genes, fitness), objectives)| Individual {
+            genes,
+            fitness,
+            objectives,
+        })
         .collect();
     let evaluations = population.len() as u64;
-    sort_by_fitness(&mut population);
+    sort_population(&mut population, config.ranking);
+    let mut archive =
+        (config.pareto_capacity > 0).then(|| ParetoArchive::new(config.pareto_capacity));
+    if let Some(archive) = archive.as_mut() {
+        for ind in &population {
+            archive.insert(&ind.genes, ind.fitness, ind.objectives);
+        }
+    }
     IslandState {
         rng,
         population,
         batch,
         evaluations,
         epoch_log: Vec::new(),
+        archive,
     }
 }
 
@@ -572,12 +656,14 @@ fn step<G, SampleGene, F>(
         population,
         batch,
         evaluations,
+        archive,
         ..
     } = island;
     let ChildBatch {
         genomes: children,
         lineages,
         scores,
+        objectives,
         pool,
     } = batch;
 
@@ -645,15 +731,46 @@ fn step<G, SampleGene, F>(
     }
     *evaluations += children.len() as u64;
     let parent_genes: Vec<&[G]> = population.iter().map(|i| i.genes.as_slice()).collect();
-    parallel::evaluate_lineage_into(fitness, children, lineages, &parent_genes, threads, scores);
+    if needs_objectives(config) {
+        parallel::evaluate_objectives_into(
+            fitness,
+            children,
+            lineages,
+            &parent_genes,
+            threads,
+            scores,
+            objectives,
+        );
+    } else {
+        parallel::evaluate_lineage_into(
+            fitness,
+            children,
+            lineages,
+            &parent_genes,
+            threads,
+            scores,
+        );
+        objectives.clear();
+        objectives.extend(scores.iter().map(|&s| Objectives::from_fitness(s)));
+    }
     drop(parent_genes);
+    if let Some(archive) = archive.as_mut() {
+        for ((genes, &score), &obj) in children.iter().zip(scores.iter()).zip(objectives.iter()) {
+            archive.insert(genes, score, obj);
+        }
+    }
     population.extend(
         children
             .drain(..)
             .zip(scores.iter().copied())
-            .map(|(genes, fitness)| Individual { genes, fitness }),
+            .zip(objectives.iter().copied())
+            .map(|((genes, fitness), objectives)| Individual {
+                genes,
+                fitness,
+                objectives,
+            }),
     );
-    sort_by_fitness(population);
+    sort_population(population, config.ranking);
     pool.extend(population.drain(s..).map(|individual| individual.genes));
 }
 
@@ -661,32 +778,36 @@ fn step<G, SampleGene, F>(
 /// so exactly its current elite) replace the worst `migrants` of island
 /// `i + 1` (mod `count`). Emigrants are snapshotted before any island is
 /// modified — migration is simultaneous, not sequential — and they carry
-/// their fitness (fitness is a pure function of the genome), so migration
-/// costs no evaluations. No-op for a single island or `migrants == 0`.
-fn migrate<G: Copy>(islands: &mut [IslandState<G>], migrants: usize) {
+/// their fitness and objective vector (both pure functions of the genome),
+/// so migration costs no evaluations. Rank — and therefore which
+/// individuals count as "best" — follows the run's [`Ranking`], so
+/// lexicographic runs migrate their lexicographic elite. No-op for a
+/// single island or `migrants == 0`.
+fn migrate<G: Copy>(islands: &mut [IslandState<G>], migrants: usize, ranking: Ranking) {
     let count = islands.len();
     if count < 2 || migrants == 0 {
         return;
     }
     let s = islands[0].population.len();
     let m = migrants.min(s);
-    let outbound: Vec<Vec<(Vec<G>, f64)>> = islands
+    let outbound: Vec<Vec<(Vec<G>, f64, Objectives)>> = islands
         .iter()
         .map(|island| {
             island.population[..m]
                 .iter()
-                .map(|ind| (ind.genes.clone(), ind.fitness))
+                .map(|ind| (ind.genes.clone(), ind.fitness, ind.objectives))
                 .collect()
         })
         .collect();
     for (dst, island) in islands.iter_mut().enumerate() {
         let src = (dst + count - 1) % count;
-        for (slot, (genes, fit)) in island.population[s - m..].iter_mut().zip(&outbound[src]) {
+        for (slot, (genes, fit, obj)) in island.population[s - m..].iter_mut().zip(&outbound[src]) {
             slot.genes.clear();
             slot.genes.extend_from_slice(genes);
             slot.fitness = *fit;
+            slot.objectives = *obj;
         }
-        sort_by_fitness(&mut island.population);
+        sort_population(&mut island.population, ranking);
     }
 }
 
@@ -727,6 +848,19 @@ fn sort_by_fitness<G>(population: &mut [Individual<G>]) {
             .partial_cmp(&a.fitness)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
+}
+
+/// Ranks a population for truncation selection. The scalar arm is the
+/// pre-multi-objective sort, untouched, so scalar runs stay byte-identical;
+/// the lexicographic arm orders ascending by objective vector (stable, so
+/// elders stay ahead of equally ranked children here too).
+fn sort_population<G>(population: &mut [Individual<G>], ranking: Ranking) {
+    match ranking {
+        Ranking::Fitness => sort_by_fitness(population),
+        Ranking::Lexicographic => {
+            population.sort_by(|a, b| a.objectives.lex_cmp(&b.objectives));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1162,6 +1296,158 @@ mod tests {
             .run();
         // Budget + one epoch of children on both islands: 100 + 2*5*4.
         assert!(result.evaluations <= 140, "{} evals", result.evaluations);
+    }
+
+    // ---- multi-objective ----
+
+    /// One-max with a second objective: minimize the number of 0→1/1→0
+    /// boundaries in the genome ("transitions"), reported through the
+    /// objectives hook. Scalar fitness stays plain one-max.
+    struct TwoObjective;
+    impl TwoObjective {
+        fn objectives(genes: &[bool]) -> Objectives {
+            let ones = genes.iter().filter(|&&g| g).count() as f64;
+            let transitions = genes.windows(2).filter(|w| w[0] != w[1]).count() as f64;
+            Objectives::new(-ones, transitions, 0.0)
+        }
+    }
+    impl FitnessEval<bool> for TwoObjective {
+        fn evaluate(&self, genes: &[bool]) -> f64 {
+            genes.iter().filter(|&&g| g).count() as f64
+        }
+        fn evaluate_batch_with_objectives(
+            &self,
+            genomes: &[Vec<bool>],
+            _lineage: &[Option<Lineage>],
+            _parents: &[&[bool]],
+            out: &mut [f64],
+            objectives: &mut [Objectives],
+        ) {
+            for ((genes, slot), obj) in genomes.iter().zip(out.iter_mut()).zip(objectives) {
+                *slot = self.evaluate(genes);
+                *obj = Self::objectives(genes);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_archive_never_changes_the_trajectory() {
+        let config = |cap: usize| {
+            EaConfig::builder()
+                .population_size(10)
+                .children_per_generation(5)
+                .stagnation_limit(60)
+                .seed(7)
+                .pareto_archive(cap)
+                .build()
+        };
+        let with = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(config(32))
+            .run();
+        let without = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(config(0))
+            .run();
+        assert_eq!(with.best_genome, without.best_genome);
+        assert_eq!(with.evaluations, without.evaluations);
+        assert_eq!(with.generations, without.generations);
+        for (a, b) in with.history.iter().zip(&without.history) {
+            assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+            assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
+        }
+        assert!(without.pareto_front.is_empty());
+        // A scalar evaluator's objectives are the fitness embedding, so the
+        // front is exactly one point: the best fitness seen.
+        assert_eq!(with.pareto_front.len(), 1);
+        assert_eq!(with.pareto_front[0].fitness, with.best_fitness);
+    }
+
+    #[test]
+    fn lexicographic_ranking_of_scalar_objectives_matches_fitness_ranking() {
+        let config = |ranking: Ranking| {
+            EaConfig::builder()
+                .population_size(10)
+                .children_per_generation(5)
+                .stagnation_limit(50)
+                .seed(3)
+                .ranking(ranking)
+                .build()
+        };
+        let lex = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(config(Ranking::Lexicographic))
+            .run();
+        let scalar = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(config(Ranking::Fitness))
+            .run();
+        assert_eq!(lex.best_genome, scalar.best_genome);
+        assert_eq!(lex.best_fitness, scalar.best_fitness);
+        assert_eq!(lex.evaluations, scalar.evaluations);
+        assert_eq!(lex.generations, scalar.generations);
+    }
+
+    #[test]
+    fn multiobjective_front_is_nondominated_and_sorted() {
+        let config = EaConfig::builder()
+            .population_size(10)
+            .children_per_generation(5)
+            .stagnation_limit(40)
+            .seed(11)
+            .lexicographic()
+            .pareto_archive(64)
+            .build();
+        let result = EaBuilder::new(24, |rng| rng.gen::<bool>(), TwoObjective)
+            .config(config)
+            .run();
+        assert!(!result.pareto_front.is_empty());
+        for p in &result.pareto_front {
+            assert_eq!(p.objectives, TwoObjective::objectives(&p.genome));
+            for q in &result.pareto_front {
+                assert!(
+                    !p.objectives.dominates(&q.objectives),
+                    "front contains a dominated point"
+                );
+            }
+        }
+        for w in result.pareto_front.windows(2) {
+            assert_eq!(
+                w[0].objectives.lex_cmp(&w[1].objectives),
+                Ordering::Less,
+                "front is sorted lexicographically"
+            );
+        }
+        // Lexicographic rank-best: no evaluated genome had more ones.
+        assert_eq!(result.pareto_front[0].fitness, result.best_fitness);
+    }
+
+    #[test]
+    fn multiobjective_islands_are_bit_identical_for_any_thread_count() {
+        let run = |threads: usize| {
+            let config = EaConfig::builder()
+                .population_size(8)
+                .children_per_generation(6)
+                .stagnation_limit(15)
+                .islands(4, 3, 2)
+                .seed(5)
+                .threads(threads)
+                .lexicographic()
+                .pareto_archive(32)
+                .build();
+            EaBuilder::new(24, |rng| rng.gen::<bool>(), TwoObjective)
+                .config(config)
+                .run()
+        };
+        let reference = run(1);
+        assert!(!reference.pareto_front.is_empty());
+        for threads in [2, 4, 8] {
+            let other = run(threads);
+            assert_eq!(other.best_genome, reference.best_genome, "t={threads}");
+            assert_eq!(other.evaluations, reference.evaluations);
+            assert_eq!(other.pareto_front.len(), reference.pareto_front.len());
+            for (a, b) in other.pareto_front.iter().zip(&reference.pareto_front) {
+                assert_eq!(a.genome, b.genome, "t={threads}");
+                assert_eq!(a.fitness.to_bits(), b.fitness.to_bits());
+                assert_eq!(a.objectives, b.objectives);
+            }
+        }
     }
 
     #[test]

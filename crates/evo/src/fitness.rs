@@ -1,5 +1,6 @@
 //! Batch-oriented fitness evaluation.
 
+use crate::objective::Objectives;
 use crate::operators::GeneRange;
 use crate::stats::CacheStats;
 
@@ -141,6 +142,35 @@ pub trait FitnessEval<G> {
         self.evaluate_batch(genomes, out);
     }
 
+    /// Scores a batch like [`FitnessEval::evaluate_batch_with_lineage`] and
+    /// additionally writes each genome's minimized objective vector into
+    /// `objectives[i]` (see [`Objectives`]).
+    ///
+    /// The engine calls this instead of the lineage path whenever a run
+    /// needs objective vectors (lexicographic ranking or a Pareto archive).
+    /// The scalar scores written to `out` must be **bit-identical** to what
+    /// [`FitnessEval::evaluate_batch_with_lineage`] returns for the same
+    /// genomes — the objective vector is additional output, never a change
+    /// of the fitness semantics. The default implementation delegates to
+    /// the lineage path and embeds each scalar score via
+    /// [`Objectives::from_fitness`], under which lexicographic ranking
+    /// reproduces descending-fitness ranking exactly. Callers guarantee
+    /// `objectives.len() == genomes.len()`.
+    fn evaluate_batch_with_objectives(
+        &self,
+        genomes: &[Vec<G>],
+        lineage: &[Option<Lineage>],
+        parents: &[&[G]],
+        out: &mut [f64],
+        objectives: &mut [Objectives],
+    ) {
+        debug_assert_eq!(genomes.len(), objectives.len(), "objectives slice length");
+        self.evaluate_batch_with_lineage(genomes, lineage, parents, out);
+        for (slot, &score) in objectives.iter_mut().zip(out.iter()) {
+            *slot = Objectives::from_fitness(score);
+        }
+    }
+
     /// Cumulative evaluation-cache counters, when this evaluator keeps a
     /// lineage cache (see [`CacheStats`]). The engine snapshots this after
     /// every generation into [`crate::GenerationStats::cache`], so cache
@@ -197,6 +227,24 @@ mod tests {
         let mut without = vec![f64::NAN; 2];
         SumLen.evaluate_batch(&genomes, &mut without);
         assert_eq!(with, without);
+    }
+
+    #[test]
+    fn default_objectives_embed_the_scalar_score() {
+        let genomes = vec![vec![1u8, 2], vec![10]];
+        let lineage = vec![None, None];
+        let mut scores = vec![f64::NAN; 2];
+        let mut objectives = vec![Objectives::NAN; 2];
+        SumLen.evaluate_batch_with_objectives(
+            &genomes,
+            &lineage,
+            &[],
+            &mut scores,
+            &mut objectives,
+        );
+        assert_eq!(scores, vec![3.0, 10.0]);
+        assert_eq!(objectives[0], Objectives::from_fitness(3.0));
+        assert_eq!(objectives[1], Objectives::from_fitness(10.0));
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //! changes results: runs are bit-identical for any value of the knob, with
 //! either topology.
 //!
+//! Runs can also be multi-objective: an evaluator may report a minimized
+//! [`Objectives`] vector per genome (see
+//! [`FitnessEval::evaluate_batch_with_objectives`]), selection can rank
+//! lexicographically on it ([`Ranking::Lexicographic`]), and the engine can
+//! collect the nondominated front of everything it evaluated into a bounded
+//! [`ParetoArchive`], reported on [`EaResult::pareto_front`]
+//! (`EaConfig::pareto_capacity`). The archive is observational — enabling
+//! it never changes a trajectory — and the default scalar ranking remains
+//! byte-identical to the single-objective engine.
+//!
 //! # Example
 //!
 //! ```
@@ -63,12 +73,14 @@
 mod config;
 mod engine;
 mod fitness;
+mod objective;
 pub mod operators;
 pub mod parallel;
 mod stats;
 
-pub use config::{EaConfig, EaConfigBuilder, Topology};
+pub use config::{EaConfig, EaConfigBuilder, Ranking, Topology};
 pub use engine::{EaBuilder, EaResult};
 pub use fitness::{FitnessEval, Lineage};
+pub use objective::{Objectives, ParetoArchive, ParetoPoint};
 pub use operators::GeneRange;
 pub use stats::{evals_per_sec, CacheStats, GenerationEvent, GenerationStats};

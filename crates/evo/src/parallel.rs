@@ -30,6 +30,7 @@
 //! ```
 
 use crate::fitness::{FitnessEval, Lineage};
+use crate::objective::Objectives;
 
 /// Environment variable overriding the automatic thread count (used when a
 /// configuration asks for `threads = 0`). CI runs the test suite once
@@ -161,6 +162,55 @@ pub fn evaluate_lineage_into<G, E>(
     }
 }
 
+/// Like [`evaluate_lineage_into`], but also collecting each genome's
+/// objective vector through
+/// [`FitnessEval::evaluate_batch_with_objectives`]. Scores, lineage and
+/// objectives are chunked in lockstep, so every worker writes one
+/// contiguous, disjoint slice of both outputs; score slots prefill with
+/// `NaN` and objective slots with [`Objectives::NAN`]. The determinism
+/// contract is unchanged — scalar scores are bit-identical to
+/// [`evaluate_lineage_into`] for every thread count.
+///
+/// # Panics
+///
+/// Panics if `lineage.len() != genomes.len()`.
+pub fn evaluate_objectives_into<G, E>(
+    eval: &E,
+    genomes: &[Vec<G>],
+    lineage: &[Option<Lineage>],
+    parents: &[&[G]],
+    threads: usize,
+    scores: &mut Vec<f64>,
+    objectives: &mut Vec<Objectives>,
+) where
+    G: Sync,
+    E: FitnessEval<G> + Sync,
+{
+    assert_eq!(genomes.len(), lineage.len(), "lineage slice length");
+    scores.clear();
+    scores.resize(genomes.len(), f64::NAN);
+    objectives.clear();
+    objectives.resize(genomes.len(), Objectives::NAN);
+    let workers = threads.max(1).min(genomes.len());
+    if workers <= 1 {
+        eval.evaluate_batch_with_objectives(genomes, lineage, parents, scores, objectives);
+    } else {
+        let chunk = genomes.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (((slot, objs), batch), lin) in scores
+                .chunks_mut(chunk)
+                .zip(objectives.chunks_mut(chunk))
+                .zip(genomes.chunks(chunk))
+                .zip(lineage.chunks(chunk))
+            {
+                scope.spawn(move || {
+                    eval.evaluate_batch_with_objectives(batch, lin, parents, slot, objs)
+                });
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +286,30 @@ mod tests {
         for threads in [1, 2, 4, 100] {
             evaluate_lineage_into(&one_max, &g, &lineage, &parent_refs, threads, &mut scores);
             assert_eq!(scores, plain, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn objective_evaluation_matches_plain_for_every_thread_count() {
+        let g = genomes(13);
+        let lineage: Vec<Option<Lineage>> = vec![None; g.len()];
+        let plain = evaluate(&one_max, &g, 1);
+        let mut scores = Vec::new();
+        let mut objectives = Vec::new();
+        for threads in [1, 2, 4, 100] {
+            evaluate_objectives_into(
+                &one_max,
+                &g,
+                &lineage,
+                &[],
+                threads,
+                &mut scores,
+                &mut objectives,
+            );
+            assert_eq!(scores, plain, "t={threads}");
+            for (&score, obj) in plain.iter().zip(&objectives) {
+                assert_eq!(*obj, Objectives::from_fitness(score), "t={threads}");
+            }
         }
     }
 

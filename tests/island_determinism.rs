@@ -10,7 +10,9 @@
 //! — which makes migration the only way fitness can move between islands,
 //! and its route fully visible in the per-island [`GenerationEvent`] stream.
 
-use evotc::evo::{EaBuilder, EaConfig, EaResult, GenerationEvent};
+use evotc::evo::{
+    EaBuilder, EaConfig, EaResult, FitnessEval, GenerationEvent, Lineage, Objectives,
+};
 use proptest::prelude::*;
 use rand::Rng;
 
@@ -158,6 +160,132 @@ fn auto_threads_match_explicit_threads() {
     let reference = one_max_islands(3, 2, 1, 5, 1, 10);
     let auto = one_max_islands(3, 2, 1, 5, 0, 10);
     assert_bit_identical(&auto, &reference, "auto threads");
+}
+
+// ---- multi-objective island runs ----
+
+/// A two-objective evaluator whose lexicographic order *disagrees* with the
+/// scalar fitness: the scalar is the ones count, but the vector ranks by
+/// adjacent-transition count first. The all-`false` genome is the global
+/// lexicographic optimum (zero transitions) while being the scalar
+/// *pessimum* — so any test that sees it survive, migrate and win proves
+/// selection, migration and the final best pick all rank by the vector.
+struct TransitionsFirst;
+impl TransitionsFirst {
+    fn objectives(genes: &[bool]) -> Objectives {
+        let ones = genes.iter().filter(|&&g| g).count() as f64;
+        let transitions = genes.windows(2).filter(|w| w[0] != w[1]).count() as f64;
+        Objectives::new(transitions, -ones, 0.0)
+    }
+}
+impl FitnessEval<bool> for TransitionsFirst {
+    fn evaluate(&self, genes: &[bool]) -> f64 {
+        genes.iter().filter(|&&g| g).count() as f64
+    }
+    fn evaluate_batch_with_objectives(
+        &self,
+        genomes: &[Vec<bool>],
+        _lineage: &[Option<Lineage>],
+        _parents: &[&[bool]],
+        out: &mut [f64],
+        objectives: &mut [Objectives],
+    ) {
+        for ((genes, slot), obj) in genomes.iter().zip(out.iter_mut()).zip(objectives) {
+            *slot = self.evaluate(genes);
+            *obj = Self::objectives(genes);
+        }
+    }
+}
+
+fn multiobjective_islands(threads: usize, seed: u64) -> EaResult<bool> {
+    let config = EaConfig::builder()
+        .population_size(6)
+        .children_per_generation(4)
+        .stagnation_limit(1_000_000)
+        .max_generations(10)
+        .islands(3, 2, 1)
+        .seed(seed)
+        .threads(threads)
+        .lexicographic()
+        .pareto_archive(16)
+        .build();
+    EaBuilder::new(16, |rng| rng.gen::<bool>(), TransitionsFirst)
+        .config(config)
+        .run()
+}
+
+#[test]
+fn multiobjective_island_archives_are_byte_identical_across_thread_counts() {
+    for seed in [3u64, 11] {
+        let reference = multiobjective_islands(1, seed);
+        assert!(
+            !reference.pareto_front.is_empty(),
+            "island archives must merge into a front"
+        );
+        for p in &reference.pareto_front {
+            assert_eq!(p.objectives, TransitionsFirst::objectives(&p.genome));
+            for q in &reference.pareto_front {
+                assert!(
+                    !p.objectives.dominates(&q.objectives),
+                    "merged front holds a dominated point"
+                );
+            }
+        }
+        for threads in [2usize, 4] {
+            let other = multiobjective_islands(threads, seed);
+            assert_bit_identical(&other, &reference, "multi-objective islands");
+            assert_eq!(
+                other.pareto_front.len(),
+                reference.pareto_front.len(),
+                "front size t={threads}"
+            );
+            for (a, b) in other.pareto_front.iter().zip(&reference.pareto_front) {
+                assert_eq!(a.genome, b.genome, "front genome t={threads}");
+                assert_eq!(a.objectives, b.objectives, "front vector t={threads}");
+                assert_eq!(a.fitness.to_bits(), b.fitness.to_bits(), "t={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lexicographic_rank_best_governs_migration_and_the_final_best() {
+    // Reproduction-only islands seeded with the lexicographic optimum —
+    // which is the *worst* individual by scalar fitness. Under
+    // `Ranking::Lexicographic` it must hold rank 0 on its island (so
+    // truncation selection keeps it and rank-best migration carries exactly
+    // it around the ring) and must be returned as the run's best. Under the
+    // default fitness ranking, truncation would discard it immediately.
+    let run = |threads: usize| {
+        let config = EaConfig::builder()
+            .population_size(6)
+            .children_per_generation(4)
+            .crossover_probability(0.0)
+            .mutation_probability(0.0)
+            .inversion_probability(0.0)
+            .stagnation_limit(1_000_000)
+            .max_generations(8)
+            .islands(4, 1, 1)
+            .seed(8)
+            .threads(threads)
+            .lexicographic()
+            .build();
+        EaBuilder::new(16, |rng| rng.gen::<bool>(), TransitionsFirst)
+            .config(config)
+            .seed_population([vec![false; 16]])
+            .run()
+    };
+    let reference = run(1);
+    assert_eq!(
+        reference.best_genome,
+        vec![false; 16],
+        "the lexicographic optimum must win despite the worst scalar fitness"
+    );
+    assert_eq!(reference.best_fitness, 0.0);
+    for threads in [2usize, 4] {
+        let other = run(threads);
+        assert_bit_identical(&other, &reference, "lexicographic migration");
+    }
 }
 
 proptest! {
