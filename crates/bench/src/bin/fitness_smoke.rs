@@ -46,7 +46,8 @@ use evotc_core::{
     encoded_size_probe, encoded_size_rebuild, encoded_size_scratch, EvalCache, EvalScratch,
     IncrementalOutcome, MvFitness, PatchScratch,
 };
-use evotc_evo::{EaBuilder, EaConfig, FitnessEval};
+use evotc_core::{trit_checkpoint_from_bytes, trit_checkpoint_to_bytes};
+use evotc_evo::{EaBuilder, EaCheckpoint, EaConfig, FitnessEval};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -311,12 +312,66 @@ fn main() {
         }
     }
 
+    // Correctness gate 5: interrupting the island run at any periodic
+    // checkpoint and resuming through the serialized trit byte codec must
+    // reproduce the uninterrupted run exactly — the robustness contract
+    // the engine's proptests gate, re-checked here on the paper workload.
+    let ckpt_config = EaConfig::builder()
+        .stagnation_limit(usize::MAX)
+        .max_evaluations(3_000)
+        .islands(4, 5, 2)
+        .seed(3)
+        .threads(2)
+        .build();
+    let ckpt_run = |resume: Option<evotc_evo::EaCheckpoint<Trit>>,
+                    blobs: Option<&std::cell::RefCell<Vec<Vec<u8>>>>| {
+        let mut builder = EaBuilder::new(
+            GENOME_LEN,
+            |rng: &mut StdRng| Trit::from_index(rng.gen_range(0..3u8)),
+            MvFitness::new(BLOCK_LEN, true, &histogram, payload_bits),
+        )
+        .config(ckpt_config.clone());
+        if let Some(checkpoint) = resume {
+            builder = builder.resume_from(checkpoint);
+        }
+        if let Some(blobs) = blobs {
+            builder = builder.checkpoint_every(5, move |cp: &EaCheckpoint<Trit>| {
+                blobs.borrow_mut().push(trit_checkpoint_to_bytes(cp));
+                Ok(())
+            });
+        }
+        builder.run()
+    };
+    let blobs = std::cell::RefCell::new(Vec::new());
+    let ckpt_reference = ckpt_run(None, Some(&blobs));
+    let blobs = blobs.into_inner();
+    if blobs.is_empty() {
+        fail("island run produced no periodic checkpoints");
+    }
+    for (k, blob) in blobs.iter().enumerate() {
+        let checkpoint = match trit_checkpoint_from_bytes(blob) {
+            Ok(checkpoint) => checkpoint,
+            Err(e) => fail(&format!("checkpoint {k} failed to round-trip: {e}")),
+        };
+        let resumed = ckpt_run(Some(checkpoint), None);
+        if resumed.best_genome != ckpt_reference.best_genome
+            || resumed.best_fitness.to_bits() != ckpt_reference.best_fitness.to_bits()
+            || resumed.generations != ckpt_reference.generations
+            || resumed.evaluations != ckpt_reference.evaluations
+        {
+            fail(&format!(
+                "resume from checkpoint {k} diverged from the uninterrupted run"
+            ));
+        }
+    }
+
     if check_only {
         println!(
             "fitness kernel == legacy on {GENOMES} genomes (objective vectors \
              included); incremental == full on a {CHAIN_LEN}-step mutation chain \
              and on {CHAIN_LEN}-child multi-chunk crossover/inversion streams, \
-             transition objective included; island runs thread-invariant \
+             transition objective included; island runs thread-invariant and \
+             checkpoint/resume-exact through the byte codec \
              (K={BLOCK_LEN}, L={NUM_MVS})"
         );
         return;
@@ -482,6 +537,41 @@ fn main() {
     let ea_island_eps = island.evaluations_per_sec();
     let ea_island_scaling = ea_island_eps / ea_eps;
 
+    // Checkpoint cost, on a real mid-run island checkpoint from gate 5:
+    // serialize/deserialize latency through the trit byte codec (min-time
+    // over repeats), and the steady-state overhead of running the EA with
+    // `checkpoint_every(10)` and a serializing sink versus the identical
+    // run without one.
+    let min_time_us = |f: &mut dyn FnMut()| {
+        f(); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..200 {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_secs_f64() * 1e6);
+        }
+        best
+    };
+    let sample_blob = blobs.last().expect("gate 5 checked blobs is non-empty");
+    let sample_checkpoint =
+        trit_checkpoint_from_bytes(sample_blob).expect("gate 5 round-tripped this blob");
+    let checkpoint_save_us = min_time_us(&mut || {
+        std::hint::black_box(trit_checkpoint_to_bytes(&sample_checkpoint));
+    });
+    let checkpoint_resume_us = min_time_us(&mut || {
+        std::hint::black_box(trit_checkpoint_from_bytes(sample_blob).unwrap());
+    });
+    let checkpointed = best_of(&|| {
+        EaBuilder::new(GENOME_LEN, sample, fitness.clone())
+            .config(ea_config.clone())
+            .checkpoint_every(10, |cp: &EaCheckpoint<Trit>| {
+                std::hint::black_box(trit_checkpoint_to_bytes(cp));
+                Ok(())
+            })
+            .run()
+    });
+    let checkpoint_overhead_pct = (ea_eps / checkpointed.evaluations_per_sec() - 1.0) * 100.0;
+
     println!("workload               : s953 (K={BLOCK_LEN}, L={NUM_MVS})");
     println!("distinct blocks        : {}", histogram.num_distinct());
     println!("legacy eval/s          : {legacy_eps:.0}");
@@ -508,6 +598,9 @@ fn main() {
     println!("EA cache counters      : {ea_cache}");
     println!("EA island eval/s       : {ea_island_eps:.0}");
     println!("EA island scaling      : {ea_island_scaling:.2}x");
+    println!("checkpoint save        : {checkpoint_save_us:.1} us");
+    println!("checkpoint resume      : {checkpoint_resume_us:.1} us");
+    println!("checkpoint overhead    : {checkpoint_overhead_pct:.2}% (every 10 generations)");
 
     let json = format!(
         "{{\n  \"bench\": \"fitness_kernel\",\n  \"workload\": \"s953\",\n  \"k\": {k},\n  \
@@ -534,6 +627,9 @@ fn main() {
          \"ea_speedup\": {ea_speedup:.2},\n  \
          \"ea_island_evals_per_sec\": {ea_island_eps:.0},\n  \
          \"ea_island_scaling\": {ea_island_scaling:.2},\n  \
+         \"checkpoint_save_us\": {ckpt_save:.1},\n  \
+         \"checkpoint_resume_us\": {ckpt_resume:.1},\n  \
+         \"checkpoint_overhead_pct\": {ckpt_ovhd:.2},\n  \
          \"ea_cache_hits\": {hits},\n  \"ea_cache_misses\": {misses},\n  \
          \"ea_cache_fallbacks\": {fallbacks}\n}}\n",
         k = BLOCK_LEN,
@@ -561,6 +657,9 @@ fn main() {
         ea_eps = ea_eps,
         ea_full_eps = ea_full_eps,
         ea_speedup = ea_speedup,
+        ckpt_save = checkpoint_save_us,
+        ckpt_resume = checkpoint_resume_us,
+        ckpt_ovhd = checkpoint_overhead_pct,
         hits = ea_cache.hits,
         misses = ea_cache.misses,
         fallbacks = ea_cache.fallbacks,

@@ -9,15 +9,28 @@
 //! with each point's full vector — making the compression-vs-power slack
 //! the paper's single-objective EA leaves behind directly visible.
 //!
-//! Usage: `cargo run -p evotc_bench --bin tradeoff --release [-- --full] [--threads N] [circuit…]`
+//! With `--checkpoint DIR` the runs are resumable: every 25 generations
+//! each circuit's EA state is serialized to `DIR/<circuit>.ckpt`, and a
+//! later invocation with the same flag resumes from that file instead of
+//! starting over — the resumed trajectory is identical to the
+//! uninterrupted one (the engine's checkpoint contract), so the printed
+//! table does not depend on how often the run was interrupted. A stale
+//! checkpoint (different profile, seed, or genome shape) is detected via
+//! its configuration fingerprint and ignored with a warning; write
+//! failures are counted on the run, not fatal.
+//!
+//! Usage: `cargo run -p evotc_bench --bin tradeoff --release [-- --full] [--threads N] [--checkpoint DIR] [circuit…]`
 
 use evotc_bench::{circuit_filter, RunProfile};
 use evotc_bits::{BlockHistogram, TestSetString, Trit};
-use evotc_core::{CombineMode, MvFitness};
-use evotc_evo::{EaBuilder, EaConfig, ParetoPoint};
+use evotc_core::{trit_checkpoint_from_bytes, trit_checkpoint_to_bytes, CombineMode, MvFitness};
+use evotc_evo::{
+    config_fingerprint, CheckpointError, EaBuilder, EaCheckpoint, EaConfig, ParetoPoint,
+};
 use evotc_workloads::tables::TABLE1;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::path::{Path, PathBuf};
 
 /// EA shape for the trade-off runs: the paper's block length with a
 /// mid-size MV budget so quick mode stays interactive.
@@ -39,11 +52,15 @@ fn rate(bits: f64, encoded: f64) -> f64 {
     100.0 * (bits - encoded) / bits
 }
 
+/// How often a resumable run snapshots its state (generations).
+const CHECKPOINT_EVERY: u64 = 25;
+
 fn run_circuit(
     circuit: &str,
     histogram: &BlockHistogram,
     bits: f64,
     profile: &RunProfile,
+    checkpoint_dir: Option<&Path>,
 ) -> Vec<ParetoPoint<Trit>> {
     let fitness = MvFitness::new(K, true, histogram, bits).combine_mode(CombineMode::Lexicographic);
     let config = EaConfig::builder()
@@ -54,13 +71,45 @@ fn run_circuit(
         .lexicographic()
         .pareto_archive(FRONT_CAPACITY)
         .build();
-    let result = EaBuilder::new(
+    let mut builder = EaBuilder::new(
         K * L,
         |rng: &mut StdRng| Trit::from_index(rng.gen_range(0..3u8)),
         fitness,
     )
-    .config(config)
-    .run();
+    .config(config.clone());
+    if let Some(dir) = checkpoint_dir {
+        let path = dir.join(format!("{circuit}.ckpt"));
+        // Resume only from a checkpoint this exact run shape produced; a
+        // stale or foreign file means a fresh start, never a wrong result.
+        if let Ok(bytes) = std::fs::read(&path) {
+            match trit_checkpoint_from_bytes(&bytes) {
+                Ok(cp) if cp.config_fingerprint == config_fingerprint(&config, K * L) => {
+                    eprintln!(
+                        "  resuming from {} (generation {})",
+                        path.display(),
+                        cp.generation
+                    );
+                    builder = builder.resume_from(cp);
+                }
+                Ok(_) => eprintln!(
+                    "  ignoring {}: checkpoint from a different configuration",
+                    path.display()
+                ),
+                Err(e) => eprintln!("  ignoring {}: {e}", path.display()),
+            }
+        }
+        builder = builder.checkpoint_every(CHECKPOINT_EVERY, move |cp: &EaCheckpoint<Trit>| {
+            std::fs::write(&path, trit_checkpoint_to_bytes(cp))
+                .map_err(|e| CheckpointError::Io(e.to_string()))
+        });
+    }
+    let result = builder.run();
+    if result.checkpoint_failures > 0 {
+        eprintln!(
+            "  warning: {} checkpoint write(s) failed for {circuit}; the run is unaffected",
+            result.checkpoint_failures
+        );
+    }
     assert!(
         !result.pareto_front.is_empty(),
         "{circuit}: a feasible run must archive at least one point"
@@ -69,7 +118,30 @@ fn run_circuit(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(dir) = args[i].strip_prefix("--checkpoint=") {
+            checkpoint_dir = Some(PathBuf::from(dir));
+            args.remove(i);
+        } else if args[i] == "--checkpoint" {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--checkpoint expects a directory");
+                std::process::exit(2);
+            }
+            checkpoint_dir = Some(PathBuf::from(args.remove(i)));
+        } else {
+            i += 1;
+        }
+    }
+    if let Some(dir) = &checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create checkpoint directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
     let profile = RunProfile::from_args(args.iter().cloned());
     let filter = circuit_filter(&args);
 
@@ -90,7 +162,13 @@ fn main() {
             circuit: row.circuit.to_string(),
             bits: set.total_bits(),
             payload_bits: bits,
-            front: run_circuit(row.circuit, &histogram, bits, &profile),
+            front: run_circuit(
+                row.circuit,
+                &histogram,
+                bits,
+                &profile,
+                checkpoint_dir.as_deref(),
+            ),
         });
     }
 

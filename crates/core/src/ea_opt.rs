@@ -2,7 +2,8 @@
 
 use evotc_bits::{BlockHistogram, TestSet, TestSetString, Trit};
 use evotc_evo::{
-    CacheStats, EaBuilder, EaConfig, FitnessEval, GenerationStats, Lineage, Objectives, Topology,
+    CacheStats, CheckpointError, EaBuilder, EaCheckpoint, EaConfig, FitnessEval, GenerationStats,
+    Lineage, Objectives, StopReason, Topology,
 };
 use rand::Rng;
 use std::sync::Arc;
@@ -143,6 +144,7 @@ impl EaCompressor {
             history: result.history,
             elapsed: result.elapsed,
             cache: result.cache,
+            stop_reason: result.stop_reason,
         };
         (mvs, summary)
     }
@@ -209,6 +211,53 @@ impl Default for CombineMode {
         }
     }
 }
+
+impl CombineMode {
+    /// Checks that the mode is usable: `Weighted` weights must be finite,
+    /// non-negative, and not all zero (an all-zero vector would score every
+    /// genome identically, silently degenerating the search to drift).
+    /// `Lexicographic` is always valid.
+    pub fn validate(&self) -> Result<(), WeightError> {
+        let CombineMode::Weighted { weights } = self else {
+            return Ok(());
+        };
+        if weights.iter().any(|w| !w.is_finite()) {
+            return Err(WeightError::NotFinite(*weights));
+        }
+        if weights.iter().any(|&w| w < 0.0) {
+            return Err(WeightError::Negative(*weights));
+        }
+        if weights.iter().all(|&w| w == 0.0) {
+            return Err(WeightError::AllZero);
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`CombineMode::Weighted`] weight vector (see
+/// [`CombineMode::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightError {
+    /// A weight is NaN or infinite.
+    NotFinite([f64; 3]),
+    /// A weight is negative (the scalarization already subtracts the
+    /// penalty terms; a negative weight would reward them).
+    Negative([f64; 3]),
+    /// Every weight is zero.
+    AllZero,
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::NotFinite(w) => write!(f, "weights {w:?} contain a non-finite value"),
+            WeightError::Negative(w) => write!(f, "weights {w:?} contain a negative value"),
+            WeightError::AllZero => write!(f, "weights are all zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
 
 /// The paper's fitness function (Section 3.1) as a shareable batch
 /// evaluator: the compression rate of the MV set a genome encodes, computed
@@ -358,9 +407,26 @@ impl<'a> MvFitness<'a> {
     /// Sets how the objective vector is combined into the scalar fitness
     /// (see [`CombineMode`]). The default weighted `[1, 0, 0]` mode keeps
     /// every score bit-identical to the single-objective evaluator.
-    pub fn combine_mode(mut self, mode: CombineMode) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode fails [`CombineMode::validate`] (NaN, negative,
+    /// or all-zero `Weighted` weights). Use [`MvFitness::try_combine_mode`]
+    /// to handle the rejection as a value.
+    pub fn combine_mode(self, mode: CombineMode) -> Self {
+        match self.try_combine_mode(mode) {
+            Ok(fitness) => fitness,
+            Err(err) => panic!("invalid combine mode: {err}"),
+        }
+    }
+
+    /// Like [`MvFitness::combine_mode`], but returning the
+    /// [`WeightError`] instead of panicking — the config-build-time check
+    /// for weights that arrive from user input.
+    pub fn try_combine_mode(mut self, mode: CombineMode) -> Result<Self, WeightError> {
+        mode.validate()?;
         self.mode = mode;
-        self
+        Ok(self)
     }
 
     /// The combine mode in use.
@@ -720,6 +786,13 @@ impl<'a> MvFitness<'a> {
         mut write: impl FnMut(usize, f64, Objectives),
     ) {
         debug_assert_eq!(genomes.len(), lineage.len(), "lineage slice length");
+        // Fault injection: a poisoned evaluator panicking mid-batch. The
+        // hit counts once per batch chunk (one call per worker thread), so
+        // deterministic tests pin the engine to one thread.
+        #[cfg(feature = "failpoints")]
+        if evotc_evo::failpoints::hit(evotc_evo::failpoints::site::CORE_EVALUATE) {
+            panic!("injected evaluator fault");
+        }
         self.shared.bump_generation();
         let mut state = self
             .lineage_pool
@@ -766,6 +839,12 @@ impl FitnessEval<Trit> for MvFitness<'_> {
     /// themselves are checked out of a pool on `self`, so they survive from
     /// generation to generation instead of being reallocated per batch.
     fn evaluate_batch(&self, genomes: &[Vec<Trit>], out: &mut [f64]) {
+        // Fault injection mirror of the lineage path: both batch entry
+        // points answer to the same site name.
+        #[cfg(feature = "failpoints")]
+        if evotc_evo::failpoints::hit(evotc_evo::failpoints::site::CORE_EVALUATE) {
+            panic!("injected evaluator fault");
+        }
         // A poisoned pool (a panicking sibling worker) degrades to a fresh
         // scratch; results are unaffected either way.
         let mut scratch = self
@@ -850,6 +929,9 @@ pub struct EaRunSummary {
     /// like [`EaRunSummary::elapsed`], excluded from the determinism
     /// contract (concurrent workers can race to build the same parent).
     pub cache: Option<CacheStats>,
+    /// Why the optimization stopped (see [`StopReason`]); the paper's
+    /// stagnation termination reports [`StopReason::Converged`].
+    pub stop_reason: StopReason,
 }
 
 impl EaRunSummary {
@@ -858,6 +940,36 @@ impl EaRunSummary {
     pub fn evaluations_per_sec(&self) -> f64 {
         evotc_evo::evals_per_sec(self.evaluations, self.elapsed)
     }
+}
+
+/// Serializes a [`Trit`]-genome [`EaCheckpoint`] into the engine's
+/// versioned byte format, one byte per trit (the trit index `0`/`1`/`2`).
+///
+/// [`Trit`] lives in `evotc_bits` and the checkpoint format in `evotc_evo`,
+/// so neither crate can implement the other's codec trait; the closure-based
+/// codec hooks exist for exactly this case, and this pair is the canonical
+/// codec harnesses should share.
+pub fn trit_checkpoint_to_bytes(checkpoint: &EaCheckpoint<Trit>) -> Vec<u8> {
+    checkpoint.to_bytes_with(|trit, out| out.push(trit.index()))
+}
+
+/// Parses a checkpoint serialized by [`trit_checkpoint_to_bytes`].
+///
+/// # Errors
+///
+/// As for [`EaCheckpoint::from_bytes`]; additionally rejects gene bytes
+/// outside `0..3` as [`CheckpointError::Malformed`] — a corrupted file
+/// never panics.
+pub fn trit_checkpoint_from_bytes(bytes: &[u8]) -> Result<EaCheckpoint<Trit>, CheckpointError> {
+    EaCheckpoint::from_bytes_with(bytes, |input| {
+        let (&byte, rest) = input.split_first().ok_or(CheckpointError::Truncated)?;
+        *input = rest;
+        if byte < 3 {
+            Ok(Trit::from_index(byte))
+        } else {
+            Err(CheckpointError::Malformed("trit gene out of range"))
+        }
+    })
 }
 
 /// Builder for [`EaCompressor`].
@@ -1298,6 +1410,141 @@ mod tests {
         for (score, vector) in scores.iter().zip(&objectives) {
             assert!(score.is_finite());
             assert!(vector.is_finite());
+        }
+    }
+
+    #[test]
+    fn combine_mode_weights_are_validated() {
+        assert_eq!(CombineMode::default().validate(), Ok(()));
+        assert_eq!(CombineMode::Lexicographic.validate(), Ok(()));
+        let bad = |weights: [f64; 3]| CombineMode::Weighted { weights }.validate().unwrap_err();
+        assert!(matches!(
+            bad([f64::NAN, 0.0, 1.0]),
+            WeightError::NotFinite(_)
+        ));
+        assert!(matches!(
+            bad([1.0, f64::INFINITY, 0.0]),
+            WeightError::NotFinite(_)
+        ));
+        assert!(matches!(bad([1.0, -0.5, 0.0]), WeightError::Negative(_)));
+        assert_eq!(bad([0.0; 3]), WeightError::AllZero);
+
+        let set = small_set();
+        let string = TestSetString::try_new(&set, 8).unwrap();
+        let histogram = BlockHistogram::from_string(&string);
+        let bits = string.payload_bits() as f64;
+        let err = MvFitness::new(8, true, &histogram, bits)
+            .try_combine_mode(CombineMode::Weighted { weights: [0.0; 3] })
+            .unwrap_err();
+        assert_eq!(err, WeightError::AllZero);
+        assert!(err.to_string().contains("all zero"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid combine mode")]
+    fn combine_mode_panics_on_rejected_weights() {
+        let set = small_set();
+        let string = TestSetString::try_new(&set, 8).unwrap();
+        let histogram = BlockHistogram::from_string(&string);
+        let bits = string.payload_bits() as f64;
+        let _ = MvFitness::new(8, true, &histogram, bits).combine_mode(CombineMode::Weighted {
+            weights: [f64::NAN, 1.0, 1.0],
+        });
+    }
+
+    #[test]
+    fn summary_reports_a_stop_reason() {
+        let (_, summary) = quick(8, 4, 1).compress_with_summary(&small_set()).unwrap();
+        assert_eq!(summary.stop_reason, StopReason::Converged);
+    }
+
+    #[test]
+    fn trit_checkpoints_round_trip_and_never_panic_on_corruption() {
+        use evotc_evo::{CheckpointMember, IslandCheckpoint};
+        let member = |genes: Vec<Trit>| CheckpointMember {
+            genes,
+            fitness: 42.5,
+            objectives: [1.0, 2.0, 3.0],
+        };
+        let checkpoint = EaCheckpoint {
+            config_fingerprint: 7,
+            genome_len: 4,
+            generation: 0,
+            stagnant: 0,
+            best_so_far: 42.5,
+            history: vec![evotc_evo::HistoryRecord {
+                generation: 0,
+                best_fitness: 42.5,
+                mean_fitness: 40.0,
+                evaluations: 2,
+            }],
+            islands: vec![IslandCheckpoint {
+                rng_state: [1, 2, 3, 4],
+                evaluations: 2,
+                quarantined: false,
+                population: vec![
+                    member(vec![Trit::Zero, Trit::One, Trit::X, Trit::One]),
+                    member(vec![Trit::X; 4]),
+                ],
+                archive: vec![member(vec![Trit::One; 4])],
+            }],
+        };
+        let bytes = trit_checkpoint_to_bytes(&checkpoint);
+        assert_eq!(trit_checkpoint_from_bytes(&bytes).unwrap(), checkpoint);
+        // Single-byte corruption anywhere must produce an error or a
+        // different checkpoint — never a panic — and clobbering a gene
+        // byte specifically must be caught by the trit range check.
+        let mut out_of_range_seen = false;
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] = 0xFF;
+            if let Err(CheckpointError::Malformed(msg)) = trit_checkpoint_from_bytes(&corrupt) {
+                out_of_range_seen |= msg.contains("trit");
+            }
+        }
+        assert!(out_of_range_seen, "no corruption hit the gene range check");
+        // And truncation at every length is an error, not a panic.
+        for len in 0..bytes.len() {
+            assert!(trit_checkpoint_from_bytes(&bytes[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn trit_ea_resumes_byte_identically_through_the_byte_codec() {
+        let set = small_set();
+        let string = TestSetString::try_new(&set, 8).unwrap();
+        let histogram = BlockHistogram::from_string(&string);
+        let bits = string.payload_bits() as f64;
+        let config = EaConfig::builder()
+            .population_size(8)
+            .children_per_generation(4)
+            .stagnation_limit(15)
+            .seed(3)
+            .build();
+        let sample = |rng: &mut rand::rngs::StdRng| Trit::from_index(rng.gen_range(0..3u8));
+        let blobs = std::cell::RefCell::new(Vec::new());
+        let reference = EaBuilder::new(8 * 4, sample, MvFitness::new(8, true, &histogram, bits))
+            .config(config.clone())
+            .checkpoint_every(5, |cp: &EaCheckpoint<Trit>| {
+                blobs.borrow_mut().push(trit_checkpoint_to_bytes(cp));
+                Ok(())
+            })
+            .run();
+        let blobs = blobs.into_inner();
+        assert!(!blobs.is_empty(), "run never checkpointed");
+        for blob in &blobs {
+            let checkpoint = trit_checkpoint_from_bytes(blob).unwrap();
+            let resumed = EaBuilder::new(8 * 4, sample, MvFitness::new(8, true, &histogram, bits))
+                .config(config.clone())
+                .resume_from(checkpoint)
+                .run();
+            assert_eq!(resumed.best_genome, reference.best_genome);
+            assert_eq!(
+                resumed.best_fitness.to_bits(),
+                reference.best_fitness.to_bits()
+            );
+            assert_eq!(resumed.generations, reference.generations);
+            assert_eq!(resumed.evaluations, reference.evaluations);
         }
     }
 

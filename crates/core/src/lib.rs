@@ -65,7 +65,10 @@ pub mod subsume;
 
 pub use compressed::CompressedTestSet;
 pub use covering::Covering;
-pub use ea_opt::{CombineMode, EaCompressor, EaCompressorBuilder, EaRunSummary, MvFitness};
+pub use ea_opt::{
+    trit_checkpoint_from_bytes, trit_checkpoint_to_bytes, CombineMode, EaCompressor,
+    EaCompressorBuilder, EaRunSummary, MvFitness, WeightError,
+};
 pub use encoding::{encode_with_code, encode_with_mvs, encoded_size};
 pub use error::CompressError;
 pub use incremental::{

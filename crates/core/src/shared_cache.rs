@@ -83,6 +83,14 @@ impl ParentEntry {
     /// every non-matching candidate stops at), full content compare only on
     /// a prefilter match, so a hit is still never a hash gamble.
     pub fn matches(&self, hash: u64, genome: &[Trit]) -> bool {
+        // Fault injection: a forced mismatch is the "detected corruption"
+        // answer — both the hot-slot scan and the shared-store probe funnel
+        // through here, so one site covers every cache tier. The evaluator
+        // must fall back to a full rebuild with unchanged scores.
+        #[cfg(feature = "failpoints")]
+        if evotc_evo::failpoints::hit(evotc_evo::failpoints::site::CORE_CACHE_PROBE) {
+            return false;
+        }
         self.hash == hash && same_genome(&self.genome, genome)
     }
 }

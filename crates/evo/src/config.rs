@@ -1,6 +1,9 @@
 //! EA configuration.
 
 use std::fmt;
+use std::time::Duration;
+
+use crate::supervisor::IslandPanicPolicy;
 
 /// Population structure of a run.
 ///
@@ -136,6 +139,19 @@ pub struct EaConfig {
     /// `EaResult::pareto_front`. The archive is observational — enabling
     /// it never changes which individuals are selected.
     pub pareto_capacity: usize,
+    /// Soft wall-clock deadline, checked at generation boundaries (epoch
+    /// boundaries for island runs): once this much time has elapsed the run
+    /// returns its best-so-far state with `StopReason::Deadline`. `None`
+    /// (the default) disables it. Like `threads`, the deadline is outside
+    /// the determinism contract — *when* it fires depends on wall-clock —
+    /// but the state it returns is always a well-formed point of the
+    /// deterministic trajectory.
+    pub deadline: Option<Duration>,
+    /// What happens when an island worker panics (see
+    /// [`IslandPanicPolicy`]). The default fails the run with a typed
+    /// error; [`IslandPanicPolicy::Quarantine`] degrades instead,
+    /// quarantining the island and continuing on the rest.
+    pub panic_policy: IslandPanicPolicy,
 }
 
 impl Default for EaConfig {
@@ -154,6 +170,8 @@ impl Default for EaConfig {
             topology: Topology::Panmictic,
             ranking: Ranking::Fitness,
             pareto_capacity: 0,
+            deadline: None,
+            panic_policy: IslandPanicPolicy::Fail,
         }
     }
 }
@@ -235,7 +253,11 @@ impl fmt::Display for EaConfig {
             } else {
                 self.pareto_capacity.to_string()
             }
-        )
+        )?;
+        if let Some(deadline) = self.deadline {
+            write!(f, " deadline={:.1}s", deadline.as_secs_f64())?;
+        }
+        write!(f, " panic={}", self.panic_policy)
     }
 }
 
@@ -342,6 +364,26 @@ impl EaConfigBuilder {
     pub fn pareto_archive(mut self, capacity: usize) -> Self {
         self.config.pareto_capacity = capacity;
         self
+    }
+
+    /// Sets a soft wall-clock deadline: the run returns its best-so-far
+    /// state with `StopReason::Deadline` at the first generation (epoch)
+    /// boundary after this much time has elapsed.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the island panic policy (see [`IslandPanicPolicy`]).
+    pub fn panic_policy(mut self, policy: IslandPanicPolicy) -> Self {
+        self.config.panic_policy = policy;
+        self
+    }
+
+    /// Shorthand for [`IslandPanicPolicy::Quarantine`]: degrade on an
+    /// island panic instead of failing the run.
+    pub fn quarantine_on_panic(self) -> Self {
+        self.panic_policy(IslandPanicPolicy::Quarantine)
     }
 
     /// Finishes the builder.
@@ -454,6 +496,23 @@ mod tests {
         assert_eq!(lex.pareto_capacity, 16);
         assert!(lex.to_string().contains("ranking=lexicographic"), "{lex}");
         assert!(lex.to_string().contains("pareto=16"), "{lex}");
+    }
+
+    #[test]
+    fn deadline_and_panic_policy_round_trip() {
+        let c = EaConfig::default();
+        assert_eq!(c.deadline, None);
+        assert_eq!(c.panic_policy, IslandPanicPolicy::Fail);
+        assert!(c.to_string().contains("panic=fail"), "{c}");
+        assert!(!c.to_string().contains("deadline="), "{c}");
+        let c = EaConfig::builder()
+            .deadline(Duration::from_millis(1500))
+            .quarantine_on_panic()
+            .build();
+        assert_eq!(c.deadline, Some(Duration::from_millis(1500)));
+        assert_eq!(c.panic_policy, IslandPanicPolicy::Quarantine);
+        assert!(c.to_string().contains("deadline=1.5s"), "{c}");
+        assert!(c.to_string().contains("panic=quarantine"), "{c}");
     }
 
     #[test]

@@ -1,17 +1,28 @@
 //! The (S + C) evolutionary engine: panmictic and island-model runners.
 
 use std::cmp::Ordering;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::{
+    config_fingerprint, CheckpointError, CheckpointMember, EaCheckpoint, HistoryRecord,
+    IslandCheckpoint,
+};
 use crate::config::{EaConfig, Ranking, Topology};
 use crate::fitness::{FitnessEval, Lineage};
 use crate::objective::{Objectives, ParetoArchive, ParetoPoint};
 use crate::operators;
 use crate::parallel;
 use crate::stats::{GenerationEvent, GenerationStats};
+use crate::supervisor::{CancelToken, EaError, IslandPanicPolicy, StopReason};
+
+/// A checkpoint consumer installed via [`EaBuilder::checkpoint_every`]. A
+/// sink failure is counted on [`EaResult::checkpoint_failures`] and the run
+/// continues — losing a checkpoint must never lose the run.
+type CheckpointSink<'s, G> = Box<dyn FnMut(&EaCheckpoint<G>) -> Result<(), CheckpointError> + 's>;
 
 /// Composable builder for an evolutionary run over fixed-length genomes of
 /// gene type `G`.
@@ -79,7 +90,7 @@ use crate::stats::{GenerationEvent, GenerationStats};
 /// assert_eq!(merged_seen as usize, result.history.len());
 /// assert!(result.best_fitness >= 30.0);
 /// ```
-pub struct EaBuilder<G, SampleGene, F>
+pub struct EaBuilder<'s, G, SampleGene, F>
 where
     SampleGene: Fn(&mut StdRng) -> G,
     F: FitnessEval<G>,
@@ -89,6 +100,10 @@ where
     sample_gene: SampleGene,
     fitness: F,
     seeds: Vec<Vec<G>>,
+    cancel: CancelToken,
+    checkpoint_every: u64,
+    sink: Option<CheckpointSink<'s, G>>,
+    resume: Option<EaCheckpoint<G>>,
 }
 
 /// Outcome of an EA run.
@@ -119,6 +134,19 @@ pub struct EaResult<G> {
     /// unless `pareto_capacity > 0`. Fully deterministic: same seed and
     /// config ⇒ byte-identical front at any thread count.
     pub pareto_front: Vec<ParetoPoint<G>>,
+    /// Why the run stopped (see [`StopReason`]). The deterministic reasons
+    /// are part of the determinism contract; [`StopReason::Deadline`] and
+    /// [`StopReason::Cancelled`] depend on wall-clock but still come with
+    /// well-formed best-so-far state.
+    pub stop_reason: StopReason,
+    /// Islands quarantined after a worker panic under
+    /// [`IslandPanicPolicy::Quarantine`], in island order. Always empty
+    /// under the default fail-fast policy (the run errors instead) and for
+    /// panmictic runs.
+    pub quarantined: Vec<usize>,
+    /// Number of checkpoint captures whose sink returned an error (see
+    /// [`EaBuilder::checkpoint_every`]). Sink failures never stop the run.
+    pub checkpoint_failures: u64,
 }
 
 impl<G> EaResult<G> {
@@ -179,7 +207,7 @@ struct IslandState<G> {
     archive: Option<ParetoArchive<G>>,
 }
 
-impl<G, SampleGene, F> EaBuilder<G, SampleGene, F>
+impl<'s, G, SampleGene, F> EaBuilder<'s, G, SampleGene, F>
 where
     G: Copy + Send + Sync,
     SampleGene: Fn(&mut StdRng) -> G + Sync,
@@ -199,6 +227,10 @@ where
             sample_gene,
             fitness,
             seeds: Vec::new(),
+            cancel: CancelToken::new(),
+            checkpoint_every: 0,
+            sink: None,
+            resume: None,
         }
     }
 
@@ -230,11 +262,63 @@ where
         self
     }
 
+    /// Installs a shared [`CancelToken`]: once any holder of a clone calls
+    /// [`CancelToken::cancel`], the run finishes its current generation
+    /// (epoch for island runs) and returns best-so-far state with
+    /// [`StopReason::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Captures an [`EaCheckpoint`] every `generations` generations and
+    /// hands it to `sink`. Island runs capture at the first epoch boundary
+    /// at which at least `generations` generations have passed since the
+    /// last capture.
+    ///
+    /// The checkpoint is a point on the deterministic trajectory: feeding
+    /// it to [`EaBuilder::resume_from`] on a fresh builder continues the
+    /// run byte-identically to the uninterrupted one, at any thread count.
+    /// A sink error is counted on [`EaResult::checkpoint_failures`] and the
+    /// run continues — losing a checkpoint never loses the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generations` is zero.
+    pub fn checkpoint_every(
+        mut self,
+        generations: u64,
+        sink: impl FnMut(&EaCheckpoint<G>) -> Result<(), CheckpointError> + 's,
+    ) -> Self {
+        assert!(generations > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = generations;
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Resumes a run from a checkpoint instead of a fresh population.
+    ///
+    /// The builder's config and genome length must fingerprint-match the
+    /// checkpoint (same seed, topology, ranking, budgets, operator
+    /// probabilities — everything deterministic; `threads`, `deadline` and
+    /// `panic_policy` may differ), or the run fails with
+    /// [`EaError::InvalidCheckpoint`]. The restored history prefix is
+    /// returned on [`EaResult::history`] with `elapsed`/`cache` cleared
+    /// (both are outside the determinism contract) and is **not** replayed
+    /// through the observer; population seeds from
+    /// [`EaBuilder::seed_population`] are ignored — the checkpointed
+    /// populations already embody them.
+    pub fn resume_from(mut self, checkpoint: EaCheckpoint<G>) -> Self {
+        self.resume = Some(checkpoint);
+        self
+    }
+
     /// Runs the algorithm to termination and returns the best individual.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (see [`EaConfig`]).
+    /// Panics if the configuration is invalid (see [`EaConfig`]) or the run
+    /// fails (see [`EaBuilder::try_run`] for the non-panicking variant).
     pub fn run(self) -> EaResult<G> {
         self.run_with_observer(|_| {})
     }
@@ -248,8 +332,37 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (see [`EaConfig`]).
+    /// Panics if the configuration is invalid (see [`EaConfig`]) or the run
+    /// fails (see [`EaBuilder::try_run_with_observer`]).
     pub fn run_with_observer(self, observer: impl FnMut(&GenerationEvent<'_>)) -> EaResult<G> {
+        match self.try_run_with_observer(observer) {
+            Ok(result) => result,
+            Err(err) => panic!("EA run failed: {err}"),
+        }
+    }
+
+    /// Like [`EaBuilder::run`], but run failures — an island worker panic
+    /// under the default [`IslandPanicPolicy::Fail`], an invalid resume
+    /// checkpoint — come back as a typed [`EaError`] instead of a panic.
+    /// Worker panics are contained with `catch_unwind`, so a poisoned
+    /// evaluator never aborts the process and never stalls the epoch
+    /// barrier: the remaining islands always finish their epoch first.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the configuration itself is invalid (a programming
+    /// error, see [`EaConfig`]) — never for runtime failures.
+    pub fn try_run(self) -> Result<EaResult<G>, EaError> {
+        self.try_run_with_observer(|_| {})
+    }
+
+    /// [`EaBuilder::try_run`] with a per-generation observer (see
+    /// [`EaBuilder::run_with_observer`] for the event order). On resume,
+    /// the restored history prefix is not replayed through the observer.
+    pub fn try_run_with_observer(
+        self,
+        observer: impl FnMut(&GenerationEvent<'_>),
+    ) -> Result<EaResult<G>, EaError> {
         self.config.validate();
         match self.config.topology {
             Topology::Panmictic => self.run_panmictic(observer),
@@ -263,8 +376,13 @@ where
 
     /// The paper's single-population loop, preserved bit for bit from the
     /// pre-island engine: one RNG stream, termination checked every
-    /// generation.
-    fn run_panmictic(self, mut observer: impl FnMut(&GenerationEvent<'_>)) -> EaResult<G> {
+    /// generation. Stop conditions (including deadline and cancellation)
+    /// are checked at the top of every generation; checkpoints are captured
+    /// at the bottom, so a capture always reflects a complete generation.
+    fn run_panmictic(
+        self,
+        mut observer: impl FnMut(&GenerationEvent<'_>),
+    ) -> Result<EaResult<G>, EaError> {
         let start = Instant::now();
         let threads = parallel::resolve_threads(self.config.threads);
         let EaBuilder {
@@ -273,39 +391,90 @@ where
             sample_gene,
             fitness,
             mut seeds,
+            cancel,
+            checkpoint_every,
+            mut sink,
+            resume,
         } = self;
+        let fingerprint = config_fingerprint(&config, genome_len);
 
-        let mut island = init_island(
-            &config,
-            StdRng::seed_from_u64(config.seed),
-            genome_len,
-            &mut seeds,
-            &sample_gene,
-            &fitness,
-            threads,
-        );
+        let mut history: Vec<GenerationStats>;
+        let mut island: IslandState<G>;
+        let mut best_so_far: f64;
+        let mut stagnant: usize;
+        let mut generation: u64;
 
-        let mut history = Vec::new();
-        let record = |island: &IslandState<G>, generation: u64| {
+        let record = |island: &IslandState<G>, generation: u64, start: Instant| {
             let mut stats = population_stats(&island.population, generation, island.evaluations);
             stats.elapsed = start.elapsed();
             stats.cache = fitness.cache_stats();
             stats
         };
-        let initial = record(&island, 0);
-        observer(&GenerationEvent::Merged(&initial));
-        history.push(initial);
 
-        let mut best_so_far = island.population[0].fitness;
-        let mut stagnant: usize = 0;
-        let mut generation: u64 = 0;
+        if let Some(cp) = resume {
+            validate_checkpoint(&cp, &config, genome_len, 1)?;
+            island = restore_island(&cp.islands[0], &config);
+            history = restore_history(&cp.history);
+            best_so_far = cp.best_so_far;
+            stagnant = cp.stagnant as usize;
+            generation = cp.generation;
+        } else {
+            island = match catch_unwind(AssertUnwindSafe(|| {
+                init_island(
+                    &config,
+                    StdRng::seed_from_u64(config.seed),
+                    genome_len,
+                    &mut seeds,
+                    &sample_gene,
+                    &fitness,
+                    threads,
+                )
+            })) {
+                Ok(island) => island,
+                Err(payload) => {
+                    return Err(EaError::IslandFailed {
+                        island: 0,
+                        generation: 0,
+                        message: panic_message(payload),
+                    })
+                }
+            };
+            history = Vec::new();
+            let initial = record(&island, 0, start);
+            observer(&GenerationEvent::Merged(&initial));
+            history.push(initial);
+            best_so_far = island.population[0].fitness;
+            stagnant = 0;
+            generation = 0;
+        }
 
-        while stagnant < config.stagnation_limit
-            && island.evaluations < config.max_evaluations
-            && generation < config.max_generations
-        {
+        let mut checkpoint_failures: u64 = 0;
+        let mut last_checkpoint = generation;
+
+        let stop_reason = loop {
+            if let Some(reason) = stop_reason_at(
+                &config,
+                &cancel,
+                start,
+                stagnant,
+                island.evaluations,
+                generation,
+            ) {
+                break reason;
+            }
             generation += 1;
-            step(&config, &sample_gene, &fitness, threads, &mut island);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                step(&config, &sample_gene, &fitness, threads, &mut island)
+            })) {
+                // A panmictic run has no healthy island to degrade to, so
+                // the panic policy does not apply: fail with the typed
+                // error either way.
+                return Err(EaError::IslandFailed {
+                    island: 0,
+                    generation,
+                    message: panic_message(payload),
+                });
+            }
 
             if island.population[0].fitness > best_so_far {
                 best_so_far = island.population[0].fitness;
@@ -313,10 +482,23 @@ where
             } else {
                 stagnant += 1;
             }
-            let stats = record(&island, generation);
+            let stats = record(&island, generation, start);
             observer(&GenerationEvent::Merged(&stats));
             history.push(stats);
-        }
+
+            if checkpoint_every > 0 && generation - last_checkpoint >= checkpoint_every {
+                last_checkpoint = generation;
+                save_checkpoint(&mut sink, &mut checkpoint_failures, || EaCheckpoint {
+                    config_fingerprint: fingerprint,
+                    genome_len,
+                    generation,
+                    stagnant: stagnant as u64,
+                    best_so_far,
+                    history: history_records(&history),
+                    islands: vec![capture_island(&island, false)],
+                });
+            }
+        };
 
         let pareto_front = island
             .archive
@@ -324,7 +506,7 @@ where
             .map(|a| a.reported().to_vec())
             .unwrap_or_default();
         let best = &island.population[0];
-        EaResult {
+        Ok(EaResult {
             best_genome: best.genes.clone(),
             best_fitness: best.fitness,
             generations: generation,
@@ -333,7 +515,10 @@ where
             elapsed: start.elapsed(),
             cache: fitness.cache_stats(),
             pareto_front,
-        }
+            stop_reason,
+            quarantined: Vec::new(),
+            checkpoint_failures,
+        })
     }
 
     /// The island-model loop: `count` subpopulations evolve in lockstep
@@ -352,7 +537,7 @@ where
         count: usize,
         interval: u64,
         migrants: usize,
-    ) -> EaResult<G> {
+    ) -> Result<EaResult<G>, EaError> {
         let start = Instant::now();
         let workers = parallel::resolve_threads(self.config.threads).min(count);
         let EaBuilder {
@@ -361,54 +546,64 @@ where
             sample_gene,
             fitness,
             mut seeds,
+            cancel,
+            checkpoint_every,
+            mut sink,
+            resume,
         } = self;
-
-        // Deterministic initialization: each island's RNG (and therefore
-        // its random initial population) comes from its own derived seed,
-        // computed here in island order. Seeds go to island 0.
-        let mut islands: Vec<IslandState<G>> = (0..count)
-            .map(|i| {
-                let rng = StdRng::seed_from_u64(island_seed(config.seed, i as u64));
-                let mut island_seeds = if i == 0 {
-                    std::mem::take(&mut seeds)
-                } else {
-                    Vec::new()
-                };
-                init_island(
-                    &config,
-                    rng,
-                    genome_len,
-                    &mut island_seeds,
-                    &sample_gene,
-                    &fitness,
-                    1,
-                )
-            })
-            .collect();
+        let fingerprint = config_fingerprint(&config, genome_len);
 
         let mut history: Vec<GenerationStats> = Vec::new();
+        let mut quarantined = vec![false; count];
         let merge = |islands: &mut [IslandState<G>],
+                     quarantined: &[bool],
                      observer: &mut dyn FnMut(&GenerationEvent<'_>),
                      history: &mut Vec<GenerationStats>| {
-            // All islands logged the same number of generations this epoch.
-            let logged = islands[0].epoch_log.len();
+            // All healthy islands logged the same number of generations
+            // this epoch; quarantined islands log nothing (a partial epoch
+            // is discarded at quarantine time) but their frozen evaluation
+            // counts stay in the merged totals, keeping them monotone.
+            let logged = islands
+                .iter()
+                .zip(quarantined)
+                .filter(|(_, &q)| !q)
+                .map(|(island, _)| island.epoch_log.len())
+                .max()
+                .unwrap_or(0);
+            let frozen: u64 = islands
+                .iter()
+                .zip(quarantined)
+                .filter(|(_, &q)| q)
+                .map(|(island, _)| island.evaluations)
+                .sum();
             for g in 0..logged {
-                let mut evaluations = 0;
+                let mut evaluations = frozen;
                 let mut mean_sum = 0.0;
                 let mut best = f64::NEG_INFINITY;
-                let generation = islands[0].epoch_log[g].generation;
+                let mut contributors = 0usize;
+                let mut generation = 0;
                 for (i, island) in islands.iter().enumerate() {
+                    if quarantined[i] || island.epoch_log.len() <= g {
+                        continue;
+                    }
                     let stats = &island.epoch_log[g];
+                    if contributors == 0 {
+                        generation = stats.generation;
+                    }
                     debug_assert_eq!(stats.generation, generation);
                     observer(&GenerationEvent::Island { island: i, stats });
                     evaluations += stats.evaluations;
                     mean_sum += stats.mean_fitness;
                     best = best.max(stats.best_fitness);
+                    contributors += 1;
+                }
+                if contributors == 0 {
+                    continue;
                 }
                 let merged = GenerationStats {
                     generation,
                     best_fitness: best,
-                    mean_fitness: mean_sum / islands.len() as f64,
+                    mean_fitness: mean_sum / contributors as f64,
                     evaluations,
                     elapsed: start.elapsed(),
                     cache: fitness.cache_stats(),
@@ -421,27 +616,92 @@ where
             }
         };
 
-        // Initial populations (generation 0).
-        for island in islands.iter_mut() {
-            let stats = population_stats(&island.population, 0, island.evaluations);
-            island.epoch_log.push(GenerationStats {
-                elapsed: start.elapsed(),
-                ..stats
-            });
+        let mut islands: Vec<IslandState<G>>;
+        let mut best_so_far: f64;
+        let mut stagnant: usize;
+        let mut generation: u64;
+        let mut total_evals: u64;
+
+        if let Some(cp) = resume {
+            validate_checkpoint(&cp, &config, genome_len, count)?;
+            islands = cp
+                .islands
+                .iter()
+                .map(|island| restore_island(island, &config))
+                .collect();
+            for (flag, island) in quarantined.iter_mut().zip(&cp.islands) {
+                *flag = island.quarantined;
+            }
+            history = restore_history(&cp.history);
+            best_so_far = cp.best_so_far;
+            stagnant = cp.stagnant as usize;
+            generation = cp.generation;
+            total_evals = islands.iter().map(|i| i.evaluations).sum();
+        } else {
+            // Deterministic initialization: each island's RNG (and
+            // therefore its random initial population) comes from its own
+            // derived seed, computed here in island order. Seeds go to
+            // island 0.
+            islands = Vec::with_capacity(count);
+            for i in 0..count {
+                let rng = StdRng::seed_from_u64(island_seed(config.seed, i as u64));
+                let mut island_seeds = if i == 0 {
+                    std::mem::take(&mut seeds)
+                } else {
+                    Vec::new()
+                };
+                match catch_unwind(AssertUnwindSafe(|| {
+                    init_island(
+                        &config,
+                        rng,
+                        genome_len,
+                        &mut island_seeds,
+                        &sample_gene,
+                        &fitness,
+                        1,
+                    )
+                })) {
+                    Ok(island) => islands.push(island),
+                    // Initialization failures always fail the run: an
+                    // uninitialized island has no healthy state to
+                    // quarantine.
+                    Err(payload) => {
+                        return Err(EaError::IslandFailed {
+                            island: i,
+                            generation: 0,
+                            message: panic_message(payload),
+                        })
+                    }
+                }
+            }
+
+            // Initial populations (generation 0).
+            for island in islands.iter_mut() {
+                let stats = population_stats(&island.population, 0, island.evaluations);
+                island.epoch_log.push(GenerationStats {
+                    elapsed: start.elapsed(),
+                    ..stats
+                });
+            }
+            merge(&mut islands, &quarantined, &mut observer, &mut history);
+
+            best_so_far = history[0].best_fitness;
+            stagnant = 0;
+            generation = 0;
+            total_evals = history[0].evaluations;
         }
-        merge(&mut islands, &mut observer, &mut history);
 
-        let mut best_so_far = history[0].best_fitness;
-        let mut stagnant: usize = 0;
-        let mut generation: u64 = 0;
-        let mut total_evals: u64 = history[0].evaluations;
+        let mut checkpoint_failures: u64 = 0;
+        let mut last_checkpoint = generation;
 
-        while stagnant < config.stagnation_limit
-            && total_evals < config.max_evaluations
-            && generation < config.max_generations
-        {
+        let stop_reason = loop {
+            if let Some(reason) =
+                stop_reason_at(&config, &cancel, start, stagnant, total_evals, generation)
+            {
+                break reason;
+            }
             let epoch_gens = interval.min(config.max_generations - generation);
-            for_each_island(&mut islands, workers, |island| {
+            let failures = for_each_island(&mut islands, &quarantined, workers, |island| {
                 for g in 0..epoch_gens {
                     step(&config, &sample_gene, &fitness, 1, island);
                     let stats = population_stats(
@@ -455,8 +715,39 @@ where
                     });
                 }
             });
+            let mut last_failure: Option<(usize, String)> = None;
+            for (i, failure) in failures.into_iter().enumerate() {
+                let Some(message) = failure else { continue };
+                match config.panic_policy {
+                    IslandPanicPolicy::Fail => {
+                        return Err(EaError::IslandFailed {
+                            island: i,
+                            generation,
+                            message,
+                        });
+                    }
+                    IslandPanicPolicy::Quarantine => {
+                        // The island's partial epoch is discarded — its
+                        // state may be mid-generation — and it leaves the
+                        // run: no more epochs, no migration, no say in the
+                        // merged statistics or the final pick.
+                        quarantined[i] = true;
+                        islands[i].epoch_log.clear();
+                        last_failure = Some((i, message));
+                    }
+                }
+            }
+            if quarantined.iter().all(|&q| q) {
+                let (island, message) =
+                    last_failure.expect("all islands quarantined implies a failure this epoch");
+                return Err(EaError::IslandFailed {
+                    island,
+                    generation,
+                    message,
+                });
+            }
             let merged_from = history.len();
-            merge(&mut islands, &mut observer, &mut history);
+            merge(&mut islands, &quarantined, &mut observer, &mut history);
             for merged in &history[merged_from..] {
                 if merged.best_fitness > best_so_far {
                     best_so_far = merged.best_fitness;
@@ -475,13 +766,34 @@ where
                 && total_evals < config.max_evaluations
                 && generation < config.max_generations;
             if continuing {
-                migrate(&mut islands, migrants, config.ranking);
+                migrate(&mut islands, &quarantined, migrants, config.ranking);
             }
-        }
 
-        // Best individual across islands, by the run's ranking; island
-        // order breaks exact ties, so the pick is deterministic.
-        let best_island = (1..islands.len()).fold(0, |best, i| {
+            // Checkpoint at the epoch boundary, after migration: the
+            // captured state is exactly what the next epoch starts from.
+            if checkpoint_every > 0 && generation - last_checkpoint >= checkpoint_every {
+                last_checkpoint = generation;
+                save_checkpoint(&mut sink, &mut checkpoint_failures, || EaCheckpoint {
+                    config_fingerprint: fingerprint,
+                    genome_len,
+                    generation,
+                    stagnant: stagnant as u64,
+                    best_so_far,
+                    history: history_records(&history),
+                    islands: islands
+                        .iter()
+                        .zip(&quarantined)
+                        .map(|(island, &q)| capture_island(island, q))
+                        .collect(),
+                });
+            }
+        };
+
+        // Best individual across healthy islands, by the run's ranking;
+        // island order breaks exact ties, so the pick is deterministic.
+        // Quarantined islands are out: their state may be mid-generation.
+        let healthy: Vec<usize> = (0..islands.len()).filter(|&i| !quarantined[i]).collect();
+        let best_island = healthy[1..].iter().fold(healthy[0], |best, &i| {
             let better = match config.ranking {
                 Ranking::Fitness => {
                     islands[i].population[0].fitness > islands[best].population[0].fitness
@@ -499,13 +811,14 @@ where
                 best
             }
         });
-        // The run's front: per-island archives merged in island order (the
-        // merge re-runs nondomination, so the result is the exact front of
-        // the union and independent of which island found a point first).
+        // The run's front: healthy islands' archives merged in island order
+        // (the merge re-runs nondomination, so the result is the exact
+        // front of the union and independent of which island found a point
+        // first).
         let pareto_front = if config.pareto_capacity > 0 {
             let mut merged = ParetoArchive::new(config.pareto_capacity);
-            for island in &islands {
-                if let Some(archive) = &island.archive {
+            for &i in &healthy {
+                if let Some(archive) = &islands[i].archive {
                     merged.merge_from(archive);
                 }
             }
@@ -514,7 +827,7 @@ where
             Vec::new()
         };
         let best = &islands[best_island].population[0];
-        EaResult {
+        Ok(EaResult {
             best_genome: best.genes.clone(),
             best_fitness: best.fitness,
             generations: generation,
@@ -523,7 +836,10 @@ where
             elapsed: start.elapsed(),
             cache: fitness.cache_stats(),
             pareto_front,
-        }
+            stop_reason,
+            quarantined: (0..count).filter(|&i| quarantined[i]).collect(),
+            checkpoint_failures,
+        })
     }
 }
 
@@ -545,6 +861,197 @@ fn island_seed(seed: u64, island: u64) -> u64 {
 /// byte-identical to the pre-multi-objective engine.
 fn needs_objectives(config: &EaConfig) -> bool {
     config.ranking == Ranking::Lexicographic || config.pareto_capacity > 0
+}
+
+/// Stringifies a `catch_unwind` payload for [`EaError::IslandFailed`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The single stop check, evaluated at every generation (panmictic) or
+/// epoch (islands) boundary. Conditions are checked in [`StopReason`]
+/// declaration order, so the deterministic reasons always win over the
+/// wall-clock ones when both hold at the same boundary.
+fn stop_reason_at(
+    config: &EaConfig,
+    cancel: &CancelToken,
+    start: Instant,
+    stagnant: usize,
+    evaluations: u64,
+    generation: u64,
+) -> Option<StopReason> {
+    if stagnant >= config.stagnation_limit {
+        Some(StopReason::Converged)
+    } else if evaluations >= config.max_evaluations {
+        Some(StopReason::EvaluationBudget)
+    } else if generation >= config.max_generations {
+        Some(StopReason::GenerationCap)
+    } else if config.deadline.is_some_and(|d| start.elapsed() >= d) {
+        Some(StopReason::Deadline)
+    } else if cancel.is_cancelled() {
+        Some(StopReason::Cancelled)
+    } else {
+        None
+    }
+}
+
+/// Checks that a checkpoint can resume *this* run: same deterministic
+/// config (by fingerprint), same genome length, the topology's island
+/// count, internally consistent shapes, and at least one healthy island.
+fn validate_checkpoint<G>(
+    cp: &EaCheckpoint<G>,
+    config: &EaConfig,
+    genome_len: usize,
+    expected_islands: usize,
+) -> Result<(), CheckpointError> {
+    if cp.config_fingerprint != config_fingerprint(config, genome_len) {
+        return Err(CheckpointError::ConfigMismatch);
+    }
+    if cp.genome_len != genome_len {
+        return Err(CheckpointError::Malformed("genome length mismatch"));
+    }
+    if cp.islands.len() != expected_islands {
+        return Err(CheckpointError::Malformed("island count mismatch"));
+    }
+    if cp.history.len() as u64 != cp.generation + 1 {
+        return Err(CheckpointError::Malformed("history length mismatch"));
+    }
+    if cp.islands.iter().all(|island| island.quarantined) {
+        return Err(CheckpointError::Malformed("all islands quarantined"));
+    }
+    for island in &cp.islands {
+        if island.population.len() != config.population_size {
+            return Err(CheckpointError::Malformed("population size mismatch"));
+        }
+        if island
+            .population
+            .iter()
+            .chain(&island.archive)
+            .any(|m| m.genes.len() != genome_len)
+        {
+            return Err(CheckpointError::Malformed("member genome length mismatch"));
+        }
+    }
+    Ok(())
+}
+
+/// Rehydrates one island from its checkpoint: exact RNG state, the sorted
+/// population with its cached scores and objective vectors, the archive
+/// (reinserting a stored front reproduces it exactly — the front is a pure
+/// function of the inserted set), and the cumulative evaluation counter.
+fn restore_island<G: Copy>(cp: &IslandCheckpoint<G>, config: &EaConfig) -> IslandState<G> {
+    let population: Vec<Individual<G>> = cp
+        .population
+        .iter()
+        .map(|m| Individual {
+            genes: m.genes.clone(),
+            fitness: m.fitness,
+            objectives: Objectives(m.objectives),
+        })
+        .collect();
+    let archive = (config.pareto_capacity > 0).then(|| {
+        let mut archive = ParetoArchive::new(config.pareto_capacity);
+        for m in &cp.archive {
+            archive.insert(&m.genes, m.fitness, Objectives(m.objectives));
+        }
+        archive
+    });
+    IslandState {
+        rng: StdRng::from_state(cp.rng_state),
+        population,
+        batch: ChildBatch::default(),
+        evaluations: cp.evaluations,
+        epoch_log: Vec::new(),
+        archive,
+    }
+}
+
+/// Snapshots one island into checkpoint form. The archive section stores
+/// the *full* retained front ([`ParetoArchive::points`]), not the
+/// capacity-bounded reported prefix, so restoring loses nothing.
+fn capture_island<G: Copy>(island: &IslandState<G>, quarantined: bool) -> IslandCheckpoint<G> {
+    let member = |genes: &[G], fitness: f64, objectives: Objectives| CheckpointMember {
+        genes: genes.to_vec(),
+        fitness,
+        objectives: objectives.0,
+    };
+    IslandCheckpoint {
+        rng_state: island.rng.to_state(),
+        evaluations: island.evaluations,
+        quarantined,
+        population: island
+            .population
+            .iter()
+            .map(|ind| member(&ind.genes, ind.fitness, ind.objectives))
+            .collect(),
+        archive: island.archive.as_ref().map_or_else(Vec::new, |archive| {
+            archive
+                .points()
+                .iter()
+                .map(|p| member(&p.genome, p.fitness, p.objectives))
+                .collect()
+        }),
+    }
+}
+
+/// Projects the history onto its deterministic fields for checkpointing
+/// (wall-clock and cache columns are observational, not state).
+fn history_records(history: &[GenerationStats]) -> Vec<HistoryRecord> {
+    history
+        .iter()
+        .map(|stats| HistoryRecord {
+            generation: stats.generation,
+            best_fitness: stats.best_fitness,
+            mean_fitness: stats.mean_fitness,
+            evaluations: stats.evaluations,
+        })
+        .collect()
+}
+
+/// Rebuilds the history prefix from checkpoint records. The elapsed and
+/// cache columns are zero/`None` — a resumed run does not pretend to know
+/// the original run's wall clock (documented on
+/// [`crate::EaBuilder::resume_from`]).
+fn restore_history(records: &[HistoryRecord]) -> Vec<GenerationStats> {
+    records
+        .iter()
+        .map(|record| GenerationStats {
+            generation: record.generation,
+            best_fitness: record.best_fitness,
+            mean_fitness: record.mean_fitness,
+            evaluations: record.evaluations,
+            elapsed: Duration::ZERO,
+            cache: None,
+        })
+        .collect()
+}
+
+/// Builds a checkpoint and hands it to the sink, counting (never
+/// propagating) sink failures: a flaky checkpoint store must not kill an
+/// otherwise healthy run. The checkpoint is only built when a sink is
+/// installed.
+fn save_checkpoint<G: Copy>(
+    sink: &mut Option<CheckpointSink<'_, G>>,
+    failures: &mut u64,
+    build: impl FnOnce() -> EaCheckpoint<G>,
+) {
+    let Some(sink) = sink.as_mut() else {
+        return;
+    };
+    #[cfg(feature = "failpoints")]
+    if crate::failpoints::hit(crate::failpoints::site::CHECKPOINT_SINK) {
+        *failures += 1;
+        return;
+    }
+    if sink(&build()).is_err() {
+        *failures += 1;
+    }
 }
 
 /// Builds and scores one initial population: injected seeds first, then
@@ -782,25 +1289,35 @@ fn step<G, SampleGene, F>(
 /// so migration costs no evaluations. Rank — and therefore which
 /// individuals count as "best" — follows the run's [`Ranking`], so
 /// lexicographic runs migrate their lexicographic elite. No-op for a
-/// single island or `migrants == 0`.
-fn migrate<G: Copy>(islands: &mut [IslandState<G>], migrants: usize, ranking: Ranking) {
-    let count = islands.len();
+/// single island or `migrants == 0`. Quarantined islands have left the
+/// ring: the ring is formed over the healthy islands in index order, so a
+/// quarantine neither receives immigrants nor feeds its (possibly
+/// mid-generation) elite to a neighbour.
+fn migrate<G: Copy>(
+    islands: &mut [IslandState<G>],
+    quarantined: &[bool],
+    migrants: usize,
+    ranking: Ranking,
+) {
+    let ring: Vec<usize> = (0..islands.len()).filter(|&i| !quarantined[i]).collect();
+    let count = ring.len();
     if count < 2 || migrants == 0 {
         return;
     }
-    let s = islands[0].population.len();
+    let s = islands[ring[0]].population.len();
     let m = migrants.min(s);
-    let outbound: Vec<Vec<(Vec<G>, f64, Objectives)>> = islands
+    let outbound: Vec<Vec<(Vec<G>, f64, Objectives)>> = ring
         .iter()
-        .map(|island| {
-            island.population[..m]
+        .map(|&i| {
+            islands[i].population[..m]
                 .iter()
                 .map(|ind| (ind.genes.clone(), ind.fitness, ind.objectives))
                 .collect()
         })
         .collect();
-    for (dst, island) in islands.iter_mut().enumerate() {
-        let src = (dst + count - 1) % count;
+    for (pos, &dst) in ring.iter().enumerate() {
+        let src = (pos + count - 1) % count;
+        let island = &mut islands[dst];
         for (slot, (genes, fit, obj)) in island.population[s - m..].iter_mut().zip(&outbound[src]) {
             slot.genes.clear();
             slot.genes.extend_from_slice(genes);
@@ -811,33 +1328,62 @@ fn migrate<G: Copy>(islands: &mut [IslandState<G>], migrants: usize, ranking: Ra
     }
 }
 
-/// Runs `f` once per island, distributing contiguous island chunks over at
-/// most `workers` scoped threads. Each island is touched by exactly one
-/// thread and owns all of its state, so the result is independent of the
-/// worker count — the same argument [`parallel::evaluate_into`] makes for
-/// fitness batches, lifted to whole subpopulations.
-fn for_each_island<G, FN>(islands: &mut [IslandState<G>], workers: usize, f: FN)
+/// Runs `f` once per non-skipped island, distributing contiguous island
+/// chunks over at most `workers` scoped threads. Each island is touched by
+/// exactly one thread and owns all of its state, so the result is
+/// independent of the worker count — the same argument
+/// [`parallel::evaluate_into`] makes for fitness batches, lifted to whole
+/// subpopulations.
+///
+/// Each island body runs under `catch_unwind`: a panicking island never
+/// takes down its worker thread (which may hold other islands of the same
+/// chunk) and never stalls the epoch barrier — the scope join always
+/// completes. The returned vector has one slot per island, `Some(message)`
+/// where that island's body panicked.
+fn for_each_island<G, FN>(
+    islands: &mut [IslandState<G>],
+    skip: &[bool],
+    workers: usize,
+    f: FN,
+) -> Vec<Option<String>>
 where
     G: Send,
     FN: Fn(&mut IslandState<G>) + Sync,
 {
-    if workers <= 1 || islands.len() <= 1 {
-        for island in islands.iter_mut() {
-            f(island);
+    let mut failures: Vec<Option<String>> = Vec::new();
+    failures.resize_with(islands.len(), || None);
+    let run_one = |island: &mut IslandState<G>, slot: &mut Option<String>| {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(island))) {
+            *slot = Some(panic_message(payload));
         }
-        return;
+    };
+    if workers <= 1 || islands.len() <= 1 {
+        for ((island, &skipped), slot) in islands.iter_mut().zip(skip).zip(failures.iter_mut()) {
+            if !skipped {
+                run_one(island, slot);
+            }
+        }
+        return failures;
     }
     let per = islands.len().div_ceil(workers.max(1));
     std::thread::scope(|scope| {
-        for chunk in islands.chunks_mut(per) {
-            let f = &f;
+        for ((chunk, skips), slots) in islands
+            .chunks_mut(per)
+            .zip(skip.chunks(per))
+            .zip(failures.chunks_mut(per))
+        {
+            let run_one = &run_one;
             scope.spawn(move || {
-                for island in chunk.iter_mut() {
-                    f(island);
+                for ((island, &skipped), slot) in chunk.iter_mut().zip(skips).zip(slots.iter_mut())
+                {
+                    if !skipped {
+                        run_one(island, slot);
+                    }
                 }
             });
         }
     });
+    failures
 }
 
 fn sort_by_fitness<G>(population: &mut [Individual<G>]) {
@@ -1459,5 +2005,377 @@ mod tests {
         assert_eq!(unique.len(), seeds.len(), "island seeds collide: {seeds:?}");
         // And distinct run seeds move every island stream.
         assert_ne!(island_seed(1, 0), island_seed(2, 0));
+    }
+
+    // ---- stop reasons, cancellation, deadlines ----
+
+    #[test]
+    fn stop_reasons_name_the_boundary_that_fired() {
+        let converged = run_one_max(1);
+        assert_eq!(converged.stop_reason, StopReason::Converged);
+        assert!(converged.quarantined.is_empty());
+        assert_eq!(converged.checkpoint_failures, 0);
+
+        let budget = EaBuilder::new(8, |rng| rng.gen::<bool>(), |_: &[bool]| 0.0)
+            .config(
+                EaConfig::builder()
+                    .stagnation_limit(1_000_000)
+                    .max_evaluations(100)
+                    .seed(0)
+                    .build(),
+            )
+            .run();
+        assert_eq!(budget.stop_reason, StopReason::EvaluationBudget);
+
+        let capped = EaBuilder::new(8, |rng| rng.gen::<bool>(), |_: &[bool]| 0.0)
+            .config(
+                EaConfig::builder()
+                    .stagnation_limit(1_000_000)
+                    .max_generations(3)
+                    .seed(0)
+                    .build(),
+            )
+            .run();
+        assert_eq!(capped.stop_reason, StopReason::GenerationCap);
+        assert_eq!(capped.generations, 3);
+    }
+
+    #[test]
+    fn cancelled_run_returns_best_so_far() {
+        // A pre-cancelled token: the run stops at the very first boundary,
+        // with the evaluated initial population as its best-so-far state.
+        let token = CancelToken::new();
+        token.cancel();
+        for config in [one_max_config(100, 1), island_config(3, 4, 1, 1)] {
+            let result = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+                .config(config)
+                .cancel_token(token.clone())
+                .run();
+            assert_eq!(result.stop_reason, StopReason::Cancelled);
+            assert_eq!(result.generations, 0);
+            assert_eq!(result.history.len(), 1, "generation 0 is still reported");
+            assert!(result.best_fitness.is_finite());
+            assert!(!result.best_genome.is_empty());
+        }
+    }
+
+    #[test]
+    fn elapsed_deadline_stops_with_deadline_reason() {
+        // Duration::ZERO has certainly elapsed by the first boundary; the
+        // deterministic reasons are checked first but none of them holds.
+        let config = EaConfig::builder()
+            .population_size(6)
+            .children_per_generation(4)
+            .stagnation_limit(1_000)
+            .seed(2)
+            .deadline(Duration::ZERO)
+            .build();
+        let result = EaBuilder::new(16, |rng| rng.gen::<bool>(), one_max)
+            .config(config)
+            .run();
+        assert_eq!(result.stop_reason, StopReason::Deadline);
+        assert_eq!(result.generations, 0);
+    }
+
+    // ---- checkpoint / resume ----
+
+    fn assert_same_run(resumed: &EaResult<bool>, reference: &EaResult<bool>, label: &str) {
+        assert_eq!(resumed.best_genome, reference.best_genome, "{label}");
+        assert_eq!(
+            resumed.best_fitness.to_bits(),
+            reference.best_fitness.to_bits(),
+            "{label}"
+        );
+        assert_eq!(resumed.generations, reference.generations, "{label}");
+        assert_eq!(resumed.evaluations, reference.evaluations, "{label}");
+        assert_eq!(resumed.stop_reason, reference.stop_reason, "{label}");
+        assert_eq!(resumed.quarantined, reference.quarantined, "{label}");
+        assert_eq!(resumed.history.len(), reference.history.len(), "{label}");
+        for (a, b) in resumed.history.iter().zip(&reference.history) {
+            assert_eq!(a.generation, b.generation, "{label}");
+            assert_eq!(
+                a.best_fitness.to_bits(),
+                b.best_fitness.to_bits(),
+                "{label}"
+            );
+            assert_eq!(
+                a.mean_fitness.to_bits(),
+                b.mean_fitness.to_bits(),
+                "{label}"
+            );
+            assert_eq!(a.evaluations, b.evaluations, "{label}");
+        }
+        assert_eq!(
+            resumed.pareto_front.len(),
+            reference.pareto_front.len(),
+            "{label}"
+        );
+        for (a, b) in resumed.pareto_front.iter().zip(&reference.pareto_front) {
+            assert_eq!(a.genome, b.genome, "{label}");
+            assert_eq!(a.fitness.to_bits(), b.fitness.to_bits(), "{label}");
+            assert_eq!(a.objectives, b.objectives, "{label}");
+        }
+    }
+
+    /// Runs to completion capturing every periodic checkpoint, then treats
+    /// each one as an interruption point: resuming from it must reproduce
+    /// the uninterrupted run byte-for-byte (and the checkpoint must survive
+    /// a round trip through its serialized form).
+    fn interrupt_anywhere<F>(config: EaConfig, every: u64, make_fitness: impl Fn() -> F)
+    where
+        F: FitnessEval<bool> + Sync,
+    {
+        let checkpoints = std::cell::RefCell::new(Vec::new());
+        let reference = EaBuilder::new(24, |rng| rng.gen::<bool>(), make_fitness())
+            .config(config.clone())
+            .checkpoint_every(every, |cp: &EaCheckpoint<bool>| {
+                checkpoints.borrow_mut().push(cp.clone());
+                Ok(())
+            })
+            .run();
+        assert_eq!(reference.checkpoint_failures, 0);
+        let checkpoints = checkpoints.into_inner();
+        assert!(
+            !checkpoints.is_empty(),
+            "run too short to checkpoint: {} generations",
+            reference.generations
+        );
+        for (k, cp) in checkpoints.iter().enumerate() {
+            let bytes = cp.to_bytes();
+            let reloaded = EaCheckpoint::<bool>::from_bytes(&bytes).expect("round trip");
+            assert_eq!(&reloaded, cp);
+            let resumed = EaBuilder::new(24, |rng| rng.gen::<bool>(), make_fitness())
+                .config(config.clone())
+                .resume_from(reloaded)
+                .run();
+            assert_same_run(&resumed, &reference, &format!("checkpoint {k}"));
+        }
+    }
+
+    #[test]
+    fn panmictic_resume_is_byte_identical_from_any_checkpoint() {
+        interrupt_anywhere(one_max_config(30, 13), 2, || one_max);
+    }
+
+    #[test]
+    fn island_resume_is_byte_identical_from_any_checkpoint() {
+        interrupt_anywhere(island_config(3, 4, 1, 13), 4, || one_max);
+    }
+
+    #[test]
+    fn multiobjective_island_resume_preserves_the_pareto_front() {
+        let config = EaConfig::builder()
+            .population_size(8)
+            .children_per_generation(6)
+            .stagnation_limit(20)
+            .islands(3, 3, 2)
+            .seed(17)
+            .lexicographic()
+            .pareto_archive(32)
+            .build();
+        interrupt_anywhere(config, 3, || TwoObjective);
+    }
+
+    #[test]
+    fn resume_is_thread_count_invariant() {
+        // Checkpoint under one thread count, resume under others: the
+        // trajectory must not notice.
+        let config = |threads: usize| {
+            EaConfig::builder()
+                .population_size(8)
+                .children_per_generation(6)
+                .stagnation_limit(15)
+                .islands(4, 3, 2)
+                .seed(23)
+                .threads(threads)
+                .build()
+        };
+        let checkpoints = std::cell::RefCell::new(Vec::new());
+        let reference = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(config(1))
+            .checkpoint_every(3, |cp: &EaCheckpoint<bool>| {
+                checkpoints.borrow_mut().push(cp.clone());
+                Ok(())
+            })
+            .run();
+        let cp = checkpoints.into_inner().swap_remove(0);
+        for threads in [2, 4] {
+            let resumed = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+                .config(config(threads))
+                .resume_from(cp.clone())
+                .run();
+            assert_same_run(&resumed, &reference, &format!("threads {threads}"));
+        }
+    }
+
+    #[test]
+    fn failing_sink_is_counted_not_fatal() {
+        let result = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(one_max_config(20, 5))
+            .checkpoint_every(2, |_: &EaCheckpoint<bool>| {
+                Err(CheckpointError::Io("disk full".into()))
+            })
+            .run();
+        assert!(result.checkpoint_failures > 0);
+        assert_eq!(result.stop_reason, StopReason::Converged);
+        assert!(result.best_fitness >= 20.0, "run degraded by sink failure");
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_config() {
+        let checkpoints = std::cell::RefCell::new(Vec::new());
+        EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(one_max_config(20, 5))
+            .checkpoint_every(2, |cp: &EaCheckpoint<bool>| {
+                checkpoints.borrow_mut().push(cp.clone());
+                Ok(())
+            })
+            .run();
+        let cp = checkpoints.into_inner().swap_remove(0);
+        // Different seed → different fingerprint.
+        let err = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(one_max_config(20, 6))
+            .resume_from(cp.clone())
+            .try_run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EaError::InvalidCheckpoint(CheckpointError::ConfigMismatch)
+        );
+        // Different topology → island count mismatch is caught even if the
+        // fingerprint were somehow forged; here the fingerprint fires first.
+        let err = EaBuilder::new(24, |rng| rng.gen::<bool>(), one_max)
+            .config(island_config(3, 4, 1, 5))
+            .resume_from(cp)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, EaError::InvalidCheckpoint(_)));
+    }
+
+    // ---- panic isolation ----
+
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+    /// One-max that panics on its `trigger`-th evaluation (1-based), then
+    /// never again — simulating a poisoned evaluator hitting one island.
+    struct PanicOnce {
+        calls: AtomicU64,
+        trigger: u64,
+    }
+    impl PanicOnce {
+        fn at(trigger: u64) -> Self {
+            PanicOnce {
+                calls: AtomicU64::new(0),
+                trigger,
+            }
+        }
+    }
+    impl FitnessEval<bool> for PanicOnce {
+        fn evaluate(&self, genes: &[bool]) -> f64 {
+            if self.calls.fetch_add(1, AtomicOrdering::Relaxed) + 1 == self.trigger {
+                panic!("poisoned evaluator");
+            }
+            genes.iter().filter(|&&g| g).count() as f64
+        }
+    }
+
+    #[test]
+    fn island_panic_fails_with_a_typed_error_and_no_deadlock() {
+        // 4 islands × population 8 = 32 init evaluations; the panic lands
+        // mid-epoch. With 4 worker threads the epoch barrier must still
+        // complete before the error surfaces.
+        let config = EaConfig::builder()
+            .population_size(8)
+            .children_per_generation(6)
+            .stagnation_limit(25)
+            .islands(4, 3, 1)
+            .threads(4)
+            .seed(1)
+            .build();
+        let err = EaBuilder::new(24, |rng| rng.gen::<bool>(), PanicOnce::at(40))
+            .config(config)
+            .try_run()
+            .unwrap_err();
+        let EaError::IslandFailed { message, .. } = err else {
+            panic!("expected IslandFailed, got {err}");
+        };
+        assert_eq!(message, "poisoned evaluator");
+    }
+
+    #[test]
+    fn quarantine_policy_degrades_instead_of_failing() {
+        // threads(1): islands run their epochs in index order, so the 40th
+        // evaluation deterministically lands on island 0's first epoch.
+        let config = EaConfig::builder()
+            .population_size(8)
+            .children_per_generation(6)
+            .stagnation_limit(25)
+            .islands(4, 3, 1)
+            .threads(1)
+            .seed(1)
+            .quarantine_on_panic()
+            .build();
+        let result = EaBuilder::new(24, |rng| rng.gen::<bool>(), PanicOnce::at(40))
+            .config(config)
+            .run();
+        assert_eq!(result.quarantined, vec![0]);
+        assert_eq!(result.stop_reason, StopReason::Converged);
+        assert!(
+            result.best_fitness >= 20.0,
+            "healthy islands still optimized: {}",
+            result.best_fitness
+        );
+        // The quarantined island's evaluations stay in the (monotone) total.
+        let mut prev = 0;
+        for s in &result.history {
+            assert!(s.evaluations >= prev, "evaluations went backwards");
+            prev = s.evaluations;
+        }
+    }
+
+    #[test]
+    fn panmictic_panic_fails_even_under_quarantine_policy() {
+        let config = EaConfig::builder()
+            .population_size(10)
+            .children_per_generation(5)
+            .stagnation_limit(50)
+            .seed(1)
+            .quarantine_on_panic()
+            .build();
+        let err = EaBuilder::new(24, |rng| rng.gen::<bool>(), PanicOnce::at(25))
+            .config(config)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, EaError::IslandFailed { island: 0, .. }));
+    }
+
+    #[test]
+    fn init_panic_reports_the_failing_island() {
+        // Trigger inside island 2's initial evaluation (threads 1: islands
+        // initialize in order, 8 evaluations each).
+        let config = EaConfig::builder()
+            .population_size(8)
+            .children_per_generation(6)
+            .stagnation_limit(25)
+            .islands(4, 3, 1)
+            .threads(1)
+            .seed(1)
+            .quarantine_on_panic()
+            .build();
+        let err = EaBuilder::new(24, |rng| rng.gen::<bool>(), PanicOnce::at(20))
+            .config(config)
+            .try_run()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EaError::IslandFailed {
+                    island: 2,
+                    generation: 0,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 }

@@ -66,21 +66,53 @@
 //! observe per-island progress through
 //! [`EaBuilder::run_with_observer`](EaBuilder::run_with_observer) and
 //! [`GenerationEvent`].
+//!
+//! # Robustness
+//!
+//! Long runs survive interruption and faults:
+//!
+//! - **Checkpoint/resume** — [`EaBuilder::checkpoint_every`] snapshots the
+//!   full deterministic run state (per-island populations with scores and
+//!   objective vectors, RNG streams, Pareto archive, counters) as a
+//!   versioned [`EaCheckpoint`]; [`EaBuilder::resume_from`] continues a run
+//!   from any such snapshot with a byte-identical trajectory, at any thread
+//!   count. [`checkpoint`] documents the serialized format.
+//! - **Cooperative stopping** — a shared [`CancelToken`], a wall-clock
+//!   [`EaConfigBuilder::deadline`], and the existing budget knobs all stop a
+//!   run at a generation boundary with well-formed best-so-far state; the
+//!   boundary that fired is reported as [`EaResult::stop_reason`].
+//! - **Panic isolation** — island worker bodies run under `catch_unwind`,
+//!   so a poisoned evaluator surfaces as a typed
+//!   [`EaError::IslandFailed`] from [`EaBuilder::try_run`] (or, under
+//!   [`IslandPanicPolicy::Quarantine`], as a degraded-but-completed run)
+//!   instead of aborting the process or stalling the epoch barrier.
+//! - **Fault injection** — the `failpoints` cargo feature compiles in the
+//!   [`failpoints`] registry, letting tests trigger those failure paths at
+//!   deterministic points of a run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 mod engine;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
 mod fitness;
 mod objective;
 pub mod operators;
 pub mod parallel;
 mod stats;
+mod supervisor;
 
+pub use checkpoint::{
+    config_fingerprint, CheckpointError, CheckpointMember, EaCheckpoint, GeneCodec, HistoryRecord,
+    IslandCheckpoint, CHECKPOINT_FORMAT_VERSION,
+};
 pub use config::{EaConfig, EaConfigBuilder, Ranking, Topology};
 pub use engine::{EaBuilder, EaResult};
 pub use fitness::{FitnessEval, Lineage};
 pub use objective::{Objectives, ParetoArchive, ParetoPoint};
 pub use operators::GeneRange;
 pub use stats::{evals_per_sec, CacheStats, GenerationEvent, GenerationStats};
+pub use supervisor::{CancelToken, EaError, IslandPanicPolicy, StopReason};

@@ -36,18 +36,26 @@ use crate::netlist::{BuildNetlistError, NetId, Netlist, NetlistBuilder};
 /// # }
 /// ```
 pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
+    /// A net reference with the position of its spelling in the source.
+    struct Ref {
+        name: String,
+        line: usize,
+        column: usize,
+    }
+
     struct GateLine {
         line: usize,
+        kind_column: usize,
         target: String,
         kind_name: String,
-        fanin_names: Vec<String>,
+        fanins: Vec<Ref>,
     }
 
     let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<Ref> = Vec::new();
     let mut gates: Vec<GateLine> = Vec::new();
     let mut dff_outputs: Vec<String> = Vec::new(); // pseudo-PIs
-    let mut dff_inputs: Vec<String> = Vec::new(); // pseudo-POs
+    let mut dff_inputs: Vec<Ref> = Vec::new(); // pseudo-POs
 
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
@@ -55,41 +63,53 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
         if text.is_empty() {
             continue;
         }
+        let make_ref = |token: &str| Ref {
+            name: token.to_string(),
+            line,
+            column: column_of(raw, token),
+        };
         if let Some(rest) = strip_directive(text, "INPUT") {
             inputs.push(rest.to_string());
         } else if let Some(rest) = strip_directive(text, "OUTPUT") {
-            outputs.push(rest.to_string());
+            outputs.push(make_ref(rest));
         } else if let Some((target, call)) = text.split_once('=') {
             let target = target.trim().to_string();
             let call = call.trim();
-            let (kind_name, args) = call
-                .split_once('(')
-                .ok_or(ParseBenchError::Syntax { line })?;
-            let args = args
-                .strip_suffix(')')
-                .ok_or(ParseBenchError::Syntax { line })?;
-            let fanin_names: Vec<String> = args
+            let syntax = |token: &str| ParseBenchError::Syntax {
+                line,
+                column: column_of(raw, token),
+            };
+            let (kind_name, args) = call.split_once('(').ok_or_else(|| syntax(call))?;
+            let args = args.strip_suffix(')').ok_or_else(|| syntax(call))?;
+            let fanins: Vec<Ref> = args
                 .split(',')
-                .map(|a| a.trim().to_string())
+                .map(str::trim)
                 .filter(|a| !a.is_empty())
+                .map(make_ref)
                 .collect();
-            let kind_name = kind_name.trim().to_ascii_uppercase();
+            let kind_name_trimmed = kind_name.trim();
+            let kind_column = column_of(raw, kind_name_trimmed);
+            let kind_name = kind_name_trimmed.to_ascii_uppercase();
             if kind_name == "DFF" {
-                if fanin_names.len() != 1 {
-                    return Err(ParseBenchError::Syntax { line });
+                if fanins.len() != 1 {
+                    return Err(syntax(args));
                 }
                 dff_outputs.push(target);
-                dff_inputs.push(fanin_names[0].clone());
+                dff_inputs.extend(fanins);
             } else {
                 gates.push(GateLine {
                     line,
+                    kind_column,
                     target,
                     kind_name,
-                    fanin_names,
+                    fanins,
                 });
             }
         } else {
-            return Err(ParseBenchError::Syntax { line });
+            return Err(ParseBenchError::Syntax {
+                line,
+                column: column_of(raw, text),
+            });
         }
     }
 
@@ -110,16 +130,22 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
         let mut still: Vec<GateLine> = Vec::new();
         for g in pending {
             let resolved: Option<Vec<NetId>> =
-                g.fanin_names.iter().map(|n| builder.find(n)).collect();
+                g.fanins.iter().map(|r| builder.find(&r.name)).collect();
             match resolved {
                 Some(fanins) => {
-                    let kind: GateKind =
-                        g.kind_name
-                            .parse()
-                            .map_err(|_| ParseBenchError::UnknownGate {
-                                line: g.line,
-                                kind: g.kind_name.clone(),
-                            })?;
+                    let unknown = || ParseBenchError::UnknownGate {
+                        line: g.line,
+                        column: g.kind_column,
+                        kind: g.kind_name.clone(),
+                    };
+                    let kind: GateKind = g.kind_name.parse().map_err(|_| unknown())?;
+                    // `INPUT` spells a valid kind, but only as a
+                    // declaration: a gate *node* of kind `Input` has no
+                    // logic function and would panic downstream simulation,
+                    // so reject it here like any other non-gate name.
+                    if kind == GateKind::Input {
+                        return Err(unknown());
+                    }
                     builder
                         .gate(&g.target, kind, fanins)
                         .map_err(ParseBenchError::Build)?;
@@ -135,24 +161,27 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
             // through undefined nets).
             let g = &still[0];
             let missing = g
-                .fanin_names
+                .fanins
                 .iter()
-                .find(|n| builder.find(n).is_none())
-                .cloned()
-                .unwrap_or_default();
+                .find(|r| builder.find(&r.name).is_none())
+                .expect("an unresolved gate names at least one missing net");
             return Err(ParseBenchError::UndefinedNet {
-                line: g.line,
-                name: missing,
+                line: missing.line,
+                column: missing.column,
+                name: missing.name.clone(),
             });
         }
         pending = still;
     }
 
-    for name in outputs.iter().chain(dff_inputs.iter()) {
-        let id = builder.find(name).ok_or(ParseBenchError::UndefinedNet {
-            line: 0,
-            name: name.clone(),
-        })?;
+    for r in outputs.iter().chain(dff_inputs.iter()) {
+        let id = builder
+            .find(&r.name)
+            .ok_or_else(|| ParseBenchError::UndefinedNet {
+                line: r.line,
+                column: r.column,
+                name: r.name.clone(),
+            })?;
         builder.output(id);
     }
 
@@ -162,6 +191,20 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
 fn strip_directive<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
     let rest = text.strip_prefix(keyword)?.trim();
     rest.strip_prefix('(')?.strip_suffix(')').map(str::trim)
+}
+
+/// 1-based byte column of `token` within `raw`. `token` must be a subslice
+/// of `raw` (everything the parser works with is), so the offset is plain
+/// pointer distance; a foreign token degrades to column 1 rather than
+/// panicking.
+fn column_of(raw: &str, token: &str) -> usize {
+    let raw_range = raw.as_ptr() as usize..raw.as_ptr() as usize + raw.len();
+    let token_start = token.as_ptr() as usize;
+    if raw_range.contains(&token_start) || token_start == raw_range.end {
+        token_start - raw_range.start + 1
+    } else {
+        1
+    }
 }
 
 /// Serializes a combinational netlist back to `.bench` text (DFF cuts are
@@ -195,25 +238,35 @@ pub fn write_bench(netlist: &Netlist) -> String {
     out
 }
 
-/// Error parsing `.bench` text.
+/// Error parsing `.bench` text. Every positioned variant carries the
+/// 1-based line and byte column of the offending token, so a malformed
+/// netlist surfaces as a diagnostic a human can act on — never as a panic
+/// aborting the run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseBenchError {
     /// Malformed line.
     Syntax {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column of the malformed token.
+        column: usize,
     },
-    /// Unrecognized gate kind.
+    /// Unrecognized gate kind (or `INPUT` used as a gate on the right-hand
+    /// side of `=`, which declares no logic function).
     UnknownGate {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column of the gate-kind token.
+        column: usize,
         /// The gate name found.
         kind: String,
     },
     /// A referenced net is never defined.
     UndefinedNet {
-        /// 1-based line number (0 for output references).
+        /// 1-based line number of the reference.
         line: usize,
+        /// 1-based byte column of the referencing name.
+        column: usize,
         /// The undefined name.
         name: String,
     },
@@ -224,12 +277,14 @@ pub enum ParseBenchError {
 impl std::fmt::Display for ParseBenchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseBenchError::Syntax { line } => write!(f, "syntax error on line {line}"),
-            ParseBenchError::UnknownGate { line, kind } => {
-                write!(f, "unknown gate `{kind}` on line {line}")
+            ParseBenchError::Syntax { line, column } => {
+                write!(f, "syntax error at line {line}, column {column}")
             }
-            ParseBenchError::UndefinedNet { line, name } => {
-                write!(f, "undefined net `{name}` (line {line})")
+            ParseBenchError::UnknownGate { line, column, kind } => {
+                write!(f, "unknown gate `{kind}` at line {line}, column {column}")
+            }
+            ParseBenchError::UndefinedNet { line, column, name } => {
+                write!(f, "undefined net `{name}` at line {line}, column {column}")
             }
             ParseBenchError::Build(e) => e.fmt(f),
         }
@@ -298,29 +353,116 @@ mod tests {
     }
 
     #[test]
-    fn reports_undefined_net() {
+    fn reports_undefined_net_with_position() {
         let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
-        assert!(matches!(
-            parse_bench(src),
-            Err(ParseBenchError::UndefinedNet { .. })
-        ));
+        let err = parse_bench(src).unwrap_err();
+        assert_eq!(
+            err,
+            ParseBenchError::UndefinedNet {
+                line: 3,
+                column: 12,
+                name: "ghost".into()
+            },
+            "{err}"
+        );
+        assert!(err.to_string().contains("line 3, column 12"));
     }
 
     #[test]
-    fn reports_unknown_gate() {
+    fn reports_unknown_gate_with_position() {
         let src = "INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n";
-        assert!(matches!(
-            parse_bench(src),
-            Err(ParseBenchError::UnknownGate { .. })
-        ));
+        let err = parse_bench(src).unwrap_err();
+        assert_eq!(
+            err,
+            ParseBenchError::UnknownGate {
+                line: 3,
+                column: 5,
+                kind: "MAJ3".into()
+            },
+            "{err}"
+        );
     }
 
     #[test]
-    fn reports_syntax_error_with_line() {
+    fn reports_syntax_error_with_position() {
         let src = "INPUT(a)\nthis is not bench\n";
         assert!(matches!(
             parse_bench(src),
-            Err(ParseBenchError::Syntax { line: 2 })
+            Err(ParseBenchError::Syntax { line: 2, column: 1 })
         ));
+        // Missing close paren points at the call.
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, a\n";
+        assert!(matches!(
+            parse_bench(src),
+            Err(ParseBenchError::Syntax { line: 3, column: 5 })
+        ));
+    }
+
+    #[test]
+    fn undefined_output_names_its_declaration_line() {
+        // The OUTPUT declaration itself is the reference that dangles; the
+        // error must point there, not at a synthetic line 0.
+        let src = "INPUT(a)\nOUTPUT(nowhere)\nOUTPUT(y)\ny = BUFF(a)\n";
+        let err = parse_bench(src).unwrap_err();
+        assert_eq!(
+            err,
+            ParseBenchError::UndefinedNet {
+                line: 2,
+                column: 8,
+                name: "nowhere".into()
+            },
+            "{err}"
+        );
+        // Same for the pseudo-PO a DFF cut introduces.
+        let src = "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n";
+        let err = parse_bench(src).unwrap_err();
+        assert_eq!(
+            err,
+            ParseBenchError::UndefinedNet {
+                line: 3,
+                column: 9,
+                name: "ghost".into()
+            },
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn input_used_as_a_gate_is_rejected_not_simulated() {
+        // `INPUT` parses as a GateKind, but a node of that kind has no
+        // logic function — accepting it would plant a panic in every later
+        // simulation of the netlist.
+        let src = "INPUT(a)\nOUTPUT(y)\ny = INPUT(a)\n";
+        let err = parse_bench(src).unwrap_err();
+        assert_eq!(
+            err,
+            ParseBenchError::UnknownGate {
+                line: 3,
+                column: 5,
+                kind: "INPUT".into()
+            },
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        // A grab bag of hostile inputs: every one must come back as a typed
+        // error (or parse), never a panic.
+        for src in [
+            "=",
+            "y =",
+            "= AND(a)",
+            "y = (a)",
+            "y = AND)a(",
+            "y = DFF(a, b)",
+            "OUTPUT()",
+            "INPUT(a) INPUT(b)",
+            "y = AND(,)",
+            "\u{0}\u{0}",
+            "y = AND(a, b) extra",
+        ] {
+            let _ = parse_bench(src);
+        }
     }
 }
