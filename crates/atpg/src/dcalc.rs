@@ -83,8 +83,10 @@ pub fn simulate_dv(
     }
     let mut good_buf: Vec<Trit> = Vec::with_capacity(8);
     let mut faulty_buf: Vec<Trit> = Vec::with_capacity(8);
+    let kinds = netlist.kinds();
     for id in netlist.node_ids() {
-        if netlist.kind(id) != GateKind::Input {
+        let kind = kinds[id.index()];
+        if kind != GateKind::Input {
             good_buf.clear();
             faulty_buf.clear();
             for &f in netlist.fanins(id) {
@@ -92,8 +94,8 @@ pub fn simulate_dv(
                 faulty_buf.push(values[f.index()].faulty);
             }
             values[id.index()] = Dv {
-                good: eval_gate(netlist.kind(id), &good_buf),
-                faulty: eval_gate(netlist.kind(id), &faulty_buf),
+                good: eval_gate(kind, &good_buf),
+                faulty: eval_gate(kind, &faulty_buf),
             };
         }
         if id == fault_net {

@@ -140,9 +140,12 @@ impl<'a> Podem<'a> {
         if !at_site.is_error() {
             return None; // activation failed: good value equals stuck value
         }
-        // D-frontier: gates with an error input and an X output.
+        // D-frontier: gates with an error input and an X output. Scans the
+        // SoA kind array directly — this loop runs once per objective.
+        let kinds = self.netlist.kinds();
         for id in self.netlist.node_ids() {
-            if self.netlist.kind(id) == GateKind::Input {
+            let kind = kinds[id.index()];
+            if kind == GateKind::Input {
                 continue;
             }
             let out = values[id.index()];
@@ -157,7 +160,7 @@ impl<'a> Podem<'a> {
             if !has_error_input {
                 continue;
             }
-            let want = match self.netlist.kind(id).controlling_value() {
+            let want = match kind.controlling_value() {
                 Some(c) => !c,
                 None => true, // XOR-ish: any specified value propagates
             };
@@ -177,14 +180,17 @@ impl<'a> Podem<'a> {
     /// complementing the target value through inverting gates.
     fn backtrace(&self, values: &[Dv], mut net: NetId, mut value: bool) -> Option<(usize, bool)> {
         loop {
-            if self.netlist.kind(net) == GateKind::Input {
+            let kind = self.netlist.kind(net);
+            if kind == GateKind::Input {
+                // `input_position` is an O(1) table lookup, so the
+                // backtrace costs one walk from objective to input.
                 let pos = self
                     .netlist
                     .input_position(net)
                     .expect("inputs are registered");
                 return values[net.index()].good.is_x().then_some((pos, value));
             }
-            if self.netlist.kind(net).is_inverting() {
+            if kind.is_inverting() {
                 value = !value;
             }
             // Follow an X-valued fanin (prefer the first — a simple,

@@ -37,25 +37,35 @@ use crate::netlist::{BuildNetlistError, NetId, Netlist, NetlistBuilder};
 /// ```
 pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
     /// A net reference with the position of its spelling in the source.
-    struct Ref {
-        name: String,
+    /// Borrows straight from the input — at a million gates the old
+    /// per-token `String`s dominated the parse profile.
+    struct Ref<'a> {
+        name: &'a str,
         line: usize,
         column: usize,
     }
 
-    struct GateLine {
+    struct GateLine<'a> {
         line: usize,
         kind_column: usize,
-        target: String,
-        kind_name: String,
-        fanins: Vec<Ref>,
+        target: &'a str,
+        kind_name: &'a str,
+        fanins: Vec<Ref<'a>>,
     }
 
-    let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<Ref> = Vec::new();
-    let mut gates: Vec<GateLine> = Vec::new();
-    let mut dff_outputs: Vec<String> = Vec::new(); // pseudo-PIs
-    let mut dff_inputs: Vec<Ref> = Vec::new(); // pseudo-POs
+    let mut inputs: Vec<&str> = Vec::new();
+    let mut outputs: Vec<Ref<'_>> = Vec::new();
+    let mut gates: Vec<GateLine<'_>> = Vec::new();
+    let mut dff_outputs: Vec<&str> = Vec::new(); // pseudo-PIs
+    let mut dff_inputs: Vec<Ref<'_>> = Vec::new(); // pseudo-POs
+
+    fn make_ref<'a>(raw: &str, line: usize, token: &'a str) -> Ref<'a> {
+        Ref {
+            name: token,
+            line,
+            column: column_of(raw, token),
+        }
+    }
 
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
@@ -63,17 +73,12 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
         if text.is_empty() {
             continue;
         }
-        let make_ref = |token: &str| Ref {
-            name: token.to_string(),
-            line,
-            column: column_of(raw, token),
-        };
         if let Some(rest) = strip_directive(text, "INPUT") {
-            inputs.push(rest.to_string());
+            inputs.push(rest);
         } else if let Some(rest) = strip_directive(text, "OUTPUT") {
-            outputs.push(make_ref(rest));
+            outputs.push(make_ref(raw, line, rest));
         } else if let Some((target, call)) = text.split_once('=') {
-            let target = target.trim().to_string();
+            let target = target.trim();
             let call = call.trim();
             let syntax = |token: &str| ParseBenchError::Syntax {
                 line,
@@ -81,16 +86,15 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
             };
             let (kind_name, args) = call.split_once('(').ok_or_else(|| syntax(call))?;
             let args = args.strip_suffix(')').ok_or_else(|| syntax(call))?;
-            let fanins: Vec<Ref> = args
+            let fanins: Vec<Ref<'_>> = args
                 .split(',')
                 .map(str::trim)
                 .filter(|a| !a.is_empty())
-                .map(make_ref)
+                .map(|a| make_ref(raw, line, a))
                 .collect();
-            let kind_name_trimmed = kind_name.trim();
-            let kind_column = column_of(raw, kind_name_trimmed);
-            let kind_name = kind_name_trimmed.to_ascii_uppercase();
-            if kind_name == "DFF" {
+            let kind_name = kind_name.trim();
+            let kind_column = column_of(raw, kind_name);
+            if kind_name.eq_ignore_ascii_case("DFF") {
                 if fanins.len() != 1 {
                     return Err(syntax(args));
                 }
@@ -114,29 +118,29 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
     }
 
     let mut builder = NetlistBuilder::new("bench");
-    for name in inputs.iter().chain(dff_outputs.iter()) {
+    for &name in inputs.iter().chain(dff_outputs.iter()) {
         if builder.find(name).is_some() {
             return Err(ParseBenchError::Build(BuildNetlistError::DuplicateName {
-                name: name.clone(),
+                name: name.to_string(),
             }));
         }
         builder.input(name);
     }
 
     // Gates may reference nets defined later; resolve with a worklist.
-    let mut pending: Vec<GateLine> = gates;
+    let mut pending: Vec<GateLine<'_>> = gates;
     loop {
         let before = pending.len();
-        let mut still: Vec<GateLine> = Vec::new();
+        let mut still: Vec<GateLine<'_>> = Vec::new();
         for g in pending {
             let resolved: Option<Vec<NetId>> =
-                g.fanins.iter().map(|r| builder.find(&r.name)).collect();
+                g.fanins.iter().map(|r| builder.find(r.name)).collect();
             match resolved {
                 Some(fanins) => {
                     let unknown = || ParseBenchError::UnknownGate {
                         line: g.line,
                         column: g.kind_column,
-                        kind: g.kind_name.clone(),
+                        kind: g.kind_name.to_ascii_uppercase(),
                     };
                     let kind: GateKind = g.kind_name.parse().map_err(|_| unknown())?;
                     // `INPUT` spells a valid kind, but only as a
@@ -147,7 +151,7 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
                         return Err(unknown());
                     }
                     builder
-                        .gate(&g.target, kind, fanins)
+                        .gate(g.target, kind, fanins)
                         .map_err(ParseBenchError::Build)?;
                 }
                 None => still.push(g),
@@ -163,12 +167,12 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
             let missing = g
                 .fanins
                 .iter()
-                .find(|r| builder.find(&r.name).is_none())
+                .find(|r| builder.find(r.name).is_none())
                 .expect("an unresolved gate names at least one missing net");
             return Err(ParseBenchError::UndefinedNet {
                 line: missing.line,
                 column: missing.column,
-                name: missing.name.clone(),
+                name: missing.name.to_string(),
             });
         }
         pending = still;
@@ -176,11 +180,11 @@ pub fn parse_bench(source: &str) -> Result<Netlist, ParseBenchError> {
 
     for r in outputs.iter().chain(dff_inputs.iter()) {
         let id = builder
-            .find(&r.name)
+            .find(r.name)
             .ok_or_else(|| ParseBenchError::UndefinedNet {
                 line: r.line,
                 column: r.column,
-                name: r.name.clone(),
+                name: r.name.to_string(),
             })?;
         builder.output(id);
     }
@@ -208,32 +212,30 @@ fn column_of(raw: &str, token: &str) -> usize {
 }
 
 /// Serializes a combinational netlist back to `.bench` text (DFF cuts are
-/// rendered as plain `INPUT`/`OUTPUT`).
+/// rendered as plain `INPUT`/`OUTPUT`). Anonymous nets are written with the
+/// stable `n{idx}` fallback of [`Netlist::name_of`], so a netlist ingested
+/// from Yosys JSON still round-trips through `.bench`.
 pub fn write_bench(netlist: &Netlist) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# {}", netlist.name());
     for &i in netlist.inputs() {
-        let _ = writeln!(out, "INPUT({})", netlist.net_name(i));
+        let _ = writeln!(out, "INPUT({})", netlist.name_of(i));
     }
     for &o in netlist.outputs() {
-        let _ = writeln!(out, "OUTPUT({})", netlist.net_name(o));
+        let _ = writeln!(out, "OUTPUT({})", netlist.name_of(o));
     }
     for id in netlist.node_ids() {
         if netlist.kind(id) == GateKind::Input {
             continue;
         }
-        let fanins: Vec<&str> = netlist
-            .fanins(id)
-            .iter()
-            .map(|&f| netlist.net_name(f))
-            .collect();
-        let _ = writeln!(
-            out,
-            "{} = {}({})",
-            netlist.net_name(id),
-            netlist.kind(id),
-            fanins.join(", ")
-        );
+        let _ = write!(out, "{} = {}(", netlist.name_of(id), netlist.kind(id));
+        for (i, &f) in netlist.fanins(id).iter().enumerate() {
+            if i > 0 {
+                let _ = out.write_str(", ");
+            }
+            let _ = write!(out, "{}", netlist.name_of(f));
+        }
+        let _ = out.write_str(")\n");
     }
     out
 }

@@ -40,6 +40,21 @@ impl GeneratorConfig {
             seed,
         }
     }
+
+    /// A synthetic scale benchmark shape: `gates` logic gates with an
+    /// industrial-looking interface (one input per ~64 gates, clamped to
+    /// [64, 16384]; half as many outputs). This is the config behind the
+    /// `netlist_scale` bench and the `synth10k`/`synth100k`/`synth1m`
+    /// workload circuits — million-gate netlists with ISCAS'89-like shape.
+    pub fn synthetic(gates: usize, seed: u64) -> Self {
+        let inputs = (gates / 64).clamp(64, 16384);
+        GeneratorConfig {
+            inputs,
+            outputs: inputs / 2,
+            gates,
+            seed,
+        }
+    }
 }
 
 /// Generates a random acyclic circuit with the given shape.
@@ -209,6 +224,19 @@ mod tests {
         let b = GeneratorConfig::from_profile(p);
         assert_eq!(a, b);
         assert_eq!(a.inputs, 17);
+    }
+
+    #[test]
+    fn synthetic_config_scales_interface_with_gates() {
+        let small = GeneratorConfig::synthetic(1_000, 1);
+        assert_eq!(small.inputs, 64);
+        assert_eq!(small.outputs, 32);
+        let big = GeneratorConfig::synthetic(1_000_000, 1);
+        assert_eq!(big.inputs, 15_625);
+        assert_eq!(big.outputs, 7_812);
+        let n = generate(&GeneratorConfig::synthetic(2_000, 42));
+        assert_eq!(n.num_gates(), 2_000);
+        assert!(n.depth() >= 10);
     }
 
     #[test]

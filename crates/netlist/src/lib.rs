@@ -37,8 +37,12 @@ mod gate;
 mod generator;
 pub mod iscas;
 mod netlist;
+mod symbol;
+mod yosys;
 
 pub use bench_format::{parse_bench, write_bench, ParseBenchError};
 pub use gate::GateKind;
 pub use generator::{generate, GeneratorConfig};
-pub use netlist::{BuildNetlistError, NetId, Netlist, NetlistBuilder};
+pub use netlist::{BuildNetlistError, NetId, NetName, Netlist, NetlistBuilder};
+pub use symbol::{Symbol, SymbolTable};
+pub use yosys::{parse_yosys_json, write_yosys_json, ParseYosysError};

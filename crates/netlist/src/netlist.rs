@@ -1,9 +1,33 @@
 //! The combinational netlist model.
+//!
+//! # Memory model
+//!
+//! The netlist is stored flat, sized for million-gate circuits:
+//!
+//! * **Struct-of-arrays nodes** — `kinds: Vec<GateKind>` and
+//!   `names: Vec<Symbol>` instead of a `Vec<Node>` of structs. Simulation
+//!   sweeps touch only `kinds` (1 byte/node); names are interned
+//!   [`Symbol`] handles into one [`SymbolTable`] arena and are resolved
+//!   lazily, never on the hot path.
+//! * **CSR adjacency** — fanins and fanouts each live in one shared edge
+//!   pool (`Vec<NetId>`) indexed by a `Vec<u32>` offset array of length
+//!   `n + 1`: node `i`'s edges are `edges[offsets[i]..offsets[i + 1]]`.
+//!   No per-node `Vec`s, no pointer chasing; [`Netlist::fanins`] and
+//!   [`Netlist::fanouts`] are two loads and a slice.
+//! * **O(1) side tables** — input position and output membership are
+//!   precomputed, so PODEM backtrace and path enumeration never scan the
+//!   input/output lists.
+//!
+//! The CSR invariant: `fanin_offsets.len() == num_nodes() + 1`,
+//! `fanin_offsets[0] == 0`, offsets are non-decreasing, and
+//! `fanin_offsets[n]` equals the edge-pool length (likewise for fanouts).
+//! Edge order within a node is preserved from construction (fanins in
+//! declaration order, fanouts in topological order of the consumers).
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::gate::GateKind;
+use crate::symbol::{Symbol, SymbolTable};
 
 /// Identifier of a net (equivalently, of the gate driving it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -23,11 +47,28 @@ impl fmt::Display for NetId {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Node {
-    name: String,
-    kind: GateKind,
-    fanins: Vec<NetId>,
+/// Sentinel for "this node has no name" (Yosys-JSON bits without a
+/// `netnames` entry). Kept private: the public surface is
+/// [`Netlist::net_name`] (`Option`) and [`Netlist::name_of`] (fallback).
+const NO_NAME: Symbol = Symbol::ANON;
+
+/// The display form of a net's name: the interned name when the net has
+/// one, otherwise the stable `n{index}` fallback — the same spelling
+/// [`NetId`]'s `Display` uses, so error messages, `.bench` round-trips and
+/// diagnostics all agree on how an anonymous net is written.
+#[derive(Debug, Clone, Copy)]
+pub struct NetName<'a> {
+    name: Option<&'a str>,
+    id: NetId,
+}
+
+impl fmt::Display for NetName<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name {
+            Some(name) => f.write_str(name),
+            None => write!(f, "{}", self.id),
+        }
+    }
 }
 
 /// An acyclic combinational gate network.
@@ -36,6 +77,9 @@ struct Node {
 /// fanout), which lets simulators evaluate in a single forward sweep.
 /// Construction goes through [`NetlistBuilder`], which validates name
 /// uniqueness, fanin arity and acyclicity and performs the topological sort.
+///
+/// See the [module documentation](self) for the memory model (interned
+/// names, CSR adjacency).
 ///
 /// # Example
 ///
@@ -58,11 +102,21 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct Netlist {
     name: String,
-    nodes: Vec<Node>,
+    symbols: SymbolTable,
+    kinds: Vec<GateKind>,
+    names: Vec<Symbol>,
+    /// Symbol index -> node id (`u32::MAX` = symbol names no node).
+    sym_to_net: Vec<u32>,
+    fanin_edges: Vec<NetId>,
+    fanin_offsets: Vec<u32>,
+    fanout_edges: Vec<NetId>,
+    fanout_offsets: Vec<u32>,
     inputs: Vec<NetId>,
     outputs: Vec<NetId>,
-    fanouts: Vec<Vec<NetId>>,
     levels: Vec<u32>,
+    /// Node id -> position in `inputs` (`u32::MAX` = not an input).
+    input_pos: Vec<u32>,
+    output_flag: Vec<bool>,
 }
 
 impl Netlist {
@@ -74,7 +128,7 @@ impl Netlist {
     /// Total number of nodes (inputs + gates).
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
     /// Number of primary (and pseudo primary) inputs.
@@ -92,7 +146,13 @@ impl Netlist {
     /// Number of logic gates (non-input nodes).
     #[inline]
     pub fn num_gates(&self) -> usize {
-        self.nodes.len() - self.inputs.len()
+        self.kinds.len() - self.inputs.len()
+    }
+
+    /// Number of fanin edges (equals the number of fanout edges).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.fanin_edges.len()
     }
 
     /// The inputs, in declaration order. Test-pattern bit `j` drives
@@ -111,25 +171,50 @@ impl Netlist {
     /// The gate kind of a node.
     #[inline]
     pub fn kind(&self, id: NetId) -> GateKind {
-        self.nodes[id.index()].kind
+        self.kinds[id.index()]
     }
 
-    /// The fanins of a node (empty for inputs).
+    /// All gate kinds, indexed by [`NetId::index`] — the hot-sweep view
+    /// simulators iterate instead of calling [`Netlist::kind`] per node.
+    #[inline]
+    pub fn kinds(&self) -> &[GateKind] {
+        &self.kinds
+    }
+
+    /// The fanins of a node (empty for inputs), as a CSR slice.
     #[inline]
     pub fn fanins(&self, id: NetId) -> &[NetId] {
-        &self.nodes[id.index()].fanins
+        let i = id.index();
+        &self.fanin_edges[self.fanin_offsets[i] as usize..self.fanin_offsets[i + 1] as usize]
     }
 
-    /// The fanouts of a node.
+    /// The fanouts of a node, as a CSR slice (consumers in topological
+    /// order).
     #[inline]
     pub fn fanouts(&self, id: NetId) -> &[NetId] {
-        &self.fanouts[id.index()]
+        let i = id.index();
+        &self.fanout_edges[self.fanout_offsets[i] as usize..self.fanout_offsets[i + 1] as usize]
     }
 
-    /// The net name.
+    /// The net's name, if it has one (nets ingested from Yosys JSON may be
+    /// anonymous). For a display form with a stable fallback, use
+    /// [`Netlist::name_of`].
     #[inline]
-    pub fn net_name(&self, id: NetId) -> &str {
-        &self.nodes[id.index()].name
+    pub fn net_name(&self, id: NetId) -> Option<&str> {
+        let sym = self.names[id.index()];
+        (sym != NO_NAME).then(|| self.symbols.resolve(sym))
+    }
+
+    /// The net's display name: the interned name when present, otherwise
+    /// the stable `n{index}` fallback (the same spelling `NetId: Display`
+    /// produces). Used by `.bench` serialization and error messages so an
+    /// anonymous net is always written the same way.
+    #[inline]
+    pub fn name_of(&self, id: NetId) -> NetName<'_> {
+        NetName {
+            name: self.net_name(id),
+            id,
+        }
     }
 
     /// Logic level (0 for inputs, `1 + max(fanin levels)` for gates).
@@ -138,32 +223,68 @@ impl Netlist {
         self.levels[id.index()]
     }
 
+    /// All logic levels, indexed by [`NetId::index`].
+    #[inline]
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
     /// Maximum logic level (circuit depth).
     pub fn depth(&self) -> u32 {
         self.levels.iter().copied().max().unwrap_or(0)
     }
 
-    /// Looks up a net by name.
+    /// Looks up a net by name — one hash probe into the symbol table, no
+    /// scan.
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(|i| NetId(i as u32))
+        let sym = self.symbols.lookup(name)?;
+        match self.sym_to_net[sym.index()] {
+            u32::MAX => None,
+            id => Some(NetId(id)),
+        }
     }
 
     /// All node ids in topological order.
     pub fn node_ids(&self) -> impl Iterator<Item = NetId> + '_ {
-        (0..self.nodes.len() as u32).map(NetId)
+        (0..self.kinds.len() as u32).map(NetId)
     }
 
     /// Returns the position of `id` in the input list, if it is an input.
+    /// O(1): PODEM backtrace calls this in its inner loop.
+    #[inline]
     pub fn input_position(&self, id: NetId) -> Option<usize> {
-        self.inputs.iter().position(|&i| i == id)
+        match self.input_pos[id.index()] {
+            u32::MAX => None,
+            pos => Some(pos as usize),
+        }
     }
 
     /// Returns `true` if the node is a primary (or pseudo primary) output.
+    /// O(1): path enumeration calls this per visited node.
+    #[inline]
     pub fn is_output(&self, id: NetId) -> bool {
-        self.outputs.contains(&id)
+        self.output_flag[id.index()]
+    }
+
+    /// Heap bytes owned by the netlist representation itself (arrays,
+    /// edge pools, interner arena) — the peak-RSS proxy `netlist_scale`
+    /// reports as bytes/gate. Excludes simulator value arrays.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.name.capacity()
+            + self.symbols.heap_bytes()
+            + self.kinds.capacity() * size_of::<GateKind>()
+            + self.names.capacity() * size_of::<Symbol>()
+            + self.sym_to_net.capacity() * size_of::<u32>()
+            + self.fanin_edges.capacity() * size_of::<NetId>()
+            + self.fanin_offsets.capacity() * size_of::<u32>()
+            + self.fanout_edges.capacity() * size_of::<NetId>()
+            + self.fanout_offsets.capacity() * size_of::<u32>()
+            + self.inputs.capacity() * size_of::<NetId>()
+            + self.outputs.capacity() * size_of::<NetId>()
+            + self.levels.capacity() * size_of::<u32>()
+            + self.input_pos.capacity() * size_of::<u32>()
+            + self.output_flag.capacity() * size_of::<bool>()
     }
 }
 
@@ -182,13 +303,24 @@ impl fmt::Display for Netlist {
 }
 
 /// Builder for [`Netlist`].
+///
+/// Nodes accumulate in declaration order with the same flat layout the
+/// finished netlist uses (SoA kinds/names, CSR fanins); name uniqueness is
+/// enforced through the [`SymbolTable`]'s hash probe, so building never
+/// allocates a per-node `String` or map entry.
 #[derive(Debug, Clone)]
 pub struct NetlistBuilder {
     name: String,
-    nodes: Vec<Node>,
+    symbols: SymbolTable,
+    kinds: Vec<GateKind>,
+    names: Vec<Symbol>,
+    /// Symbol index -> declared node id (`u32::MAX` = interned but not a
+    /// node, e.g. after a failed `gate` call).
+    sym_to_net: Vec<u32>,
+    fanin_edges: Vec<NetId>,
+    fanin_offsets: Vec<u32>,
     inputs: Vec<NetId>,
     outputs: Vec<NetId>,
-    by_name: HashMap<String, NetId>,
 }
 
 impl NetlistBuilder {
@@ -196,11 +328,42 @@ impl NetlistBuilder {
     pub fn new(name: &str) -> Self {
         NetlistBuilder {
             name: name.to_string(),
-            nodes: Vec::new(),
+            symbols: SymbolTable::new(),
+            kinds: Vec::new(),
+            names: Vec::new(),
+            sym_to_net: Vec::new(),
+            fanin_edges: Vec::new(),
+            fanin_offsets: vec![0],
             inputs: Vec::new(),
             outputs: Vec::new(),
-            by_name: HashMap::new(),
         }
+    }
+
+    /// Interns `name` and returns its symbol plus the node currently
+    /// registered under it (if any).
+    fn intern(&mut self, name: &str) -> (Symbol, Option<NetId>) {
+        let sym = self.symbols.intern(name);
+        if sym.index() >= self.sym_to_net.len() {
+            self.sym_to_net.resize(self.symbols.len(), u32::MAX);
+        }
+        let existing = match self.sym_to_net[sym.index()] {
+            u32::MAX => None,
+            id => Some(NetId(id)),
+        };
+        (sym, existing)
+    }
+
+    fn push_node(&mut self, sym: Symbol, kind: GateKind, fanins: &[NetId]) -> NetId {
+        let id = NetId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.names.push(sym);
+        if sym != NO_NAME {
+            self.sym_to_net[sym.index()] = id.0;
+        }
+        self.fanin_edges.extend_from_slice(fanins);
+        let end = u32::try_from(self.fanin_edges.len()).expect("edge pool fits in u32");
+        self.fanin_offsets.push(end);
+        id
     }
 
     /// Declares a primary input.
@@ -211,17 +374,17 @@ impl NetlistBuilder {
     /// gate that could clash; see [`NetlistBuilder::gate`] for the fallible
     /// path used by parsers).
     pub fn input(&mut self, name: &str) -> NetId {
-        assert!(
-            !self.by_name.contains_key(name),
-            "net name `{name}` already declared"
-        );
-        let id = NetId(self.nodes.len() as u32);
-        self.nodes.push(Node {
-            name: name.to_string(),
-            kind: GateKind::Input,
-            fanins: Vec::new(),
-        });
-        self.by_name.insert(name.to_string(), id);
+        let (sym, existing) = self.intern(name);
+        assert!(existing.is_none(), "net name `{name}` already declared");
+        let id = self.push_node(sym, GateKind::Input, &[]);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares an anonymous primary input (Yosys-JSON bits without a
+    /// `netnames` entry). Its display name is the `n{index}` fallback.
+    pub fn input_anon(&mut self) -> NetId {
+        let id = self.push_node(NO_NAME, GateKind::Input, &[]);
         self.inputs.push(id);
         id
     }
@@ -238,11 +401,35 @@ impl NetlistBuilder {
         kind: GateKind,
         fanins: Vec<NetId>,
     ) -> Result<NetId, BuildNetlistError> {
-        if self.by_name.contains_key(name) {
+        let (sym, existing) = self.intern(name);
+        if existing.is_some() {
             return Err(BuildNetlistError::DuplicateName {
                 name: name.to_string(),
             });
         }
+        self.validate_gate(name, kind, &fanins)?;
+        Ok(self.push_node(sym, kind, &fanins))
+    }
+
+    /// Declares an anonymous gate (same validation as
+    /// [`NetlistBuilder::gate`], minus the name). Errors report the net by
+    /// its `n{index}` fallback name.
+    pub fn gate_anon(
+        &mut self,
+        kind: GateKind,
+        fanins: Vec<NetId>,
+    ) -> Result<NetId, BuildNetlistError> {
+        let fallback = NetId(self.kinds.len() as u32).to_string();
+        self.validate_gate(&fallback, kind, &fanins)?;
+        Ok(self.push_node(NO_NAME, kind, &fanins))
+    }
+
+    fn validate_gate(
+        &self,
+        name: &str,
+        kind: GateKind,
+        fanins: &[NetId],
+    ) -> Result<(), BuildNetlistError> {
         if kind == GateKind::Input {
             return Err(BuildNetlistError::GateCannotBeInput {
                 name: name.to_string(),
@@ -260,20 +447,13 @@ impl NetlistBuilder {
                 arity: fanins.len(),
             });
         }
-        if let Some(&bad) = fanins.iter().find(|f| f.index() >= self.nodes.len()) {
+        if let Some(&bad) = fanins.iter().find(|f| f.index() >= self.kinds.len()) {
             return Err(BuildNetlistError::UnknownFanin {
                 name: name.to_string(),
                 fanin: bad,
             });
         }
-        let id = NetId(self.nodes.len() as u32);
-        self.nodes.push(Node {
-            name: name.to_string(),
-            kind,
-            fanins,
-        });
-        self.by_name.insert(name.to_string(), id);
-        Ok(id)
+        Ok(())
     }
 
     /// Marks a net as primary output.
@@ -285,7 +465,21 @@ impl NetlistBuilder {
 
     /// Looks up a declared net by name.
     pub fn find(&self, name: &str) -> Option<NetId> {
-        self.by_name.get(name).copied()
+        let sym = self.symbols.lookup(name)?;
+        match self.sym_to_net.get(sym.index()) {
+            Some(&u32::MAX) | None => None,
+            Some(&id) => Some(NetId(id)),
+        }
+    }
+
+    /// Number of declared nodes so far.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Fanins of a declared node (declaration ids, pre-topological-sort).
+    fn fanins_of(&self, i: usize) -> &[NetId] {
+        &self.fanin_edges[self.fanin_offsets[i] as usize..self.fanin_offsets[i + 1] as usize]
     }
 
     /// Validates, topologically sorts, levelizes and freezes the netlist.
@@ -295,72 +489,129 @@ impl NetlistBuilder {
     /// Returns [`BuildNetlistError::Cycle`] if the gates form a cycle and
     /// [`BuildNetlistError::NoNodes`] for an empty builder.
     pub fn finish(self) -> Result<Netlist, BuildNetlistError> {
-        if self.nodes.is_empty() {
+        if self.kinds.is_empty() {
             return Err(BuildNetlistError::NoNodes);
         }
-        let n = self.nodes.len();
+        let n = self.kinds.len();
         // Kahn's algorithm over the declared graph (declaration order is not
         // guaranteed topological when parsers resolve forward references).
-        let mut indegree = vec![0usize; n];
-        let mut fanouts: Vec<Vec<NetId>> = vec![Vec::new(); n];
-        for (i, node) in self.nodes.iter().enumerate() {
-            indegree[i] = node.fanins.len();
-            for &f in &node.fanins {
-                fanouts[f.index()].push(NetId(i as u32));
+        // The declaration-order fanout CSR is built once by counting sort;
+        // edge order per source matches consumer declaration order, which
+        // keeps the frontier tie-breaking (and therefore the resulting
+        // topological order) identical to the historical nested-Vec code.
+        let mut indegree: Vec<u32> = (0..n)
+            .map(|i| self.fanin_offsets[i + 1] - self.fanin_offsets[i])
+            .collect();
+        let mut fo_offsets = vec![0u32; n + 1];
+        for &f in &self.fanin_edges {
+            fo_offsets[f.index() + 1] += 1;
+        }
+        for i in 0..n {
+            fo_offsets[i + 1] += fo_offsets[i];
+        }
+        let mut fo_edges = vec![NetId(0); self.fanin_edges.len()];
+        let mut cursor: Vec<u32> = fo_offsets[..n].to_vec();
+        for i in 0..n {
+            for &f in self.fanins_of(i) {
+                fo_edges[cursor[f.index()] as usize] = NetId(i as u32);
+                cursor[f.index()] += 1;
             }
         }
+        let fanouts_of = |i: usize| &fo_edges[fo_offsets[i] as usize..fo_offsets[i + 1] as usize];
+
         let mut order: Vec<usize> = Vec::with_capacity(n);
         let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         // Keep declaration order within each frontier for determinism.
         ready.reverse();
+        let mut appended = Vec::new();
         while let Some(i) = ready.pop() {
             order.push(i);
-            let mut appended = Vec::new();
-            for &fo in &fanouts[i] {
+            appended.clear();
+            for &fo in fanouts_of(i) {
                 indegree[fo.index()] -= 1;
                 if indegree[fo.index()] == 0 {
                     appended.push(fo.index());
                 }
             }
             appended.sort_unstable_by(|a, b| b.cmp(a));
-            ready.extend(appended);
+            ready.extend_from_slice(&appended);
         }
         if order.len() != n {
             return Err(BuildNetlistError::Cycle);
         }
-        // Remap ids to topological positions.
+        // Remap ids to topological positions and rebuild every array in
+        // topological order.
         let mut remap = vec![NetId(0); n];
         for (pos, &old) in order.iter().enumerate() {
             remap[old] = NetId(pos as u32);
         }
-        let mut nodes: Vec<Node> = Vec::with_capacity(n);
+        let mut kinds = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        let mut fanin_edges = Vec::with_capacity(self.fanin_edges.len());
+        let mut fanin_offsets = Vec::with_capacity(n + 1);
+        fanin_offsets.push(0u32);
         for &old in &order {
-            let node = &self.nodes[old];
-            nodes.push(Node {
-                name: node.name.clone(),
-                kind: node.kind,
-                fanins: node.fanins.iter().map(|f| remap[f.index()]).collect(),
-            });
+            kinds.push(self.kinds[old]);
+            names.push(self.names[old]);
+            fanin_edges.extend(self.fanins_of(old).iter().map(|f| remap[f.index()]));
+            fanin_offsets.push(fanin_edges.len() as u32);
         }
         let inputs: Vec<NetId> = self.inputs.iter().map(|i| remap[i.index()]).collect();
         let outputs: Vec<NetId> = self.outputs.iter().map(|o| remap[o.index()]).collect();
-        let mut fanouts: Vec<Vec<NetId>> = vec![Vec::new(); n];
+
+        // Fanout CSR over the topological ids (counting sort again; per
+        // source, consumers appear in topological order) and levels in one
+        // forward sweep.
+        let mut fanout_offsets = vec![0u32; n + 1];
+        for &f in &fanin_edges {
+            fanout_offsets[f.index() + 1] += 1;
+        }
+        for i in 0..n {
+            fanout_offsets[i + 1] += fanout_offsets[i];
+        }
+        let mut fanout_edges = vec![NetId(0); fanin_edges.len()];
+        let mut cursor: Vec<u32> = fanout_offsets[..n].to_vec();
         let mut levels = vec![0u32; n];
-        for (i, node) in nodes.iter().enumerate() {
+        for i in 0..n {
             let mut level = 0;
-            for &f in &node.fanins {
-                fanouts[f.index()].push(NetId(i as u32));
+            for &f in &fanin_edges[fanin_offsets[i] as usize..fanin_offsets[i + 1] as usize] {
+                fanout_edges[cursor[f.index()] as usize] = NetId(i as u32);
+                cursor[f.index()] += 1;
                 level = level.max(levels[f.index()] + 1);
             }
             levels[i] = level;
         }
+
+        let mut sym_to_net = vec![u32::MAX; self.symbols.len()];
+        for (i, &sym) in names.iter().enumerate() {
+            if sym != NO_NAME {
+                sym_to_net[sym.index()] = i as u32;
+            }
+        }
+        let mut input_pos = vec![u32::MAX; n];
+        for (pos, &id) in inputs.iter().enumerate() {
+            input_pos[id.index()] = pos as u32;
+        }
+        let mut output_flag = vec![false; n];
+        for &id in &outputs {
+            output_flag[id.index()] = true;
+        }
+
         Ok(Netlist {
             name: self.name,
-            nodes,
+            symbols: self.symbols,
+            kinds,
+            names,
+            sym_to_net,
+            fanin_edges,
+            fanin_offsets,
+            fanout_edges,
+            fanout_offsets,
             inputs,
             outputs,
-            fanouts,
             levels,
+            input_pos,
+            output_flag,
         })
     }
 }
@@ -479,6 +730,15 @@ mod tests {
     }
 
     #[test]
+    fn csr_offsets_are_well_formed() {
+        let n = half_adder();
+        let total: usize = n.node_ids().map(|id| n.fanins(id).len()).sum();
+        assert_eq!(total, n.num_edges());
+        let total_fo: usize = n.node_ids().map(|id| n.fanouts(id).len()).sum();
+        assert_eq!(total_fo, n.num_edges());
+    }
+
+    #[test]
     fn forward_references_are_sorted_out() {
         // Declare the consumer before the producer via direct builder ids.
         let mut b = NetlistBuilder::new("fwd");
@@ -517,11 +777,64 @@ mod tests {
     }
 
     #[test]
+    fn failed_gate_does_not_leak_a_node_or_name() {
+        let mut b = NetlistBuilder::new("leak");
+        let x = b.input("x");
+        let y = b.input("y");
+        assert!(b.gate("bad", GateKind::Not, vec![x, y]).is_err());
+        assert_eq!(b.num_nodes(), 2);
+        assert_eq!(b.find("bad"), None);
+        // The name is reusable after the failed attempt.
+        assert!(b.gate("bad", GateKind::Not, vec![x]).is_ok());
+    }
+
+    #[test]
     fn empty_netlist_rejected() {
         assert!(matches!(
             NetlistBuilder::new("empty").finish(),
             Err(BuildNetlistError::NoNodes)
         ));
+    }
+
+    #[test]
+    fn anonymous_nodes_fall_back_to_index_names() {
+        let mut b = NetlistBuilder::new("anon");
+        let x = b.input_anon();
+        let y = b.input("named");
+        let g = b.gate_anon(GateKind::And, vec![x, y]).unwrap();
+        b.output(g);
+        let n = b.finish().unwrap();
+        let g = n.outputs()[0];
+        assert_eq!(n.net_name(g), None);
+        assert_eq!(n.name_of(g).to_string(), format!("n{}", g.index()));
+        let named = n.find_net("named").unwrap();
+        assert_eq!(n.net_name(named), Some("named"));
+        assert_eq!(n.name_of(named).to_string(), "named");
+        assert_eq!(n.find_net(&n.name_of(g).to_string()), None);
+    }
+
+    #[test]
+    fn input_position_and_output_flag_are_exact() {
+        let n = half_adder();
+        for (pos, &id) in n.inputs().iter().enumerate() {
+            assert_eq!(n.input_position(id), Some(pos));
+        }
+        for id in n.node_ids() {
+            let expect = n.outputs().contains(&id);
+            assert_eq!(n.is_output(id), expect);
+            if n.input_position(id).is_some() {
+                assert_eq!(n.kind(id), GateKind::Input);
+            }
+        }
+    }
+
+    #[test]
+    fn heap_bytes_is_plausible() {
+        let n = half_adder();
+        let bytes = n.heap_bytes();
+        // At minimum the edge pools and offset arrays are counted.
+        assert!(bytes >= n.num_edges() * 2 * std::mem::size_of::<NetId>());
+        assert!(bytes < 1 << 20, "tiny netlist reports {bytes} bytes");
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Interned net names.
+//!
+//! A million-gate netlist cannot afford one heap `String` per node: the
+//! allocations dominate build time and the pointers blow the cache during
+//! any name-touching pass. [`SymbolTable`] stores every distinct name once
+//! in a single string arena and hands out copyable `u32` [`Symbol`] handles.
+//! Lookup goes through an open-addressing table with an FxHash-style
+//! multiply-rotate hash (the `FxHashMap` idiom of rustc and the exemplar
+//! netlist cores), so interning and resolution are both allocation-free on
+//! the hot path.
+//!
+//! # Invariants
+//!
+//! * A name is stored exactly once: `intern(s) == intern(s)` for equal
+//!   strings, and `resolve(intern(s)) == s`.
+//! * Symbols are dense: the `n`-th distinct name interned gets
+//!   `Symbol::index() == n`. Tables therefore serve as direct indices into
+//!   parallel `Vec`s.
+//! * The arena only grows; `resolve` is `O(1)` (one span lookup, no
+//!   hashing).
+
+use std::fmt;
+
+/// A handle to an interned string in a [`SymbolTable`].
+///
+/// `Symbol`s are plain `u32` indices: copy them freely, store them in
+/// parallel vectors, compare them with `==` (two symbols from the *same*
+/// table are equal iff their strings are equal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index of this symbol (interning order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    #[inline]
+    pub(crate) fn from_index(index: usize) -> Symbol {
+        Symbol(u32::try_from(index).expect("symbol count fits in u32"))
+    }
+
+    /// Crate-internal "no name" sentinel. Never produced by a
+    /// [`SymbolTable`]: tables are dense from 0 and `from_index` panics
+    /// long before `u32::MAX` names.
+    pub(crate) const ANON: Symbol = Symbol(u32::MAX);
+}
+
+/// An FxHash-style hash of `bytes`: rotate-xor-multiply over 8-byte words,
+/// finished with an avalanche mix. Not cryptographic, extremely cheap, and
+/// well-distributed for the short identifier-like strings netlists are full
+/// of.
+///
+/// The avalanche finalizer is load-bearing: the bucket index is `hash &
+/// mask`, and a bare multiply only propagates entropy *upward* — for
+/// sequential names (`g0`…`g999999`, one LE word differing mostly in its
+/// middle bytes) the masked low bits collapse to a few hundred values and
+/// linear probing degrades the whole table to quadratic. The xor-shift /
+/// multiply rounds (splitmix64's finisher) fold the high bits back down.
+#[inline]
+fn fx_hash(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = (h.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(K);
+    }
+    h = (h.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(K);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A string interner: one shared arena, `u32` handles, FxHash probing.
+///
+/// # Example
+///
+/// ```
+/// use evotc_netlist::SymbolTable;
+///
+/// let mut t = SymbolTable::new();
+/// let a = t.intern("carry");
+/// let b = t.intern("sum");
+/// assert_ne!(a, b);
+/// assert_eq!(t.intern("carry"), a); // idempotent
+/// assert_eq!(t.resolve(a), "carry");
+/// assert_eq!(t.lookup("sum"), Some(b));
+/// assert_eq!(t.lookup("overflow"), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Every interned name, concatenated.
+    arena: String,
+    /// `(start, len)` byte spans into `arena`, indexed by `Symbol::index`.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressing buckets: `0` = empty, else `symbol index + 1`.
+    /// Length is always a power of two (or zero before first insert).
+    buckets: Vec<u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Number of distinct interned names.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The string behind a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this table.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        let (start, len) = self.spans[sym.index()];
+        &self.arena[start as usize..(start + len) as usize]
+    }
+
+    /// Finds an already-interned name without interning it.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut idx = fx_hash(s.as_bytes()) as usize & mask;
+        loop {
+            match self.buckets[idx] {
+                0 => return None,
+                slot => {
+                    let sym = Symbol(slot - 1);
+                    if self.resolve(sym) == s {
+                        return Some(sym);
+                    }
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Interns `s`, returning the existing symbol if it is already present.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(sym) = self.lookup(s) {
+            return sym;
+        }
+        // Grow at 7/8 load so probes stay short.
+        if self.buckets.is_empty() || (self.spans.len() + 1) * 8 > self.buckets.len() * 7 {
+            self.grow();
+        }
+        let start = u32::try_from(self.arena.len()).expect("arena fits in 4 GiB");
+        let len = u32::try_from(s.len()).expect("name fits in u32");
+        self.arena.push_str(s);
+        let sym = Symbol::from_index(self.spans.len());
+        self.spans.push((start, len));
+        let mask = self.buckets.len() - 1;
+        let mut idx = fx_hash(s.as_bytes()) as usize & mask;
+        while self.buckets[idx] != 0 {
+            idx = (idx + 1) & mask;
+        }
+        self.buckets[idx] = sym.0 + 1;
+        sym
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.buckets.len() * 2).max(16);
+        let mask = new_len - 1;
+        let mut buckets = vec![0u32; new_len];
+        for (i, &(start, len)) in self.spans.iter().enumerate() {
+            let name = &self.arena[start as usize..(start + len) as usize];
+            let mut idx = fx_hash(name.as_bytes()) as usize & mask;
+            while buckets[idx] != 0 {
+                idx = (idx + 1) & mask;
+            }
+            buckets[idx] = i as u32 + 1;
+        }
+        self.buckets = buckets;
+    }
+
+    /// Heap bytes owned by the table (arena + spans + buckets), the
+    /// interner's share of [`crate::Netlist::heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.capacity()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.buckets.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl fmt::Display for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} symbols, {} arena bytes",
+            self.spans.len(),
+            self.arena.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("bb");
+        let c = t.intern("ccc");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(c.index(), 2);
+        assert_eq!(t.intern("bb"), b);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymbolTable::new();
+        let names: Vec<String> = (0..2000).map(|i| format!("net_{i}")).collect();
+        let syms: Vec<Symbol> = names.iter().map(|n| t.intern(n)).collect();
+        for (name, &sym) in names.iter().zip(&syms) {
+            assert_eq!(t.resolve(sym), name);
+            assert_eq!(t.lookup(name), Some(sym));
+        }
+        assert_eq!(t.len(), 2000);
+    }
+
+    #[test]
+    fn lookup_misses_cleanly() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("x"), None); // empty table, no buckets yet
+        t.intern("x");
+        assert_eq!(t.lookup("y"), None);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_name() {
+        let mut t = SymbolTable::new();
+        let e = t.intern("");
+        assert_eq!(t.resolve(e), "");
+        assert_eq!(t.lookup(""), Some(e));
+    }
+
+    #[test]
+    fn survives_growth_and_collisions() {
+        let mut t = SymbolTable::new();
+        // Enough inserts to force several grows.
+        let syms: Vec<Symbol> = (0..10_000).map(|i| t.intern(&format!("n{i}"))).collect();
+        for (i, &sym) in syms.iter().enumerate() {
+            assert_eq!(t.resolve(sym), format!("n{i}"));
+        }
+    }
+
+    #[test]
+    fn hash_spreads_short_strings() {
+        // Not a distribution test, just a sanity check the hash is not
+        // degenerate on the names netlists actually use.
+        let hashes: std::collections::HashSet<u64> = (0..1000)
+            .map(|i| fx_hash(format!("g{i}").as_bytes()))
+            .collect();
+        assert!(hashes.len() > 990);
+    }
+}

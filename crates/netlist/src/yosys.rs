@@ -1,0 +1,1228 @@
+//! Yosys JSON netlist ingestion (`yosys -o out.json` / `write_json`).
+//!
+//! This is the second front-end beside `.bench`: the subset of the Yosys
+//! JSON schema needed for gate-level combinational netlists —
+//! `modules.<name>.{ports, cells, netnames}` with integer bit indices.
+//! Sequential cells are cut exactly like the `.bench` reader: a DFF's `Q`
+//! bit becomes a pseudo primary input and its `D` bit a pseudo primary
+//! output (the paper's "combinational part" convention for ISCAS-89).
+//!
+//! The parser is hand-rolled (a position-tracking JSON DOM) because this
+//! workspace vendors no serde; every value remembers the line/column it
+//! started at, so schema violations surface as typed [`ParseYosysError`]s
+//! with positions — mirroring [`ParseBenchError`](crate::ParseBenchError) —
+//! never as panics, even on hostile input (depth-limited nesting, bogus
+//! escapes, truncated documents).
+
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist, NetlistBuilder};
+
+// ---------------------------------------------------------------------------
+// Position-tracking JSON DOM
+// ---------------------------------------------------------------------------
+
+/// 1-based line/column of a token start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pos {
+    line: usize,
+    column: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Json {
+    Null(Pos),
+    /// Payload dropped: nothing in the netlist schema reads a boolean.
+    Bool(Pos),
+    Num(Pos, f64),
+    Str(Pos, String),
+    Arr(Pos, Vec<Json>),
+    /// Key order is preserved (Yosys emits deterministic order; we keep it
+    /// so fanin order and error messages are reproducible).
+    Obj(Pos, Vec<(Pos, String, Json)>),
+}
+
+impl Json {
+    fn pos(&self) -> Pos {
+        match self {
+            Json::Null(p)
+            | Json::Bool(p)
+            | Json::Num(p, _)
+            | Json::Str(p, _)
+            | Json::Arr(p, _)
+            | Json::Obj(p, _) => *p,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null(_) => "null",
+            Json::Bool(..) => "bool",
+            Json::Num(..) => "number",
+            Json::Str(..) => "string",
+            Json::Arr(..) => "array",
+            Json::Obj(..) => "object",
+        }
+    }
+}
+
+/// Hostile deeply-nested documents must not overflow the parser's stack:
+/// recursion is bounded and the excess becomes a typed `Syntax` error.
+const MAX_DEPTH: usize = 128;
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    line: usize,
+    /// Byte offset of the current line start (column = at - line_start + 1).
+    line_start: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            bytes: source.as_bytes(),
+            at: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            column: self.at - self.line_start + 1,
+        }
+    }
+
+    fn err(&self) -> ParseYosysError {
+        let p = self.pos();
+        ParseYosysError::Syntax {
+            line: p.line,
+            column: p.column,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.at += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.at;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseYosysError> {
+        if self.peek() == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err())
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), ParseYosysError> {
+        for &b in lit.as_bytes() {
+            if self.bump() != Some(b) {
+                return Err(self.err());
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, ParseYosysError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err());
+        }
+        self.skip_ws();
+        let pos = self.pos();
+        match self.peek().ok_or_else(|| self.err())? {
+            b'{' => {
+                self.bump();
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    return Ok(Json::Obj(pos, members));
+                }
+                loop {
+                    self.skip_ws();
+                    let key_pos = self.pos();
+                    if self.peek() != Some(b'"') {
+                        return Err(self.err());
+                    }
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    members.push((key_pos, key, value));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => break,
+                        _ => return Err(self.err()),
+                    }
+                }
+                Ok(Json::Obj(pos, members))
+            }
+            b'[' => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                    return Ok(Json::Arr(pos, items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => break,
+                        _ => return Err(self.err()),
+                    }
+                }
+                Ok(Json::Arr(pos, items))
+            }
+            b'"' => Ok(Json::Str(pos, self.parse_string()?)),
+            b't' => {
+                self.eat_literal("true")?;
+                Ok(Json::Bool(pos))
+            }
+            b'f' => {
+                self.eat_literal("false")?;
+                Ok(Json::Bool(pos))
+            }
+            b'n' => {
+                self.eat_literal("null")?;
+                Ok(Json::Null(pos))
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = self.at;
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                }
+                if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err());
+                }
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                ) {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.at])
+                    .expect("numeric bytes are ASCII");
+                let value: f64 = text.parse().map_err(|_| ParseYosysError::Syntax {
+                    line: pos.line,
+                    column: pos.column,
+                })?;
+                Ok(Json::Num(pos, value))
+            }
+            _ => Err(self.err()),
+        }
+    }
+
+    /// Parses a `"…"` string; the opening quote is at the current offset.
+    fn parse_string(&mut self) -> Result<String, ParseYosysError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Unescaped runs are copied wholesale to keep long names cheap.
+        let mut run_start = self.at;
+        loop {
+            match self.peek().ok_or_else(|| self.err())? {
+                b'"' => {
+                    out.push_str(self.slice(run_start, self.at)?);
+                    self.bump();
+                    return Ok(out);
+                }
+                b'\\' => {
+                    out.push_str(self.slice(run_start, self.at)?);
+                    self.bump();
+                    let esc = self.bump().ok_or_else(|| self.err())?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let d = self.bump().ok_or_else(|| self.err())?;
+                                let d = (d as char).to_digit(16).ok_or_else(|| self.err())?;
+                                code = code * 16 + d;
+                            }
+                            // Surrogates and friends degrade to the
+                            // replacement char rather than erroring: names
+                            // are opaque identifiers here.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err()),
+                    }
+                    run_start = self.at;
+                }
+                b if b < 0x20 => return Err(self.err()),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn slice(&self, start: usize, end: usize) -> Result<&'a str, ParseYosysError> {
+        std::str::from_utf8(&self.bytes[start..end]).map_err(|_| self.err())
+    }
+}
+
+fn parse_json(source: &str) -> Result<Json, ParseYosysError> {
+    let mut lexer = Lexer::new(source);
+    let value = lexer.parse_value(0)?;
+    lexer.skip_ws();
+    if lexer.peek().is_some() {
+        return Err(lexer.err());
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Schema helpers
+// ---------------------------------------------------------------------------
+
+fn schema_err(pos: Pos, message: impl Into<String>) -> ParseYosysError {
+    ParseYosysError::Schema {
+        line: pos.line,
+        column: pos.column,
+        message: message.into(),
+    }
+}
+
+fn as_obj<'j>(v: &'j Json, what: &str) -> Result<&'j [(Pos, String, Json)], ParseYosysError> {
+    match v {
+        Json::Obj(_, members) => Ok(members),
+        other => Err(schema_err(
+            other.pos(),
+            format!(
+                "expected {what} to be an object, found {}",
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+fn obj_get<'j>(members: &'j [(Pos, String, Json)], key: &str) -> Option<&'j Json> {
+    members.iter().find(|(_, k, _)| k == key).map(|(_, _, v)| v)
+}
+
+fn as_str<'j>(v: &'j Json, what: &str) -> Result<&'j str, ParseYosysError> {
+    match v {
+        Json::Str(_, s) => Ok(s),
+        other => Err(schema_err(
+            other.pos(),
+            format!(
+                "expected {what} to be a string, found {}",
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+fn as_arr<'j>(v: &'j Json, what: &str) -> Result<&'j [Json], ParseYosysError> {
+    match v {
+        Json::Arr(_, items) => Ok(items),
+        other => Err(schema_err(
+            other.pos(),
+            format!(
+                "expected {what} to be an array, found {}",
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+/// A Yosys bit index: a non-negative integer. String bits (`"0"`, `"1"`,
+/// `"x"`) are constants/undriven nets, which this gate-level subset does
+/// not model — they come back as a typed schema error.
+fn as_bit(v: &Json, what: &str) -> Result<(Pos, u64), ParseYosysError> {
+    match v {
+        Json::Num(p, n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+            Ok((*p, *n as u64))
+        }
+        Json::Str(p, s) => Err(schema_err(
+            *p,
+            format!("constant bit \"{s}\" in {what} is not supported (gate-level nets only)"),
+        )),
+        other => Err(schema_err(
+            other.pos(),
+            format!(
+                "expected {what} bit to be an integer, found {}",
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell-type mapping
+// ---------------------------------------------------------------------------
+
+/// What a Yosys cell means to this netlist model.
+enum CellOp {
+    Gate(GateKind),
+    Dff,
+}
+
+/// Maps a Yosys cell type onto the gate model: RTL cells (`$and`…),
+/// internal gate-level cells (`$_AND_`…) and plain `.bench`-style
+/// spellings (`AND`, `NAND`, …). DFF variants are cut (Q → pseudo-PI,
+/// D → pseudo-PO); clock polarity is irrelevant to the combinational part.
+fn cell_op(ty: &str) -> Option<CellOp> {
+    let kind = match ty {
+        "$and" | "$_AND_" => GateKind::And,
+        "$_NAND_" => GateKind::Nand,
+        "$or" | "$_OR_" => GateKind::Or,
+        "$_NOR_" => GateKind::Nor,
+        "$xor" | "$_XOR_" => GateKind::Xor,
+        "$xnor" | "$_XNOR_" => GateKind::Xnor,
+        "$not" | "$_NOT_" => GateKind::Not,
+        "$pos" | "$_BUF_" => GateKind::Buf,
+        "$dff" | "$_DFF_P_" | "$_DFF_N_" => return Some(CellOp::Dff),
+        other => {
+            // `.bench`-style spellings (`AND`, `buff`, `DFF`) for
+            // hand-written or generator-emitted modules.
+            if other.eq_ignore_ascii_case("DFF") {
+                return Some(CellOp::Dff);
+            }
+            match other.parse::<GateKind>() {
+                Ok(GateKind::Input) | Err(_) => return None,
+                Ok(k) => k,
+            }
+        }
+    };
+    Some(CellOp::Gate(kind))
+}
+
+/// The canonical Yosys spelling [`write_yosys_json`] emits for a kind.
+fn cell_type_of(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Input => unreachable!("inputs are ports, not cells"),
+        GateKind::Buf => "$_BUF_",
+        GateKind::Not => "$_NOT_",
+        GateKind::And => "$_AND_",
+        GateKind::Nand => "$_NAND_",
+        GateKind::Or => "$_OR_",
+        GateKind::Nor => "$_NOR_",
+        GateKind::Xor => "$_XOR_",
+        GateKind::Xnor => "$_XNOR_",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion
+// ---------------------------------------------------------------------------
+
+/// An unresolved cell, staged for worklist resolution (cells may consume
+/// bits driven by cells that appear later in the file).
+struct PendingCell {
+    name: String,
+    kind: GateKind,
+    /// `(position, bit)` per fanin, in port order.
+    fanins: Vec<(Pos, u64)>,
+    /// The output bit this cell drives.
+    out_bit: u64,
+    out_pos: Pos,
+}
+
+/// Parses a Yosys JSON netlist (`yosys write_json`) into a combinational
+/// [`Netlist`].
+///
+/// The document must contain exactly one module. Input-port bits become
+/// primary inputs; DFF cells are cut (Q bit → pseudo primary input, D bit
+/// → pseudo primary output); output-port bits and DFF D bits become
+/// outputs. Bits named in `netnames` get those names; unnamed bits stay
+/// anonymous and display as `n{idx}` (see [`Netlist::name_of`]).
+///
+/// # Errors
+///
+/// Typed, positioned [`ParseYosysError`]s — malformed JSON, schema
+/// violations, unknown cell types, bits consumed but never driven. Hostile
+/// input (truncated documents, deep nesting, constant bits) errors; it
+/// never panics.
+///
+/// # Example
+///
+/// ```
+/// use evotc_netlist::parse_yosys_json;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = r#"{"modules": {"ha": {
+///   "ports": {
+///     "x": {"direction": "input", "bits": [2]},
+///     "y": {"direction": "input", "bits": [3]},
+///     "s": {"direction": "output", "bits": [4]}
+///   },
+///   "cells": {
+///     "s_xor": {"type": "$_XOR_",
+///               "port_directions": {"A": "input", "B": "input", "Y": "output"},
+///               "connections": {"A": [2], "B": [3], "Y": [4]}}
+///   },
+///   "netnames": {"s": {"bits": [4]}}
+/// }}}"#;
+/// let n = parse_yosys_json(src)?;
+/// assert_eq!(n.num_inputs(), 2);
+/// assert_eq!(n.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_yosys_json(source: &str) -> Result<Netlist, ParseYosysError> {
+    let doc = parse_json(source)?;
+    let root = as_obj(&doc, "document root")?;
+    let modules_v = obj_get(root, "modules")
+        .ok_or_else(|| schema_err(doc.pos(), "missing `modules` object"))?;
+    let modules = as_obj(modules_v, "`modules`")?;
+    // Exactly one module: this model has no hierarchy (Yosys `flatten`
+    // first).
+    let (module_name, module_v) = match modules {
+        [(_, name, v)] => (name.clone(), v),
+        [] => return Err(schema_err(modules_v.pos(), "`modules` is empty")),
+        more => {
+            return Err(schema_err(
+                more[1].0,
+                format!("expected exactly one module, found {}", more.len()),
+            ))
+        }
+    };
+    let module = as_obj(module_v, "module")?;
+
+    // --- Ports -----------------------------------------------------------
+    let mut input_bits: Vec<(String, Pos, u64)> = Vec::new();
+    let mut output_bits: Vec<(Pos, u64)> = Vec::new();
+    if let Some(ports_v) = obj_get(module, "ports") {
+        let ports = as_obj(ports_v, "`ports`")?;
+        // Key order is preserved by the DOM and is the PI declaration
+        // order: input order is semantic (test-pattern bit j drives
+        // input j), so it must survive a round trip untouched.
+        for (pos, port_name, port_v) in ports {
+            let port = as_obj(port_v, "port")?;
+            let dir_v = obj_get(port, "direction")
+                .ok_or_else(|| schema_err(*pos, format!("port `{port_name}` has no direction")))?;
+            let dir = as_str(dir_v, "port direction")?;
+            let bits_v = obj_get(port, "bits")
+                .ok_or_else(|| schema_err(*pos, format!("port `{port_name}` has no bits")))?;
+            let bits = as_arr(bits_v, "port bits")?;
+            match dir {
+                "input" => {
+                    for (i, bit_v) in bits.iter().enumerate() {
+                        let (bpos, bit) = as_bit(bit_v, "port")?;
+                        let name = if bits.len() == 1 {
+                            port_name.clone()
+                        } else {
+                            format!("{port_name}[{i}]")
+                        };
+                        input_bits.push((name, bpos, bit));
+                    }
+                }
+                "output" => {
+                    for bit_v in bits {
+                        output_bits.push(as_bit(bit_v, "port")?);
+                    }
+                }
+                "inout" => {
+                    return Err(schema_err(
+                        dir_v.pos(),
+                        format!("port `{port_name}`: inout ports are not supported"),
+                    ))
+                }
+                other => {
+                    return Err(schema_err(
+                        dir_v.pos(),
+                        format!("port `{port_name}`: unknown direction `{other}`"),
+                    ))
+                }
+            }
+        }
+    }
+
+    // --- Net names -------------------------------------------------------
+    // bit -> name, first-wins like Yosys's own preference for public names.
+    let mut bit_names: std::collections::BTreeMap<u64, String> = std::collections::BTreeMap::new();
+    if let Some(netnames_v) = obj_get(module, "netnames") {
+        for (_, net_name, net_v) in as_obj(netnames_v, "`netnames`")? {
+            let net = as_obj(net_v, "netname")?;
+            let Some(bits_v) = obj_get(net, "bits") else {
+                continue;
+            };
+            let bits = as_arr(bits_v, "netname bits")?;
+            for (i, bit_v) in bits.iter().enumerate() {
+                // Constant bits inside netnames are legal Yosys output;
+                // they just can't name a gate net, so skip them.
+                if let Json::Num(..) = bit_v {
+                    let (_, bit) = as_bit(bit_v, "netname")?;
+                    bit_names.entry(bit).or_insert_with(|| {
+                        if bits.len() == 1 {
+                            net_name.clone()
+                        } else {
+                            format!("{net_name}[{i}]")
+                        }
+                    });
+                }
+            }
+        }
+    }
+    let name_of_bit = |bit: u64| -> Option<&str> { bit_names.get(&bit).map(String::as_str) };
+
+    // --- Cells -----------------------------------------------------------
+    let mut pending: Vec<PendingCell> = Vec::new();
+    let mut dff_q_bits: Vec<(Pos, u64)> = Vec::new(); // pseudo-PIs
+    let mut dff_d_bits: Vec<(Pos, u64)> = Vec::new(); // pseudo-POs
+    if let Some(cells_v) = obj_get(module, "cells") {
+        for (cell_pos, cell_name, cell_v) in as_obj(cells_v, "`cells`")? {
+            let cell = as_obj(cell_v, "cell")?;
+            let ty_v = obj_get(cell, "type")
+                .ok_or_else(|| schema_err(*cell_pos, format!("cell `{cell_name}` has no type")))?;
+            let ty = as_str(ty_v, "cell type")?;
+            let op = cell_op(ty).ok_or_else(|| {
+                let p = ty_v.pos();
+                ParseYosysError::UnknownCellType {
+                    line: p.line,
+                    column: p.column,
+                    ty: ty.to_string(),
+                }
+            })?;
+            let conns_v = obj_get(cell, "connections").ok_or_else(|| {
+                schema_err(*cell_pos, format!("cell `{cell_name}` has no connections"))
+            })?;
+            let conns = as_obj(conns_v, "cell connections")?;
+            // Every connection in this gate-level subset is one bit wide.
+            let one_bit = |port: &str| -> Result<(Pos, u64), ParseYosysError> {
+                let v = obj_get(conns, port).ok_or_else(|| {
+                    schema_err(
+                        conns_v.pos(),
+                        format!("cell `{cell_name}` has no `{port}` connection"),
+                    )
+                })?;
+                let bits = as_arr(v, "connection")?;
+                match bits {
+                    [bit] => as_bit(bit, "connection"),
+                    other => Err(schema_err(
+                        v.pos(),
+                        format!(
+                            "cell `{cell_name}` port `{port}` must be 1 bit wide, found {}",
+                            other.len()
+                        ),
+                    )),
+                }
+            };
+            match op {
+                CellOp::Dff => {
+                    dff_d_bits.push(one_bit("D")?);
+                    dff_q_bits.push(one_bit("Q")?);
+                }
+                CellOp::Gate(kind) => {
+                    // Input ports sorted by (len, name): A, B, C… and
+                    // zero-padded I000… both order correctly; Y (or any
+                    // `output` direction) is the driven bit.
+                    let dirs = obj_get(cell, "port_directions")
+                        .map(|v| as_obj(v, "port_directions"))
+                        .transpose()?;
+                    let is_output_port = |port: &str| -> bool {
+                        match &dirs {
+                            Some(d) => obj_get(d, port)
+                                .and_then(|v| match v {
+                                    Json::Str(_, s) => Some(s == "output"),
+                                    _ => None,
+                                })
+                                .unwrap_or(port == "Y"),
+                            None => port == "Y",
+                        }
+                    };
+                    let mut in_ports: Vec<&(Pos, String, Json)> = Vec::new();
+                    let mut out_port: Option<&str> = None;
+                    for member in conns {
+                        if is_output_port(&member.1) {
+                            if out_port.is_some() {
+                                return Err(schema_err(
+                                    member.0,
+                                    format!("cell `{cell_name}` has multiple output ports"),
+                                ));
+                            }
+                            out_port = Some(&member.1);
+                        } else {
+                            in_ports.push(member);
+                        }
+                    }
+                    let out_port = out_port.ok_or_else(|| {
+                        schema_err(*cell_pos, format!("cell `{cell_name}` has no output port"))
+                    })?;
+                    in_ports.sort_by(|a, b| (a.1.len(), &a.1).cmp(&(b.1.len(), &b.1)));
+                    let mut fanins = Vec::with_capacity(in_ports.len());
+                    for p in &in_ports {
+                        fanins.push(one_bit(&p.1)?);
+                    }
+                    let (out_pos, out_bit) = one_bit(out_port)?;
+                    pending.push(PendingCell {
+                        name: cell_name.clone(),
+                        kind,
+                        fanins,
+                        out_bit,
+                        out_pos,
+                    });
+                }
+            }
+        }
+    }
+
+    // --- Build -----------------------------------------------------------
+    let mut builder = NetlistBuilder::new(&module_name);
+    // bit -> NetId as bits get driven. An ordered map rather than a
+    // direct-index Vec: bit indices are arbitrary, so one hostile bit must
+    // not be able to allocate gigabytes — and foreign emitters with
+    // shuffled bit order must not degrade insertion to quadratic.
+    use std::collections::BTreeMap;
+    let mut driven: BTreeMap<u64, NetId> = BTreeMap::new();
+    let find_bit = |driven: &BTreeMap<u64, NetId>, bit: u64| driven.get(&bit).copied();
+    let drive = |driven: &mut BTreeMap<u64, NetId>,
+                 pos: Pos,
+                 bit: u64,
+                 id: NetId|
+     -> Result<(), ParseYosysError> {
+        if driven.insert(bit, id).is_some() {
+            return Err(schema_err(pos, format!("bit {bit} is driven twice")));
+        }
+        Ok(())
+    };
+
+    for (name, pos, bit) in &input_bits {
+        if builder.find(name).is_some() {
+            return Err(schema_err(
+                *pos,
+                format!("net name `{name}` declared twice"),
+            ));
+        }
+        let id = builder.input(name);
+        drive(&mut driven, *pos, *bit, id)?;
+    }
+    for (pos, bit) in &dff_q_bits {
+        let id = match name_of_bit(*bit) {
+            Some(name) if builder.find(name).is_none() => builder.input(name),
+            _ => builder.input_anon(),
+        };
+        drive(&mut driven, *pos, *bit, id)?;
+    }
+
+    // Worklist over cells: Yosys JSON has no ordering guarantee, so resolve
+    // rounds-until-fixpoint like the `.bench` reader.
+    while !pending.is_empty() {
+        let before = pending.len();
+        let mut still: Vec<PendingCell> = Vec::new();
+        for cell in pending {
+            let resolved: Option<Vec<NetId>> = cell
+                .fanins
+                .iter()
+                .map(|&(_, bit)| find_bit(&driven, bit))
+                .collect();
+            match resolved {
+                Some(fanins) => {
+                    let named = name_of_bit(cell.out_bit)
+                        .filter(|n| builder.find(n).is_none())
+                        .map(str::to_string);
+                    let id = match named {
+                        Some(name) => builder.gate(&name, cell.kind, fanins),
+                        None => builder.gate_anon(cell.kind, fanins),
+                    }
+                    .map_err(|e| {
+                        let p = cell.out_pos;
+                        schema_err(p, format!("cell `{}`: {e}", cell.name))
+                    })?;
+                    drive(&mut driven, cell.out_pos, cell.out_bit, id)?;
+                }
+                None => still.push(cell),
+            }
+        }
+        if still.len() == before {
+            // No progress: some consumed bit is never driven (or the cells
+            // cycle through an undriven bit).
+            let cell = &still[0];
+            let &(pos, bit) = cell
+                .fanins
+                .iter()
+                .find(|&&(_, bit)| find_bit(&driven, bit).is_none())
+                .expect("an unresolved cell consumes at least one undriven bit");
+            return Err(ParseYosysError::DanglingBit {
+                line: pos.line,
+                column: pos.column,
+                bit,
+            });
+        }
+        pending = still;
+    }
+
+    for (pos, bit) in output_bits.iter().chain(dff_d_bits.iter()) {
+        let id = find_bit(&driven, *bit).ok_or(ParseYosysError::DanglingBit {
+            line: pos.line,
+            column: pos.column,
+            bit: *bit,
+        })?;
+        builder.output(id);
+    }
+
+    builder.finish().map_err(ParseYosysError::Build)
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a netlist as a single-module Yosys JSON document that
+/// [`parse_yosys_json`] reads back structurally identical (same node
+/// declaration order, hence the same topological order and ids).
+///
+/// Bit `k` is `NetId(k).index() + 2` (Yosys reserves 0/1 for constants).
+/// Inputs become 1-bit input ports; outputs become 1-bit output ports
+/// (named after their net, or `po{k}` when the driving net's name is taken
+/// or absent); gates become `$_AND_`-style cells with inputs `A`, `B`, …
+/// (or zero-padded `I{k:06}` beyond 24 fanins, keeping `(len, name)` sort
+/// order equal to declaration order); named nets are listed in `netnames`.
+pub fn write_yosys_json(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+
+    let bit = |id: NetId| id.index() + 2;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"creator\": \"evotc\",\n  \"modules\": {{\n    \"{}\": {{\n",
+        json_escape(netlist.name())
+    );
+
+    // Ports: inputs first (declaration order), then outputs.
+    let _ = out.write_str("      \"ports\": {\n");
+    let mut first = true;
+    for (pos, &i) in netlist.inputs().iter().enumerate() {
+        if !std::mem::take(&mut first) {
+            let _ = out.write_str(",\n");
+        }
+        // Input ports must carry the PI's exact name: the parser recreates
+        // PIs from port names. An anonymous PI gets its `n{idx}` fallback,
+        // which `name_of` keeps stable across the round-trip.
+        let name = netlist.name_of(i).to_string();
+        let _ = write!(
+            out,
+            "        \"{}\": {{\"direction\": \"input\", \"bits\": [{}]}}",
+            json_escape(&name),
+            bit(i)
+        );
+        let _ = pos;
+    }
+    for (pos, &o) in netlist.outputs().iter().enumerate() {
+        if !std::mem::take(&mut first) {
+            let _ = out.write_str(",\n");
+        }
+        // Output port names must not collide with input ports or each
+        // other; `po{k}` is unambiguous and the parser only reads the bit.
+        let _ = write!(
+            out,
+            "        \"po{}\": {{\"direction\": \"output\", \"bits\": [{}]}}",
+            pos,
+            bit(o)
+        );
+    }
+    let _ = out.write_str("\n      },\n");
+
+    // Cells, in topological order. Input port letters A.. for arity ≤ 24
+    // (Y is the output), zero-padded I{k} beyond that — both sort by
+    // (len, name) back into declaration order.
+    const LETTERS: &[u8; 24] = b"ABCDEFGHIJKLMNOPQRSTUVWX";
+    let _ = out.write_str("      \"cells\": {\n");
+    let mut first = true;
+    for id in netlist.node_ids() {
+        let kind = netlist.kind(id);
+        if kind == GateKind::Input {
+            continue;
+        }
+        if !std::mem::take(&mut first) {
+            let _ = out.write_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "        \"${}\": {{\"type\": \"{}\", \"port_directions\": {{",
+            id.index(),
+            cell_type_of(kind)
+        );
+        let fanins = netlist.fanins(id);
+        let wide = fanins.len() > LETTERS.len();
+        let port_name = |k: usize| -> String {
+            if wide {
+                format!("I{k:06}")
+            } else {
+                (LETTERS[k] as char).to_string()
+            }
+        };
+        for k in 0..fanins.len() {
+            let _ = write!(out, "\"{}\": \"input\", ", port_name(k));
+        }
+        let _ = out.write_str("\"Y\": \"output\"}, \"connections\": {");
+        for (k, &f) in fanins.iter().enumerate() {
+            let _ = write!(out, "\"{}\": [{}], ", port_name(k), bit(f));
+        }
+        let _ = write!(out, "\"Y\": [{}]}}}}", bit(id));
+    }
+    let _ = out.write_str("\n      },\n");
+
+    // Netnames for every named net.
+    let _ = out.write_str("      \"netnames\": {\n");
+    let mut first = true;
+    for id in netlist.node_ids() {
+        if let Some(name) = netlist.net_name(id) {
+            if !std::mem::take(&mut first) {
+                let _ = out.write_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "        \"{}\": {{\"bits\": [{}]}}",
+                json_escape(name),
+                bit(id)
+            );
+        }
+    }
+    let _ = out.write_str("\n      }\n    }\n  }\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Error parsing a Yosys JSON netlist. Every positioned variant carries the
+/// 1-based line and byte column of the offending token — the same contract
+/// as [`ParseBenchError`](crate::ParseBenchError): a diagnostic, never a
+/// panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseYosysError {
+    /// Malformed JSON (also covers pathological nesting past the depth
+    /// limit and truncated documents).
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based byte column.
+        column: usize,
+    },
+    /// Well-formed JSON that violates the netlist schema.
+    Schema {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based byte column.
+        column: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A cell type with no mapping onto [`GateKind`].
+    UnknownCellType {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based byte column.
+        column: usize,
+        /// The unrecognized type string.
+        ty: String,
+    },
+    /// A bit index consumed by a cell or port but never driven by any
+    /// input, DFF or cell output.
+    DanglingBit {
+        /// 1-based line number of the consuming reference.
+        line: usize,
+        /// 1-based byte column.
+        column: usize,
+        /// The undriven bit index.
+        bit: u64,
+    },
+    /// Structural violation detected while building the netlist.
+    Build(crate::netlist::BuildNetlistError),
+}
+
+impl fmt::Display for ParseYosysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseYosysError::Syntax { line, column } => {
+                write!(f, "JSON syntax error at line {line}, column {column}")
+            }
+            ParseYosysError::Schema {
+                line,
+                column,
+                message,
+            } => {
+                write!(f, "{message} at line {line}, column {column}")
+            }
+            ParseYosysError::UnknownCellType { line, column, ty } => {
+                write!(
+                    f,
+                    "unknown cell type `{ty}` at line {line}, column {column}"
+                )
+            }
+            ParseYosysError::DanglingBit { line, column, bit } => {
+                write!(
+                    f,
+                    "bit {bit} is never driven (line {line}, column {column})"
+                )
+            }
+            ParseYosysError::Build(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ParseYosysError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseYosysError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse_bench;
+    use crate::iscas;
+
+    /// Structural equality: same counts, same topological name/kind/fanin
+    /// sequence, same input/output lists.
+    fn assert_structurally_equal(a: &Netlist, b: &Netlist) {
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.inputs(), b.inputs());
+        assert_eq!(a.outputs(), b.outputs());
+        for id in a.node_ids() {
+            assert_eq!(a.kind(id), b.kind(id), "kind of {id}");
+            assert_eq!(a.fanins(id), b.fanins(id), "fanins of {id}");
+            assert_eq!(a.level(id), b.level(id), "level of {id}");
+            assert_eq!(
+                a.name_of(id).to_string(),
+                b.name_of(id).to_string(),
+                "name of {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn c17_round_trips_through_yosys_json() {
+        let c17 = parse_bench(iscas::C17_BENCH).unwrap();
+        let json = write_yosys_json(&c17);
+        let again = parse_yosys_json(&json).unwrap();
+        assert_structurally_equal(&c17, &again);
+    }
+
+    #[test]
+    fn s27_round_trips_with_dff_cut_already_applied() {
+        let s27 = parse_bench(iscas::S27_BENCH).unwrap();
+        let again = parse_yosys_json(&write_yosys_json(&s27)).unwrap();
+        assert_structurally_equal(&s27, &again);
+    }
+
+    #[test]
+    fn parses_a_dff_cell_as_a_cut() {
+        let src = r#"{"modules": {"m": {
+          "ports": {
+            "d_in": {"direction": "input", "bits": [2]},
+            "q_out": {"direction": "output", "bits": [4]}
+          },
+          "cells": {
+            "ff": {"type": "$_DFF_P_",
+                   "connections": {"C": [9], "D": [3], "Q": [4]}},
+            "g": {"type": "$_AND_",
+                  "connections": {"A": [2], "B": [4], "Y": [3]}}
+          },
+          "netnames": {"q": {"bits": [4]}, "d": {"bits": [3]}}
+        }}}"#;
+        let n = parse_yosys_json(src).unwrap();
+        // d_in plus the DFF's Q as pseudo-PI; q_out's bit (Q) plus the
+        // DFF's D as pseudo-PO (same net driven by the AND).
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_gates(), 1);
+        assert_eq!(n.num_outputs(), 2);
+        assert!(n.find_net("q").is_some());
+        assert!(n.find_net("d").is_some());
+    }
+
+    #[test]
+    fn multibit_ports_expand_to_indexed_names() {
+        let src = r#"{"modules": {"m": {
+          "ports": {
+            "a": {"direction": "input", "bits": [2, 3]},
+            "y": {"direction": "output", "bits": [4]}
+          },
+          "cells": {
+            "g": {"type": "$_NAND_", "connections": {"A": [2], "B": [3], "Y": [4]}}
+          }
+        }}}"#;
+        let n = parse_yosys_json(src).unwrap();
+        assert!(n.find_net("a[0]").is_some());
+        assert!(n.find_net("a[1]").is_some());
+        // The gate output has no netname: anonymous, n{idx} fallback.
+        let y = n.outputs()[0];
+        assert_eq!(n.net_name(y), None);
+    }
+
+    #[test]
+    fn rtl_and_bench_spellings_map() {
+        for ty in ["$and", "$_AND_", "AND", "and"] {
+            assert!(matches!(cell_op(ty), Some(CellOp::Gate(GateKind::And))));
+        }
+        assert!(matches!(cell_op("$dff"), Some(CellOp::Dff)));
+        assert!(matches!(cell_op("dff"), Some(CellOp::Dff)));
+        assert!(cell_op("$mux").is_none());
+        assert!(cell_op("INPUT").is_none());
+    }
+
+    #[test]
+    fn unknown_cell_type_is_a_typed_error() {
+        let src = r#"{"modules": {"m": {
+          "ports": {"a": {"direction": "input", "bits": [2]},
+                    "y": {"direction": "output", "bits": [3]}},
+          "cells": {"g": {"type": "$mux", "connections": {"A": [2], "Y": [3]}}}
+        }}}"#;
+        match parse_yosys_json(src).unwrap_err() {
+            ParseYosysError::UnknownCellType { ty, line, .. } => {
+                assert_eq!(ty, "$mux");
+                assert!(line > 1);
+            }
+            other => panic!("expected UnknownCellType, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_bit_is_a_typed_error() {
+        let src = r#"{"modules": {"m": {
+          "ports": {"a": {"direction": "input", "bits": [2]},
+                    "y": {"direction": "output", "bits": [3]}},
+          "cells": {"g": {"type": "$_AND_",
+                          "connections": {"A": [2], "B": [77], "Y": [3]}}}
+        }}}"#;
+        match parse_yosys_json(src).unwrap_err() {
+            ParseYosysError::DanglingBit { bit, .. } => assert_eq!(bit, 77),
+            other => panic!("expected DanglingBit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_json_is_a_syntax_error() {
+        let full = r#"{"modules": {"m": {"ports": {"a": {"direction": "input", "bits": [2]}}}}}"#;
+        for cut in 1..full.len() {
+            match parse_yosys_json(&full[..cut]) {
+                Err(
+                    ParseYosysError::Syntax { .. }
+                    | ParseYosysError::Schema { .. }
+                    | ParseYosysError::Build(_),
+                ) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing() {
+        let deep = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert!(matches!(
+            parse_yosys_json(&deep),
+            Err(ParseYosysError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_bits_are_rejected_with_position() {
+        let src = r#"{"modules": {"m": {
+          "ports": {"y": {"direction": "output", "bits": [3]}},
+          "cells": {"g": {"type": "$_NOT_",
+                          "connections": {"A": ["1"], "Y": [3]}}}
+        }}}"#;
+        match parse_yosys_json(src).unwrap_err() {
+            ParseYosysError::Schema { message, .. } => {
+                assert!(message.contains("constant bit"), "{message}");
+            }
+            other => panic!("expected Schema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_modules_rejected() {
+        let src = r#"{"modules": {"a": {}, "b": {}}}"#;
+        assert!(matches!(
+            parse_yosys_json(src),
+            Err(ParseYosysError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn json_dom_positions_are_exact() {
+        let src = "{\n  \"modules\": 7\n}";
+        match parse_yosys_json(src).unwrap_err() {
+            ParseYosysError::Schema { line, column, .. } => {
+                // `7` sits at line 2, column 14.
+                assert_eq!((line, column), (2, 14));
+            }
+            other => panic!("expected Schema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let src = r#"{"modules": {"m\n\u0041": {
+          "ports": {"a": {"direction": "input", "bits": [2]}},
+          "cells": {},
+          "netnames": {}
+        }}}"#;
+        let n = parse_yosys_json(src).unwrap();
+        assert_eq!(n.name(), "m\nA");
+    }
+
+    #[test]
+    fn garbage_inputs_never_panic() {
+        for src in [
+            "",
+            "null",
+            "[]",
+            "{}",
+            r#"{"modules": []}"#,
+            r#"{"modules": {}}"#,
+            r#"{"modules": {"m": []}}"#,
+            r#"{"modules": {"m": {"ports": [], "cells": 3}}}"#,
+            r#"{"modules": {"m": {"ports": {"p": {"direction": "sideways", "bits": []}}}}}"#,
+            r#"{"modules": {"m": {"ports": {"p": {"direction": "input", "bits": [-1]}}}}}"#,
+            r#"{"modules": {"m": {"ports": {"p": {"direction": "input", "bits": [2.5]}}}}}"#,
+            r#"{"modules": {"m": {"cells": {"g": {}}}}}"#,
+            r#"{"modules": {"m": {"cells": {"g": {"type": "$_AND_"}}}}}"#,
+            "\u{0}\u{0}\u{0}",
+            "{\"a\": \"\\q\"}",
+            "{\"a\": 1e999}",
+        ] {
+            let _ = parse_yosys_json(src);
+        }
+    }
+}

@@ -42,11 +42,13 @@ pub fn simulate_with_forced(
         values[input.index()] = pattern.try_trit(j).expect("width matches input count");
     }
     let mut fanin_buf: Vec<Trit> = Vec::with_capacity(8);
+    let kinds = netlist.kinds();
     for id in netlist.node_ids() {
-        if netlist.kind(id) != GateKind::Input {
+        let kind = kinds[id.index()];
+        if kind != GateKind::Input {
             fanin_buf.clear();
             fanin_buf.extend(netlist.fanins(id).iter().map(|f| values[f.index()]));
-            values[id.index()] = eval_gate(netlist.kind(id), &fanin_buf);
+            values[id.index()] = eval_gate(kind, &fanin_buf);
         }
         if let Some(&(_, v)) = forced.iter().find(|&&(net, _)| net == id) {
             values[id.index()] = v;

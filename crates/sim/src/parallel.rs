@@ -50,12 +50,16 @@ fn simulate64_with_fault(
     for (j, &input) in netlist.inputs().iter().enumerate() {
         values[input.index()] = inputs[j];
     }
+    // Sweep the SoA kind array directly: at a million gates the per-node
+    // accessor calls are measurable against the two loads per CSR slice.
+    let kinds = netlist.kinds();
     for id in netlist.node_ids() {
-        if netlist.kind(id) != GateKind::Input {
+        let kind = kinds[id.index()];
+        if kind != GateKind::Input {
             let fanins = netlist.fanins(id);
             let mut it = fanins.iter().map(|f| values[f.index()]);
             let first = it.next().expect("gates have fanins");
-            let word = match netlist.kind(id) {
+            let word = match kind {
                 GateKind::Input => unreachable!(),
                 GateKind::Buf => first,
                 GateKind::Not => !first,

@@ -12,21 +12,39 @@ use evotc_bits::TestSet;
 use evotc_netlist::{generate, iscas, parse_bench, GeneratorConfig, Netlist};
 
 /// Materializes a circuit: embedded netlist when available (`c17`, `s27`),
-/// otherwise a deterministic generated stand-in with the profile's shape.
+/// a synthetic scale circuit for `synth{N}`/`synth{N}k`/`synth{N}m` names
+/// (e.g. `synth100k` = 100 000 gates, `synth1m` = a million — the
+/// industrial-scale shapes behind `netlist_scale`), otherwise a
+/// deterministic generated stand-in with the named ISCAS profile's shape.
 ///
 /// # Panics
 ///
-/// Panics if the circuit has no ISCAS profile.
+/// Panics if the circuit has neither a synthetic size nor an ISCAS profile.
 pub fn circuit(name: &str) -> Netlist {
     match name {
         "c17" => parse_bench(iscas::C17_BENCH).expect("embedded c17 parses"),
         "s27" => parse_bench(iscas::S27_BENCH).expect("embedded s27 parses"),
         other => {
+            if let Some(gates) = synthetic_gates(other) {
+                return generate(&GeneratorConfig::synthetic(gates, 0xE07C));
+            }
             let profile = iscas::profile(other)
                 .unwrap_or_else(|| panic!("no ISCAS profile for circuit `{other}`"));
             generate(&GeneratorConfig::from_profile(profile))
         }
     }
+}
+
+/// Parses a `synth{N}[k|m]` circuit name into a gate count.
+fn synthetic_gates(name: &str) -> Option<usize> {
+    let spec = name.strip_prefix("synth")?;
+    let (digits, scale) = match spec.as_bytes().last()? {
+        b'k' | b'K' => (&spec[..spec.len() - 1], 1_000),
+        b'm' | b'M' => (&spec[..spec.len() - 1], 1_000_000),
+        _ => (spec, 1),
+    };
+    let n: usize = digits.parse().ok().filter(|&n| n > 0)?;
+    n.checked_mul(scale)
 }
 
 /// Runs stuck-at ATPG on `name` and returns the uncompacted test set
@@ -54,6 +72,19 @@ mod tests {
     fn embedded_circuits_resolve() {
         assert_eq!(circuit("c17").num_inputs(), 5);
         assert_eq!(circuit("s27").num_inputs(), 7);
+    }
+
+    #[test]
+    fn synthetic_names_resolve_to_scale_circuits() {
+        assert_eq!(synthetic_gates("synth10k"), Some(10_000));
+        assert_eq!(synthetic_gates("synth1m"), Some(1_000_000));
+        assert_eq!(synthetic_gates("synth500"), Some(500));
+        assert_eq!(synthetic_gates("synth"), None);
+        assert_eq!(synthetic_gates("synth0"), None);
+        assert_eq!(synthetic_gates("s298"), None);
+        let n = circuit("synth2k");
+        assert_eq!(n.num_gates(), 2_000);
+        assert_eq!(n.num_inputs(), 64);
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Equivalence suite: pins the interned/CSR netlist core against the
+//! historical representation it replaced.
+//!
+//! The reference model embedded here is a faithful miniature of the
+//! pre-refactor netlist: one heap `String` per node, nested `Vec` fanin and
+//! fanout lists, and the exact historical Kahn tie-break (zero-indegree
+//! frontier in declaration order; newly-ready nodes appended in declaration
+//! order). Both implementations consume the same declaration log, and every
+//! observable must agree byte-for-byte:
+//!
+//! * topological node order (by name),
+//! * per-node kind, level, fanin list, fanout list,
+//! * primary input/output sequences,
+//! * simulated output values for fully-specified patterns
+//!   (`evotc::sim::simulate` against a naive recursive evaluator).
+//!
+//! Sources: the embedded ISCAS circuits (c17, s27 with its DFF cut) via a
+//! tiny independent `.bench` reader, plus seeded random declaration logs
+//! with forward references and shared fanouts.
+
+use evotc::bits::{TestPattern, Trit};
+use evotc::netlist::{iscas, parse_bench, GateKind, Netlist, NetlistBuilder};
+
+/// One declaration in the shared log. Gate fanins index earlier entries.
+#[derive(Debug, Clone)]
+enum Op {
+    Input(String),
+    Gate(String, GateKind, Vec<usize>),
+    Output(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Reference model: the pre-refactor representation
+// ---------------------------------------------------------------------------
+
+/// Nested-`Vec`, `String`-per-node netlist with the historical Kahn sort.
+struct OldNetlist {
+    names: Vec<String>,
+    kinds: Vec<GateKind>,
+    fanins: Vec<Vec<usize>>,
+    fanouts: Vec<Vec<usize>>,
+    levels: Vec<u32>,
+    inputs: Vec<usize>,
+    outputs: Vec<usize>,
+}
+
+fn build_old(ops: &[Op]) -> OldNetlist {
+    let mut names: Vec<String> = Vec::new();
+    let mut kinds: Vec<GateKind> = Vec::new();
+    let mut fanins: Vec<Vec<usize>> = Vec::new();
+    let mut inputs: Vec<usize> = Vec::new();
+    let mut outputs: Vec<usize> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Input(name) => {
+                inputs.push(names.len());
+                names.push(name.clone());
+                kinds.push(GateKind::Input);
+                fanins.push(Vec::new());
+            }
+            Op::Gate(name, kind, fi) => {
+                names.push(name.clone());
+                kinds.push(*kind);
+                fanins.push(fi.clone());
+            }
+            // Like the builder, a net registered twice stays one output.
+            Op::Output(i) => {
+                if !outputs.contains(i) {
+                    outputs.push(*i);
+                }
+            }
+        }
+    }
+    let n = names.len();
+
+    // Historical Kahn: the ready frontier holds declaration indices; the
+    // earliest-declared ready node is popped first, and nodes that become
+    // ready are appended in declaration order.
+    let mut indegree: Vec<usize> = fanins.iter().map(Vec::len).collect();
+    let mut decl_fanouts: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, fi) in fanins.iter().enumerate() {
+        for &f in fi {
+            decl_fanouts[f].push(i);
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    ready.reverse();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while let Some(i) = ready.pop() {
+        order.push(i);
+        let mut appended: Vec<usize> = Vec::new();
+        for &fo in &decl_fanouts[i] {
+            indegree[fo] -= 1;
+            if indegree[fo] == 0 {
+                appended.push(fo);
+            }
+        }
+        appended.sort_unstable_by(|a, b| b.cmp(a));
+        ready.extend_from_slice(&appended);
+    }
+    assert_eq!(order.len(), n, "reference log is acyclic");
+
+    let mut remap = vec![0usize; n];
+    for (pos, &old) in order.iter().enumerate() {
+        remap[old] = pos;
+    }
+    let names: Vec<String> = order.iter().map(|&o| names[o].clone()).collect();
+    let kinds: Vec<GateKind> = order.iter().map(|&o| kinds[o]).collect();
+    let fanins: Vec<Vec<usize>> = order
+        .iter()
+        .map(|&o| fanins[o].iter().map(|&f| remap[f]).collect())
+        .collect();
+    let inputs: Vec<usize> = inputs.iter().map(|&i| remap[i]).collect();
+    let outputs: Vec<usize> = outputs.iter().map(|&o| remap[o]).collect();
+    let mut fanouts: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut levels = vec![0u32; n];
+    for i in 0..n {
+        for &f in &fanins[i] {
+            fanouts[f].push(i);
+            levels[i] = levels[i].max(levels[f] + 1);
+        }
+    }
+    OldNetlist {
+        names,
+        kinds,
+        fanins,
+        fanouts,
+        levels,
+        inputs,
+        outputs,
+    }
+}
+
+impl OldNetlist {
+    /// Naive evaluation of fully-specified input values, in topo order.
+    fn evaluate(&self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(input_values.len(), self.inputs.len());
+        let mut values = vec![false; self.names.len()];
+        for (&i, &v) in self.inputs.iter().zip(input_values) {
+            values[i] = v;
+        }
+        for i in 0..self.names.len() {
+            let fi = &self.fanins[i];
+            values[i] = match self.kinds[i] {
+                GateKind::Input => values[i],
+                GateKind::Buf => values[fi[0]],
+                GateKind::Not => !values[fi[0]],
+                GateKind::And => fi.iter().all(|&f| values[f]),
+                GateKind::Nand => !fi.iter().all(|&f| values[f]),
+                GateKind::Or => fi.iter().any(|&f| values[f]),
+                GateKind::Nor => !fi.iter().any(|&f| values[f]),
+                GateKind::Xor => fi.iter().filter(|&&f| values[f]).count() % 2 == 1,
+                GateKind::Xnor => fi.iter().filter(|&&f| values[f]).count() % 2 == 0,
+            };
+        }
+        values
+    }
+}
+
+fn build_new(ops: &[Op]) -> Netlist {
+    let mut b = NetlistBuilder::new("equiv");
+    let mut ids = Vec::new();
+    for op in ops {
+        match op {
+            Op::Input(name) => ids.push(b.input(name)),
+            Op::Gate(name, kind, fi) => {
+                let fanins = fi.iter().map(|&f| ids[f]).collect();
+                ids.push(b.gate(name, *kind, fanins).expect("log is valid"));
+            }
+            Op::Output(i) => b.output(ids[*i]),
+        }
+    }
+    b.finish().expect("log is acyclic")
+}
+
+// ---------------------------------------------------------------------------
+// The equivalence check
+// ---------------------------------------------------------------------------
+
+fn assert_equivalent(ops: &[Op], what: &str) {
+    let old = build_old(ops);
+    let new = build_new(ops);
+
+    assert_eq!(old.names.len(), new.num_nodes(), "{what}: node count");
+    // Topological order, names, kinds and levels, node by node.
+    for (i, id) in new.node_ids().enumerate() {
+        assert_eq!(
+            Some(old.names[i].as_str()),
+            new.net_name(id),
+            "{what}: name at topo position {i}"
+        );
+        assert_eq!(
+            old.kinds[i],
+            new.kind(id),
+            "{what}: kind of {}",
+            old.names[i]
+        );
+        assert_eq!(
+            old.levels[i],
+            new.level(id),
+            "{what}: level of {}",
+            old.names[i]
+        );
+        // Fanin and fanout lists, including their order.
+        let new_fanins: Vec<usize> = new.fanins(id).iter().map(|f| f.index()).collect();
+        assert_eq!(
+            old.fanins[i], new_fanins,
+            "{what}: fanins of {}",
+            old.names[i]
+        );
+        let new_fanouts: Vec<usize> = new.fanouts(id).iter().map(|f| f.index()).collect();
+        assert_eq!(
+            old.fanouts[i], new_fanouts,
+            "{what}: fanouts of {}",
+            old.names[i]
+        );
+    }
+    let new_inputs: Vec<usize> = new.inputs().iter().map(|i| i.index()).collect();
+    assert_eq!(old.inputs, new_inputs, "{what}: input order");
+    let new_outputs: Vec<usize> = new.outputs().iter().map(|o| o.index()).collect();
+    assert_eq!(old.outputs, new_outputs, "{what}: output order");
+
+    // Simulation agreement on deterministic fully-specified patterns.
+    let mut rng = Lcg::new(0x5EED_0001 ^ old.names.len() as u64);
+    for _ in 0..16 {
+        let input_values: Vec<bool> = (0..old.inputs.len()).map(|_| rng.coin()).collect();
+        let trits: Vec<Trit> = input_values.iter().map(|&b| Trit::from_bool(b)).collect();
+        let old_values = old.evaluate(&input_values);
+        let new_values = evotc::sim::simulate(&new, &TestPattern::from_trits(&trits));
+        for (i, id) in new.node_ids().enumerate() {
+            assert_eq!(
+                Trit::from_bool(old_values[i]),
+                new_values[id.index()],
+                "{what}: simulated value of {}",
+                old.names[i]
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources: .bench extraction and random logs
+// ---------------------------------------------------------------------------
+
+/// A tiny, independent `.bench` reader producing a declaration log with the
+/// same conventions as the real parser: `INPUT`s then DFF outputs become
+/// inputs, gates resolve by worklist rounds in line order, `OUTPUT`s then
+/// DFF fanins become outputs.
+fn ops_from_bench(text: &str) -> Vec<Op> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<(String, String, Vec<String>)> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap().trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("INPUT(") {
+            inputs.push(rest.trim_end_matches(')').trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("OUTPUT(") {
+            outputs.push(rest.trim_end_matches(')').trim().to_string());
+        } else {
+            let (target, rhs) = line.split_once('=').expect("gate line");
+            let (kind, args) = rhs.trim().split_once('(').expect("gate call");
+            let fanins: Vec<String> = args
+                .trim_end_matches(')')
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .collect();
+            gates.push((target.trim().to_string(), kind.trim().to_string(), fanins));
+        }
+    }
+    // DFF cut: Q is a pseudo-PI, D a pseudo-PO.
+    let mut ops: Vec<Op> = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut declared = 0usize;
+    let mut declare = |ops: &mut Vec<Op>,
+                       index: &mut std::collections::HashMap<String, usize>,
+                       op: Op,
+                       name: &str| {
+        index.insert(name.to_string(), declared);
+        declared += 1;
+        ops.push(op);
+    };
+    for name in &inputs {
+        declare(&mut ops, &mut index, Op::Input(name.clone()), name);
+    }
+    for (target, kind, _) in &gates {
+        if kind.eq_ignore_ascii_case("DFF") {
+            declare(&mut ops, &mut index, Op::Input(target.clone()), target);
+        }
+    }
+    let mut pending: Vec<&(String, String, Vec<String>)> = gates
+        .iter()
+        .filter(|(_, kind, _)| !kind.eq_ignore_ascii_case("DFF"))
+        .collect();
+    while !pending.is_empty() {
+        let before = pending.len();
+        let mut still = Vec::new();
+        for g in pending {
+            let (target, kind, fanins) = g;
+            if fanins.iter().all(|f| index.contains_key(f)) {
+                let fi: Vec<usize> = fanins.iter().map(|f| index[f]).collect();
+                let op = Op::Gate(target.clone(), kind.parse().expect("known gate"), fi);
+                declare(&mut ops, &mut index, op, target);
+            } else {
+                still.push(g);
+            }
+        }
+        assert!(still.len() < before, "undefined net in .bench source");
+        pending = still;
+    }
+    for name in &outputs {
+        ops.push(Op::Output(index[name]));
+    }
+    for (_, kind, fanins) in &gates {
+        if kind.eq_ignore_ascii_case("DFF") {
+            ops.push(Op::Output(index[&fanins[0]]));
+        }
+    }
+    ops
+}
+
+/// Small deterministic generator (xorshift-multiply LCG) for random logs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// A random acyclic declaration log: gates draw 1–4 fanins from earlier
+/// nodes (shared fanouts arise naturally), and a random node subset becomes
+/// outputs. All gate kinds are exercised.
+fn random_ops(seed: u64, num_inputs: usize, num_gates: usize) -> Vec<Op> {
+    const KINDS: [GateKind; 8] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+    let mut rng = Lcg::new(seed);
+    let mut ops = Vec::new();
+    for i in 0..num_inputs {
+        ops.push(Op::Input(format!("pi{i}")));
+    }
+    for g in 0..num_gates {
+        let declared = num_inputs + g;
+        let kind = KINDS[rng.below(KINDS.len())];
+        let arity = match kind {
+            GateKind::Buf | GateKind::Not => 1,
+            _ => 2 + rng.below(3),
+        };
+        let fanins: Vec<usize> = (0..arity).map(|_| rng.below(declared)).collect();
+        ops.push(Op::Gate(format!("g{g}"), kind, fanins));
+    }
+    let total = num_inputs + num_gates;
+    for i in 0..total {
+        if rng.below(5) == 0 {
+            ops.push(Op::Output(i));
+        }
+    }
+    // At least one output, or the netlist is degenerate.
+    ops.push(Op::Output(total - 1));
+    ops
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn c17_matches_reference() {
+    assert_equivalent(&ops_from_bench(iscas::C17_BENCH), "c17");
+}
+
+#[test]
+fn s27_matches_reference_through_dff_cut() {
+    assert_equivalent(&ops_from_bench(iscas::S27_BENCH), "s27");
+}
+
+#[test]
+fn bench_extraction_agrees_with_the_real_parser() {
+    // The independent reader and `parse_bench` must produce the same
+    // netlist, or the c17/s27 pins above test the wrong circuit.
+    for (name, text) in [("c17", iscas::C17_BENCH), ("s27", iscas::S27_BENCH)] {
+        let from_ops = build_new(&ops_from_bench(text));
+        let from_parser = parse_bench(text).expect("embedded source parses");
+        assert_eq!(
+            from_ops.num_nodes(),
+            from_parser.num_nodes(),
+            "{name}: node count"
+        );
+        for id in from_ops.node_ids() {
+            assert_eq!(
+                from_ops.net_name(id),
+                from_parser.net_name(id),
+                "{name}: {id}"
+            );
+            assert_eq!(from_ops.kind(id), from_parser.kind(id), "{name}: {id}");
+            assert_eq!(from_ops.fanins(id), from_parser.fanins(id), "{name}: {id}");
+        }
+        assert_eq!(from_ops.inputs(), from_parser.inputs(), "{name}: inputs");
+        assert_eq!(from_ops.outputs(), from_parser.outputs(), "{name}: outputs");
+    }
+}
+
+#[test]
+fn random_circuits_match_reference() {
+    for seed in 0..24u64 {
+        let ops = random_ops(seed, 3 + (seed as usize % 6), 20 + (seed as usize * 7) % 60);
+        assert_equivalent(&ops, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn forward_reference_declaration_order_matches() {
+    // Declaration order deliberately far from topological: a chain declared
+    // backwards through the builder is not possible (fanins must exist),
+    // but interleaved independent chains stress the Kahn tie-break.
+    let mut ops = vec![
+        Op::Input("a".into()),
+        Op::Input("b".into()),
+        Op::Input("c".into()),
+    ];
+    // Three chains interleaved so the frontier always holds several nodes.
+    for i in 0..10usize {
+        for (chain, input) in [(0usize, 0usize), (1, 1), (2, 2)] {
+            let prev = if i == 0 {
+                input
+            } else {
+                3 + (i - 1) * 3 + chain
+            };
+            ops.push(Op::Gate(
+                format!("ch{chain}_{i}"),
+                if chain == 1 {
+                    GateKind::Not
+                } else {
+                    GateKind::Buf
+                },
+                vec![prev],
+            ));
+        }
+    }
+    for chain in 0..3usize {
+        ops.push(Op::Output(3 + 9 * 3 + chain));
+    }
+    assert_equivalent(&ops, "interleaved chains");
+}

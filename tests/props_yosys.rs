@@ -1,0 +1,118 @@
+//! Property tests for the Yosys JSON front-end: write → parse round trips
+//! on arbitrary generated circuits, agreement with the `.bench` twin, and
+//! hostile-input robustness (typed errors, never panics).
+
+use evotc::netlist::{
+    generate, parse_bench, parse_yosys_json, write_bench, write_yosys_json, GeneratorConfig,
+    Netlist,
+};
+use proptest::prelude::*;
+
+/// Structural equality: same nodes in the same topological order, same
+/// kinds, fanins, levels, names (with the `n{idx}` fallback applied), and
+/// the same primary input/output sequences.
+fn assert_same(a: &Netlist, b: &Netlist, what: &str) {
+    prop_assert_eq!(a.num_nodes(), b.num_nodes(), "{}: node count", what);
+    prop_assert_eq!(a.inputs(), b.inputs(), "{}: inputs", what);
+    prop_assert_eq!(a.outputs(), b.outputs(), "{}: outputs", what);
+    for id in a.node_ids() {
+        prop_assert_eq!(a.kind(id), b.kind(id), "{}: kind of {}", what, id);
+        prop_assert_eq!(a.fanins(id), b.fanins(id), "{}: fanins of {}", what, id);
+        prop_assert_eq!(a.level(id), b.level(id), "{}: level of {}", what, id);
+        prop_assert_eq!(
+            a.name_of(id).to_string(),
+            b.name_of(id).to_string(),
+            "{}: name of {}",
+            what,
+            id
+        );
+    }
+}
+
+fn check_round_trip(netlist: &Netlist) {
+    let json = write_yosys_json(netlist);
+    let from_yosys =
+        parse_yosys_json(&json).unwrap_or_else(|e| panic!("yosys round trip failed: {e}"));
+    assert_same(netlist, &from_yosys, "yosys round trip");
+    // The `.bench` twin of the same circuit must agree exactly: both
+    // front-ends feed the same builder, so neither may reorder anything.
+    let from_bench = parse_bench(&write_bench(netlist))
+        .unwrap_or_else(|e| panic!(".bench round trip failed: {e}"));
+    assert_same(&from_yosys, &from_bench, "yosys vs .bench twin");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary generated circuits survive a Yosys JSON round trip
+    /// structurally unchanged and agree with their `.bench` twin.
+    #[test]
+    fn yosys_round_trips_generated_circuits(
+        seed in 0u64..(1 << 48),
+        inputs in 2usize..12,
+        gates in 5usize..150,
+    ) {
+        let netlist = generate(&GeneratorConfig {
+            inputs,
+            outputs: 1 + inputs / 2,
+            gates,
+            seed,
+        });
+        check_round_trip(&netlist);
+    }
+
+    /// Every truncation of a valid document is a typed error — never a
+    /// panic, never a silently half-built netlist.
+    #[test]
+    fn truncated_documents_fail_typed(
+        seed in 0u64..(1 << 32),
+        cut_per_mille in 0u64..1000,
+    ) {
+        let netlist = generate(&GeneratorConfig { inputs: 4, outputs: 2, gates: 30, seed });
+        let json = write_yosys_json(&netlist);
+        let mut cut = (json.len() as u64 * cut_per_mille / 1000) as usize;
+        // Truncate on a char boundary (the writer only emits ASCII, but do
+        // not rely on that here).
+        cut = cut.min(json.len().saturating_sub(1));
+        while !json.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assert!(
+            parse_yosys_json(&json[..cut]).is_err(),
+            "prefix of {cut} bytes parsed"
+        );
+    }
+
+    /// Single-byte corruptions either still parse to a valid netlist or
+    /// fail with a typed error; they never panic.
+    #[test]
+    fn corrupted_documents_never_panic(
+        seed in 0u64..(1 << 32),
+        at_per_mille in 0u64..1000,
+        replacement in 0u8..=255,
+    ) {
+        let netlist = generate(&GeneratorConfig { inputs: 3, outputs: 2, gates: 20, seed });
+        let mut bytes = write_yosys_json(&netlist).into_bytes();
+        let at = ((bytes.len() as u64 * at_per_mille / 1000) as usize).min(bytes.len() - 1);
+        bytes[at] = replacement;
+        // Corrupted bytes may no longer be UTF-8; lossy conversion mirrors
+        // what a caller reading a damaged file would hand the parser.
+        let text = String::from_utf8_lossy(&bytes);
+        match parse_yosys_json(&text) {
+            Ok(n) => prop_assert!(n.num_nodes() > 0),
+            Err(e) => prop_assert!(!format!("{e}").is_empty()),
+        }
+    }
+
+    /// Arbitrary bytes (interpreted lossily as text) are rejected with a
+    /// typed error that renders a position — the contract shared with
+    /// `ParseBenchError`. (A random byte soup that happens to be a valid
+    /// document would be astonishing but is not a failure.)
+    #[test]
+    fn garbage_is_rejected_typed(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_yosys_json(&text) {
+            prop_assert!(!format!("{e}").is_empty());
+        }
+    }
+}
