@@ -145,6 +145,7 @@ impl EaCompressor {
             elapsed: result.elapsed,
             cache: result.cache,
             stop_reason: result.stop_reason,
+            checkpoint_failures: result.checkpoint_failures,
         };
         (mvs, summary)
     }
@@ -932,6 +933,12 @@ pub struct EaRunSummary {
     /// Why the optimization stopped (see [`StopReason`]); the paper's
     /// stagnation termination reports [`StopReason::Converged`].
     pub stop_reason: StopReason,
+    /// Checkpoint captures whose sink returned an error (see
+    /// [`EaBuilder::checkpoint_every`]); `0` for runs without
+    /// checkpointing. Sink failures never stop a run, so a nonzero count
+    /// next to a finished summary means exactly "the run is fine but its
+    /// persisted checkpoints have gaps".
+    pub checkpoint_failures: u64,
 }
 
 impl EaRunSummary {
@@ -939,6 +946,27 @@ impl EaRunSummary {
     /// any time has elapsed.
     pub fn evaluations_per_sec(&self) -> f64 {
         evotc_evo::evals_per_sec(self.evaluations, self.elapsed)
+    }
+}
+
+impl std::fmt::Display for EaRunSummary {
+    /// The one-line human-readable run report harnesses print. Always
+    /// names the stop reason; mentions checkpoint-sink failures only when
+    /// there were any, so healthy runs stay terse.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "best {:.2}% after {} generations / {} evaluations in {:.2?} (stopped: {})",
+            self.best_fitness, self.generations, self.evaluations, self.elapsed, self.stop_reason,
+        )?;
+        if self.checkpoint_failures > 0 {
+            write!(
+                f,
+                " [{} checkpoint sink failure(s)]",
+                self.checkpoint_failures
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -1456,6 +1484,27 @@ mod tests {
     fn summary_reports_a_stop_reason() {
         let (_, summary) = quick(8, 4, 1).compress_with_summary(&small_set()).unwrap();
         assert_eq!(summary.stop_reason, StopReason::Converged);
+    }
+
+    #[test]
+    fn summary_display_surfaces_stop_reason_and_checkpoint_failures() {
+        let (_, mut summary) = quick(8, 4, 1).compress_with_summary(&small_set()).unwrap();
+        assert_eq!(summary.checkpoint_failures, 0, "no checkpointing, no sink");
+        let healthy = summary.to_string();
+        assert!(
+            healthy.contains("stopped: converged"),
+            "stop reason missing from {healthy:?}"
+        );
+        assert!(
+            !healthy.contains("checkpoint sink"),
+            "healthy runs must not mention sink failures: {healthy:?}"
+        );
+        summary.checkpoint_failures = 3;
+        let degraded = summary.to_string();
+        assert!(
+            degraded.contains("3 checkpoint sink failure(s)"),
+            "failure count missing from {degraded:?}"
+        );
     }
 
     #[test]

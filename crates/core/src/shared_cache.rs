@@ -139,6 +139,19 @@ pub fn content_hash(genome: &[Trit]) -> u64 {
     (even ^ odd.rotate_left(29)).wrapping_mul(PRIME)
 }
 
+/// Content fingerprint of a whole test set: [`content_hash`] over the
+/// row-major flattening of every pattern's trits, with the pattern width
+/// folded in (the flattening alone cannot tell a 4×8 set from an 8×4
+/// reshape of the same trit stream). This generalizes the per-genome
+/// content key to submissions: the service's cross-run result cache keys
+/// on it, so two submissions of the same patterns dedupe to one EA run.
+/// Like [`content_hash`], an in-process key — never persisted.
+pub fn test_set_content_hash(set: &evotc_bits::TestSet) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let trits: Vec<Trit> = set.iter().flat_map(|pattern| pattern.iter()).collect();
+    (content_hash(&trits) ^ set.width() as u64).wrapping_mul(PRIME)
+}
+
 /// A bounded, sharded, content-keyed store of parent [`EvalCache`]s shared
 /// by every fitness worker thread. See the [module docs](self).
 #[derive(Debug)]
@@ -469,6 +482,20 @@ mod tests {
         assert!(shared
             .get_hashed(content_hash(&genome(8)), &genome(8))
             .is_none());
+    }
+
+    #[test]
+    fn test_set_hash_tracks_content_and_shape() {
+        use evotc_bits::TestSet;
+        let a = TestSet::parse(&["1100XX10", "0X011010"]).unwrap();
+        let same = TestSet::parse(&["1100XX10", "0X011010"]).unwrap();
+        assert_eq!(test_set_content_hash(&a), test_set_content_hash(&same));
+        let edited = TestSet::parse(&["1100XX10", "0X011011"]).unwrap();
+        assert_ne!(test_set_content_hash(&a), test_set_content_hash(&edited));
+        // The same trit stream reshaped to a different width must not
+        // collide.
+        let reshaped = TestSet::parse(&["1100", "XX10", "0X01", "1010"]).unwrap();
+        assert_ne!(test_set_content_hash(&a), test_set_content_hash(&reshaped));
     }
 
     #[test]

@@ -10,13 +10,24 @@
 //! functions do not exist and the sites compile to nothing.
 //!
 //! The registry is global (one process-wide table), so tests that arm
-//! failpoints must serialize themselves — `tests/fault_injection.rs` shares
-//! one mutex — and should [`reset`] the table when done.
+//! failpoints must serialize themselves — `tests/fault_injection.rs` and
+//! `tests/service_fault_injection.rs` share one mutex each — and should
+//! [`reset`] the table when done.
+//!
+//! **Arming order matters when threads are involved.** [`arm`] resets the
+//! site's hit counter, so a site must be armed *before* any thread that
+//! passes it is spawned (or at least before work reaches the site):
+//! arming after spawn races the counter, and a [`FailSpec::Nth`] spec can
+//! land on a different pass than the test intended — or on none at all.
+//! Concretely: arm engine sites before calling `run()`, and arm
+//! `service::*` sites before `Service::start` (the workers begin passing
+//! `service::worker_pick` as soon as jobs are admitted). [`reset`]
+//! likewise belongs after every spawned thread has been joined.
 //!
 //! Hit counting is per *call site pass*, which for evaluator sites means
 //! per batch chunk: under multi-threaded evaluation the chunk count per
 //! generation depends on the worker count, so deterministic tests pin
-//! `threads(1)`.
+//! `threads(1)` (service jobs always do).
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -44,6 +55,18 @@ pub mod site {
     /// corruption-detection answer), so the evaluator must take the
     /// rebuild/fallback path. Scores must not change.
     pub const CORE_CACHE_PROBE: &str = "core::cache_probe";
+    /// In the service's admission pipeline: simulates a full queue, so the
+    /// submission is rejected with the typed queue-full error regardless
+    /// of actual occupancy.
+    pub const SERVICE_ENQUEUE: &str = "service::enqueue";
+    /// In the service worker's job pick-up: fails the picked attempt with
+    /// a retryable injected fault before the EA starts. Hit once per
+    /// attempt pick.
+    pub const SERVICE_WORKER_PICK: &str = "service::worker_pick";
+    /// In the service's result-cache probe at admission: forces a miss, so
+    /// a duplicate submission recomputes instead of hitting the cache.
+    /// Results must not change (the cache is pure dedupe).
+    pub const SERVICE_RESULT_CACHE_PROBE: &str = "service::result_cache_probe";
 }
 
 #[derive(Default)]

@@ -1,0 +1,93 @@
+//! Deterministic capped exponential retry backoff.
+//!
+//! The delay before retry attempt `n` (1-based, so the first retry is
+//! attempt one) is `base × factor^(n-1)`, saturating at `cap`. No jitter:
+//! the service
+//! is seeded-deterministic end to end, and with the virtual clock (see
+//! [`crate::ServiceClock`]) a test can walk the whole schedule without
+//! sleeping. Jitter would buy contention-spreading at the cost of
+//! reproducibility; a deployment that wants it can layer it into
+//! submission timing instead.
+
+use std::time::Duration;
+
+/// Retry policy of the service: how many times a retryable failure is
+/// re-attempted and how long each re-attempt waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per additional retry (2 = classic doubling).
+    pub factor: u32,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Retryable failures tolerated per job before it fails permanently
+    /// with [`crate::JobError::RetriesExhausted`]. `0` disables retries.
+    pub max_retries: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(10),
+            factor: 2,
+            cap: Duration::from_secs(1),
+            max_retries: 3,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry `attempt` (1-based). `0` maps to the base
+    /// delay as well, so callers cannot underflow the exponent.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exponent = attempt.saturating_sub(1).min(63);
+        let factor = u64::from(self.factor).max(1);
+        let scale = factor
+            .checked_pow(exponent.min(u32::from(u16::MAX)))
+            .unwrap_or(u64::MAX);
+        let delay = self
+            .base
+            .checked_mul(u32::try_from(scale).unwrap_or(u32::MAX))
+            .unwrap_or(Duration::MAX);
+        delay.min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_doubles_then_caps() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(10),
+            factor: 2,
+            cap: Duration::from_millis(70),
+            max_retries: 5,
+        };
+        let delays: Vec<u64> = (1..=5)
+            .map(|n| policy.delay(n).as_millis() as u64)
+            .collect();
+        assert_eq!(delays, [10, 20, 40, 70, 70]);
+        // Attempt 0 is treated as the first retry, never an underflow.
+        assert_eq!(policy.delay(0), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn huge_attempts_saturate_instead_of_overflowing() {
+        let policy = BackoffPolicy::default();
+        assert_eq!(policy.delay(u32::MAX), policy.cap);
+    }
+
+    #[test]
+    fn factor_one_is_constant_backoff() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(3),
+            factor: 1,
+            cap: Duration::from_secs(1),
+            max_retries: 2,
+        };
+        assert_eq!(policy.delay(1), policy.delay(9));
+    }
+}

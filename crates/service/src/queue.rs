@@ -1,0 +1,247 @@
+//! The bounded two-heap job queue: ready work and deferred retries.
+//!
+//! *Ready* entries drain highest-priority-first, ties in arrival order
+//! (every enqueue — first admission, retry, or shed re-admission — takes a
+//! fresh monotone sequence number, so "arrival" is the most recent
+//! queuing, and a shed job goes to the back of its priority class rather
+//! than starving newcomers). *Deferred* entries are retries waiting out a
+//! backoff delay; [`JobQueue::promote`] moves them to the ready heap once
+//! the service clock passes their wake time.
+//!
+//! Capacity is enforced by the service (admission control), not here — the
+//! queue just reports its total occupancy. Both heaps tie-break on the
+//! sequence number, so the drain order is a pure function of the
+//! (priority, enqueue order, wake time) history: no wall-clock, no
+//! randomness.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use evotc_bits::Trit;
+use evotc_evo::EaCheckpoint;
+
+use crate::job::{JobId, JobSpec};
+
+/// One admitted job's queue state, threaded through retries and shed
+/// cycles (the spec itself is shared, never copied per attempt).
+#[derive(Debug)]
+pub(crate) struct JobEntry {
+    /// The job's identity.
+    pub id: JobId,
+    /// The submitting spec.
+    pub spec: Arc<JobSpec>,
+    /// The spec's result-cache content key, computed once at admission.
+    pub key: u64,
+    /// Retryable failures consumed so far.
+    pub failures: u32,
+    /// Shed-preemption cycles survived so far.
+    pub shed_cycles: u32,
+    /// Checkpoint-sink failures accumulated over attempts.
+    pub checkpoint_failures: u64,
+    /// The checkpoint to resume from (set by a shed preemption; dropped on
+    /// a rejected resume so the retry restarts from scratch).
+    pub resume: Option<EaCheckpoint<Trit>>,
+    /// Service-clock admission time.
+    pub submitted_at: Duration,
+}
+
+struct ReadyItem {
+    priority: u8,
+    seq: u64,
+    entry: JobEntry,
+}
+
+impl PartialEq for ReadyItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for ReadyItem {}
+impl PartialOrd for ReadyItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadyItem {
+    /// Max-heap: higher priority wins, then the *lower* sequence number
+    /// (earlier enqueue) wins.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct DeferredItem {
+    ready_at: Duration,
+    seq: u64,
+    entry: JobEntry,
+}
+
+impl PartialEq for DeferredItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for DeferredItem {}
+impl PartialOrd for DeferredItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DeferredItem {
+    /// Max-heap inverted into a min-heap: the earliest wake time (then the
+    /// earliest enqueue) surfaces first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .ready_at
+            .cmp(&self.ready_at)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The two-heap queue (see the [module docs](self)).
+#[derive(Default)]
+pub(crate) struct JobQueue {
+    ready: BinaryHeap<ReadyItem>,
+    deferred: BinaryHeap<DeferredItem>,
+    next_seq: u64,
+}
+
+impl JobQueue {
+    fn seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Enqueues `entry` as immediately runnable.
+    pub fn push_ready(&mut self, entry: JobEntry) {
+        let item = ReadyItem {
+            priority: entry.spec.priority,
+            seq: self.seq(),
+            entry,
+        };
+        self.ready.push(item);
+    }
+
+    /// Parks `entry` until the service clock reaches `ready_at`.
+    pub fn push_deferred(&mut self, entry: JobEntry, ready_at: Duration) {
+        let item = DeferredItem {
+            ready_at,
+            seq: self.seq(),
+            entry,
+        };
+        self.deferred.push(item);
+    }
+
+    /// Moves every deferred entry whose wake time has passed to the ready
+    /// heap; returns how many were promoted.
+    pub fn promote(&mut self, now: Duration) -> usize {
+        let mut promoted = 0;
+        while let Some(item) = self.deferred.peek() {
+            if item.ready_at > now {
+                break;
+            }
+            let item = self.deferred.pop().expect("peeked entry exists");
+            self.push_ready(item.entry);
+            promoted += 1;
+        }
+        promoted
+    }
+
+    /// Takes the highest-priority ready entry.
+    pub fn pop_ready(&mut self) -> Option<JobEntry> {
+        self.ready.pop().map(|item| item.entry)
+    }
+
+    /// The earliest wake time among deferred entries — what a virtual
+    /// clock must advance to when nothing is ready and nothing is running.
+    pub fn next_deferred_at(&self) -> Option<Duration> {
+        self.deferred.peek().map(|item| item.ready_at)
+    }
+
+    /// Ready entries waiting.
+    #[cfg(test)]
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Total occupancy (ready + deferred) — what admission's capacity
+    /// check counts.
+    pub fn len(&self) -> usize {
+        self.ready.len() + self.deferred.len()
+    }
+
+    /// Whether both heaps are empty.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty() && self.deferred.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::TenantId;
+    use evotc_bits::TestSet;
+
+    fn entry(id: u64, priority: u8) -> JobEntry {
+        let patterns = TestSet::parse(&["10"]).unwrap();
+        let mut spec = JobSpec::new(TenantId(0), patterns, 2, 1, 0);
+        spec.priority = priority;
+        JobEntry {
+            id: JobId(id),
+            spec: Arc::new(spec),
+            key: 0,
+            failures: 0,
+            shed_cycles: 0,
+            checkpoint_failures: 0,
+            resume: None,
+            submitted_at: Duration::ZERO,
+        }
+    }
+
+    fn drain_ids(queue: &mut JobQueue) -> Vec<u64> {
+        std::iter::from_fn(|| queue.pop_ready().map(|e| e.id.0)).collect()
+    }
+
+    #[test]
+    fn drains_by_priority_then_arrival_order() {
+        let mut queue = JobQueue::default();
+        queue.push_ready(entry(1, 0));
+        queue.push_ready(entry(2, 5));
+        queue.push_ready(entry(3, 5));
+        queue.push_ready(entry(4, 1));
+        assert_eq!(drain_ids(&mut queue), [2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn promote_wakes_exactly_the_due_entries_in_order() {
+        let mut queue = JobQueue::default();
+        queue.push_deferred(entry(1, 0), Duration::from_millis(30));
+        queue.push_deferred(entry(2, 0), Duration::from_millis(10));
+        queue.push_deferred(entry(3, 0), Duration::from_millis(50));
+        assert_eq!(queue.next_deferred_at(), Some(Duration::from_millis(10)));
+        assert_eq!(queue.promote(Duration::from_millis(30)), 2);
+        assert_eq!(queue.ready_len(), 2);
+        assert_eq!(queue.len(), 3, "one still parked");
+        assert_eq!(drain_ids(&mut queue), [2, 1], "woken in wake-time order");
+        assert_eq!(queue.next_deferred_at(), Some(Duration::from_millis(50)));
+        assert_eq!(queue.promote(Duration::from_millis(9)), 0);
+        assert!(!queue.is_empty());
+    }
+
+    #[test]
+    fn requeued_entries_go_behind_their_priority_class() {
+        let mut queue = JobQueue::default();
+        queue.push_ready(entry(1, 2));
+        queue.push_ready(entry(2, 2));
+        let first = queue.pop_ready().unwrap();
+        assert_eq!(first.id.0, 1);
+        queue.push_ready(first); // shed re-admission: fresh sequence number
+        assert_eq!(drain_ids(&mut queue), [2, 1]);
+    }
+}
